@@ -1,0 +1,151 @@
+// Command collviz visualizes collective topology construction: the
+// paper's worked examples (Fig. 1's mismatched binomial tree, Fig. 4's
+// distance-aware broadcast tree with its union trace, Fig. 5's
+// distance-aware allgather ring) and arbitrary machine/binding
+// combinations.
+//
+// Usage:
+//
+//	collviz -fig 1|4|5
+//	collviz -machine ig -np 48 -binding crosssocket -root 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distcoll/internal/baseline"
+	"distcoll/internal/binding"
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+)
+
+func main() {
+	fig := flag.String("fig", "", "paper example to reproduce: 1, 4 or 5")
+	machine := flag.String("machine", "ig", "machine: zoot, ig or igcluster")
+	np := flag.Int("np", 0, "processes (default: all cores)")
+	bindName := flag.String("binding", "contiguous", "binding: contiguous, rr, crosssocket, random")
+	seed := flag.Int64("seed", 4, "seed for the random binding")
+	root := flag.Int("root", 0, "broadcast root rank")
+	flag.Parse()
+
+	switch *fig {
+	case "1":
+		fig1()
+	case "4":
+		fig4()
+	case "5":
+		fig5()
+	case "":
+		custom(*machine, *np, *bindName, *seed, *root)
+	default:
+		fatalf("unknown figure %q (known: 1, 4, 5)", *fig)
+	}
+}
+
+// fig1 shows the mismatch the paper opens with: an in-order binomial
+// broadcast tree over 8 processes placed in pairs on a quad-socket
+// dual-core node — every edge of the critical path crosses sockets.
+func fig1() {
+	topo := mustBuild(hwtopo.Spec{
+		Name: "fig1", Boards: 1, SocketsPerBoard: 4, DiesPerSocket: 1, CoresPerDie: 2,
+		SharedCacheLevel: 2, SharedCacheSize: 4 << 20, MemPerNUMA: 8 << 30,
+	})
+	// Pairs (0,1), (2,4), (3,6), (5,7) placed per socket (Fig. 1).
+	coreOf := []int{0, 1, 2, 4, 3, 6, 5, 7}
+	m := distance.NewMatrix(topo, coreOf)
+	tree, err := baseline.BinomialTree(8, 0)
+	check(err)
+	fmt.Println("Figure 1: in-order binomial broadcast tree, pairs placed per socket")
+	fmt.Println(tree.Render())
+	fmt.Println("critical path P0 → P4 → P6 → P7 edge distances:")
+	for _, e := range [][2]int{{0, 4}, {4, 6}, {6, 7}} {
+		fmt.Printf("  P%d→P%d: distance %d (cross-socket)\n", e[0], e[1], m.At(e[0], e[1]))
+	}
+	dtree, err := core.BuildBroadcastTree(m, 0, core.TreeOptions{})
+	check(err)
+	fmt.Println("\ndistance-aware tree over the same placement:")
+	fmt.Println(dtree.Render())
+}
+
+// fig4 reproduces the paper's Fig. 4: 12 processes on 4 NUMA nodes
+// (2 boards), random binding, root P5, with the union trace (1)…(11).
+func fig4() {
+	topo := mustBuild(hwtopo.Spec{
+		Name: "fig4", Boards: 2, SocketsPerBoard: 2, DiesPerSocket: 1, CoresPerDie: 3,
+		NUMAPerSocket: true, MemPerNUMA: 4 << 30,
+	})
+	b, err := binding.Random(topo, 12, 4)
+	check(err)
+	m := distance.NewMatrix(topo, b.Cores())
+	fmt.Printf("Figure 4: 12 processes on 4 NUMA nodes, %s\n\ndistance matrix:\n%s\n", b, m)
+	tree, err := core.BuildBroadcastTree(m, 5, core.TreeOptions{RecordTrace: true})
+	check(err)
+	fmt.Println("union trace (Algorithm 1):")
+	for _, st := range tree.Trace {
+		fmt.Printf("  (%2d) %v  [leaders %d, %d]\n", st.Step, st.Edge, st.LeaderU, st.LeaderV)
+	}
+	fmt.Printf("\nbroadcast tree rooted at P5 (one cross-board edge, weight %d):\n%s",
+		distance.CrossBoard, tree.Render())
+}
+
+// fig5 reproduces the paper's Fig. 5: a distance-aware allgather ring over
+// 8 processes on a quad-socket dual-core node with random binding.
+func fig5() {
+	topo := mustBuild(hwtopo.Spec{
+		Name: "fig5", Boards: 1, SocketsPerBoard: 4, DiesPerSocket: 1, CoresPerDie: 2,
+		SharedCacheLevel: 2, SharedCacheSize: 4 << 20, MemPerNUMA: 8 << 30,
+	})
+	b, err := binding.Random(topo, 8, 11)
+	check(err)
+	m := distance.NewMatrix(topo, b.Cores())
+	fmt.Printf("Figure 5: 8 processes on a quad-socket dual-core node, %s\n\ndistance matrix:\n%s\n", b, m)
+	ring, err := core.BuildAllgatherRing(m, core.RingOptions{RecordTrace: true})
+	check(err)
+	fmt.Println("union trace (Algorithm 2):")
+	for _, st := range ring.Trace {
+		fmt.Printf("  (%d) %v\n", st.Step, st.Edge)
+	}
+	fmt.Printf("  closing edge: %v\n\nring: %s\n", ring.Closing, ring)
+	fmt.Printf("die pairs are adjacent; %d edges cross sockets\n",
+		ring.EdgesAtWeight(distance.CrossSocketSameMC))
+}
+
+func custom(machine string, np int, bindName string, seed int64, root int) {
+	topo, err := hwtopo.ByName(machine)
+	check(err)
+	if np == 0 {
+		np = topo.NumCores()
+	}
+	b, err := binding.ByName(topo, bindName, np, seed)
+	check(err)
+	m := distance.NewMatrix(topo, b.Cores())
+	tree, err := core.BuildBroadcastTree(m, root, core.TreeOptions{})
+	check(err)
+	fmt.Printf("distance-aware broadcast tree on %s, %s, root %d:\n%s\n", machine, b.Name, root, tree.Render())
+	ring, err := core.BuildAllgatherRing(m, core.RingOptions{})
+	check(err)
+	fmt.Printf("distance-aware allgather ring:\n%s\n", ring)
+}
+
+func mustBuild(spec hwtopo.Spec) *hwtopo.Topology {
+	if spec.OSNumbering != hwtopo.OSPhysical {
+		spec.OSNumbering = hwtopo.OSPhysical
+	}
+	t, err := hwtopo.Build(spec)
+	check(err)
+	return t
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "collviz: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command lstopo renders a simulated machine the way hwloc's lstopo does:
+// the hardware containment tree, plus the process-distance matrix for a
+// chosen binding.
+//
+// Usage:
+//
+//	lstopo -machine ig
+//	lstopo -machine zoot -np 16 -binding rr
+//	lstopo -machine igcluster         # the 4-node/2-switch cluster
+//	lstopo -machine ig -json          # dump the topology as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+)
+
+func main() {
+	machine := flag.String("machine", "ig", "machine to render: zoot, ig or igcluster")
+	np := flag.Int("np", 0, "processes to place (default: all cores); enables the distance matrix")
+	bindName := flag.String("binding", "contiguous", "binding strategy: contiguous, rr, crosssocket, random")
+	seed := flag.Int64("seed", 1, "seed for the random binding")
+	jsonOut := flag.Bool("json", false, "emit the topology as JSON instead of text")
+	flag.Parse()
+
+	topo, err := hwtopo.ByName(*machine)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *jsonOut {
+		if err := topo.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Printf("Machine %q (%d cores)\n\n%s\n", topo.Name, topo.NumCores(), topo.Render())
+
+	n := *np
+	if n == 0 {
+		n = topo.NumCores()
+	}
+	b, err := binding.ByName(topo, *bindName, n, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("Binding: %s\n\n", b)
+	m := distance.NewMatrix(topo, b.Cores())
+	fmt.Printf("Process distance matrix (%d ranks):\n%s\n", n, m)
+	for d := 1; d <= distance.Max; d++ {
+		clusters := m.Clusters(d)
+		if d > 1 && len(clusters) == len(m.Clusters(d-1)) {
+			continue
+		}
+		fmt.Printf("clusters at distance ≤ %d: %v\n", d, clusters)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lstopo: "+format+"\n", args...)
+	os.Exit(1)
+}

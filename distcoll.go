@@ -1,0 +1,200 @@
+// Package distcoll is a Go reproduction of "Process Distance-aware
+// Adaptive MPI Collective Communications" (Ma, Herault, Bosilca, Dongarra —
+// IEEE CLUSTER 2011).
+//
+// The package re-exports the library's public surface:
+//
+//   - hardware topology modeling (the hwloc substitute) and the paper's
+//     two evaluation machines, Zoot and IG;
+//   - process placement (bindings) and the 1–6 process-distance metric;
+//   - the paper's contribution: distance-aware broadcast trees
+//     (Algorithm 1) and allgather rings (Algorithm 2), compiled to
+//     executable communication schedules;
+//   - the rank-based Open MPI tuned / MPICH2 baselines;
+//   - a mini-MPI runtime (goroutine processes, communicators, pluggable
+//     collective components) that runs those schedules on real memory
+//     through an emulated KNEM device;
+//   - a calibrated flow-level performance simulator and the IMB-style
+//     harness that regenerates every figure of the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results. The runnable entry points are
+// cmd/distbench (figures), cmd/lstopo and cmd/collviz, and the programs
+// under examples/.
+package distcoll
+
+import (
+	"distcoll/internal/baseline"
+	"distcoll/internal/binding"
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/exec"
+	"distcoll/internal/figures"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/imb"
+	"distcoll/internal/machine"
+	"distcoll/internal/mpi"
+	"distcoll/internal/sched"
+)
+
+// Hardware topology (hwloc substitute).
+type (
+	Topology     = hwtopo.Topology
+	TopologySpec = hwtopo.Spec
+	ClusterSpec  = hwtopo.ClusterSpec
+)
+
+// NewZoot builds the paper's 16-core Tigerton SMP machine.
+func NewZoot() *Topology { return hwtopo.NewZoot() }
+
+// NewIG builds the paper's 48-core dual-board Istanbul machine.
+func NewIG() *Topology { return hwtopo.NewIG() }
+
+// NewIGCluster builds the 4-node/2-switch evaluation cluster (§VI
+// extension).
+func NewIGCluster() *Topology { return hwtopo.NewIGCluster() }
+
+// BuildTopology constructs a custom machine from a spec.
+func BuildTopology(spec TopologySpec) (*Topology, error) { return hwtopo.Build(spec) }
+
+// BuildCluster constructs a custom multi-node cluster.
+func BuildCluster(spec ClusterSpec) (*Topology, error) { return hwtopo.BuildCluster(spec) }
+
+// MachineByName returns a known machine ("zoot", "ig").
+func MachineByName(name string) (*Topology, error) { return hwtopo.ByName(name) }
+
+// Process placement.
+type Binding = binding.Binding
+
+// Binding constructors (see package binding for semantics).
+var (
+	Contiguous  = binding.Contiguous
+	RoundRobin  = binding.RoundRobin
+	CrossSocket = binding.CrossSocket
+	RandomBind  = binding.Random
+	UserBind    = binding.User
+	BindByName  = binding.ByName
+)
+
+// Process distance (§IV-A).
+type DistanceMatrix = distance.Matrix
+
+// NewDistanceMatrix computes pairwise process distances for ranks bound to
+// the given logical cores.
+func NewDistanceMatrix(t *Topology, coreOf []int) DistanceMatrix {
+	return distance.NewMatrix(t, coreOf)
+}
+
+// Distance returns the paper's 1–6 metric between two cores.
+func Distance(t *Topology, coreA, coreB int) int { return distance.Between(t, coreA, coreB) }
+
+// Distance-aware topologies (the paper's contribution, §IV-B/C).
+type (
+	Tree        = core.Tree
+	TreeOptions = core.TreeOptions
+	Ring        = core.Ring
+	RingOptions = core.RingOptions
+	Levels      = core.Levels
+)
+
+// Topology construction and compilation.
+var (
+	BuildBroadcastTree          = core.BuildBroadcastTree
+	BuildAllgatherRing          = core.BuildAllgatherRing
+	BuildBroadcastTreeFast      = core.BuildBroadcastTreeFast
+	BuildAllgatherRingFast      = core.BuildAllgatherRingFast
+	NewLinearTree               = core.NewLinearTree
+	CompileBroadcast            = core.CompileBroadcast
+	CompileAllgather            = core.CompileAllgather
+	CompileReduce               = core.CompileReduce
+	CompileAllreduce            = core.CompileAllreduce
+	CompileGather               = core.CompileGather
+	CompileScatter              = core.CompileScatter
+	CompileAlltoallDirect       = core.CompileAlltoallDirect
+	CompileAlltoallHierarchical = core.CompileAlltoallHierarchical
+	FlatLevels                  = core.FlatLevels
+	CollapseBelow               = core.CollapseBelow
+)
+
+// Schedules and functional execution.
+type (
+	Schedule = sched.Schedule
+	Buffers  = exec.Buffers
+)
+
+// Functional executors (real memory, full concurrency).
+var (
+	AllocBuffers = exec.Alloc
+	RunSchedule  = exec.Run
+)
+
+// Baselines (rank-based algorithms the paper compares against).
+type TransportConfig = baseline.TransportConfig
+
+// Baseline decisions, compilers and point-to-point transports.
+var (
+	TunedBcastDecision       = baseline.TunedBcastDecision
+	MPICHBcastDecision       = baseline.MPICHBcastDecision
+	TunedAllgatherDecision   = baseline.TunedAllgatherDecision
+	CompileBaselineBcast     = baseline.CompileBcast
+	CompileBaselineAllgather = baseline.CompileAllgather
+	SMKnemBTL                = baseline.SMKnemBTL
+	NemesisSM                = baseline.NemesisSM
+)
+
+// Mini-MPI runtime.
+type (
+	World     = mpi.World
+	Proc      = mpi.Proc
+	Comm      = mpi.Comm
+	Component = mpi.Component
+	ReduceOp  = mpi.ReduceOp
+)
+
+// Built-in reduction operators.
+var (
+	OpSumFloat64 = mpi.OpSumFloat64
+	OpSumInt64   = mpi.OpSumInt64
+	OpMaxUint8   = mpi.OpMaxUint8
+	OpBXOR       = mpi.OpBXOR
+)
+
+// Collective components.
+const (
+	KNEMColl = mpi.KNEMColl
+	Tuned    = mpi.Tuned
+	MPICH2   = mpi.MPICH2
+)
+
+// NewWorld creates a mini-MPI job over a binding.
+func NewWorld(b *Binding) *World { return mpi.NewWorld(b) }
+
+// Performance model and simulation.
+type MachineParams = machine.Params
+
+// Calibrated parameter sets and the simulator entry point.
+var (
+	ZootParams    = machine.ZootParams
+	IGParams      = machine.IGParams
+	ClusterParams = machine.ClusterParams
+	Simulate      = machine.Simulate
+)
+
+// Experiment drivers (one per paper figure) and the IMB-style harness.
+type (
+	Figure = figures.Figure
+	Series = imb.Series
+)
+
+// Figure drivers and reporting helpers.
+var (
+	Fig2          = figures.Fig2
+	Fig6          = figures.Fig6
+	Fig7          = figures.Fig7
+	Fig8          = figures.Fig8
+	FigureByID    = figures.ByID
+	AllFigures    = figures.All
+	StandardSizes = imb.StandardSizes
+	WriteTable    = imb.WriteTable
+	WriteCSV      = imb.WriteCSV
+)

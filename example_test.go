@@ -1,0 +1,141 @@
+package distcoll_test
+
+import (
+	"fmt"
+	"log"
+
+	"distcoll"
+)
+
+// The distance metric in action: Zoot's hierarchy maps to the paper's
+// 1–6 scale.
+func ExampleDistance() {
+	zoot := distcoll.NewZoot()
+	fmt.Println(distcoll.Distance(zoot, 0, 1)) // same die, shared L2
+	fmt.Println(distcoll.Distance(zoot, 0, 2)) // same socket, different die
+	fmt.Println(distcoll.Distance(zoot, 0, 4)) // different sockets
+	// Output:
+	// 1
+	// 2
+	// 3
+}
+
+// Algorithm 1 adapts the broadcast tree to the placement: whatever the
+// binding, exactly one edge crosses IG's boards.
+func ExampleBuildBroadcastTree() {
+	ig := distcoll.NewIG()
+	bind, err := distcoll.CrossSocket(ig, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := distcoll.NewDistanceMatrix(ig, bind.Cores())
+	tree, err := distcoll.BuildBroadcastTree(m, 0, distcoll.TreeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("depth:", tree.Depth())
+	fmt.Println("cross-board edges:", tree.EdgesAtWeight(6))
+	fmt.Println("inter-socket edges:", tree.EdgesAtWeight(5))
+	// Output:
+	// depth: 3
+	// cross-board edges: 1
+	// inter-socket edges: 6
+}
+
+// Algorithm 2 clusters physical neighbors along the ring: under any
+// binding the IG ring crosses the boards exactly twice.
+func ExampleBuildAllgatherRing() {
+	ig := distcoll.NewIG()
+	bind, err := distcoll.RandomBind(ig, 48, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := distcoll.NewDistanceMatrix(ig, bind.Cores())
+	ring, err := distcoll.BuildAllgatherRing(m, distcoll.RingOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("intra-socket edges:", ring.EdgesAtWeight(1))
+	fmt.Println("cross-board edges:", ring.EdgesAtWeight(6))
+	// Output:
+	// intra-socket edges: 40
+	// cross-board edges: 2
+}
+
+// A full collective through the mini-MPI runtime: 16 goroutine processes
+// allreduce their ranks.
+func ExampleComm_Allreduce() {
+	zoot := distcoll.NewZoot()
+	bind, err := distcoll.RoundRobin(zoot, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world := distcoll.NewWorld(bind)
+	err = world.Run(func(p *distcoll.Proc) error {
+		send := []byte{byte(p.Rank())}
+		recv := make([]byte, 1)
+		if err := p.Comm().Allreduce(send, recv, distcoll.OpMaxUint8, distcoll.KNEMColl); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			fmt.Println("max rank:", recv[0])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: max rank: 15
+}
+
+// Simulating a schedule produces the paper's bandwidth numbers.
+func ExampleSimulate() {
+	ig := distcoll.NewIG()
+	bind, err := distcoll.Contiguous(ig, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := distcoll.NewDistanceMatrix(ig, bind.Cores())
+	tree, err := distcoll.BuildBroadcastTree(m, 0, distcoll.TreeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := distcoll.CompileBroadcast(tree, 8<<20, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := distcoll.Simulate(bind, distcoll.IGParams(), s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mbps := 47 * float64(8<<20) / res.Makespan / 1e6
+	fmt.Println("aggregate bandwidth within the paper's range:", mbps > 12000 && mbps < 30000)
+	// Output: aggregate bandwidth within the paper's range: true
+}
+
+// The functional executor proves a schedule moves the right bytes.
+func ExampleRunSchedule() {
+	zoot := distcoll.NewZoot()
+	bind, err := distcoll.Contiguous(zoot, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := distcoll.NewDistanceMatrix(zoot, bind.Cores())
+	tree, err := distcoll.BuildBroadcastTree(m, 0, distcoll.TreeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := distcoll.CompileBroadcast(tree, 8, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bufs := distcoll.AllocBuffers(s)
+	rootBuf, _ := s.FindBuffer(0, "data")
+	copy(bufs.Bytes(rootBuf), "distcoll")
+	if err := distcoll.RunSchedule(s, bufs); err != nil {
+		log.Fatal(err)
+	}
+	lastBuf, _ := s.FindBuffer(15, "data")
+	fmt.Println(string(bufs.Bytes(lastBuf)))
+	// Output: distcoll
+}

@@ -1,0 +1,60 @@
+// Hierarchy ablation: how much distance information does a topology need?
+//
+// The paper's §V-B asks whether every distance level is equally important
+// and answers with Zoot's Fig. 8: on a single-memory-controller node,
+// splitting the broadcast tree by the inter-socket distance buys nothing —
+// the controller is write-bound either way — so the flat linear topology
+// wins. This program sweeps the choice on BOTH machines: on IG (one
+// controller per socket) the hierarchy is essential; on Zoot it is not.
+// Message size is not just an algorithm-selection knob, it decides how
+// much of the hierarchy to use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distcoll"
+)
+
+func main() {
+	const size = 4 << 20
+	run("zoot", distcoll.NewZoot(), distcoll.ZootParams(), 16, size)
+	fmt.Println()
+	run("ig", distcoll.NewIG(), distcoll.IGParams(), 48, size)
+}
+
+func run(name string, topo *distcoll.Topology, params distcoll.MachineParams, n int, size int64) {
+	bind, err := distcoll.Contiguous(topo, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := distcoll.NewDistanceMatrix(topo, bind.Cores())
+
+	type variant struct {
+		label  string
+		levels distcoll.Levels
+	}
+	variants := []variant{
+		{"full hierarchy (all levels)", nil},
+		{"two-level (collapse ≤ 2)", distcoll.CollapseBelow(2)},
+		{"linear (distance ignored)", distcoll.FlatLevels},
+	}
+	fmt.Printf("%s: %d-rank broadcast of %d bytes (aggregate MB/s)\n", name, n, size)
+	for _, v := range variants {
+		tree, err := distcoll.BuildBroadcastTree(m, 0, distcoll.TreeOptions{Levels: v.levels})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := distcoll.CompileBroadcast(tree, size, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := distcoll.Simulate(bind, params, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mbps := float64(n-1) * float64(size) / res.Makespan / 1e6
+		fmt.Printf("  %-30s depth %d  %8.0f MB/s\n", v.label, tree.Depth(), mbps)
+	}
+}

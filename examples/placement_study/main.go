@@ -1,0 +1,134 @@
+// Placement study: the paper's headline claim, interactively.
+//
+// For every binding strategy (contiguous, round-robin, cross-socket and a
+// few random placements), simulate a 1 MB broadcast and a 256 KB-block
+// allgather on the IG machine with both the placement-blind tuned
+// component and the distance-aware KNEM component, and print the spread.
+// The distance-aware rows stay flat; the rank-based rows swing wildly —
+// the mismatch problem of §III made visible in one table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distcoll"
+)
+
+const (
+	nprocs    = 48
+	bcastSize = 1 << 20
+	agBlock   = 256 << 10
+)
+
+func main() {
+	ig := distcoll.NewIG()
+	params := distcoll.IGParams()
+
+	type row struct {
+		name string
+		bind *distcoll.Binding
+	}
+	var rows []row
+	for _, name := range []string{"contiguous", "rr", "crosssocket"} {
+		b, err := distcoll.BindByName(ig, name, nprocs, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name, b})
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		b, err := distcoll.RandomBind(ig, nprocs, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{fmt.Sprintf("random#%d", seed), b})
+	}
+
+	fmt.Printf("Broadcast 1MB and Allgather 256KB/rank on IG, 48 processes (aggregate MB/s)\n\n")
+	fmt.Printf("%-12s %14s %14s %16s %16s\n", "binding", "tuned bcast", "knem bcast", "tuned allgather", "knem allgather")
+	mins := [4]float64{1e18, 1e18, 1e18, 1e18}
+	maxs := [4]float64{}
+	for _, r := range rows {
+		vals := [4]float64{
+			tunedBcast(r.bind, params),
+			knemBcast(r.bind, params),
+			tunedAllgather(r.bind, params),
+			knemAllgather(r.bind, params),
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %16.0f %16.0f\n", r.name, vals[0], vals[1], vals[2], vals[3])
+		for i, v := range vals {
+			if v < mins[i] {
+				mins[i] = v
+			}
+			if v > maxs[i] {
+				maxs[i] = v
+			}
+		}
+	}
+	fmt.Println()
+	names := []string{"tuned bcast", "knem bcast", "tuned allgather", "knem allgather"}
+	for i, n := range names {
+		fmt.Printf("%-16s placement spread: %5.1f%%\n", n, 100*(maxs[i]-mins[i])/maxs[i])
+	}
+}
+
+func tunedBcast(b *distcoll.Binding, p distcoll.MachineParams) float64 {
+	alg, seg := distcoll.TunedBcastDecision(nprocs, bcastSize)
+	s, err := distcoll.CompileBaselineBcast(alg, nprocs, 0, bcastSize, seg, distcoll.SMKnemBTL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return bcastMBps(b, p, s)
+}
+
+func knemBcast(b *distcoll.Binding, p distcoll.MachineParams) float64 {
+	m := distcoll.NewDistanceMatrix(b.Topology(), b.Cores())
+	tree, err := distcoll.BuildBroadcastTree(m, 0, distcoll.TreeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := distcoll.CompileBroadcast(tree, bcastSize, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return bcastMBps(b, p, s)
+}
+
+func bcastMBps(b *distcoll.Binding, p distcoll.MachineParams, s *distcoll.Schedule) float64 {
+	res, err := distcoll.Simulate(b, p, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return float64(nprocs-1) * bcastSize / res.Makespan / 1e6
+}
+
+func tunedAllgather(b *distcoll.Binding, p distcoll.MachineParams) float64 {
+	alg := distcoll.TunedAllgatherDecision(nprocs, agBlock)
+	s, err := distcoll.CompileBaselineAllgather(alg, nprocs, agBlock, distcoll.SMKnemBTL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return allgatherMBps(b, p, s)
+}
+
+func knemAllgather(b *distcoll.Binding, p distcoll.MachineParams) float64 {
+	m := distcoll.NewDistanceMatrix(b.Topology(), b.Cores())
+	ring, err := distcoll.BuildAllgatherRing(m, distcoll.RingOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := distcoll.CompileAllgather(ring, agBlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return allgatherMBps(b, p, s)
+}
+
+func allgatherMBps(b *distcoll.Binding, p distcoll.MachineParams, s *distcoll.Schedule) float64 {
+	res, err := distcoll.Simulate(b, p, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return float64(nprocs) * float64(nprocs-1) * agBlock / res.Makespan / 1e6
+}

@@ -1,0 +1,3 @@
+module distcoll
+
+go 1.22

@@ -1,0 +1,239 @@
+package baseline
+
+import (
+	"fmt"
+
+	"distcoll/internal/sched"
+)
+
+// AllgatherAlgorithm names an allgather algorithm selectable by the
+// decision function.
+type AllgatherAlgorithm int
+
+const (
+	AllgatherRing AllgatherAlgorithm = iota
+	AllgatherRecDoubling
+	AllgatherBruck
+)
+
+func (a AllgatherAlgorithm) String() string {
+	switch a {
+	case AllgatherRing:
+		return "ring"
+	case AllgatherRecDoubling:
+		return "recdbl"
+	case AllgatherBruck:
+		return "bruck"
+	default:
+		return fmt.Sprintf("AllgatherAlgorithm(%d)", int(a))
+	}
+}
+
+// TunedAllgatherDecision approximates Open MPI tuned's fixed rules: Bruck
+// for small blocks, recursive doubling for mid-size power-of-two
+// communicators, ring for everything large.
+func TunedAllgatherDecision(n int, block int64) AllgatherAlgorithm {
+	switch {
+	case n <= 2:
+		return AllgatherRing
+	case block < 1<<10:
+		return AllgatherBruck
+	case isPow2(n) && block < 64<<10:
+		return AllgatherRecDoubling
+	default:
+		return AllgatherRing
+	}
+}
+
+// CompileAllgather compiles an allgather of one block per rank with the
+// requested rank-based algorithm. Buffers per rank: "send" (block bytes)
+// and "recv" (n·block bytes), matching core.CompileAllgather for direct
+// comparison.
+func CompileAllgather(alg AllgatherAlgorithm, n int, block int64, cfg TransportConfig) (*sched.Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: communicator size %d", n)
+	}
+	if block <= 0 {
+		return nil, fmt.Errorf("baseline: allgather block %d", block)
+	}
+	switch alg {
+	case AllgatherRing:
+		return compileAllgatherRing(n, block, cfg)
+	case AllgatherRecDoubling:
+		return compileAllgatherRecDbl(n, block, cfg)
+	case AllgatherBruck:
+		return compileAllgatherBruck(n, block, cfg)
+	default:
+		return nil, fmt.Errorf("baseline: unknown allgather algorithm %d", alg)
+	}
+}
+
+func allgatherBuffers(s *sched.Schedule, n int, block int64) (send, recv []sched.BufID) {
+	send = make([]sched.BufID, n)
+	recv = make([]sched.BufID, n)
+	for r := 0; r < n; r++ {
+		send[r] = s.AddBuffer(r, "send", block)
+		recv[r] = s.AddBuffer(r, "recv", int64(n)*block)
+	}
+	return send, recv
+}
+
+// compileAllgatherRing is the classic rank-order ring: at step s, rank r
+// sends block (r−s+1) to r+1 and receives block (r−s) from r−1. Under a
+// cross-socket binding every hop crosses sockets — the tuned worst case of
+// Fig. 7.
+func compileAllgatherRing(n int, block int64, cfg TransportConfig) (*sched.Schedule, error) {
+	s := sched.New(n)
+	send, recv := allgatherBuffers(s, n, block)
+	tp := NewTransport(s, cfg)
+	blockOp := make([][]sched.OpID, n)
+	for r := 0; r < n; r++ {
+		blockOp[r] = make([]sched.OpID, n)
+		for b := range blockOp[r] {
+			blockOp[r][b] = -1
+		}
+		blockOp[r][r] = tp.LocalCopy(r, send[r], 0, recv[r], int64(r)*block, block, nil)
+	}
+	for step := 1; step < n; step++ {
+		for r := 0; r < n; r++ {
+			blk := ((r-step+1)%n + n) % n
+			right := (r + 1) % n
+			done, err := tp.Send(r, right, recv[r], int64(blk)*block, recv[right], int64(blk)*block, block,
+				[]sched.OpID{blockOp[r][blk]})
+			if err != nil {
+				return nil, err
+			}
+			blockOp[right][blk] = done
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: compiled ring allgather invalid: %w", err)
+	}
+	return s, nil
+}
+
+// compileAllgatherRecDbl is recursive doubling (power-of-two ranks): at
+// step k, rank r exchanges its aligned 2^k-block range with r XOR 2^k.
+func compileAllgatherRecDbl(n int, block int64, cfg TransportConfig) (*sched.Schedule, error) {
+	if !isPow2(n) {
+		return nil, fmt.Errorf("baseline: recursive doubling needs power-of-two ranks, got %d", n)
+	}
+	s := sched.New(n)
+	send, recv := allgatherBuffers(s, n, block)
+	tp := NewTransport(s, cfg)
+	holdDeps := make([][]sched.OpID, n)
+	for r := 0; r < n; r++ {
+		holdDeps[r] = []sched.OpID{tp.LocalCopy(r, send[r], 0, recv[r], int64(r)*block, block, nil)}
+	}
+	for mask := 1; mask < n; mask <<= 1 {
+		recvDone := make([]sched.OpID, n)
+		for i := range recvDone {
+			recvDone[i] = -1
+		}
+		for r := 0; r < n; r++ {
+			p := r ^ mask
+			lo := int64(r&^(mask-1)) * block
+			bytes := int64(mask) * block
+			done, err := tp.Send(r, p, recv[r], lo, recv[p], lo, bytes, holdDeps[r])
+			if err != nil {
+				return nil, err
+			}
+			recvDone[p] = done
+		}
+		for r := 0; r < n; r++ {
+			holdDeps[r] = append(holdDeps[r], recvDone[r])
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: compiled recdbl allgather invalid: %w", err)
+	}
+	return s, nil
+}
+
+// compileAllgatherBruck is Bruck's ⌈log₂n⌉-step algorithm for small
+// blocks: blocks accumulate rotated in a temporary buffer (own block at
+// position 0), each step sends the first min(2^k, n−2^k) blocks to rank
+// r−2^k, and a final local rotation restores rank order.
+func compileAllgatherBruck(n int, block int64, cfg TransportConfig) (*sched.Schedule, error) {
+	s := sched.New(n)
+	send, recv := allgatherBuffers(s, n, block)
+	tmp := make([]sched.BufID, n)
+	for r := 0; r < n; r++ {
+		tmp[r] = s.AddBuffer(r, "tmp", int64(n)*block)
+	}
+	tp := NewTransport(s, cfg)
+	holdDeps := make([][]sched.OpID, n)
+	for r := 0; r < n; r++ {
+		holdDeps[r] = []sched.OpID{tp.LocalCopy(r, send[r], 0, tmp[r], 0, block, nil)}
+	}
+	for pof2 := 1; pof2 < n; pof2 <<= 1 {
+		cnt := pof2
+		if n-pof2 < cnt {
+			cnt = n - pof2
+		}
+		recvDone := make([]sched.OpID, n)
+		for i := range recvDone {
+			recvDone[i] = -1
+		}
+		for r := 0; r < n; r++ {
+			dst := ((r-pof2)%n + n) % n
+			done, err := tp.Send(r, dst, tmp[r], 0, tmp[dst], int64(pof2)*block, int64(cnt)*block, holdDeps[r])
+			if err != nil {
+				return nil, err
+			}
+			recvDone[dst] = done
+		}
+		for r := 0; r < n; r++ {
+			holdDeps[r] = append(holdDeps[r], recvDone[r])
+		}
+	}
+	// Final rotation: tmp position i holds block (r+i) mod n. Two local
+	// copies restore rank order into recv.
+	for r := 0; r < n; r++ {
+		first := int64(n-r) * block // tmp[0 : n-r) → recv[r·block : ]
+		tp.LocalCopy(r, tmp[r], 0, recv[r], int64(r)*block, first, holdDeps[r])
+		if r > 0 {
+			tp.LocalCopy(r, tmp[r], first, recv[r], 0, int64(r)*block, holdDeps[r])
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: compiled bruck allgather invalid: %w", err)
+	}
+	return s, nil
+}
+
+// CompileAlltoallPairwise compiles the rank-based pairwise-exchange
+// alltoall (tuned's generic algorithm): at step s every rank sends its
+// block for partner (r+s) mod n directly. Buffers "send"/"recv" of
+// n·block per rank, matching core's alltoall compilers.
+func CompileAlltoallPairwise(n int, block int64, cfg TransportConfig) (*sched.Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: communicator size %d", n)
+	}
+	if block <= 0 {
+		return nil, fmt.Errorf("baseline: alltoall block %d", block)
+	}
+	s := sched.New(n)
+	send := make([]sched.BufID, n)
+	recv := make([]sched.BufID, n)
+	for r := 0; r < n; r++ {
+		send[r] = s.AddBuffer(r, "send", int64(n)*block)
+		recv[r] = s.AddBuffer(r, "recv", int64(n)*block)
+	}
+	tp := NewTransport(s, cfg)
+	for r := 0; r < n; r++ {
+		tp.LocalCopy(r, send[r], int64(r)*block, recv[r], int64(r)*block, block, nil)
+	}
+	for st := 1; st < n; st++ {
+		for r := 0; r < n; r++ {
+			p := (r + st) % n
+			if _, err := tp.Send(r, p, send[r], int64(p)*block, recv[p], int64(r)*block, block, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: compiled pairwise alltoall invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/exec"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/sched"
+)
+
+func sumCombine(dst, src []byte) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+func contribution(rank int, n int64) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte((rank*41 + i*13 + 1) % 256)
+	}
+	return out
+}
+
+func expectedSum(n int, size int64) []byte {
+	want := contribution(0, size)
+	for r := 1; r < n; r++ {
+		sumCombine(want, contribution(r, size))
+	}
+	return want
+}
+
+func seedSends(t *testing.T, s *sched.Schedule, n int, size int64) *exec.Buffers {
+	t.Helper()
+	bufs := exec.Alloc(s)
+	for r := 0; r < n; r++ {
+		id, ok := s.FindBuffer(r, "send")
+		if !ok {
+			t.Fatalf("rank %d send buffer missing", r)
+		}
+		copy(bufs.Bytes(id), contribution(r, size))
+	}
+	return bufs
+}
+
+func TestCompileReduceBinomial(t *testing.T) {
+	for _, cfg := range []TransportConfig{SMKnemBTL(), NemesisSM()} {
+		for _, tc := range []struct {
+			n, root int
+			size    int64
+			seg     int64
+		}{
+			{16, 0, 4096, 0},
+			{48, 13, 100000, 32 << 10},
+			{7, 3, 555, 0},
+			{1, 0, 64, 0},
+			{2, 1, 8192, 0},
+		} {
+			s, err := CompileReduce(tc.n, tc.root, tc.size, tc.seg, cfg)
+			if err != nil {
+				t.Fatalf("n=%d: %v", tc.n, err)
+			}
+			bufs := seedSends(t, s, tc.n, tc.size)
+			if err := exec.RunReduce(s, bufs, sumCombine); err != nil {
+				t.Fatal(err)
+			}
+			id, ok := s.FindBuffer(tc.root, "acc")
+			if !ok {
+				t.Fatal("root acc missing")
+			}
+			if !bytes.Equal(bufs.Bytes(id), expectedSum(tc.n, tc.size)) {
+				t.Fatalf("n=%d root=%d size=%d: wrong reduction", tc.n, tc.root, tc.size)
+			}
+		}
+	}
+}
+
+func TestCompileTreeReduceOverDistanceTree(t *testing.T) {
+	// The generic tree reduce also runs over a distance-aware tree
+	// (transport ablation).
+	ig := hwtopo.NewIG()
+	cores := identity(48)
+	m := distance.NewMatrix(ig, cores)
+	tree, err := core.BuildBroadcastTree(m, 5, core.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompileTreeReduce(tree, 65536, 16<<10, SMKnemBTL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := seedSends(t, s, 48, 65536)
+	if err := exec.RunReduce(s, bufs, sumCombine); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.FindBuffer(5, "acc")
+	if !bytes.Equal(bufs.Bytes(id), expectedSum(48, 65536)) {
+		t.Fatal("wrong reduction over distance tree")
+	}
+}
+
+func TestCompileAllreduceAlgorithms(t *testing.T) {
+	for _, cfg := range []TransportConfig{SMKnemBTL(), NemesisSM()} {
+		cases := []struct {
+			alg  AllreduceAlgorithm
+			n    int
+			size int64
+		}{
+			{AllreduceRecDoubling, 16, 4096},
+			{AllreduceRecDoubling, 8, 100000},
+			{AllreduceRecDoubling, 2, 64},
+			{AllreduceRing, 48, 1 << 20},
+			{AllreduceRing, 48, 100001},
+			{AllreduceRing, 5, 999},
+			{AllreduceRing, 1, 100},
+			{AllreduceRing, 12, 7}, // size < n: empty blocks
+		}
+		for _, tc := range cases {
+			s, err := CompileAllreduce(tc.alg, tc.n, tc.size, 1, cfg)
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", tc.alg, tc.n, err)
+			}
+			bufs := seedSends(t, s, tc.n, tc.size)
+			if err := exec.RunReduce(s, bufs, sumCombine); err != nil {
+				t.Fatalf("%v n=%d: %v", tc.alg, tc.n, err)
+			}
+			want := expectedSum(tc.n, tc.size)
+			for r := 0; r < tc.n; r++ {
+				id, ok := s.FindBuffer(r, "recv")
+				if !ok {
+					t.Fatalf("rank %d recv missing", r)
+				}
+				if !bytes.Equal(bufs.Bytes(id), want) {
+					t.Fatalf("%v n=%d size=%d: rank %d wrong allreduce result", tc.alg, tc.n, tc.size, r)
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceDecision(t *testing.T) {
+	if alg := TunedAllreduceDecision(16, 1024); alg != AllreduceRecDoubling {
+		t.Errorf("pow2 small = %v", alg)
+	}
+	if alg := TunedAllreduceDecision(16, 1<<20); alg != AllreduceRing {
+		t.Errorf("pow2 large = %v", alg)
+	}
+	if alg := TunedAllreduceDecision(48, 1024); alg != AllreduceRing {
+		t.Errorf("non-pow2 = %v", alg)
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	if _, err := CompileReduce(0, 0, 64, 0, SMKnemBTL()); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := CompileReduce(4, 0, 0, 0, SMKnemBTL()); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := CompileAllreduce(AllreduceRecDoubling, 12, 64, 1, SMKnemBTL()); err == nil {
+		t.Error("non-pow2 recdbl accepted")
+	}
+	if _, err := CompileAllreduce(AllreduceRing, 4, 0, 1, SMKnemBTL()); err == nil {
+		t.Error("zero-size allreduce accepted")
+	}
+	s := sched.New(2)
+	b := s.AddBuffer(0, "x", 8)
+	tp := NewTransport(s, SMKnemBTL())
+	if _, err := tp.SendReduce(0, 1, b, 0, b, 0, 0, nil); err == nil {
+		t.Error("zero-byte reduce send accepted")
+	}
+}
+
+func TestAlltoallPairwiseCorrectness(t *testing.T) {
+	for _, cfg := range []TransportConfig{SMKnemBTL(), NemesisSM()} {
+		const n, block = 12, int64(777)
+		s, err := CompileAlltoallPairwise(n, block, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := exec.Alloc(s)
+		for r := 0; r < n; r++ {
+			id, _ := s.FindBuffer(r, "send")
+			for q := 0; q < n; q++ {
+				copy(bufs.Bytes(id)[int64(q)*block:], contribution(r*100+q, block))
+			}
+		}
+		if err := exec.Run(s, bufs); err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < n; q++ {
+			id, _ := s.FindBuffer(q, "recv")
+			for a := 0; a < n; a++ {
+				got := bufs.Bytes(id)[int64(a)*block : int64(a+1)*block]
+				if !bytes.Equal(got, contribution(a*100+q, block)) {
+					t.Fatalf("rank %d wrong block from %d", q, a)
+				}
+			}
+		}
+	}
+	if _, err := CompileAlltoallPairwise(0, 64, SMKnemBTL()); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

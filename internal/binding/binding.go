@@ -1,0 +1,204 @@
+// Package binding implements process placement: the mapping from MPI ranks
+// to the cores they are bound to. It reproduces the binding strategies the
+// paper evaluates — MPICH2/Hydra's rr/user/cpu/cache options (§III) and the
+// contiguous / cross-socket cases of §V — plus seeded random bindings for
+// the construction examples of Figs. 4 and 5.
+//
+// A Binding is a pure rank→core table; it never mutates the topology. All
+// constructors validate against the topology and return an error rather
+// than producing an out-of-range placement.
+package binding
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"distcoll/internal/hwtopo"
+)
+
+// Binding maps MPI ranks of one job to logical core indices of a topology.
+type Binding struct {
+	// Name describes the strategy, e.g. "contiguous" or "crosssocket".
+	Name string
+
+	// coreOf[rank] is the logical core index the rank is bound to.
+	coreOf []int
+
+	topo *hwtopo.Topology
+}
+
+// New builds a user-defined binding from explicit logical core indices
+// (Hydra's "-binding user"). Every rank must land on a distinct in-range
+// core: the paper's model is one process per core.
+func New(t *hwtopo.Topology, name string, coreOf []int) (*Binding, error) {
+	if len(coreOf) == 0 {
+		return nil, fmt.Errorf("binding: empty placement")
+	}
+	if len(coreOf) > t.NumCores() {
+		return nil, fmt.Errorf("binding: %d processes exceed %d cores", len(coreOf), t.NumCores())
+	}
+	seen := make(map[int]bool, len(coreOf))
+	for rank, c := range coreOf {
+		if c < 0 || c >= t.NumCores() {
+			return nil, fmt.Errorf("binding: rank %d bound to core %d, out of range [0,%d)", rank, c, t.NumCores())
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("binding: core %d bound twice", c)
+		}
+		seen[c] = true
+	}
+	cp := make([]int, len(coreOf))
+	copy(cp, coreOf)
+	return &Binding{Name: name, coreOf: cp, topo: t}, nil
+}
+
+// NumRanks returns the number of placed processes.
+func (b *Binding) NumRanks() int { return len(b.coreOf) }
+
+// CoreOf returns the logical core index rank is bound to.
+func (b *Binding) CoreOf(rank int) int { return b.coreOf[rank] }
+
+// Cores returns a copy of the full rank→core table.
+func (b *Binding) Cores() []int {
+	cp := make([]int, len(b.coreOf))
+	copy(cp, b.coreOf)
+	return cp
+}
+
+// Topology returns the topology the binding was validated against.
+func (b *Binding) Topology() *hwtopo.Topology { return b.topo }
+
+// CoreObject returns the bound core's topology object.
+func (b *Binding) CoreObject(rank int) *hwtopo.Object { return b.topo.Core(b.coreOf[rank]) }
+
+// String renders "name[r0→c0 r1→c1 …]".
+func (b *Binding) String() string {
+	var sb strings.Builder
+	sb.WriteString(b.Name)
+	sb.WriteByte('[')
+	for r, c := range b.coreOf {
+		if r > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d→%d", r, c)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Contiguous packs n processes as closely as possible in physical order:
+// rank i on the i-th core of the depth-first tree walk. This matches
+// MPICH2's "-binding cpu"/"-binding cache" on the paper's machines and the
+// contiguous case of §V ("process i bound to core i").
+func Contiguous(t *hwtopo.Topology, n int) (*Binding, error) {
+	if err := checkCount(t, n); err != nil {
+		return nil, err
+	}
+	coreOf := make([]int, n)
+	for i := range coreOf {
+		coreOf[i] = i
+	}
+	return New(t, "contiguous", coreOf)
+}
+
+// RoundRobin binds rank r to the core with OS processor id r (Hydra's
+// "-binding rr"): the placement follows the operating system's logical
+// enumeration, whatever its relation to the physical layout.
+func RoundRobin(t *hwtopo.Topology, n int) (*Binding, error) {
+	if err := checkCount(t, n); err != nil {
+		return nil, err
+	}
+	order := t.OSOrder()
+	coreOf := make([]int, n)
+	copy(coreOf, order[:n])
+	return New(t, "rr", coreOf)
+}
+
+// User binds rank r to the core with OS processor id ids[r] (Hydra's
+// "-binding user:..."). On Zoot, User(0..15) equals RoundRobin, as the
+// paper notes.
+func User(t *hwtopo.Topology, ids []int) (*Binding, error) {
+	coreOf := make([]int, len(ids))
+	for r, os := range ids {
+		c := t.CoreByOS(os)
+		if c == nil {
+			return nil, fmt.Errorf("binding: no core with OS id %d", os)
+		}
+		coreOf[r] = c.Index
+	}
+	return New(t, "user", coreOf)
+}
+
+// CrossSocket scatters ranks across sockets to maximize inter-socket
+// exchanges between neighbor ranks: rank r goes to slot ⌊r/S⌋ of socket
+// (r mod S). On IG with S=8 sockets of 6 cores this is exactly the paper's
+// formula c = (r mod 8)·6 + ⌊r/8⌋.
+func CrossSocket(t *hwtopo.Topology, n int) (*Binding, error) {
+	if err := checkCount(t, n); err != nil {
+		return nil, err
+	}
+	sockets := socketCores(t)
+	s := len(sockets)
+	coreOf := make([]int, n)
+	for r := 0; r < n; r++ {
+		socket := r % s
+		slot := r / s
+		if slot >= len(sockets[socket]) {
+			return nil, fmt.Errorf("binding: cross-socket overflow at rank %d (socket %d has %d cores)", r, socket, len(sockets[socket]))
+		}
+		coreOf[r] = sockets[socket][slot]
+	}
+	return New(t, "crosssocket", coreOf)
+}
+
+// Random places n processes on n distinct cores chosen by a deterministic
+// shuffle of the given seed (the "random binding case" of Figs. 4 and 5).
+func Random(t *hwtopo.Topology, n int, seed int64) (*Binding, error) {
+	if err := checkCount(t, n); err != nil {
+		return nil, err
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(t.NumCores())
+	coreOf := make([]int, n)
+	copy(coreOf, perm[:n])
+	return New(t, fmt.Sprintf("random(seed=%d)", seed), coreOf)
+}
+
+// ByName builds one of the named strategies ("contiguous", "rr",
+// "crosssocket", "random"). It is the CLI entry point.
+func ByName(t *hwtopo.Topology, name string, n int, seed int64) (*Binding, error) {
+	switch name {
+	case "contiguous", "cpu", "cache":
+		return Contiguous(t, n)
+	case "rr", "roundrobin":
+		return RoundRobin(t, n)
+	case "crosssocket", "cross":
+		return CrossSocket(t, n)
+	case "random":
+		return Random(t, n, seed)
+	default:
+		return nil, fmt.Errorf("binding: unknown strategy %q (known: contiguous, rr, crosssocket, random)", name)
+	}
+}
+
+func checkCount(t *hwtopo.Topology, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("binding: need at least one process, got %d", n)
+	}
+	if n > t.NumCores() {
+		return fmt.Errorf("binding: %d processes exceed %d cores", n, t.NumCores())
+	}
+	return nil
+}
+
+// socketCores returns, per socket (by socket index), the logical core
+// indices it contains in physical order.
+func socketCores(t *hwtopo.Topology) [][]int {
+	sockets := t.ObjectsOfKind(hwtopo.KindSocket)
+	out := make([][]int, len(sockets))
+	for _, core := range t.Cores() {
+		s := core.AncestorOfKind(hwtopo.KindSocket)
+		out[s.Index] = append(out[s.Index], core.Index)
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package binding
+
+import (
+	"strings"
+	"testing"
+
+	"distcoll/internal/hwtopo"
+)
+
+func TestContiguousIdentityOnIG(t *testing.T) {
+	ig := hwtopo.NewIG()
+	b, err := Contiguous(ig, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 48; r++ {
+		if b.CoreOf(r) != r {
+			t.Fatalf("contiguous rank %d → core %d, want %d", r, b.CoreOf(r), r)
+		}
+	}
+}
+
+func TestCrossSocketMatchesPaperFormulaOnIG(t *testing.T) {
+	ig := hwtopo.NewIG()
+	b, err := CrossSocket(ig, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §V-A: core c holds rank r iff c = (r mod 8)*6 + ⌊r/8⌋.
+	for r := 0; r < 48; r++ {
+		want := (r%8)*6 + r/8
+		if b.CoreOf(r) != want {
+			t.Fatalf("cross-socket rank %d → core %d, want %d", r, b.CoreOf(r), want)
+		}
+	}
+}
+
+func TestCrossSocketOnZoot(t *testing.T) {
+	z := hwtopo.NewZoot()
+	b, err := CrossSocket(z, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 sockets of 4 cores: rank r on core (r mod 4)*4 + r/4; consecutive
+	// ranks always land on different sockets.
+	for r := 0; r < 16; r++ {
+		want := (r%4)*4 + r/4
+		if b.CoreOf(r) != want {
+			t.Fatalf("rank %d → core %d, want %d", r, b.CoreOf(r), want)
+		}
+	}
+	for r := 0; r+1 < 16; r++ {
+		sa := z.Core(b.CoreOf(r)).AncestorOfKind(hwtopo.KindSocket)
+		sb := z.Core(b.CoreOf(r + 1)).AncestorOfKind(hwtopo.KindSocket)
+		if sa == sb {
+			t.Fatalf("neighbor ranks %d,%d share socket under cross-socket binding", r, r+1)
+		}
+	}
+}
+
+func TestRoundRobinFollowsOSIds(t *testing.T) {
+	z := hwtopo.NewZoot()
+	b, err := RoundRobin(z, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		if got := z.Core(b.CoreOf(r)).OSIndex; got != r {
+			t.Fatalf("rr rank %d on OS id %d, want %d", r, got, r)
+		}
+	}
+	// On Zoot, rr scatters neighbor ranks across sockets (the bad case of
+	// Fig. 2): ranks r and r+1 are on different sockets.
+	for r := 0; r+1 < 16; r++ {
+		if hwtopo.SameSocket(b.CoreObject(r), b.CoreObject(r+1)) {
+			t.Fatalf("rr neighbor ranks %d,%d on same socket", r, r+1)
+		}
+	}
+}
+
+func TestUserEqualsRoundRobinOnZoot(t *testing.T) {
+	// Paper §III: 'user:0..15' has the same binding map as rr on Zoot.
+	z := hwtopo.NewZoot()
+	ids := make([]int, 16)
+	for i := range ids {
+		ids[i] = i
+	}
+	u, err := User(z, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RoundRobin(z, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		if u.CoreOf(r) != rr.CoreOf(r) {
+			t.Fatalf("user:0..15 differs from rr at rank %d: %d vs %d", r, u.CoreOf(r), rr.CoreOf(r))
+		}
+	}
+}
+
+func TestRandomDeterministicAndDistinct(t *testing.T) {
+	ig := hwtopo.NewIG()
+	a, err := Random(ig, 12, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(ig, 12, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Random(ig, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for r := 0; r < 12; r++ {
+		if a.CoreOf(r) != b.CoreOf(r) {
+			t.Fatalf("same seed produced different bindings at rank %d", r)
+		}
+		if a.CoreOf(r) != c.CoreOf(r) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical bindings")
+	}
+	seen := make(map[int]bool)
+	for r := 0; r < 12; r++ {
+		if seen[a.CoreOf(r)] {
+			t.Fatalf("random binding reuses core %d", a.CoreOf(r))
+		}
+		seen[a.CoreOf(r)] = true
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	z := hwtopo.NewZoot()
+	if _, err := Contiguous(z, 0); err == nil {
+		t.Error("Contiguous(0) succeeded")
+	}
+	if _, err := Contiguous(z, 17); err == nil {
+		t.Error("Contiguous(17) on 16 cores succeeded")
+	}
+	if _, err := New(z, "x", []int{0, 0}); err == nil {
+		t.Error("duplicate core accepted")
+	}
+	if _, err := New(z, "x", []int{-1}); err == nil {
+		t.Error("negative core accepted")
+	}
+	if _, err := New(z, "x", []int{16}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if _, err := New(z, "x", nil); err == nil {
+		t.Error("empty placement accepted")
+	}
+	if _, err := User(z, []int{0, 99}); err == nil {
+		t.Error("unknown OS id accepted")
+	}
+	if _, err := ByName(z, "bogus", 4, 0); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestByNameAliases(t *testing.T) {
+	z := hwtopo.NewZoot()
+	for _, name := range []string{"contiguous", "cpu", "cache", "rr", "roundrobin", "crosssocket", "cross", "random"} {
+		b, err := ByName(z, name, 8, 1)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if b.NumRanks() != 8 {
+			t.Errorf("ByName(%q) ranks = %d", name, b.NumRanks())
+		}
+	}
+}
+
+func TestCoresReturnsCopy(t *testing.T) {
+	z := hwtopo.NewZoot()
+	b, err := Contiguous(z, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := b.Cores()
+	cs[0] = 999
+	if b.CoreOf(0) == 999 {
+		t.Fatal("Cores() exposed internal slice")
+	}
+}
+
+func TestStringMentionsMapping(t *testing.T) {
+	z := hwtopo.NewZoot()
+	b, err := Contiguous(z, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if !strings.Contains(s, "contiguous") || !strings.Contains(s, "0→0") || !strings.Contains(s, "1→1") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestPartialJobPlacements(t *testing.T) {
+	// Fewer processes than cores: Fig. 4 uses 12 processes on a machine
+	// with more cores. All strategies must handle partial jobs.
+	ig := hwtopo.NewIG()
+	for _, name := range []string{"contiguous", "rr", "crosssocket"} {
+		b, err := ByName(ig, name, 12, 0)
+		if err != nil {
+			t.Fatalf("%s with 12 ranks: %v", name, err)
+		}
+		if b.NumRanks() != 12 {
+			t.Fatalf("%s ranks = %d", name, b.NumRanks())
+		}
+	}
+}

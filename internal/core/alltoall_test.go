@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/exec"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/sched"
+)
+
+// alltoallBlock returns the block rank src sends to rank dst.
+func alltoallBlock(src, dst int, n int64) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte((src*131 + dst*17 + i) % 253)
+	}
+	return out
+}
+
+func verifyAlltoall(t *testing.T, s *sched.Schedule, n int, block int64, tag string) {
+	t.Helper()
+	bufs := exec.Alloc(s)
+	for r := 0; r < n; r++ {
+		id, ok := s.FindBuffer(r, "send")
+		if !ok {
+			t.Fatalf("%s: rank %d send missing", tag, r)
+		}
+		for q := 0; q < n; q++ {
+			copy(bufs.Bytes(id)[int64(q)*block:], alltoallBlock(r, q, block))
+		}
+	}
+	if err := exec.Run(s, bufs); err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	for q := 0; q < n; q++ {
+		id, ok := s.FindBuffer(q, "recv")
+		if !ok {
+			t.Fatalf("%s: rank %d recv missing", tag, q)
+		}
+		for a := 0; a < n; a++ {
+			got := bufs.Bytes(id)[int64(a)*block : int64(a+1)*block]
+			if !bytes.Equal(got, alltoallBlock(a, q, block)) {
+				t.Fatalf("%s: rank %d got wrong block from %d", tag, q, a)
+			}
+		}
+	}
+}
+
+func TestAlltoallDirectCorrectness(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		block int64
+	}{{48, 512}, {5, 999}, {2, 64}, {1, 16}} {
+		s, err := CompileAlltoallDirect(tc.n, tc.block)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		verifyAlltoall(t, s, tc.n, tc.block, "direct")
+	}
+	if _, err := CompileAlltoallDirect(0, 64); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := CompileAlltoallDirect(4, 0); err == nil {
+		t.Error("block=0 accepted")
+	}
+}
+
+func TestAlltoallHierarchicalCorrectness(t *testing.T) {
+	// The staging path engages only across machines: test on the 4-node
+	// cluster (12 cores per node) under several bindings and job sizes.
+	cl := hwtopo.NewIGCluster()
+	for _, tc := range []struct {
+		bind string
+		n    int
+	}{
+		{"contiguous", 48},
+		{"crosssocket", 48},
+		{"random", 20},
+		{"contiguous", 13}, // node clusters of uneven sizes (12+1)
+	} {
+		b, err := binding.ByName(cl, tc.bind, tc.n, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := distance.NewMatrix(cl, b.Cores())
+		s, err := CompileAlltoallHierarchical(m, 700)
+		if err != nil {
+			t.Fatalf("%s n=%d: %v", tc.bind, tc.n, err)
+		}
+		if _, ok := s.FindBuffer(0, "packed"); !ok {
+			t.Fatalf("%s n=%d: expected the staged schedule on a cluster", tc.bind, tc.n)
+		}
+		verifyAlltoall(t, s, tc.n, 700, tc.bind)
+	}
+}
+
+func TestAlltoallHierarchicalAggregation(t *testing.T) {
+	// On the contiguous cluster (4 node clusters of 12) the network must
+	// carry exactly one kernel transfer per ordered node pair: 12
+	// transfers of 144 blocks each; every other kernel op stays inside a
+	// node.
+	cl := hwtopo.NewIGCluster()
+	b, err := binding.Contiguous(cl, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(cl, b.Cores())
+	const block = int64(1024)
+	s, err := CompileAlltoallHierarchical(m, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreOf := b.Cores()
+	nodeOf := func(rank int) int { return coreOf[rank] / 12 }
+	crossOps, crossBytes := 0, int64(0)
+	for _, op := range s.Ops {
+		if op.Mode != sched.ModeKnem {
+			continue
+		}
+		srcRank := s.Buffer(op.Src).Rank
+		if nodeOf(srcRank) != nodeOf(op.Rank) {
+			crossOps++
+			crossBytes += op.Bytes
+		}
+	}
+	if crossOps != 12 {
+		t.Errorf("cross-node transfers = %d, want 12 (one per ordered node pair)", crossOps)
+	}
+	if want := int64(12*144) * block; crossBytes != want {
+		t.Errorf("cross-node bytes = %d, want %d", crossBytes, want)
+	}
+	// The direct schedule, for contrast, crosses nodes 48·36 times.
+	d, err := CompileAlltoallDirect(48, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directCross := 0
+	for _, op := range d.Ops {
+		if op.Mode == sched.ModeKnem && nodeOf(d.Buffer(op.Src).Rank) != nodeOf(op.Rank) {
+			directCross++
+		}
+	}
+	if directCross != 48*36 {
+		t.Errorf("direct cross-node transfers = %d, want %d", directCross, 48*36)
+	}
+}
+
+func TestAlltoallHierarchicalFallsBackIntraNode(t *testing.T) {
+	// Within one machine every message costs the same kernel trap, so the
+	// hierarchical compiler deliberately yields the direct schedule.
+	ig := hwtopo.NewIG()
+	b, err := binding.CrossSocket(ig, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, b.Cores())
+	s, err := CompileAlltoallHierarchical(m, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.FindBuffer(0, "packed"); ok {
+		t.Error("intra-node placement should fall back to the direct schedule")
+	}
+	verifyAlltoall(t, s, 48, 128, "fallback")
+}

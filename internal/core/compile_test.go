@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/sched"
+)
+
+func TestBroadcastChunkPolicy(t *testing.T) {
+	cases := []struct {
+		size  int64
+		depth int
+		want  int64
+	}{
+		{4 << 10, 3, 0},                          // small: no pipeline
+		{8 << 20, 1, 0},                          // linear topology: no pipeline (§V-B)
+		{8 << 20, 3, PipelineMaxChunk},           // large hierarchical: capped chunk
+		{PipelineThreshold, 2, PipelineMinChunk}, // just over the threshold
+		{PipelineThreshold - 1, 2, 0},
+		{1 << 20, 3, 64 << 10}, // mid: size/16
+	}
+	for _, c := range cases {
+		if got := BroadcastChunk(c.size, c.depth); got != c.want {
+			t.Errorf("BroadcastChunk(%d,%d) = %d, want %d", c.size, c.depth, got, c.want)
+		}
+	}
+}
+
+func TestCompileBroadcastStructure(t *testing.T) {
+	ig := hwtopo.NewIG()
+	m := fullMatrix(t, ig)
+	tree, err := BuildBroadcastTree(m, 0, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 1 << 20 // 1MB → pipelined into 16 chunks of 64KB
+	s, err := CompileBroadcast(tree, size, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := 16
+	if got, want := len(s.Ops), 47*chunks; got != want {
+		t.Errorf("ops = %d, want %d (47 ranks × %d chunks)", got, want, chunks)
+	}
+	// Every op is a receiver-driven single copy.
+	for _, op := range s.Ops {
+		if op.Mode != sched.ModeKnem {
+			t.Fatalf("op %d mode = %v, want knem", op.ID, op.Mode)
+		}
+		if s.Buffer(op.Dst).Rank != op.Rank {
+			t.Fatalf("op %d writes into rank %d's buffer but is executed by %d",
+				op.ID, s.Buffer(op.Dst).Rank, op.Rank)
+		}
+		if s.Buffer(op.Src).Rank != tree.Parent[op.Rank] {
+			t.Fatalf("op %d pulls from rank %d, want parent %d",
+				op.ID, s.Buffer(op.Src).Rank, tree.Parent[op.Rank])
+		}
+	}
+	// Total traffic: every non-root rank copies the full message once.
+	if got, want := s.TotalCopiedBytes(), int64(47)*size; got != want {
+		t.Errorf("total bytes = %d, want %d", got, want)
+	}
+}
+
+func TestCompileBroadcastSmallSingleChunk(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m := fullMatrix(t, z)
+	tree, err := BuildBroadcastTree(m, 3, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompileBroadcast(tree, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Ops); got != 15 {
+		t.Errorf("ops = %d, want 15 (one per non-root rank)", got)
+	}
+}
+
+func TestCompileBroadcastErrors(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m := fullMatrix(t, z)
+	tree, err := BuildBroadcastTree(m, 0, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileBroadcast(tree, 0, 0); err == nil {
+		t.Error("zero-size broadcast accepted")
+	}
+	if _, err := CompileBroadcast(tree, -5, 0); err == nil {
+		t.Error("negative-size broadcast accepted")
+	}
+}
+
+func TestCompileAllgatherAccessBalance(t *testing.T) {
+	// Paper §IV-C, on IG with N=8 NUMA nodes and P=6 cores each:
+	//   - each NUMA node sees P·P·N block reads and P·P·N block writes,
+	//   - each process performs P·N copies,
+	//   - remote accesses = links·(P·N−1), with links = 8 ring boundary
+	//     edges (6 inter-socket + 2 inter-board),
+	//   - memory accesses are perfectly balanced across controllers.
+	ig := hwtopo.NewIG()
+	const blockBytes = int64(4096)
+	for _, name := range []string{"contiguous", "crosssocket"} {
+		b, err := binding.ByName(ig, name, 48, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := distance.NewMatrix(ig, b.Cores())
+		ring, err := BuildAllgatherRing(m, RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := CompileAllgather(ring, blockBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodeOf := func(rank int) int {
+			return hwtopo.NUMANodeOf(b.CoreObject(rank)).Index
+		}
+		st := s.Analyze(8, nodeOf)
+		const n, p = 48, 6
+		for r, c := range st.CopiesPerRank {
+			if c != n {
+				t.Errorf("%s: rank %d copies = %d, want %d (P·N)", name, r, c, n)
+			}
+		}
+		want := int64(p*n) * blockBytes // P·P·N block reads × block bytes
+		for node := 0; node < 8; node++ {
+			if st.ReadBytes[node] != want {
+				t.Errorf("%s: node %d reads = %d, want %d", name, node, st.ReadBytes[node], want)
+			}
+			if st.WriteBytes[node] != want {
+				t.Errorf("%s: node %d writes = %d, want %d", name, node, st.WriteBytes[node], want)
+			}
+		}
+		if !sched.Balanced(st.ReadBytes, 0.001) || !sched.Balanced(st.WriteBytes, 0.001) {
+			t.Errorf("%s: memory accesses unbalanced across controllers", name)
+		}
+		links := ring.EdgesAtWeight(distance.SameBoard) + ring.EdgesAtWeight(distance.CrossBoard)
+		if links != 8 {
+			t.Fatalf("%s: ring boundary links = %d, want 8", name, links)
+		}
+		if got, want := st.RemoteOps, links*(n-1); got != want {
+			t.Errorf("%s: remote ops = %d, want links·(P·N−1) = %d", name, got, want)
+		}
+	}
+}
+
+func TestCompileAllgatherStructure(t *testing.T) {
+	ig := hwtopo.NewIG()
+	m := fullMatrix(t, ig)
+	ring, err := BuildAllgatherRing(m, RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompileAllgather(ring, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(s.Ops), 48*48; got != want {
+		t.Errorf("ops = %d, want %d (N local copies + N·(N−1) pulls)", got, want)
+	}
+	// The synchronization count of §IV-C: every pull depends on the left
+	// neighbor's previous op → N·(N−1) cross-rank notifications.
+	if got, want := s.CrossRankDeps(), 48*47; got != want {
+		t.Errorf("cross-rank deps = %d, want %d", got, want)
+	}
+	if _, err := CompileAllgather(ring, 0); err == nil {
+		t.Error("zero block accepted")
+	}
+}
+
+func TestCompileAllgatherTinyRings(t *testing.T) {
+	z := hwtopo.NewZoot()
+	for _, n := range []int{1, 2, 3} {
+		cores := identityCores(n)
+		m := distance.NewMatrix(z, cores)
+		ring, err := BuildAllgatherRing(m, RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := CompileAllgather(ring, 64)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got, want := len(s.Ops), n*n; got != want {
+			t.Errorf("n=%d: ops = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"distcoll/internal/distance"
+)
+
+// This file implements the scalability plan of §V-B: "it's difficult for
+// these greedy algorithms to scale well with fully-connected graphs.
+// Actually, only directly connected processes are helpful to construct
+// topologies." Because the process-distance metric is an ultrametric on
+// hierarchical machines, the minimum spanning structure is determined by
+// the distance *clusters* alone — no O(n² log n) edge sort is needed. The
+// fast builders walk the cluster hierarchy directly in O(n²·L) matrix
+// scans (L ≤ 6 levels) with O(n) construction work, and produce exactly
+// the same topology as the literal Algorithms 1 and 2 (asserted by the
+// equivalence tests).
+
+// clusterTree recursively refines rank sets by distance level.
+type clusterNode struct {
+	members  []int // ascending
+	level    int   // distance bound within this cluster
+	children []*clusterNode
+}
+
+// buildClusterTree decomposes ranks into the ultrametric hierarchy,
+// splitting at the coarsest level first: a node's children are the
+// maximal sub-clusters whose internal distances stay below the level that
+// separates them. levels lists the distinct distances in increasing
+// order.
+func buildClusterTree(m distance.Matrix, members []int, levels []int) *clusterNode {
+	node := &clusterNode{members: members}
+	if len(members) <= 1 || len(levels) <= 1 {
+		// All members within the finest remaining level: a flat cluster.
+		if len(levels) == 1 {
+			node.level = levels[0]
+		}
+		return node
+	}
+	// Partition below the coarsest level: groups with pairwise distance
+	// ≤ levels[len-2] (transitive, since the metric is an ultrametric).
+	thr := levels[len(levels)-2]
+	var groups [][]int
+	assigned := make(map[int]bool, len(members))
+	for _, x := range members {
+		if assigned[x] {
+			continue
+		}
+		g := []int{x}
+		assigned[x] = true
+		for _, y := range members {
+			if !assigned[y] && m.At(x, y) <= thr {
+				g = append(g, y)
+				assigned[y] = true
+			}
+		}
+		sort.Ints(g)
+		groups = append(groups, g)
+	}
+	if len(groups) == 1 {
+		// The coarsest level does not occur inside this cluster.
+		return buildClusterTree(m, members, levels[:len(levels)-1])
+	}
+	node.level = levels[len(levels)-1]
+	for _, g := range groups {
+		node.children = append(node.children, buildClusterTree(m, g, levels[:len(levels)-1]))
+	}
+	return node
+}
+
+func distinctLevels(m distance.Matrix, levels Levels) []int {
+	if levels == nil {
+		levels = IdentityLevels
+	}
+	seen := make(map[int]bool)
+	n := m.Size()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			seen[levels(m.At(i, j))] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// transformedMatrix applies a Levels transform to a matrix copy.
+func transformedMatrix(m distance.Matrix, levels Levels) distance.Matrix {
+	if levels == nil {
+		return m
+	}
+	n := m.Size()
+	out := make(distance.Matrix, n)
+	for i := range out {
+		out[i] = make([]int, n)
+		for j := range out[i] {
+			if i != j {
+				out[i][j] = levels(m.At(i, j))
+			}
+		}
+	}
+	return out
+}
+
+// BuildBroadcastTreeFast constructs the same tree as BuildBroadcastTree
+// without sorting edges: stars around cluster leaders, leaders attached to
+// the leader of the enclosing cluster, the root leading every cluster that
+// contains it.
+func BuildBroadcastTreeFast(m distance.Matrix, root int, opts TreeOptions) (*Tree, error) {
+	n := m.Size()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty communicator")
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, n)
+	}
+	tm := transformedMatrix(m, opts.Levels)
+	t := &Tree{
+		Root:         root,
+		Parent:       make([]int, n),
+		Children:     make([][]int, n),
+		ParentWeight: make([]int, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	if n == 1 {
+		return t, nil
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	node := buildClusterTree(tm, all, distinctLevels(tm, nil))
+	attachTree(t, tm, node, root)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("core: fast tree construction invalid: %w", err)
+	}
+	return t, nil
+}
+
+// leaderOf returns the designated leader of a member set: the root if
+// present, else the minimum.
+func leaderOf(members []int, root int) int {
+	leader := members[0]
+	for _, x := range members {
+		if x == root {
+			return root
+		}
+		if x < leader {
+			leader = x
+		}
+	}
+	return leader
+}
+
+// attachTree wires a cluster node: every child-cluster leader (and every
+// direct member of a leaf cluster) attaches to the node's leader, in the
+// rank order Algorithm 1's edge ordering yields (root edges first by the
+// other endpoint, then min-rank pairs).
+func attachTree(t *Tree, m distance.Matrix, node *clusterNode, root int) {
+	leader := leaderOf(node.members, root)
+	if len(node.children) == 0 {
+		for _, x := range node.members {
+			if x != leader {
+				t.Parent[x] = leader
+				t.ParentWeight[x] = m.At(leader, x)
+				t.Children[leader] = append(t.Children[leader], x)
+			}
+		}
+		return
+	}
+	// Children sorted by their leaders (the acceptance order of the
+	// cross-cluster edges).
+	type sub struct {
+		node   *clusterNode
+		leader int
+	}
+	subs := make([]sub, 0, len(node.children))
+	for _, c := range node.children {
+		subs = append(subs, sub{node: c, leader: leaderOf(c.members, root)})
+	}
+	sort.Slice(subs, func(a, b int) bool {
+		if subs[a].leader == root {
+			return true
+		}
+		if subs[b].leader == root {
+			return false
+		}
+		return subs[a].leader < subs[b].leader
+	})
+	for _, sb := range subs {
+		if sb.leader != leader {
+			t.Parent[sb.leader] = leader
+			t.ParentWeight[sb.leader] = m.At(leader, sb.leader)
+			t.Children[leader] = append(t.Children[leader], sb.leader)
+		}
+	}
+	for _, sb := range subs {
+		attachTree(t, m, sb.node, root)
+	}
+}
+
+// BuildAllgatherRingFast constructs a distance-aware ring without edge
+// sorting by laying the cluster hierarchy out recursively: members of each
+// finest cluster in ascending rank order, sibling clusters concatenated in
+// leader order, and the whole sequence closed into a ring. It guarantees
+// the same level structure as Algorithm 2 (each cluster occupies one
+// contiguous arc, so slow-link crossings are minimal), though the
+// member-level orientation may differ from the greedy's.
+func BuildAllgatherRingFast(m distance.Matrix, opts RingOptions) (*Ring, error) {
+	n := m.Size()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty communicator")
+	}
+	r := &Ring{
+		Right:       make([]int, n),
+		Left:        make([]int, n),
+		RightWeight: make([]int, n),
+	}
+	if n == 1 {
+		r.Right[0], r.Left[0] = 0, 0
+		return r, nil
+	}
+	tm := transformedMatrix(m, opts.Levels)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	node := buildClusterTree(tm, all, distinctLevels(tm, nil))
+	seq := layoutRing(node)
+	for i, v := range seq {
+		next := seq[(i+1)%n]
+		r.Right[v] = next
+		r.Left[next] = v
+		r.RightWeight[v] = tm.At(v, next)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("core: fast ring construction invalid: %w", err)
+	}
+	return r, nil
+}
+
+// layoutRing flattens the cluster tree: leaves in ascending order,
+// siblings in leader order.
+func layoutRing(node *clusterNode) []int {
+	if len(node.children) == 0 {
+		out := make([]int, len(node.members))
+		copy(out, node.members)
+		sort.Ints(out)
+		return out
+	}
+	subs := make([]*clusterNode, len(node.children))
+	copy(subs, node.children)
+	sort.Slice(subs, func(a, b int) bool { return subs[a].members[0] < subs[b].members[0] })
+	var out []int
+	for _, s := range subs {
+		out = append(out, layoutRing(s)...)
+	}
+	return out
+}

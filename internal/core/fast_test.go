@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+)
+
+// TestFastTreeEquivalence: the sort-free construction must produce the
+// same parent relation as the literal Algorithm 1 on every machine,
+// binding, root and level transform.
+func TestFastTreeEquivalence(t *testing.T) {
+	topos := []*hwtopo.Topology{hwtopo.NewZoot(), hwtopo.NewIG()}
+	for _, topo := range topos {
+		rng := rand.New(rand.NewSource(55))
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + rng.Intn(topo.NumCores())
+			b, err := binding.Random(topo, n, rng.Int63())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := distance.NewMatrix(topo, b.Cores())
+			root := rng.Intn(n)
+			var levels Levels
+			switch trial % 3 {
+			case 1:
+				levels = CollapseBelow(2)
+			case 2:
+				levels = FlatLevels
+			}
+			slow, err := BuildBroadcastTree(m, root, TreeOptions{Levels: levels})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := BuildBroadcastTreeFast(m, root, TreeOptions{Levels: levels})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < n; r++ {
+				if slow.Parent[r] != fast.Parent[r] {
+					t.Fatalf("%s n=%d root=%d trial=%d: parent of %d differs: greedy %d, fast %d",
+						topo.Name, n, root, trial, r, slow.Parent[r], fast.Parent[r])
+				}
+				if slow.ParentWeight[r] != fast.ParentWeight[r] {
+					t.Fatalf("%s trial=%d: weight of %d differs", topo.Name, trial, r)
+				}
+			}
+			// Children sets match (order may differ: the fast builder
+			// attaches coarse levels first).
+			for r := 0; r < n; r++ {
+				a := append([]int(nil), slow.Children[r]...)
+				c := append([]int(nil), fast.Children[r]...)
+				sort.Ints(a)
+				sort.Ints(c)
+				if len(a) != len(c) {
+					t.Fatalf("%s trial=%d: children of %d differ in size", topo.Name, trial, r)
+				}
+				for i := range a {
+					if a[i] != c[i] {
+						t.Fatalf("%s trial=%d: children of %d differ", topo.Name, trial, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastRingLevelStructure: the fast ring must match Algorithm 2's cost
+// profile exactly — same number of ring edges at every distance level, and
+// cluster contiguity.
+func TestFastRingLevelStructure(t *testing.T) {
+	ig := hwtopo.NewIG()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(48)
+		b, err := binding.Random(ig, n, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := distance.NewMatrix(ig, b.Cores())
+		slow, err := BuildAllgatherRing(m, RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := BuildAllgatherRingFast(m, RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for d := 0; d <= distance.Max; d++ {
+			if slow.EdgesAtWeight(d) != fast.EdgesAtWeight(d) {
+				t.Fatalf("trial %d n=%d: edges at weight %d differ: greedy %d, fast %d",
+					trial, n, d, slow.EdgesAtWeight(d), fast.EdgesAtWeight(d))
+			}
+		}
+		if !clusterContiguous(fast, m.Clusters(distance.SharedCache)) {
+			t.Fatalf("trial %d: fast ring breaks cluster contiguity", trial)
+		}
+	}
+}
+
+// TestFastRingCanonicalOrderOnContiguous: on the contiguous binding the
+// fast layout is the identity ring, like the canonical greedy.
+func TestFastRingCanonicalOrderOnContiguous(t *testing.T) {
+	ig := hwtopo.NewIG()
+	m := fullMatrix(t, ig)
+	r, err := BuildAllgatherRingFast(m, RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ {
+		if r.Right[i] != (i+1)%48 {
+			t.Fatalf("Right[%d] = %d, want %d", i, r.Right[i], (i+1)%48)
+		}
+	}
+}
+
+func TestFastBuildersSmallAndErrors(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m1 := distance.NewMatrix(z, []int{4})
+	tr, err := BuildBroadcastTreeFast(m1, 0, TreeOptions{})
+	if err != nil || tr.Size() != 1 {
+		t.Fatalf("singleton fast tree: %v", err)
+	}
+	r1, err := BuildAllgatherRingFast(m1, RingOptions{})
+	if err != nil || r1.Right[0] != 0 {
+		t.Fatalf("singleton fast ring: %v", err)
+	}
+	if _, err := BuildBroadcastTreeFast(distance.Matrix{}, 0, TreeOptions{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := BuildBroadcastTreeFast(m1, 5, TreeOptions{}); err == nil {
+		t.Error("bad root accepted")
+	}
+	if _, err := BuildAllgatherRingFast(distance.Matrix{}, RingOptions{}); err == nil {
+		t.Error("empty ring accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/exec"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/sched"
+)
+
+func gatherTreeFor(t *testing.T, bind string, n, root int, seed int64) (*Tree, *binding.Binding) {
+	t.Helper()
+	ig := hwtopo.NewIG()
+	b, err := binding.ByName(ig, bind, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, b.Cores())
+	tree, err := BuildBroadcastTree(m, root, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, b
+}
+
+func TestCompileGatherCorrectness(t *testing.T) {
+	for _, tc := range []struct {
+		bind  string
+		n     int
+		root  int
+		block int64
+	}{
+		{"contiguous", 48, 0, 1000},
+		{"crosssocket", 48, 17, 4096},
+		{"random", 12, 5, 333},
+		{"contiguous", 2, 1, 64},
+		{"contiguous", 1, 0, 100},
+	} {
+		tree, _ := gatherTreeFor(t, tc.bind, tc.n, tc.root, 3)
+		s, err := CompileGather(tree, tc.block)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		bufs := exec.Alloc(s)
+		var want []byte
+		for r := 0; r < tc.n; r++ {
+			id, ok := s.FindBuffer(r, "send")
+			if !ok {
+				t.Fatalf("rank %d send missing", r)
+			}
+			p := contribution(r, tc.block)
+			copy(bufs.Bytes(id), p)
+			want = append(want, p...)
+		}
+		if err := exec.Run(s, bufs); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		id, ok := s.FindBuffer(tc.root, "recv")
+		if !ok {
+			t.Fatal("root recv missing")
+		}
+		if !bytes.Equal(bufs.Bytes(id), want) {
+			t.Fatalf("%+v: wrong gathered data", tc)
+		}
+	}
+}
+
+func TestCompileScatterCorrectness(t *testing.T) {
+	for _, tc := range []struct {
+		bind  string
+		n     int
+		root  int
+		block int64
+	}{
+		{"contiguous", 48, 0, 1000},
+		{"crosssocket", 48, 17, 4096},
+		{"random", 12, 5, 333},
+		{"contiguous", 2, 1, 64},
+		{"contiguous", 1, 0, 100},
+	} {
+		tree, _ := gatherTreeFor(t, tc.bind, tc.n, tc.root, 7)
+		s, err := CompileScatter(tree, tc.block)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		bufs := exec.Alloc(s)
+		id, ok := s.FindBuffer(tc.root, "send")
+		if !ok {
+			t.Fatal("root send missing")
+		}
+		var src []byte
+		for r := 0; r < tc.n; r++ {
+			src = append(src, contribution(r, tc.block)...)
+		}
+		copy(bufs.Bytes(id), src)
+		if err := exec.Run(s, bufs); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for r := 0; r < tc.n; r++ {
+			rid, ok := s.FindBuffer(r, "recv")
+			if !ok {
+				t.Fatalf("rank %d recv missing", r)
+			}
+			if !bytes.Equal(bufs.Bytes(rid), contribution(r, tc.block)) {
+				t.Fatalf("%+v: rank %d got wrong block", tc, r)
+			}
+		}
+	}
+}
+
+func TestGatherTrafficMinimal(t *testing.T) {
+	// Every block crosses each tree edge exactly once: total kernel-copied
+	// bytes = sum over non-root ranks of subtree_size(rank)·block.
+	tree, _ := gatherTreeFor(t, "contiguous", 48, 0, 0)
+	const block = int64(1024)
+	s, err := CompileGather(tree, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var knemBytes int64
+	for _, op := range s.Ops {
+		if op.Mode == sched.ModeKnem {
+			knemBytes += op.Bytes
+		}
+	}
+	sizes := subtreeSizes(tree)
+	var want int64
+	for r := 0; r < 48; r++ {
+		if r != tree.Root {
+			want += int64(sizes[r]) * block
+		}
+	}
+	if knemBytes != want {
+		t.Fatalf("kernel-copied bytes = %d, want %d (one edge crossing per block)", knemBytes, want)
+	}
+	// Cross-board traffic: exactly the remote board's 24 blocks.
+	if _, err := CompileScatter(tree, 0); err == nil {
+		t.Error("zero-block scatter accepted")
+	}
+	if _, err := CompileGather(tree, -1); err == nil {
+		t.Error("negative-block gather accepted")
+	}
+}
+
+func TestDFSLayoutInvariants(t *testing.T) {
+	tree, _ := gatherTreeFor(t, "random", 48, 9, 21)
+	order, pos := dfsLayout(tree)
+	if len(order) != 48 {
+		t.Fatalf("dfs length = %d", len(order))
+	}
+	for p, r := range order {
+		if pos[r] != p {
+			t.Fatalf("pos[%d] = %d, want %d", r, pos[r], p)
+		}
+	}
+	// Subtrees are DFS-contiguous.
+	sizes := subtreeSizes(tree)
+	for r := 0; r < 48; r++ {
+		for _, v := range tree.Children[r] {
+			if pos[v] <= pos[r] || pos[v] >= pos[r]+sizes[r] {
+				t.Fatalf("child %d outside parent %d's DFS region", v, r)
+			}
+		}
+	}
+	if sizes[tree.Root] != 48 {
+		t.Fatalf("root subtree size = %d", sizes[tree.Root])
+	}
+}

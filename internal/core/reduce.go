@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"distcoll/internal/sched"
+)
+
+// This file implements the paper's §VI future work: extending the
+// distance-aware framework to Reduce and Allreduce.
+//
+// Reduce runs the broadcast tree in reverse: every rank accumulates its
+// children's partial results (receiver-driven kernel-assisted pulls,
+// combined on arrival), so partial sums travel each slow link exactly
+// once, pipelined chunk by chunk for large messages.
+//
+// Allreduce composes two passes over the distance-aware ring: a ring
+// reduce-scatter (each rank ends with one fully-reduced block) followed by
+// the §IV-C ring allgather — inheriting the same balanced memory-access
+// profile: every controller sees the same load, and only ring-boundary
+// edges cross slow links.
+
+// CompileReduce compiles a distance-aware reduction to the tree root.
+// Buffers per rank: "send" (the contribution) and "acc" (the accumulator;
+// the root's holds the final result). chunkBytes ≤ 0 selects the default
+// pipeline policy.
+func CompileReduce(t *Tree, size int64, chunkBytes int64) (*sched.Schedule, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("core: reduce size %d", size)
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = BroadcastChunk(size, t.Depth())
+	}
+	n := t.Size()
+	s := sched.New(n)
+	send := make([]sched.BufID, n)
+	acc := make([]sched.BufID, n)
+	for r := 0; r < n; r++ {
+		send[r] = s.AddBuffer(r, "send", size)
+		acc[r] = s.AddBuffer(r, "acc", size)
+	}
+	chunks := sched.Chunks(size, chunkBytes)
+
+	// last[r][c] is rank r's op completing chunk c of its subtree's
+	// partial result.
+	last := make([][]sched.OpID, n)
+	for r := 0; r < n; r++ {
+		last[r] = make([]sched.OpID, len(chunks))
+		var prev sched.OpID = -1
+		for c, ch := range chunks {
+			var deps []sched.OpID
+			if prev >= 0 {
+				deps = []sched.OpID{prev}
+			}
+			id := s.AddOp(sched.Op{
+				Rank: r, Mode: sched.ModeLocal,
+				Src: send[r], SrcOff: ch[0], Dst: acc[r], DstOff: ch[0], Bytes: ch[1],
+				Deps: deps,
+			})
+			last[r][c] = id
+			prev = id
+		}
+	}
+
+	// Reverse BFS: children complete before parents pull. Each parent's
+	// ops are chained (single-threaded reduction into its accumulator),
+	// chunk-major so chunks pipeline up the tree.
+	order := bfsOrder(t)
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		if len(t.Children[u]) == 0 {
+			continue
+		}
+		prev := last[u][len(chunks)-1] // after u's own local copies
+		for c, ch := range chunks {
+			for _, v := range t.Children[u] {
+				id := s.AddOp(sched.Op{
+					Rank: u, Kind: sched.OpReduce, Mode: sched.ModeKnem,
+					Src: acc[v], SrcOff: ch[0], Dst: acc[u], DstOff: ch[0], Bytes: ch[1],
+					Deps: []sched.OpID{last[v][c], prev},
+				})
+				prev = id
+				last[u][c] = id
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: compiled reduce invalid: %w", err)
+	}
+	return s, nil
+}
+
+func bfsOrder(t *Tree) []int {
+	order := make([]int, 0, t.Size())
+	queue := []int{t.Root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		queue = append(queue, t.Children[u]...)
+	}
+	return order
+}
+
+// CompileAllreduce compiles a distance-aware allreduce over the ring:
+// ring reduce-scatter followed by ring allgather. Buffers per rank:
+// "send" (contribution) and "recv" (size bytes; holds the final result —
+// it is initialized with the local contribution and reduced in place).
+// Block boundaries are aligned to align bytes (the reduction operator's
+// element size) so no element straddles two blocks.
+func CompileAllreduce(r *Ring, size int64, align int64) (*sched.Schedule, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("core: allreduce size %d", size)
+	}
+	n := r.Size()
+	s := sched.New(n)
+	send := make([]sched.BufID, n)
+	work := make([]sched.BufID, n)
+	for v := 0; v < n; v++ {
+		send[v] = s.AddBuffer(v, "send", size)
+		work[v] = s.AddBuffer(v, "recv", size)
+	}
+	offs, lens := sched.AlignedBlockTable(size, n, align)
+
+	if n == 1 {
+		s.AddOp(sched.Op{Rank: 0, Mode: sched.ModeLocal, Src: send[0], Dst: work[0], Bytes: size})
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	// leftPow[s][v] = Left^s(v).
+	leftAt := func(v, steps int) int {
+		for i := 0; i < steps; i++ {
+			v = r.Left[v]
+		}
+		return v
+	}
+
+	// Phase 0: per-block local copies of the contribution.
+	copyOp := make([][]sched.OpID, n) // copyOp[v][block]
+	lastOf := make([]sched.OpID, n)   // engine chain per rank
+	for v := 0; v < n; v++ {
+		copyOp[v] = make([]sched.OpID, n)
+		var prev sched.OpID = -1
+		for b := 0; b < n; b++ {
+			var deps []sched.OpID
+			if prev >= 0 {
+				deps = []sched.OpID{prev}
+			}
+			id := s.AddOp(sched.Op{
+				Rank: v, Mode: sched.ModeLocal,
+				Src: send[v], SrcOff: offs[b], Dst: work[v], DstOff: offs[b], Bytes: lens[b],
+				Deps: deps,
+			})
+			copyOp[v][b] = id
+			prev = id
+		}
+		lastOf[v] = prev
+	}
+
+	// Phase 1 — reduce-scatter: at step st, rank v pulls the partial of
+	// block Left^st(v) from its left neighbor and combines it with its own
+	// accumulator for that block. After n−1 steps v holds the fully
+	// reduced block Right(v).
+	rsOp := make([][]sched.OpID, n) // rsOp[v][step], step 1..n-1
+	for v := 0; v < n; v++ {
+		rsOp[v] = make([]sched.OpID, n)
+	}
+	for st := 1; st < n; st++ {
+		for v := 0; v < n; v++ {
+			b := leftAt(v, st)
+			left := r.Left[v]
+			// The left neighbor's partial for block b was produced by its
+			// step st−1 op (or its initial copy when st == 1).
+			srcReady := copyOp[left][b]
+			if st > 1 {
+				srcReady = rsOp[left][st-1]
+			}
+			id := s.AddOp(sched.Op{
+				Rank: v, Kind: sched.OpReduce, Mode: sched.ModeKnem,
+				Src: work[left], SrcOff: offs[b], Dst: work[v], DstOff: offs[b], Bytes: lens[b],
+				Deps: []sched.OpID{srcReady, lastOf[v]},
+			})
+			rsOp[v][st] = id
+			lastOf[v] = id
+		}
+	}
+
+	// Phase 2 — ring allgather of the reduced blocks: rank v starts
+	// holding block Right(v) and pulls, at step st, the block its left
+	// neighbor completed at step st−1. The write into work[v] overwrites
+	// v's stale partial of that block, so it must also wait until the
+	// right neighbor has consumed that partial (its phase-1 step-st pull):
+	// a WAR dependency the forward chain does not imply.
+	prevAg := make([]sched.OpID, n)
+	origin := make([]int, n)
+	for v := 0; v < n; v++ {
+		prevAg[v] = rsOp[v][n-1]
+		origin[v] = r.Right[v]
+	}
+	for st := 1; st < n; st++ {
+		next := make([]sched.OpID, n)
+		nextOrigin := make([]int, n)
+		for v := 0; v < n; v++ {
+			left := r.Left[v]
+			b := origin[left]
+			deps := []sched.OpID{prevAg[left], prevAg[v], rsOp[r.Right[v]][st]}
+			id := s.AddOp(sched.Op{
+				Rank: v, Mode: sched.ModeKnem,
+				Src: work[left], SrcOff: offs[b], Dst: work[v], DstOff: offs[b], Bytes: lens[b],
+				Deps: deps,
+			})
+			next[v] = id
+			nextOrigin[v] = b
+		}
+		prevAg, origin = next, nextOrigin
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: compiled allreduce invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+)
+
+// clusterContiguous reports whether every cluster occupies one contiguous
+// arc of the ring.
+func clusterContiguous(r *Ring, clusters [][]int) bool {
+	pos := make([]int, r.Size())
+	for i, rank := range r.Order() {
+		pos[rank] = i
+	}
+	n := r.Size()
+	for _, set := range clusters {
+		if len(set) <= 1 {
+			continue
+		}
+		inSet := make(map[int]bool, len(set))
+		for _, x := range set {
+			inSet[x] = true
+		}
+		// Count boundaries: ring edges leaving the set. A contiguous arc
+		// has exactly 2 (or 0 when the set is the whole ring).
+		boundaries := 0
+		for _, x := range set {
+			if !inSet[r.Right[x]] {
+				boundaries++
+			}
+			if !inSet[r.Left[x]] {
+				boundaries++
+			}
+		}
+		if len(set) == n {
+			if boundaries != 0 {
+				return false
+			}
+			continue
+		}
+		if boundaries != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIGRingContiguousBinding(t *testing.T) {
+	ig := hwtopo.NewIG()
+	m := fullMatrix(t, ig)
+	r, err := BuildAllgatherRing(m, RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Canonical ordering on the contiguous binding yields the identity
+	// ring: rank i's right neighbor is i+1 mod 48.
+	for i := 0; i < 48; i++ {
+		if r.Right[i] != (i+1)%48 {
+			t.Fatalf("Right[%d] = %d, want %d (order %v)", i, r.Right[i], (i+1)%48, r.Order())
+		}
+	}
+	if got := r.EdgesAtWeight(distance.SharedCache); got != 40 {
+		t.Errorf("intra-socket edges = %d, want 40", got)
+	}
+	if got := r.EdgesAtWeight(distance.SameBoard); got != 6 {
+		t.Errorf("inter-socket edges = %d, want 6", got)
+	}
+	if got := r.EdgesAtWeight(distance.CrossBoard); got != 2 {
+		t.Errorf("cross-board edges = %d, want 2", got)
+	}
+}
+
+func TestIGRingInvariantUnderBinding(t *testing.T) {
+	// Paper §IV-C: "No matter what process placement, KNEM Allgather
+	// always constructs a ring and organizes physical neighbor MPI
+	// processes together along the ring."
+	ig := hwtopo.NewIG()
+	var bindings []*binding.Binding
+	for _, name := range []string{"contiguous", "crosssocket", "rr"} {
+		b, err := binding.ByName(ig, name, 48, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bindings = append(bindings, b)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		b, err := binding.Random(ig, 48, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bindings = append(bindings, b)
+	}
+	for _, ordering := range []RingOrdering{RingCanonical, RingLexicographic} {
+		for _, b := range bindings {
+			m := distance.NewMatrix(ig, b.Cores())
+			r, err := BuildAllgatherRing(m, RingOptions{Ordering: ordering})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", b.Name, ordering, err)
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s/%v: %v", b.Name, ordering, err)
+			}
+			if got := r.EdgesAtWeight(distance.SharedCache); got != 40 {
+				t.Errorf("%s/%v: intra-socket edges = %d, want 40", b.Name, ordering, got)
+			}
+			if got := r.EdgesAtWeight(distance.SameBoard); got != 6 {
+				t.Errorf("%s/%v: inter-socket edges = %d, want 6", b.Name, ordering, got)
+			}
+			if got := r.EdgesAtWeight(distance.CrossBoard); got != 2 {
+				t.Errorf("%s/%v: cross-board edges = %d, want 2", b.Name, ordering, got)
+			}
+			if !clusterContiguous(r, m.Clusters(distance.SharedCache)) {
+				t.Errorf("%s/%v: socket clusters not contiguous along ring", b.Name, ordering)
+			}
+			if !clusterContiguous(r, m.Clusters(distance.SameBoard)) {
+				t.Errorf("%s/%v: board clusters not contiguous along ring", b.Name, ordering)
+			}
+		}
+	}
+}
+
+func TestRingCanonicalSortsWithinSets(t *testing.T) {
+	// Paper's IG example: "processes in each set are arranged with a
+	// non-decreasing order of MPI ranks". With the canonical tie-break,
+	// each socket cluster appears as a monotone run along the ring (in one
+	// of the two walk directions).
+	ig := hwtopo.NewIG()
+	for seed := int64(0); seed < 8; seed++ {
+		b, err := binding.Random(ig, 48, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := distance.NewMatrix(ig, b.Cores())
+		r, err := BuildAllgatherRing(m, RingOptions{Ordering: RingCanonical})
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := r.Order()
+		pos := make([]int, 48)
+		for i, rank := range order {
+			pos[rank] = i
+		}
+		for _, set := range m.Clusters(distance.SharedCache) {
+			if len(set) < 3 {
+				continue
+			}
+			// Collect members in ring order along the arc.
+			arc := make([]int, len(set))
+			copy(arc, set)
+			sortByPos(arc, pos, len(order))
+			if !monotone(arc) {
+				t.Errorf("seed %d: cluster %v appears as %v along ring, not monotone", seed, set, arc)
+			}
+		}
+	}
+}
+
+// sortByPos orders arc members by ring position, unwrapping the arc if it
+// crosses position 0.
+func sortByPos(arc []int, pos []int, n int) {
+	// Find whether the arc wraps: positions occupied.
+	occupied := make(map[int]bool, len(arc))
+	for _, x := range arc {
+		occupied[pos[x]] = true
+	}
+	start := -1
+	for _, x := range arc {
+		p := pos[x]
+		prev := (p - 1 + n) % n
+		if !occupied[prev] {
+			start = p
+			break
+		}
+	}
+	key := func(x int) int { return (pos[x] - start + n) % n }
+	for i := 1; i < len(arc); i++ {
+		for j := i; j > 0 && key(arc[j]) < key(arc[j-1]); j-- {
+			arc[j], arc[j-1] = arc[j-1], arc[j]
+		}
+	}
+}
+
+func monotone(s []int) bool {
+	asc, desc := true, true
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			asc = false
+		}
+		if s[i] > s[i-1] {
+			desc = false
+		}
+	}
+	return asc || desc
+}
+
+func TestFig5Ring(t *testing.T) {
+	// Paper Fig. 5: 8 processes on a quad-socket dual-core node, random
+	// binding. The ring clusters die pairs together.
+	topo, err := hwtopo.Build(hwtopo.Spec{
+		Name:             "fig5",
+		Boards:           1,
+		SocketsPerBoard:  4,
+		DiesPerSocket:    1,
+		CoresPerDie:      2,
+		SharedCacheLevel: 2,
+		SharedCacheSize:  4 << 20,
+		MemPerNUMA:       8 << 30,
+		OSNumbering:      hwtopo.OSPhysical,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := binding.Random(topo, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(topo, b.Cores())
+	r, err := BuildAllgatherRing(m, RingOptions{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !clusterContiguous(r, m.Clusters(distance.SharedCache)) {
+		t.Errorf("die pairs not contiguous along ring: %v", r.Order())
+	}
+	if len(r.Trace) != 7 {
+		t.Errorf("trace steps = %d, want 7", len(r.Trace))
+	}
+	if got := r.EdgesAtWeight(distance.SharedCache); got != 4 {
+		t.Errorf("pair edges = %d, want 4", got)
+	}
+}
+
+func TestSmallRings(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m1 := distance.NewMatrix(z, []int{3})
+	r1, err := BuildAllgatherRing(m1, RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Right[0] != 0 {
+		t.Errorf("singleton ring Right[0] = %d", r1.Right[0])
+	}
+
+	m2 := distance.NewMatrix(z, []int{3, 9})
+	r2, err := BuildAllgatherRing(m2, RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Right[0] != 1 || r2.Right[1] != 0 {
+		t.Errorf("pair ring = %v", r2.Right)
+	}
+
+	m3 := distance.NewMatrix(z, []int{0, 5, 10})
+	r3, err := BuildAllgatherRing(m3, RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingFuzzAlwaysValid(t *testing.T) {
+	ig := hwtopo.NewIG()
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(48)
+		b, err := binding.Random(ig, n, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := distance.NewMatrix(ig, b.Cores())
+		ordering := RingOrdering(trial % 2)
+		r, err := BuildAllgatherRing(m, RingOptions{Ordering: ordering})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !clusterContiguous(r, m.Clusters(distance.SharedCache)) {
+			t.Fatalf("trial %d: clusters not contiguous", trial)
+		}
+	}
+}
+
+func TestRingLevelsTransform(t *testing.T) {
+	// Flattening all levels still yields a valid Hamiltonian ring.
+	ig := hwtopo.NewIG()
+	m := fullMatrix(t, ig)
+	r, err := BuildAllgatherRing(m, RingOptions{Levels: FlatLevels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingEmptyError(t *testing.T) {
+	if _, err := BuildAllgatherRing(distance.Matrix{}, RingOptions{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestRingStringAndOrder(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m := distance.NewMatrix(z, []int{0, 1, 2, 3})
+	r, err := BuildAllgatherRing(m, RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := r.Order()
+	if len(order) != 4 || order[0] != 0 {
+		t.Errorf("order = %v", order)
+	}
+	if s := r.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"distcoll/internal/distance"
+	"distcoll/internal/unionfind"
+)
+
+// UnionStep records one accepted edge during tree or ring construction,
+// for traces like the paper's Fig. 4 steps (1)…(11).
+type UnionStep struct {
+	Step    int // 1-based acceptance order
+	Edge    Edge
+	LeaderU int // leader of U's set before the union
+	LeaderV int // leader of V's set before the union
+}
+
+// Tree is a broadcast topology rooted at Root over ranks 0..n-1.
+type Tree struct {
+	Root     int
+	Parent   []int   // Parent[r]; -1 for the root
+	Children [][]int // in attachment order
+	// ParentWeight[r] is the construction weight of the edge to Parent[r]
+	// (0 for the root).
+	ParentWeight []int
+	// Trace is the accepted-edge sequence (only when requested).
+	Trace []UnionStep
+}
+
+// TreeOptions tunes BuildBroadcastTree.
+type TreeOptions struct {
+	// Levels coarsens distances before construction; nil = IdentityLevels.
+	Levels Levels
+	// RecordTrace captures the union sequence in Tree.Trace.
+	RecordTrace bool
+}
+
+// BuildBroadcastTree runs Algorithm 1 on the distance matrix: a Kruskal
+// minimum spanning tree with the root-aware edge ordering, rooted at root.
+func BuildBroadcastTree(m distance.Matrix, root int, opts TreeOptions) (*Tree, error) {
+	n := m.Size()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty communicator")
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, n)
+	}
+	t := &Tree{
+		Root:         root,
+		Parent:       make([]int, n),
+		Children:     make([][]int, n),
+		ParentWeight: make([]int, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	if n == 1 {
+		return t, nil
+	}
+
+	edges := allEdges(m, opts.Levels)
+	sortBroadcastEdges(edges, root)
+
+	dsu := unionfind.New(n, root)
+	adj := make([][]int, n)
+	accepted := 0
+	for _, e := range edges {
+		if accepted == n-1 {
+			break
+		}
+		if dsu.Same(e.U, e.V) {
+			continue
+		}
+		if opts.RecordTrace {
+			t.Trace = append(t.Trace, UnionStep{
+				Step:    accepted + 1,
+				Edge:    e,
+				LeaderU: dsu.Leader(e.U),
+				LeaderV: dsu.Leader(e.V),
+			})
+		}
+		dsu.Union(e.U, e.V)
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+		accepted++
+	}
+	if accepted != n-1 {
+		return nil, fmt.Errorf("core: disconnected construction (%d/%d edges)", accepted, n-1)
+	}
+
+	// Orient the spanning tree away from the root. Neighbors were appended
+	// in acceptance order, so children keep the union order.
+	weight := func(a, b int) int {
+		if opts.Levels != nil {
+			return opts.Levels(m.At(a, b))
+		}
+		return m.At(a, b)
+	}
+	queue := []int{root}
+	visited := make([]bool, n)
+	visited[root] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			t.Parent[v] = u
+			t.ParentWeight[v] = weight(u, v)
+			t.Children[u] = append(t.Children[u], v)
+			queue = append(queue, v)
+		}
+	}
+	for i, ok := range visited {
+		if !ok {
+			return nil, fmt.Errorf("core: rank %d unreachable from root", i)
+		}
+	}
+	return t, nil
+}
+
+// NewLinearTree returns the linear topology: every non-root rank is a
+// direct child of the root (the §V-B comparison topology; equivalent to
+// BuildBroadcastTree with FlatLevels).
+func NewLinearTree(n, root int) (*Tree, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: empty communicator")
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, n)
+	}
+	t := &Tree{
+		Root:         root,
+		Parent:       make([]int, n),
+		Children:     make([][]int, n),
+		ParentWeight: make([]int, n),
+	}
+	for r := 0; r < n; r++ {
+		if r == root {
+			t.Parent[r] = -1
+			continue
+		}
+		t.Parent[r] = root
+		t.ParentWeight[r] = 1
+		t.Children[root] = append(t.Children[root], r)
+	}
+	return t, nil
+}
+
+// Size returns the number of ranks spanned.
+func (t *Tree) Size() int { return len(t.Parent) }
+
+// Depth returns the number of edges on the longest root-to-leaf path.
+func (t *Tree) Depth() int {
+	depth := make([]int, t.Size())
+	max := 0
+	var walk func(u int)
+	walk = func(u int) {
+		for _, c := range t.Children[u] {
+			depth[c] = depth[u] + 1
+			if depth[c] > max {
+				max = depth[c]
+			}
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return max
+}
+
+// DepthOf returns the depth of rank r (root = 0).
+func (t *Tree) DepthOf(r int) int {
+	d := 0
+	for p := t.Parent[r]; p != -1; p = t.Parent[p] {
+		d++
+	}
+	return d
+}
+
+// TotalWeight sums edge weights (the MST objective).
+func (t *Tree) TotalWeight() int {
+	sum := 0
+	for r := range t.Parent {
+		sum += t.ParentWeight[r]
+	}
+	return sum
+}
+
+// EdgesAtWeight counts tree edges with the given construction weight; the
+// paper's optimality argument is that the count at the slowest level is
+// minimal (one edge per distance cluster).
+func (t *Tree) EdgesAtWeight(w int) int {
+	c := 0
+	for r := range t.Parent {
+		if t.Parent[r] != -1 && t.ParentWeight[r] == w {
+			c++
+		}
+	}
+	return c
+}
+
+// PathToRoot returns r, parent(r), …, root.
+func (t *Tree) PathToRoot(r int) []int {
+	path := []int{r}
+	for p := t.Parent[r]; p != -1; p = t.Parent[p] {
+		path = append(path, p)
+	}
+	return path
+}
+
+// Validate checks structural invariants: exactly one root, acyclic parent
+// chains, children consistent with parents.
+func (t *Tree) Validate() error {
+	n := t.Size()
+	if n == 0 {
+		return fmt.Errorf("core: empty tree")
+	}
+	if t.Root < 0 || t.Root >= n {
+		return fmt.Errorf("core: root %d out of range", t.Root)
+	}
+	if t.Parent[t.Root] != -1 {
+		return fmt.Errorf("core: root %d has parent %d", t.Root, t.Parent[t.Root])
+	}
+	for r := 0; r < n; r++ {
+		if r == t.Root {
+			continue
+		}
+		p := t.Parent[r]
+		if p < 0 || p >= n {
+			return fmt.Errorf("core: rank %d has invalid parent %d", r, p)
+		}
+		found := false
+		for _, c := range t.Children[p] {
+			if c == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: rank %d missing from children of %d", r, p)
+		}
+		steps := 0
+		for q := r; q != t.Root; q = t.Parent[q] {
+			if steps++; steps > n {
+				return fmt.Errorf("core: cycle through rank %d", r)
+			}
+		}
+	}
+	total := 0
+	for _, cs := range t.Children {
+		total += len(cs)
+	}
+	if total != n-1 {
+		return fmt.Errorf("core: %d child links, want %d", total, n-1)
+	}
+	return nil
+}
+
+// Render draws the tree as an indented outline with edge weights.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	var walk func(u, indent int)
+	walk = func(u, indent int) {
+		b.WriteString(strings.Repeat("  ", indent))
+		if u == t.Root {
+			fmt.Fprintf(&b, "P%d (root)\n", u)
+		} else {
+			fmt.Fprintf(&b, "P%d (w=%d)\n", u, t.ParentWeight[u])
+		}
+		for _, c := range t.Children[u] {
+			walk(c, indent+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}

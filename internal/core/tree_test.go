@@ -1,0 +1,493 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/unionfind"
+)
+
+// fig4Topology builds the machine of the paper's Fig. 4: 12 cores on 4
+// NUMA nodes (3 cores each), two NUMA nodes per board, two boards. Process
+// distances: same NUMA node → 2, same board → 5, cross board → 6.
+func fig4Topology(t *testing.T) *hwtopo.Topology {
+	t.Helper()
+	topo, err := hwtopo.Build(hwtopo.Spec{
+		Name:            "fig4",
+		Boards:          2,
+		SocketsPerBoard: 2,
+		DiesPerSocket:   1,
+		CoresPerDie:     3,
+		NUMAPerSocket:   true,
+		MemPerNUMA:      4 << 30,
+		OSNumbering:     hwtopo.OSPhysical,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func identityCores(n int) []int {
+	c := make([]int, n)
+	for i := range c {
+		c[i] = i
+	}
+	return c
+}
+
+func fullMatrix(t *testing.T, topo *hwtopo.Topology) distance.Matrix {
+	t.Helper()
+	return distance.NewMatrix(topo, identityCores(topo.NumCores()))
+}
+
+func TestFig4TopologyDistances(t *testing.T) {
+	topo := fig4Topology(t)
+	m := fullMatrix(t, topo)
+	if d := m.At(0, 1); d != distance.SameSocketSameMC {
+		t.Errorf("same NUMA distance = %d, want 2", d)
+	}
+	if d := m.At(0, 3); d != distance.SameBoard {
+		t.Errorf("same board distance = %d, want 5", d)
+	}
+	if d := m.At(0, 6); d != distance.CrossBoard {
+		t.Errorf("cross board distance = %d, want 6", d)
+	}
+}
+
+func TestFig4BroadcastTree(t *testing.T) {
+	// The paper's Fig. 4: 12 processes, random binding, root P5. The
+	// distance-aware tree must route exactly one message across the
+	// inter-board link and one across each board's inter-NUMA hop, with
+	// every same-NUMA process attached directly to its set leader.
+	topo := fig4Topology(t)
+	b, err := binding.Random(topo, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(topo, b.Cores())
+	const root = 5
+	tree, err := BuildBroadcastTree(m, root, TreeOptions{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.EdgesAtWeight(distance.CrossBoard); got != 1 {
+		t.Errorf("cross-board edges = %d, want 1 (paper: only one chunk crosses the interlink)", got)
+	}
+	if got := tree.EdgesAtWeight(distance.SameBoard); got != 2 {
+		t.Errorf("inter-NUMA edges = %d, want 2", got)
+	}
+	if got := tree.EdgesAtWeight(distance.SameSocketSameMC); got != 8 {
+		t.Errorf("intra-NUMA edges = %d, want 8", got)
+	}
+	if d := tree.Depth(); d > 3 {
+		t.Errorf("depth = %d, want ≤ 3", d)
+	}
+	if len(tree.Trace) != 11 {
+		t.Errorf("trace steps = %d, want 11 (Fig. 4 shows unions (1)…(11))", len(tree.Trace))
+	}
+	// All ranks in the root's NUMA cluster hang directly under the root.
+	for _, set := range m.Clusters(distance.SameSocketSameMC) {
+		inSet := false
+		for _, r := range set {
+			if r == root {
+				inSet = true
+			}
+		}
+		if !inSet {
+			continue
+		}
+		for _, r := range set {
+			if r != root && tree.Parent[r] != root {
+				t.Errorf("rank %d in root's NUMA set has parent %d, want root %d", r, tree.Parent[r], root)
+			}
+		}
+	}
+	// Every non-root cluster is a star around its minimum rank (the set
+	// leader), which is the only member with a parent outside the set.
+	for _, set := range m.Clusters(distance.SameSocketSameMC) {
+		leader := set[0]
+		if leader == root || containsInt(set, root) {
+			continue
+		}
+		for _, r := range set {
+			if r == leader {
+				if containsInt(set, tree.Parent[r]) {
+					t.Errorf("leader %d of set %v has parent inside the set", leader, set)
+				}
+				continue
+			}
+			if tree.Parent[r] != leader {
+				t.Errorf("rank %d parent = %d, want set leader %d", r, tree.Parent[r], leader)
+			}
+		}
+	}
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIGBroadcastTreeContiguous(t *testing.T) {
+	ig := hwtopo.NewIG()
+	m := fullMatrix(t, ig)
+	tree, err := BuildBroadcastTree(m, 0, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Root's socket mates attach directly; socket leaders 6, 12, 18 attach
+	// to root at weight 5; the single cross-board edge goes to rank 24.
+	for r := 1; r <= 5; r++ {
+		if tree.Parent[r] != 0 {
+			t.Errorf("rank %d parent = %d, want 0", r, tree.Parent[r])
+		}
+	}
+	for _, leader := range []int{6, 12, 18} {
+		if tree.Parent[leader] != 0 {
+			t.Errorf("socket leader %d parent = %d, want 0", leader, tree.Parent[leader])
+		}
+	}
+	if tree.Parent[24] != 0 {
+		t.Errorf("board-1 bridge 24 parent = %d, want 0", tree.Parent[24])
+	}
+	for _, leader := range []int{30, 36, 42} {
+		if tree.Parent[leader] != 24 {
+			t.Errorf("board-1 socket leader %d parent = %d, want 24", leader, tree.Parent[leader])
+		}
+	}
+	if got := tree.EdgesAtWeight(distance.CrossBoard); got != 1 {
+		t.Errorf("cross-board edges = %d, want 1", got)
+	}
+	if got := tree.EdgesAtWeight(distance.SameBoard); got != 6 {
+		t.Errorf("same-board socket edges = %d, want 6", got)
+	}
+	if got := tree.Depth(); got != 3 {
+		t.Errorf("depth = %d, want 3 (root → bridge → socket leader → member)", got)
+	}
+}
+
+func TestTreeAdaptsToAnyBinding(t *testing.T) {
+	// The headline property: the distance-aware tree's level structure is
+	// invariant to process placement. Whatever the binding, an IG tree has
+	// exactly 1 cross-board edge, 6 inter-socket edges and 40 intra-socket
+	// edges, and depth ≤ 3.
+	ig := hwtopo.NewIG()
+	bindings := make([]*binding.Binding, 0, 8)
+	for _, mk := range []func() (*binding.Binding, error){
+		func() (*binding.Binding, error) { return binding.Contiguous(ig, 48) },
+		func() (*binding.Binding, error) { return binding.CrossSocket(ig, 48) },
+		func() (*binding.Binding, error) { return binding.RoundRobin(ig, 48) },
+	} {
+		b, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bindings = append(bindings, b)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		b, err := binding.Random(ig, 48, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bindings = append(bindings, b)
+	}
+	for _, b := range bindings {
+		m := distance.NewMatrix(ig, b.Cores())
+		for _, root := range []int{0, 17, 47} {
+			tree, err := BuildBroadcastTree(m, root, TreeOptions{})
+			if err != nil {
+				t.Fatalf("%s root %d: %v", b.Name, root, err)
+			}
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("%s root %d: %v", b.Name, root, err)
+			}
+			if got := tree.EdgesAtWeight(distance.CrossBoard); got != 1 {
+				t.Errorf("%s root %d: cross-board edges = %d, want 1", b.Name, root, got)
+			}
+			if got := tree.EdgesAtWeight(distance.SameBoard); got != 6 {
+				t.Errorf("%s root %d: inter-socket edges = %d, want 6", b.Name, root, got)
+			}
+			if got := tree.EdgesAtWeight(distance.SharedCache); got != 40 {
+				t.Errorf("%s root %d: intra-socket edges = %d, want 40", b.Name, root, got)
+			}
+			if got := tree.Depth(); got > 3 {
+				t.Errorf("%s root %d: depth = %d, want ≤ 3", b.Name, root, got)
+			}
+		}
+	}
+}
+
+// referenceMSTWeight computes the minimum spanning tree weight with plain
+// Kruskal (weight-only ordering) as an independent oracle.
+func referenceMSTWeight(m distance.Matrix) int {
+	n := m.Size()
+	edges := allEdges(m, nil)
+	sort.Slice(edges, func(a, b int) bool { return edges[a].Weight < edges[b].Weight })
+	dsu := unionfind.New(n, -1)
+	total, accepted := 0, 0
+	for _, e := range edges {
+		if dsu.Same(e.U, e.V) {
+			continue
+		}
+		dsu.Union(e.U, e.V)
+		total += e.Weight
+		if accepted++; accepted == n-1 {
+			break
+		}
+	}
+	return total
+}
+
+func TestTreeIsMinimumWeight(t *testing.T) {
+	// Algorithm 1's reordering must not change the MST objective: total
+	// weight equals plain Kruskal's on every binding.
+	for _, topo := range []*hwtopo.Topology{hwtopo.NewZoot(), hwtopo.NewIG()} {
+		for seed := int64(0); seed < 10; seed++ {
+			n := topo.NumCores()
+			if seed%2 == 0 {
+				n = n/2 + int(seed) // partial communicators too
+			}
+			b, err := binding.Random(topo, n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := distance.NewMatrix(topo, b.Cores())
+			root := int(seed) % n
+			tree, err := BuildBroadcastTree(m, root, TreeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := tree.TotalWeight(), referenceMSTWeight(m); got != want {
+				t.Errorf("%s n=%d seed=%d: weight %d, want MST weight %d", topo.Name, n, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestTreeMinimumDepthAmongMSTs(t *testing.T) {
+	// Depth lower bound for any MST: clusters at the coarsest level are
+	// joined by exactly the minimal number of slow edges, so depth cannot
+	// be less than the number of distinct distance levels on the path from
+	// the root out to the farthest leaf. Check depth == number of distinct
+	// positive edge weights in the tree (star-per-level structure).
+	ig := hwtopo.NewIG()
+	for seed := int64(0); seed < 6; seed++ {
+		b, err := binding.Random(ig, 48, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := distance.NewMatrix(ig, b.Cores())
+		tree, err := BuildBroadcastTree(m, 0, TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights := map[int]bool{}
+		for r := range tree.Parent {
+			if tree.Parent[r] != -1 {
+				weights[tree.ParentWeight[r]] = true
+			}
+		}
+		if got := tree.Depth(); got != len(weights) {
+			t.Errorf("seed %d: depth = %d, want %d (one level per distance class)", seed, got, len(weights))
+		}
+	}
+}
+
+func TestZootLevelTransforms(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m := fullMatrix(t, z)
+	// Identity: three levels (1, 2, 3) → depth 3.
+	full, err := BuildBroadcastTree(m, 0, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.Depth(); got != 3 {
+		t.Errorf("identity depth = %d, want 3", got)
+	}
+	// The paper's "4 sets" two-level hierarchy: collapse distances ≤ 2.
+	sets4, err := BuildBroadcastTree(m, 0, TreeOptions{Levels: CollapseBelow(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sets4.Depth(); got != 2 {
+		t.Errorf("4-set depth = %d, want 2", got)
+	}
+	if got := sets4.EdgesAtWeight(3); got != 3 {
+		t.Errorf("4-set inter-socket edges = %d, want 3", got)
+	}
+	for _, leader := range []int{4, 8, 12} {
+		if sets4.Parent[leader] != 0 {
+			t.Errorf("socket leader %d parent = %d, want 0", leader, sets4.Parent[leader])
+		}
+	}
+	// Flat: linear topology, all 15 ranks direct children of the root.
+	flat, err := BuildBroadcastTree(m, 0, TreeOptions{Levels: FlatLevels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flat.Depth(); got != 1 {
+		t.Errorf("flat depth = %d, want 1", got)
+	}
+	if got := len(flat.Children[0]); got != 15 {
+		t.Errorf("flat root children = %d, want 15", got)
+	}
+}
+
+func TestNewLinearTreeMatchesFlatLevels(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m := fullMatrix(t, z)
+	flat, err := BuildBroadcastTree(m, 3, TreeOptions{Levels: FlatLevels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := NewLinearTree(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lin.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		if flat.Parent[r] != lin.Parent[r] {
+			t.Errorf("rank %d: flat parent %d, linear parent %d", r, flat.Parent[r], lin.Parent[r])
+		}
+	}
+}
+
+func TestRootStarOrderFollowsRanks(t *testing.T) {
+	// Algorithm 1 orders same-weight root edges by the non-root rank, so
+	// the root's same-set children appear in increasing rank order.
+	ig := hwtopo.NewIG()
+	m := fullMatrix(t, ig)
+	tree, err := BuildBroadcastTree(m, 2, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 3, 4, 5} // socket mates of rank 2 in rank order
+	got := tree.Children[2][:5]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("root children = %v, want prefix %v", got, want)
+		}
+	}
+}
+
+func TestTraceStepsAreSequential(t *testing.T) {
+	ig := hwtopo.NewIG()
+	m := fullMatrix(t, ig)
+	tree, err := BuildBroadcastTree(m, 0, TreeOptions{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Trace) != 47 {
+		t.Fatalf("trace length = %d, want 47", len(tree.Trace))
+	}
+	for i, st := range tree.Trace {
+		if st.Step != i+1 {
+			t.Fatalf("trace[%d].Step = %d", i, st.Step)
+		}
+		if i > 0 && st.Edge.Weight < tree.Trace[i-1].Edge.Weight {
+			t.Fatalf("trace weights decrease at step %d", st.Step)
+		}
+	}
+}
+
+func TestSingletonAndPairTrees(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m1 := distance.NewMatrix(z, []int{7})
+	tr, err := BuildBroadcastTree(m1, 0, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 1 || tr.Depth() != 0 {
+		t.Errorf("singleton tree size=%d depth=%d", tr.Size(), tr.Depth())
+	}
+	m2 := distance.NewMatrix(z, []int{7, 12})
+	tr2, err := BuildBroadcastTree(m2, 1, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Parent[0] != 1 || tr2.Parent[1] != -1 {
+		t.Errorf("pair tree parents = %v", tr2.Parent)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m := distance.NewMatrix(z, []int{0, 1})
+	if _, err := BuildBroadcastTree(m, 2, TreeOptions{}); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := BuildBroadcastTree(m, -1, TreeOptions{}); err == nil {
+		t.Error("negative root accepted")
+	}
+	if _, err := BuildBroadcastTree(distance.Matrix{}, 0, TreeOptions{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := NewLinearTree(0, 0); err == nil {
+		t.Error("empty linear tree accepted")
+	}
+	if _, err := NewLinearTree(4, 9); err == nil {
+		t.Error("linear tree with bad root accepted")
+	}
+}
+
+func TestPathToRootAndDepthOf(t *testing.T) {
+	ig := hwtopo.NewIG()
+	m := fullMatrix(t, ig)
+	tree, err := BuildBroadcastTree(m, 0, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tree.PathToRoot(31)
+	if p[0] != 31 || p[len(p)-1] != 0 {
+		t.Errorf("path = %v", p)
+	}
+	if got := tree.DepthOf(31); got != len(p)-1 {
+		t.Errorf("DepthOf(31) = %d, want %d", got, len(p)-1)
+	}
+	if tree.DepthOf(0) != 0 {
+		t.Errorf("DepthOf(root) = %d", tree.DepthOf(0))
+	}
+}
+
+func TestRandomizedTreeFuzz(t *testing.T) {
+	// Trees over random sub-communicators on random bindings must always
+	// validate and stay minimum weight.
+	ig := hwtopo.NewIG()
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(48)
+		b, err := binding.Random(ig, n, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := distance.NewMatrix(ig, b.Cores())
+		root := rng.Intn(n)
+		tree, err := BuildBroadcastTree(m, root, TreeOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got, want := tree.TotalWeight(), referenceMSTWeight(m); got != want {
+			t.Fatalf("trial %d: weight %d, want %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package des is a flow-level discrete-event simulator for communication
+// schedules. Each copy operation becomes, after its dependencies resolve
+// and its fixed start latency elapses, a *flow* that streams bytes through
+// a set of hardware resources (memory controllers, front-side buses,
+// HyperTransport uplinks, board bridges, core copy engines, shared
+// caches). Concurrent flows share every resource max–min fairly, so
+// contention effects — the memory-controller hot-spots and slow-link
+// crossings the paper's distance-aware topologies avoid — emerge from the
+// schedule structure rather than from closed-form formulas.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"distcoll/internal/sched"
+)
+
+// ResourceID names a resource registered with a Platform.
+type ResourceID int
+
+// Use is one resource demand of a flow: the flow consumes Demand bytes of
+// the resource's capacity per byte transferred (e.g. a local copy loads
+// its memory controller with demand 2: one read + one write).
+type Use struct {
+	Resource ResourceID
+	Demand   float64
+}
+
+// Platform is the set of shared resources flows compete for.
+type Platform struct {
+	names []string
+	caps  []float64 // bytes/second
+}
+
+// NewPlatform returns an empty platform.
+func NewPlatform() *Platform { return &Platform{} }
+
+// AddResource registers a resource with the given capacity in bytes/second
+// and returns its id.
+func (p *Platform) AddResource(name string, bytesPerSec float64) ResourceID {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("des: resource %q capacity %g", name, bytesPerSec))
+	}
+	p.names = append(p.names, name)
+	p.caps = append(p.caps, bytesPerSec)
+	return ResourceID(len(p.caps) - 1)
+}
+
+// NumResources returns the number of registered resources.
+func (p *Platform) NumResources() int { return len(p.caps) }
+
+// Name returns a resource's name.
+func (p *Platform) Name(id ResourceID) string { return p.names[id] }
+
+// Capacity returns a resource's capacity.
+func (p *Platform) Capacity(id ResourceID) float64 { return p.caps[id] }
+
+// CostModel maps schedule operations onto platform costs. Implementations
+// may be stateful (cache tracking): Uses is called exactly once per op at
+// flow start time, Observe exactly once at completion, both in simulated
+// time order.
+type CostModel interface {
+	// Platform returns the resource set flows run on.
+	Platform() *Platform
+	// StartLatency is the fixed cost paid before an op's data phase
+	// (kernel traps, cookie creation, handshakes).
+	StartLatency(op *sched.Op) float64
+	// NotifyLatency is the out-of-band notification delay charged when an
+	// op depends on an op executed by another rank.
+	NotifyLatency(from, to int) float64
+	// Uses returns the resource demands of the op's data phase. Ops with
+	// zero bytes or an empty use set complete right after StartLatency.
+	Uses(op *sched.Op) []Use
+	// Observe is invoked when the op completes (cache bookkeeping).
+	Observe(op *sched.Op)
+}
+
+// Result summarizes one simulated schedule execution.
+type Result struct {
+	// Makespan is the completion time of the last operation, in seconds.
+	Makespan float64
+	// OpStart holds each op's start time (dependencies and notifications
+	// resolved, before the fixed start latency).
+	OpStart []float64
+	// OpFinish holds each op's completion time.
+	OpFinish []float64
+	// Utilization maps resource name → fraction of capacity·makespan the
+	// resource carried (diagnostic).
+	Utilization map[string]float64
+	// BusiestResource and BusiestUtilization report the resource with the
+	// highest utilization.
+	BusiestResource    string
+	BusiestUtilization float64
+}
+
+type eventKind int
+
+const (
+	evReady eventKind = iota // op's deps + notify done → start latency
+	evLatencyDone
+	evFlowCheck // re-examine flow completion (version-guarded)
+)
+
+type event struct {
+	time    float64
+	kind    eventKind
+	op      int
+	version int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int      { return len(h) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].op < h[j].op
+}
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type flowState struct {
+	remaining float64
+	rate      float64
+	uses      []Use
+	lastTick  float64
+}
+
+// Simulate runs the schedule against the cost model and returns timing.
+func Simulate(s *sched.Schedule, model CostModel) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	plat := model.Platform()
+	n := len(s.Ops)
+	res := &Result{
+		OpStart:     make([]float64, n),
+		OpFinish:    make([]float64, n),
+		Utilization: make(map[string]float64),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	readyTime := make([]float64, n)
+	for i, op := range s.Ops {
+		indeg[i] = len(op.Deps)
+		for _, d := range op.Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	var events eventHeap
+	now := 0.0
+	flows := make(map[int]*flowState) // active flows by op index
+	version := int64(0)
+	resourceBytes := make([]float64, plat.NumResources())
+
+	push := func(e event) { heap.Push(&events, e) }
+	for i := range s.Ops {
+		if indeg[i] == 0 {
+			push(event{time: 0, kind: evReady, op: i})
+		}
+	}
+
+	// advanceFlows drains progress for elapsed time since each flow's last
+	// tick.
+	advanceFlows := func(t float64) {
+		for _, f := range flows {
+			f.remaining -= f.rate * (t - f.lastTick)
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+			f.lastTick = t
+		}
+	}
+
+	// reallocate recomputes max–min fair rates and reposts completion
+	// checks.
+	reallocate := func() {
+		version++
+		if len(flows) == 0 {
+			return
+		}
+		// Weighted max–min (progressive filling): all unfrozen flows share
+		// one rate; the tightest resource freezes its flows.
+		type resAcc struct {
+			capLeft float64
+			demand  float64
+			flows   []int
+		}
+		acc := make(map[ResourceID]*resAcc)
+		unfrozen := make(map[int]bool, len(flows))
+		for id, f := range flows {
+			unfrozen[id] = true
+			for _, u := range f.uses {
+				a := acc[u.Resource]
+				if a == nil {
+					a = &resAcc{capLeft: plat.Capacity(u.Resource)}
+					acc[u.Resource] = a
+				}
+				a.demand += u.Demand
+				a.flows = append(a.flows, id)
+			}
+		}
+		for len(unfrozen) > 0 {
+			// Find the bottleneck resource.
+			minRate := math.Inf(1)
+			var bottleneck ResourceID = -1
+			for rid, a := range acc {
+				if a.demand <= 0 {
+					continue
+				}
+				r := a.capLeft / a.demand
+				if r < minRate {
+					minRate, bottleneck = r, rid
+				}
+			}
+			if bottleneck == -1 {
+				// No constraining resource (shouldn't happen: every flow
+				// has at least one use). Give the rest infinite rate.
+				for id := range unfrozen {
+					flows[id].rate = math.Inf(1)
+					delete(unfrozen, id)
+				}
+				break
+			}
+			frozen := acc[bottleneck].flows
+			acc[bottleneck].demand = 0
+			for _, id := range frozen {
+				if !unfrozen[id] {
+					continue
+				}
+				f := flows[id]
+				f.rate = minRate
+				delete(unfrozen, id)
+				// Release this flow's demand from other resources and
+				// charge its bandwidth there.
+				for _, u := range f.uses {
+					if u.Resource == bottleneck {
+						continue
+					}
+					a := acc[u.Resource]
+					a.demand -= u.Demand
+					a.capLeft -= u.Demand * minRate
+					if a.capLeft < 0 {
+						a.capLeft = 0
+					}
+				}
+			}
+		}
+		for id, f := range flows {
+			finish := now
+			if f.rate > 0 && !math.IsInf(f.rate, 1) {
+				finish = now + f.remaining/f.rate
+			}
+			push(event{time: finish, kind: evFlowCheck, op: id, version: version})
+		}
+	}
+
+	maxFinish := 0.0
+	complete := func(i int) {
+		op := &s.Ops[i]
+		res.OpFinish[i] = now
+		if now > maxFinish {
+			maxFinish = now
+		}
+		model.Observe(op)
+		for _, j := range dependents[i] {
+			t := now
+			if s.Ops[j].Rank != op.Rank {
+				t += model.NotifyLatency(op.Rank, s.Ops[j].Rank)
+			}
+			if t > readyTime[j] {
+				readyTime[j] = t
+			}
+			if indeg[j]--; indeg[j] == 0 {
+				push(event{time: readyTime[j], kind: evReady, op: j})
+			}
+		}
+	}
+
+	completed := 0
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(event)
+		if e.time < now {
+			return nil, fmt.Errorf("des: time went backwards (%g < %g)", e.time, now)
+		}
+		prev := now
+		now = e.time
+		if now > prev {
+			advanceFlows(now)
+		}
+		switch e.kind {
+		case evReady:
+			res.OpStart[e.op] = now
+			push(event{time: now + model.StartLatency(&s.Ops[e.op]), kind: evLatencyDone, op: e.op})
+		case evLatencyDone:
+			op := &s.Ops[e.op]
+			uses := model.Uses(op)
+			if op.Bytes <= 0 || len(uses) == 0 {
+				complete(e.op)
+				completed++
+				continue
+			}
+			flows[e.op] = &flowState{remaining: float64(op.Bytes), uses: uses, lastTick: now}
+			for _, u := range uses {
+				resourceBytes[u.Resource] += float64(op.Bytes) * u.Demand
+			}
+			reallocate()
+		case evFlowCheck:
+			if e.version != version {
+				continue // stale
+			}
+			f, ok := flows[e.op]
+			if !ok {
+				continue
+			}
+			if f.remaining > 1e-6 {
+				// Floating-point residue: repost at the projected finish.
+				if f.rate > 0 {
+					push(event{time: now + f.remaining/f.rate, kind: evFlowCheck, op: e.op, version: version})
+				}
+				continue
+			}
+			delete(flows, e.op)
+			complete(e.op)
+			completed++
+			reallocate()
+		}
+	}
+	if completed != n {
+		return nil, fmt.Errorf("des: %d of %d ops completed (stuck flows?)", completed, n)
+	}
+	res.Makespan = maxFinish
+	// Per-resource utilization: bytes·demand normalized by
+	// capacity·makespan.
+	if res.Makespan > 0 {
+		best := -1.0
+		for i, b := range resourceBytes {
+			u := b / (plat.caps[i] * res.Makespan)
+			res.Utilization[plat.names[i]] = u
+			if u > best {
+				best = u
+				res.BusiestResource = plat.names[i]
+				res.BusiestUtilization = u
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,251 @@
+package distance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distcoll/internal/hwtopo"
+)
+
+func TestZootDistances(t *testing.T) {
+	z := hwtopo.NewZoot()
+	// Paper §IV-A: on Zoot, same die (shared L2) → 1, different dies on the
+	// same socket → 2, different sockets → 3.
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, SameCore},
+		{0, 1, SharedCache},      // same die
+		{0, 2, SameSocketSameMC}, // same socket, different die
+		{0, 3, SameSocketSameMC},
+		{0, 4, CrossSocketSameMC}, // different sockets, single FSB controller
+		{3, 15, CrossSocketSameMC},
+		{12, 15, SameSocketSameMC},
+		{14, 15, SharedCache},
+	}
+	for _, c := range cases {
+		if got := Between(z, c.a, c.b); got != c.want {
+			t.Errorf("zoot distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIGDistances(t *testing.T) {
+	ig := hwtopo.NewIG()
+	// Paper §IV-A: six cores of one socket all at distance 1; core#0 to
+	// core#12 (other socket, same board) → 5; core#0 to core#24 → 6.
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 5, SharedCache},
+		{2, 3, SharedCache},
+		{0, 6, SameBoard},
+		{0, 12, SameBoard},
+		{18, 23, SharedCache},
+		{0, 24, CrossBoard},
+		{23, 24, CrossBoard},
+		{24, 47, SameBoard},
+		{42, 47, SharedCache},
+	}
+	for _, c := range cases {
+		if got := Between(ig, c.a, c.b); got != c.want {
+			t.Errorf("ig distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSameSocketCrossMC(t *testing.T) {
+	// A synthetic machine where one socket spans two NUMA domains (like a
+	// dual-die Magny-Cours package) exercises distance 4: same socket,
+	// different memory controllers.
+	socket := &hwtopo.Object{Kind: hwtopo.KindSocket}
+	for d := 0; d < 2; d++ {
+		numa := &hwtopo.Object{Kind: hwtopo.KindNUMANode, MemoryController: true}
+		numa.Children = []*hwtopo.Object{{Kind: hwtopo.KindCore, OSIndex: d}}
+		socket.Children = append(socket.Children, numa)
+	}
+	root := &hwtopo.Object{Kind: hwtopo.KindMachine, Children: []*hwtopo.Object{socket}}
+	topo, err := hwtopo.Finalize("mcm", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Between(topo, 0, 1); got != SameSocketCrossMC {
+		t.Fatalf("distance = %d, want %d (same socket, cross MC)", got, SameSocketCrossMC)
+	}
+}
+
+func TestMatrixSymmetricZeroDiagonal(t *testing.T) {
+	ig := hwtopo.NewIG()
+	coreOf := make([]int, 48)
+	for i := range coreOf {
+		coreOf[i] = i
+	}
+	m := NewMatrix(ig, coreOf)
+	if m.Size() != 48 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	for i := 0; i < 48; i++ {
+		if m.At(i, i) != 0 {
+			t.Fatalf("diagonal (%d,%d) = %d", i, i, m.At(i, i))
+		}
+		for j := 0; j < 48; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if m.MaxValue() != CrossBoard {
+		t.Errorf("max distance on IG = %d, want %d", m.MaxValue(), CrossBoard)
+	}
+}
+
+func TestMatrixUltrametricProperty(t *testing.T) {
+	// On hierarchical machines the metric is an ultrametric:
+	// d(a,c) ≤ max(d(a,b), d(b,c)). This is what makes greedy clustering
+	// and Kruskal grouping exact.
+	for _, topo := range []*hwtopo.Topology{hwtopo.NewZoot(), hwtopo.NewIG()} {
+		n := topo.NumCores()
+		coreOf := make([]int, n)
+		for i := range coreOf {
+			coreOf[i] = i
+		}
+		m := NewMatrix(topo, coreOf)
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 500; trial++ {
+			a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			lhs := m.At(a, c)
+			rhs := m.At(a, b)
+			if m.At(b, c) > rhs {
+				rhs = m.At(b, c)
+			}
+			if lhs > rhs {
+				t.Fatalf("%s: ultrametric violated: d(%d,%d)=%d > max(d(%d,%d),d(%d,%d))=%d",
+					topo.Name, a, c, lhs, a, b, b, c, rhs)
+			}
+		}
+	}
+}
+
+func TestClustersBySocketOnIG(t *testing.T) {
+	ig := hwtopo.NewIG()
+	coreOf := make([]int, 48)
+	for i := range coreOf {
+		coreOf[i] = i
+	}
+	m := NewMatrix(ig, coreOf)
+	// Distance ≤ 1 clusters = the 8 sockets (paper's allgather set
+	// formation).
+	clusters := m.Clusters(SharedCache)
+	if len(clusters) != 8 {
+		t.Fatalf("clusters = %d, want 8", len(clusters))
+	}
+	for ci, set := range clusters {
+		if len(set) != 6 {
+			t.Fatalf("cluster %d size = %d, want 6", ci, len(set))
+		}
+		socket := set[0] / 6
+		for _, r := range set {
+			if r/6 != socket {
+				t.Fatalf("cluster %d mixes sockets: %v", ci, set)
+			}
+		}
+	}
+	// Distance ≤ 5 clusters = the 2 boards.
+	boards := m.Clusters(SameBoard)
+	if len(boards) != 2 {
+		t.Fatalf("board clusters = %d, want 2", len(boards))
+	}
+	// Distance ≤ 6 = one machine.
+	if all := m.Clusters(CrossBoard); len(all) != 1 {
+		t.Fatalf("machine clusters = %d, want 1", len(all))
+	}
+}
+
+func TestClustersWithScatteredBinding(t *testing.T) {
+	ig := hwtopo.NewIG()
+	// Bind 12 processes across 4 sockets in a scrambled order; clusters at
+	// distance 1 must still group by socket regardless of rank order.
+	coreOf := []int{13, 1, 7, 0, 14, 6, 19, 2, 12, 18, 8, 20}
+	m := NewMatrix(ig, coreOf)
+	clusters := m.Clusters(SharedCache)
+	if len(clusters) != 4 {
+		t.Fatalf("clusters = %d, want 4: %v", len(clusters), clusters)
+	}
+	for _, set := range clusters {
+		socket := coreOf[set[0]] / 6
+		for _, r := range set {
+			if coreOf[r]/6 != socket {
+				t.Fatalf("cluster %v mixes sockets", set)
+			}
+		}
+	}
+}
+
+func TestBetweenSymmetricQuick(t *testing.T) {
+	ig := hwtopo.NewIG()
+	f := func(a, b uint8) bool {
+		x, y := int(a)%48, int(b)%48
+		return Between(ig, x, y) == Between(ig, y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetweenPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Between did not panic on out-of-range core")
+		}
+	}()
+	Between(hwtopo.NewZoot(), 0, 99)
+}
+
+func TestMatrixString(t *testing.T) {
+	z := hwtopo.NewZoot()
+	m := NewMatrix(z, []int{0, 1, 4})
+	want := "0 1 3\n1 0 3\n3 3 0\n"
+	if got := m.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestClusterDistances(t *testing.T) {
+	c := hwtopo.NewIGCluster()
+	// 12 cores per node: 0-11 node0, 12-23 node1 (switch 0), 24-47 switch 1.
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 5, SharedCache},
+		{0, 6, SameBoard},
+		{0, 12, SameSwitch},
+		{11, 12, SameSwitch},
+		{0, 24, CrossSwitch},
+		{23, 24, CrossSwitch},
+		{24, 36, SameSwitch},
+		{36, 47, SameBoard},
+	}
+	for _, tc := range cases {
+		if got := Between(c, tc.a, tc.b); got != tc.want {
+			t.Errorf("cluster distance(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	coreOf := make([]int, 48)
+	for i := range coreOf {
+		coreOf[i] = i
+	}
+	m := NewMatrix(c, coreOf)
+	if got := len(m.Clusters(MaxIntraNode)); got != 4 {
+		t.Errorf("machine clusters = %d, want 4", got)
+	}
+	if got := len(m.Clusters(SameSwitch)); got != 2 {
+		t.Errorf("switch clusters = %d, want 2", got)
+	}
+	if got := len(m.Clusters(CrossSwitch)); got != 1 {
+		t.Errorf("global clusters = %d, want 1", got)
+	}
+	if m.MaxValue() != CrossSwitch {
+		t.Errorf("max cluster distance = %d", m.MaxValue())
+	}
+}

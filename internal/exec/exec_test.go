@@ -1,0 +1,237 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/sched"
+)
+
+// pattern fills a deterministic byte pattern distinguishable per rank.
+func pattern(rank int, n int64) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte((rank*131 + i*7 + 13) % 251)
+	}
+	return out
+}
+
+func TestBroadcastMovesRightBytes(t *testing.T) {
+	ig := hwtopo.NewIG()
+	for _, tc := range []struct {
+		binding string
+		root    int
+		size    int64
+	}{
+		{"contiguous", 0, 4096},
+		{"crosssocket", 0, 1 << 20},
+		{"random", 17, 300000}, // odd size exercises chunk remainders
+		{"rr", 47, 1},
+	} {
+		b, err := binding.ByName(ig, tc.binding, 48, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := distance.NewMatrix(ig, b.Cores())
+		tree, err := core.BuildBroadcastTree(m, tc.root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.CompileBroadcast(tree, tc.size, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := Alloc(s)
+		rootBuf, ok := s.FindBuffer(tc.root, "data")
+		if !ok {
+			t.Fatal("root buffer missing")
+		}
+		msg := pattern(tc.root, tc.size)
+		copy(bufs.Bytes(rootBuf), msg)
+		if err := Run(s, bufs); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 48; r++ {
+			id, ok := s.FindBuffer(r, "data")
+			if !ok {
+				t.Fatalf("rank %d buffer missing", r)
+			}
+			if !bytes.Equal(bufs.Bytes(id), msg) {
+				t.Fatalf("%s root=%d size=%d: rank %d received wrong data",
+					tc.binding, tc.root, tc.size, r)
+			}
+		}
+	}
+}
+
+func TestBroadcastPipelinedMatchesUnpipelined(t *testing.T) {
+	z := hwtopo.NewZoot()
+	b, err := binding.Random(z, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(z, b.Cores())
+	tree, err := core.BuildBroadcastTree(m, 6, core.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 700001 // prime-ish size, forced small chunks
+	run := func(chunk int64) [][]byte {
+		s, err := core.CompileBroadcast(tree, size, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := Alloc(s)
+		id, _ := s.FindBuffer(6, "data")
+		copy(bufs.Bytes(id), pattern(6, size))
+		if err := Run(s, bufs); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, 16)
+		for r := 0; r < 16; r++ {
+			rid, _ := s.FindBuffer(r, "data")
+			out[r] = bufs.Bytes(rid)
+		}
+		return out
+	}
+	whole := run(0)
+	chunked := run(4096)
+	for r := 0; r < 16; r++ {
+		if !bytes.Equal(whole[r], chunked[r]) {
+			t.Fatalf("rank %d differs between pipelined and unpipelined", r)
+		}
+	}
+}
+
+func TestAllgatherGathersEverything(t *testing.T) {
+	ig := hwtopo.NewIG()
+	for _, n := range []int{1, 2, 5, 48} {
+		for _, ordering := range []core.RingOrdering{core.RingCanonical, core.RingLexicographic} {
+			b, err := binding.Random(ig, n, int64(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := distance.NewMatrix(ig, b.Cores())
+			ring, err := core.BuildAllgatherRing(m, core.RingOptions{Ordering: ordering})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const block = int64(777)
+			s, err := core.CompileAllgather(ring, block)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs := Alloc(s)
+			want := make([]byte, 0, int64(n)*block)
+			for r := 0; r < n; r++ {
+				id, ok := s.FindBuffer(r, "send")
+				if !ok {
+					t.Fatalf("rank %d send buffer missing", r)
+				}
+				p := pattern(r, block)
+				copy(bufs.Bytes(id), p)
+				want = append(want, p...)
+			}
+			if err := Run(s, bufs); err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < n; r++ {
+				id, ok := s.FindBuffer(r, "recv")
+				if !ok {
+					t.Fatalf("rank %d recv buffer missing", r)
+				}
+				if !bytes.Equal(bufs.Bytes(id), want) {
+					t.Fatalf("n=%d ordering=%v: rank %d gathered wrong data", n, ordering, r)
+				}
+			}
+		}
+	}
+}
+
+func TestRunSerialMatchesRun(t *testing.T) {
+	ig := hwtopo.NewIG()
+	b, err := binding.CrossSocket(ig, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, b.Cores())
+	ring, err := core.BuildAllgatherRing(m, core.RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.CompileAllgather(ring, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := func(bufs *Buffers) {
+		for r := 0; r < 48; r++ {
+			id, _ := s.FindBuffer(r, "send")
+			copy(bufs.Bytes(id), pattern(r, 256))
+		}
+	}
+	b1, b2 := Alloc(s), Alloc(s)
+	seed(b1)
+	seed(b2)
+	if err := Run(s, b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSerial(s, b2); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 48; r++ {
+		id, _ := s.FindBuffer(r, "recv")
+		if !bytes.Equal(b1.Bytes(id), b2.Bytes(id)) {
+			t.Fatalf("rank %d differs between Run and RunSerial", r)
+		}
+	}
+}
+
+func TestRunRejectsInvalidSchedule(t *testing.T) {
+	s := sched.New(1)
+	b := s.AddBuffer(0, "a", 16)
+	s.AddOp(sched.Op{Rank: 0, Src: b, Dst: b, Bytes: 64}) // overruns buffer
+	bufs := Alloc(s)
+	if err := Run(s, bufs); err == nil {
+		t.Error("Run accepted invalid schedule")
+	}
+	if err := RunSerial(s, bufs); err == nil {
+		t.Error("RunSerial accepted invalid schedule")
+	}
+}
+
+func TestRunRejectsForeignBuffers(t *testing.T) {
+	s1 := sched.New(1)
+	b1 := s1.AddBuffer(0, "a", 16)
+	s1.AddOp(sched.Op{Rank: 0, Src: b1, Dst: b1, Bytes: 16})
+	s2 := sched.New(1)
+	s2.AddBuffer(0, "a", 16)
+	s2.AddBuffer(0, "b", 16)
+	foreign := Alloc(s2)
+	if err := Run(s1, foreign); err == nil {
+		t.Error("Run accepted buffers from another schedule")
+	}
+	if err := RunSerial(s1, foreign); err == nil {
+		t.Error("RunSerial accepted buffers from another schedule")
+	}
+}
+
+func ExampleRun() {
+	// A minimal two-rank pull: rank 1 copies rank 0's 8-byte message.
+	s := sched.New(2)
+	src := s.AddBuffer(0, "data", 8)
+	dst := s.AddBuffer(1, "data", 8)
+	s.AddOp(sched.Op{Rank: 1, Mode: sched.ModeKnem, Src: src, Dst: dst, Bytes: 8})
+	bufs := Alloc(s)
+	copy(bufs.Bytes(src), "distcoll")
+	if err := Run(s, bufs); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(string(bufs.Bytes(dst)))
+	// Output: distcoll
+}

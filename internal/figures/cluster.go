@@ -1,0 +1,119 @@
+package figures
+
+import (
+	"fmt"
+
+	"distcoll/internal/baseline"
+	"distcoll/internal/binding"
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/imb"
+	"distcoll/internal/machine"
+)
+
+// ClusterTopology builds the multi-node evaluation platform for the §VI
+// extension: 2 switches × 2 nodes, each node an "IG-lite" (2 sockets × 6
+// cores, NUMA per socket) — 48 cores total, so the job size matches the
+// single-node experiments.
+func ClusterTopology() (*hwtopo.Topology, error) {
+	return hwtopo.BuildCluster(hwtopo.ClusterSpec{
+		Name:           "igcluster",
+		Switches:       2,
+		NodesPerSwitch: 2,
+		Node: hwtopo.Spec{
+			Name:             "iglite",
+			Boards:           1,
+			SocketsPerBoard:  2,
+			DiesPerSocket:    1,
+			CoresPerDie:      6,
+			SharedCacheLevel: 3,
+			SharedCacheSize:  5 << 20,
+			PrivateL2:        512 << 10,
+			PrivateL1:        64 << 10,
+			NUMAPerSocket:    true,
+			MemPerNUMA:       16 << 30,
+			OSNumbering:      hwtopo.OSPhysical,
+		},
+	})
+}
+
+// ExtCluster reproduces the paper's thesis at cluster scale (§VI: "not
+// just intra-node … but also clusters of multi-core mixing inter-node and
+// intra-node communication together"): broadcast over 48 processes on a
+// 4-node, 2-switch cluster. The distance-aware tree crosses the trunk
+// once and each NIC once; the rank-based binomial tree under a scattered
+// binding floods the network.
+func ExtCluster(sizes []int64) (*Figure, error) {
+	if sizes == nil {
+		sizes = imb.StandardSizes()
+	}
+	topo, err := ClusterTopology()
+	if err != nil {
+		return nil, err
+	}
+	params := machine.ClusterParams(machine.IGParams())
+	const n, root = 48, 0
+	cont, err := binding.Contiguous(topo, n)
+	if err != nil {
+		return nil, err
+	}
+	scattered, err := binding.CrossSocket(topo, n) // round-robins all 8 sockets → all 4 nodes
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "cluster", Title: "Broadcast on a 4-node/2-switch cluster (48 processes): tuned vs distance-aware", Procs: n}
+	tuned := func(b *binding.Binding) imb.Runner {
+		return func(size int64) (float64, error) {
+			alg, seg := baseline.TunedBcastDecision(n, size)
+			s, err := baseline.CompileBcast(alg, n, root, size, seg, baseline.SMKnemBTL())
+			if err != nil {
+				return 0, err
+			}
+			res, err := machine.Simulate(b, params, s)
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
+		}
+	}
+	knem := func(b *binding.Binding) imb.Runner {
+		return func(size int64) (float64, error) {
+			m := distance.NewMatrix(b.Topology(), b.Cores())
+			tree, err := core.BuildBroadcastTree(m, root, core.TreeOptions{})
+			if err != nil {
+				return 0, err
+			}
+			if got := tree.EdgesAtWeight(distance.CrossSwitch); got != 1 {
+				return 0, fmt.Errorf("cluster tree has %d trunk edges, want 1", got)
+			}
+			s, err := core.CompileBroadcast(tree, size, 0)
+			if err != nil {
+				return 0, err
+			}
+			res, err := machine.Simulate(b, params, s)
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
+		}
+	}
+	type cfg struct {
+		label string
+		run   imb.Runner
+	}
+	for _, c := range []cfg{
+		{"tuned_contiguous", tuned(cont)},
+		{"tuned_scattered", tuned(scattered)},
+		{"distaware_contiguous", knem(cont)},
+		{"distaware_scattered", knem(scattered)},
+	} {
+		s, err := imb.Sweep(c.label, sizes, c.run,
+			func(size int64, sec float64) float64 { return imb.BcastBandwidth(n, size, sec) })
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,114 @@
+package figures
+
+import (
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/imb"
+)
+
+func TestClusterTopologyShape(t *testing.T) {
+	topo, err := ClusterTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCores() != 48 {
+		t.Fatalf("cluster cores = %d, want 48", topo.NumCores())
+	}
+	b, err := binding.Contiguous(topo, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(topo, b.Cores())
+	if d := m.At(0, 12); d != distance.SameSwitch {
+		t.Errorf("cross-node same-switch distance = %d, want 7", d)
+	}
+	if d := m.At(0, 24); d != distance.CrossSwitch {
+		t.Errorf("cross-switch distance = %d, want 8", d)
+	}
+	// The distance-aware tree routes one message over the trunk and one
+	// NIC hop per remote node.
+	tree, err := core.BuildBroadcastTree(m, 0, core.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.EdgesAtWeight(distance.CrossSwitch); got != 1 {
+		t.Errorf("trunk edges = %d, want 1", got)
+	}
+	if got := tree.EdgesAtWeight(distance.SameSwitch); got != 2 {
+		t.Errorf("NIC edges = %d, want 2 (one per same-switch peer node)", got)
+	}
+	if got := tree.Depth(); got > 4 {
+		t.Errorf("depth = %d, want ≤ 4", got)
+	}
+}
+
+func TestExtClusterClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps skipped in -short mode")
+	}
+	fig, err := ExtCluster(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := seriesByLabel(t, fig, "tuned_contiguous")
+	ts := seriesByLabel(t, fig, "tuned_scattered")
+	dc := seriesByLabel(t, fig, "distaware_contiguous")
+	ds := seriesByLabel(t, fig, "distaware_scattered")
+	// The distance-aware component is placement-stable and dominates the
+	// rank-based baseline at large sizes under any binding.
+	for _, size := range []int64{1 << 20, 8 << 20} {
+		if !nearlyEqual(at(t, dc, size), at(t, ds, size)) {
+			t.Errorf("distance-aware differs across bindings at %s", imb.FormatSize(size))
+		}
+		if !(at(t, ds, size) > at(t, ts, size)*2) {
+			t.Errorf("distance-aware %.0f not ≫ tuned scattered %.0f at %s",
+				at(t, ds, size), at(t, ts, size), imb.FormatSize(size))
+		}
+		if !(at(t, dc, size) > at(t, tc, size)) {
+			t.Errorf("distance-aware below tuned contiguous at %s", imb.FormatSize(size))
+		}
+	}
+	// Tuned loses badly when the binding scatters ranks across nodes.
+	loss := 1 - at(t, ts, 8<<20)/at(t, tc, 8<<20)
+	if loss < 0.4 {
+		t.Errorf("tuned scattered loss = %.0f%%, want ≥40%%", loss*100)
+	}
+}
+
+func TestExtAllreduceClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps skipped in -short mode")
+	}
+	fig, err := ExtAllreduce(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := seriesByLabel(t, fig, "tuned_contiguous")
+	tx := seriesByLabel(t, fig, "tuned_crosssocket")
+	kc := seriesByLabel(t, fig, "KNEMColl_contiguous")
+	kx := seriesByLabel(t, fig, "KNEMColl_crosssocket")
+	for _, size := range []int64{1 << 20, 8 << 20} {
+		// Stability within 2%.
+		a, b := at(t, kc, size), at(t, kx, size)
+		hi := a
+		if b > hi {
+			hi = b
+		}
+		if v := (hi - min64(a, b)) / hi; v > 0.02 {
+			t.Errorf("distance-aware allreduce variance at %s = %.1f%%", imb.FormatSize(size), v*100)
+		}
+		// Adversarial binding: distance-aware wins clearly.
+		if !(at(t, kx, size) > at(t, tx, size)*1.5) {
+			t.Errorf("distance-aware allreduce %.0f not ≫ tuned %.0f under cross-socket at %s",
+				at(t, kx, size), at(t, tx, size), imb.FormatSize(size))
+		}
+	}
+	// tuned loses >40% cross-socket at large sizes.
+	loss := 1 - at(t, tx, 8<<20)/at(t, tc, 8<<20)
+	if loss < 0.4 {
+		t.Errorf("tuned allreduce cross-socket loss = %.0f%%, want ≥40%%", loss*100)
+	}
+}

@@ -1,0 +1,288 @@
+package figures
+
+import (
+	"testing"
+
+	"distcoll/internal/imb"
+)
+
+// The figure drivers are this repository's acceptance tests: each test
+// asserts the qualitative claims the paper makes about a figure — who
+// wins, roughly by what factor, where crossovers fall. Absolute MB/s are
+// not asserted (the substrate is a simulator); EXPERIMENTS.md records the
+// paper-vs-measured numbers.
+
+func seriesByLabel(t *testing.T, f *Figure, label string) imb.Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("figure %s has no series %q", f.ID, label)
+	return imb.Series{}
+}
+
+// nearlyEqual tolerates last-bit float noise from map-iteration order in
+// the max-min solver.
+func nearlyEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 1e-6*a || diff <= 1e-6*b
+}
+
+func at(t *testing.T, s imb.Series, size int64) float64 {
+	t.Helper()
+	p, ok := s.At(size)
+	if !ok {
+		t.Fatalf("series %q has no point at %d", s.Label, size)
+	}
+	return p.MBps
+}
+
+func TestFig2Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps skipped in -short mode")
+	}
+	fig, err := Fig2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := seriesByLabel(t, fig, "RR")
+	user := seriesByLabel(t, fig, "user:0..15")
+	cpu := seriesByLabel(t, fig, "cpu")
+	cache := seriesByLabel(t, fig, "cache")
+	for _, size := range imb.StandardSizes() {
+		// Paper §III: user:0..15 has the same binding map as rr on Zoot;
+		// cpu and cache pack identically.
+		if a, b := at(t, rr, size), at(t, user, size); !nearlyEqual(a, b) {
+			t.Errorf("rr %.1f != user %.1f at %s", a, b, imb.FormatSize(size))
+		}
+		if a, b := at(t, cpu, size), at(t, cache, size); !nearlyEqual(a, b) {
+			t.Errorf("cpu %.1f != cache %.1f at %s", a, b, imb.FormatSize(size))
+		}
+	}
+	// Paper: "the bandwidth is reduced by up to 35% in the round-robin and
+	// user-defined cases". We require ≥15% loss at large sizes.
+	for _, size := range []int64{1 << 20, 4 << 20, 8 << 20} {
+		loss := 1 - at(t, rr, size)/at(t, cpu, size)
+		if loss < 0.15 {
+			t.Errorf("rr loss at %s = %.0f%%, want ≥15%%", imb.FormatSize(size), loss*100)
+		}
+		if loss > 0.45 {
+			t.Errorf("rr loss at %s = %.0f%% — far beyond the paper's 35%%", imb.FormatSize(size), loss*100)
+		}
+	}
+	// Peak bandwidth lands in the paper's range (~2.5 GB/s).
+	peak := at(t, cpu, 8<<20)
+	if peak < 1500 || peak > 4000 {
+		t.Errorf("cpu peak = %.0f MB/s, want within [1500, 4000]", peak)
+	}
+}
+
+func TestFig6Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps skipped in -short mode")
+	}
+	fig, err := Fig6(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := seriesByLabel(t, fig, "OpenMPI_contiguous")
+	tx := seriesByLabel(t, fig, "OpenMPI_crosssocket")
+	kc := seriesByLabel(t, fig, "KNEMColl_contiguous")
+	kx := seriesByLabel(t, fig, "KNEMColl_crosssocket")
+
+	// "The bandwidth loss for Open MPI's tuned collective in cross socket
+	// case reaches more than 45%" at large sizes.
+	for _, size := range []int64{1 << 20, 4 << 20, 8 << 20} {
+		loss := 1 - at(t, tx, size)/at(t, tc, size)
+		if loss < 0.45 {
+			t.Errorf("tuned cross-socket loss at %s = %.0f%%, want >45%%", imb.FormatSize(size), loss*100)
+		}
+	}
+	// "KNEM collective provides stable bandwidth regardless of process
+	// placement. The variance ... is less than 14%."
+	for _, size := range imb.StandardSizes() {
+		a, b := at(t, kc, size), at(t, kx, size)
+		hi := a
+		if b > hi {
+			hi = b
+		}
+		if v := (hi - min64(a, b)) / hi; v > 0.14 {
+			t.Errorf("KNEM variance at %s = %.0f%%, want <14%%", imb.FormatSize(size), v*100)
+		}
+	}
+	// KNEM pays its kernel overhead below the crossover (paper: overhead
+	// equivalent to a ~16KB broadcast) and wins above it.
+	if !(at(t, tc, 512) > at(t, kc, 512)) {
+		t.Errorf("tuned should beat KNEM at 512B (kernel overhead)")
+	}
+	if !(at(t, kc, 32<<10) > at(t, tc, 32<<10)*0.9) {
+		t.Errorf("KNEM should be competitive by 32KB")
+	}
+	// Under the adversarial binding the distance-aware component dominates
+	// the placement-blind one at every size ≥ 8K.
+	for _, size := range []int64{8 << 10, 128 << 10, 8 << 20} {
+		if !(at(t, kx, size) > at(t, tx, size)) {
+			t.Errorf("KNEM cross %.0f ≤ tuned cross %.0f at %s",
+				at(t, kx, size), at(t, tx, size), imb.FormatSize(size))
+		}
+	}
+	// Tuned contiguous must dominate tuned cross-socket at large sizes and
+	// rise to the ~20GB/s range.
+	peak := at(t, tc, 8<<20)
+	if peak < 12000 || peak > 30000 {
+		t.Errorf("tuned contiguous peak = %.0f MB/s, want within [12000, 30000]", peak)
+	}
+}
+
+func TestFig7Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps skipped in -short mode")
+	}
+	fig, err := Fig7(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := seriesByLabel(t, fig, "OpenMPI_contiguous")
+	tx := seriesByLabel(t, fig, "OpenMPI_crosssocket")
+	kc := seriesByLabel(t, fig, "KNEMColl_contiguous")
+	kx := seriesByLabel(t, fig, "KNEMColl_crosssocket")
+
+	// "The bandwidth variance of tuned Allgather between different binding
+	// cases can reach up to 58%, significantly more than in broadcast."
+	maxLoss := 0.0
+	for _, size := range imb.StandardSizes() {
+		if size < 8<<10 {
+			continue
+		}
+		loss := 1 - at(t, tx, size)/at(t, tc, size)
+		if loss > maxLoss {
+			maxLoss = loss
+		}
+	}
+	if maxLoss < 0.45 {
+		t.Errorf("tuned allgather max loss = %.0f%%, want ≥45%% (paper: up to 58%%)", maxLoss*100)
+	}
+	// KNEM allgather stays stable across bindings.
+	for _, size := range imb.StandardSizes() {
+		a, b := at(t, kc, size), at(t, kx, size)
+		hi := a
+		if b > hi {
+			hi = b
+		}
+		if v := (hi - min64(a, b)) / hi; v > 0.14 {
+			t.Errorf("KNEM allgather variance at %s = %.0f%%", imb.FormatSize(size), v*100)
+		}
+	}
+	// Crossover near the paper's ~2KB: KNEM must win under cross-socket
+	// binding from 4KB on.
+	for _, size := range []int64{4 << 10, 64 << 10, 8 << 20} {
+		if !(at(t, kx, size) > at(t, tx, size)) {
+			t.Errorf("KNEM cross ≤ tuned cross at %s", imb.FormatSize(size))
+		}
+	}
+	// Aggregate plateau in the paper's range (~30 GB/s measured; we accept
+	// 15–35 GB/s).
+	peak := at(t, kc, 2<<20)
+	if peak < 15000 || peak > 35000 {
+		t.Errorf("KNEM allgather plateau = %.0f MB/s, want within [15000, 35000]", peak)
+	}
+}
+
+func TestFig8Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps skipped in -short mode")
+	}
+	fig, err := Fig8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := seriesByLabel(t, fig, "4sets_contiguous")
+	hx := seriesByLabel(t, fig, "4sets_crosssocket")
+	lc := seriesByLabel(t, fig, "linear_contiguous")
+	lx := seriesByLabel(t, fig, "linear_crosssocket")
+	// "KNEM linear topology outperforms KNEM hierarchical topology" for
+	// every size ≥ 32KB on the single-controller Zoot.
+	for _, size := range imb.LargeSizes() {
+		if !(at(t, lc, size) >= at(t, hc, size)) {
+			t.Errorf("linear %.0f < 4sets %.0f at %s (contiguous)",
+				at(t, lc, size), at(t, hc, size), imb.FormatSize(size))
+		}
+		if !(at(t, lx, size) >= at(t, hx, size)) {
+			t.Errorf("linear < 4sets at %s (crosssocket)", imb.FormatSize(size))
+		}
+	}
+	// Distance-aware construction is placement-stable on Zoot too.
+	for _, size := range imb.LargeSizes() {
+		if a, b := at(t, lc, size), at(t, lx, size); !nearlyEqual(a, b) {
+			t.Errorf("linear differs across bindings at %s: %.1f vs %.1f", imb.FormatSize(size), a, b)
+		}
+	}
+	// Peak in the paper's ~4.5 GB/s range; and §V-B's comparison: the
+	// distance-aware broadcast outperforms MPICH2's best case (Fig. 2 tops
+	// out near 2.5 GB/s).
+	peak := at(t, lc, 8<<20)
+	if peak < 3000 || peak > 6000 {
+		t.Errorf("linear peak = %.0f MB/s, want within [3000, 6000]", peak)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps skipped in -short mode")
+	}
+	chunk, err := AblationChunk(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk.Series) != 2 {
+		t.Fatalf("chunk ablation series = %d", len(chunk.Series))
+	}
+	// Moderate chunks must beat the unpipelined (8MB-chunk) point.
+	cont := chunk.Series[0]
+	unpiped := cont.Points[len(cont.Points)-1]
+	best := unpiped.MBps
+	for _, p := range cont.Points {
+		if p.MBps > best {
+			best = p.MBps
+		}
+	}
+	if !(best > unpiped.MBps*1.2) {
+		t.Errorf("pipelining gains only %.2fx over unpipelined", best/unpiped.MBps)
+	}
+
+	ord, err := AblationRingOrdering(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two tie-breaks must be performance-equivalent (within 5%).
+	a, b := ord.Series[0], ord.Series[1]
+	for i := range a.Points {
+		ra, rb := a.Points[i].MBps, b.Points[i].MBps
+		diff := ra - rb
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05*ra {
+			t.Errorf("ring orderings diverge at %s: %.0f vs %.0f",
+				imb.FormatSize(a.Points[i].Size), ra, rb)
+		}
+	}
+}
+
+func TestByIDErrors(t *testing.T) {
+	if _, err := ByID("99", nil); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+package hwtopo
+
+import "fmt"
+
+// OSNumbering selects how a builder assigns OS processor ids to cores.
+type OSNumbering int
+
+const (
+	// OSPhysical numbers cores in physical (depth-first) order, like IG:
+	// OS id == logical index.
+	OSPhysical OSNumbering = iota
+	// OSRoundRobinSockets numbers cores socket-by-socket round robin, like
+	// Zoot: consecutive OS ids land on different sockets, so a round-robin
+	// binding scatters neighbor ranks across the machine.
+	OSRoundRobinSockets
+)
+
+// Spec parameterizes the generic builder. The tree built is
+//
+//	Machine [→ Board ×Boards] → (NUMANode?) → Socket → Die → SharedCache → Core
+//
+// with the die level omitted when DiesPerSocket == 1 and the shared cache
+// omitted when SharedCacheSize == 0.
+type Spec struct {
+	Name            string
+	Boards          int
+	SocketsPerBoard int
+	DiesPerSocket   int
+	CoresPerDie     int
+
+	// SharedCacheLevel/SharedCacheSize describe the last-level cache shared
+	// by all cores of a die (Zoot: L2 4MB per die; IG: L3 5MB per socket
+	// with one die per socket).
+	SharedCacheLevel int
+	SharedCacheSize  int64
+
+	// PrivateL1/PrivateL2 sizes; zero omits the level.
+	PrivateL1 int64
+	PrivateL2 int64
+
+	// NUMAPerSocket gives every socket its own NUMA node and memory
+	// controller (IG). Otherwise a single machine-wide controller is used
+	// (Zoot's front-side-bus northbridge).
+	NUMAPerSocket bool
+	MemPerNUMA    int64 // per NUMA node, or total machine memory when !NUMAPerSocket
+
+	OSNumbering OSNumbering
+}
+
+// Build constructs a topology from a spec.
+func Build(spec Spec) (*Topology, error) {
+	if spec.Boards <= 0 || spec.SocketsPerBoard <= 0 || spec.DiesPerSocket <= 0 || spec.CoresPerDie <= 0 {
+		return nil, fmt.Errorf("hwtopo: invalid spec %+v", spec)
+	}
+	machine := &Object{Kind: KindMachine}
+	if !spec.NUMAPerSocket {
+		machine.MemoryController = true
+		machine.SizeBytes = spec.MemPerNUMA
+	}
+	totalSockets := spec.Boards * spec.SocketsPerBoard
+	var cores []*Object
+	for b := 0; b < spec.Boards; b++ {
+		var boardParent *Object = machine
+		if spec.Boards > 1 {
+			board := &Object{Kind: KindBoard}
+			machine.Children = append(machine.Children, board)
+			boardParent = board
+		}
+		for s := 0; s < spec.SocketsPerBoard; s++ {
+			parent := boardParent
+			if spec.NUMAPerSocket {
+				numa := &Object{
+					Kind:             KindNUMANode,
+					MemoryController: true,
+					SizeBytes:        spec.MemPerNUMA,
+				}
+				parent.Children = append(parent.Children, numa)
+				parent = numa
+			}
+			socket := &Object{Kind: KindSocket}
+			parent.Children = append(parent.Children, socket)
+			for d := 0; d < spec.DiesPerSocket; d++ {
+				var dieParent *Object = socket
+				if spec.DiesPerSocket > 1 {
+					die := &Object{Kind: KindDie}
+					socket.Children = append(socket.Children, die)
+					dieParent = die
+				}
+				coreParent := dieParent
+				if spec.SharedCacheSize > 0 {
+					shared := &Object{
+						Kind:       KindCache,
+						CacheLevel: spec.SharedCacheLevel,
+						SizeBytes:  spec.SharedCacheSize,
+					}
+					dieParent.Children = append(dieParent.Children, shared)
+					coreParent = shared
+				}
+				for c := 0; c < spec.CoresPerDie; c++ {
+					leafParent := coreParent
+					if spec.PrivateL2 > 0 {
+						l2 := &Object{Kind: KindCache, CacheLevel: 2, SizeBytes: spec.PrivateL2}
+						leafParent.Children = append(leafParent.Children, l2)
+						leafParent = l2
+					}
+					if spec.PrivateL1 > 0 {
+						l1 := &Object{Kind: KindCache, CacheLevel: 1, SizeBytes: spec.PrivateL1}
+						leafParent.Children = append(leafParent.Children, l1)
+						leafParent = l1
+					}
+					core := &Object{Kind: KindCore}
+					leafParent.Children = append(leafParent.Children, core)
+					cores = append(cores, core)
+				}
+			}
+		}
+	}
+	assignOSIndices(cores, spec.OSNumbering, totalSockets)
+	return Finalize(spec.Name, machine)
+}
+
+// assignOSIndices sets OSIndex on every core according to the numbering
+// policy; cores are in physical (depth-first) order. With
+// OSRoundRobinSockets, OS id k is the (k/S)-th core of socket (k mod S),
+// matching Zoot where "logical consecutive core IDs belong to different
+// sockets".
+func assignOSIndices(cores []*Object, numbering OSNumbering, sockets int) {
+	switch numbering {
+	case OSPhysical:
+		for i, c := range cores {
+			c.OSIndex = i
+		}
+	case OSRoundRobinSockets:
+		perSocket := len(cores) / sockets
+		for i, c := range cores {
+			socket := i / perSocket
+			slot := i % perSocket
+			c.OSIndex = slot*sockets + socket
+		}
+	}
+}
+
+// NewZoot builds the paper's Zoot machine: a 16-core UMA node with four
+// quad-core Intel Xeon Tigerton E7340 sockets (2 dual-core dies per socket,
+// 4 MB L2 shared per die), 32 GB behind a single northbridge memory
+// controller on the front-side bus. OS ids enumerate round-robin across
+// sockets. Process distances: shared L2 die → 1, cross-die same socket → 2,
+// cross-socket → 3.
+func NewZoot() *Topology {
+	t, err := Build(Spec{
+		Name:             "zoot",
+		Boards:           1,
+		SocketsPerBoard:  4,
+		DiesPerSocket:    2,
+		CoresPerDie:      2,
+		SharedCacheLevel: 2,
+		SharedCacheSize:  4 << 20,
+		NUMAPerSocket:    false,
+		MemPerNUMA:       32 << 30,
+		OSNumbering:      OSRoundRobinSockets,
+	})
+	if err != nil {
+		panic("hwtopo: zoot spec invalid: " + err.Error())
+	}
+	return t
+}
+
+// NewIG builds the paper's IG machine: 48 cores on two boards of four
+// sockets each; every socket is a six-core 2.8 GHz AMD Opteron 8439 SE with
+// a 5 MB shared L3, private 512 KB L2 and 64 KB L1 per core, and its own
+// NUMA node with 16 GB of memory. Process distances: same socket → 1, cross
+// socket same board → 5, cross board → 6.
+func NewIG() *Topology {
+	t, err := Build(Spec{
+		Name:             "ig",
+		Boards:           2,
+		SocketsPerBoard:  4,
+		DiesPerSocket:    1,
+		CoresPerDie:      6,
+		SharedCacheLevel: 3,
+		SharedCacheSize:  5 << 20,
+		PrivateL2:        512 << 10,
+		PrivateL1:        64 << 10,
+		NUMAPerSocket:    true,
+		MemPerNUMA:       16 << 30,
+		OSNumbering:      OSPhysical,
+	})
+	if err != nil {
+		panic("hwtopo: ig spec invalid: " + err.Error())
+	}
+	return t
+}
+
+// ByName returns a builder result for a known machine name ("zoot", "ig"),
+// or an error listing the known names.
+func ByName(name string) (*Topology, error) {
+	switch name {
+	case "zoot":
+		return NewZoot(), nil
+	case "ig":
+		return NewIG(), nil
+	case "igcluster":
+		return NewIGCluster(), nil
+	default:
+		return nil, fmt.Errorf("hwtopo: unknown machine %q (known: zoot, ig, igcluster)", name)
+	}
+}

@@ -1,0 +1,108 @@
+package hwtopo
+
+import "fmt"
+
+// Cluster support: the paper's §VI extension plan — "extend the
+// information provided by the HWLOC software to include a view of the
+// global process placement, taking into account a simplified view of the
+// network infrastructure". A cluster is a containment tree above machines:
+//
+//	Cluster → Switch × S → Machine × M → (the usual node tree)
+//
+// which extends the distance scale: same switch, different machines → 7;
+// different switches → 8 (package distance).
+
+// ClusterSpec parameterizes a multi-node cluster built from identical
+// nodes.
+type ClusterSpec struct {
+	Name            string
+	Switches        int
+	NodesPerSwitch  int
+	TrunkedSwitches bool // reserved: switches share one trunk either way
+	Node            Spec // per-node hardware (OSNumbering applies per node)
+}
+
+// BuildCluster constructs a cluster topology. Core OS indices are made
+// globally unique by offsetting each node's indices.
+func BuildCluster(spec ClusterSpec) (*Topology, error) {
+	if spec.Switches <= 0 || spec.NodesPerSwitch <= 0 {
+		return nil, fmt.Errorf("hwtopo: invalid cluster spec %+v", spec)
+	}
+	root := &Object{Kind: KindCluster}
+	nodeIdx := 0
+	for sw := 0; sw < spec.Switches; sw++ {
+		swObj := &Object{Kind: KindSwitch}
+		root.Children = append(root.Children, swObj)
+		for nd := 0; nd < spec.NodesPerSwitch; nd++ {
+			nodeSpec := spec.Node
+			nodeSpec.Name = fmt.Sprintf("%s-node%d", spec.Name, nodeIdx)
+			node, err := Build(nodeSpec)
+			if err != nil {
+				return nil, fmt.Errorf("hwtopo: building cluster node %d: %w", nodeIdx, err)
+			}
+			// Offset OS ids to keep them globally unique.
+			base := nodeIdx * node.NumCores()
+			for _, c := range node.Cores() {
+				c.OSIndex += base
+			}
+			swObj.Children = append(swObj.Children, node.Root)
+			nodeIdx++
+		}
+	}
+	return Finalize(spec.Name, root)
+}
+
+// NewIGCluster builds the multi-node evaluation platform of the §VI
+// extension experiments: 2 switches × 2 nodes, each node an "IG-lite"
+// (2 sockets × 6 cores, NUMA per socket) — 48 cores total, matching the
+// single-node experiments' job size.
+func NewIGCluster() *Topology {
+	t, err := BuildCluster(ClusterSpec{
+		Name:           "igcluster",
+		Switches:       2,
+		NodesPerSwitch: 2,
+		Node: Spec{
+			Name:             "iglite",
+			Boards:           1,
+			SocketsPerBoard:  2,
+			DiesPerSocket:    1,
+			CoresPerDie:      6,
+			SharedCacheLevel: 3,
+			SharedCacheSize:  5 << 20,
+			PrivateL2:        512 << 10,
+			PrivateL1:        64 << 10,
+			NUMAPerSocket:    true,
+			MemPerNUMA:       16 << 30,
+			OSNumbering:      OSPhysical,
+		},
+	})
+	if err != nil {
+		panic("hwtopo: igcluster spec invalid: " + err.Error())
+	}
+	return t
+}
+
+// SameMachine reports whether two cores are on the same node (always true
+// on single-node topologies).
+func SameMachine(a, b *Object) bool {
+	ma, mb := a.AncestorOfKind(KindMachine), b.AncestorOfKind(KindMachine)
+	return ma != nil && ma == mb
+}
+
+// SameSwitch reports whether two cores' machines hang off the same network
+// switch (true on single-node topologies, which have no switches).
+func SameSwitch(a, b *Object) bool {
+	sa, sb := a.AncestorOfKind(KindSwitch), b.AncestorOfKind(KindSwitch)
+	if sa == nil && sb == nil {
+		return CommonAncestor(a, b) != nil
+	}
+	return sa != nil && sa == sb
+}
+
+// MachineOf returns the machine containing a core (nil only for malformed
+// trees).
+func MachineOf(c *Object) *Object { return c.AncestorOfKind(KindMachine) }
+
+// SwitchOf returns the switch above a core's machine, or nil on
+// single-node topologies.
+func SwitchOf(c *Object) *Object { return c.AncestorOfKind(KindSwitch) }

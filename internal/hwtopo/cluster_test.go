@@ -1,0 +1,131 @@
+package hwtopo
+
+import (
+	"strings"
+	"testing"
+)
+
+// miniNodeSpec is a small NUMA node: 2 sockets × 4 cores, NUMA per socket.
+func miniNodeSpec() Spec {
+	return Spec{
+		Name:             "mini",
+		Boards:           1,
+		SocketsPerBoard:  2,
+		DiesPerSocket:    1,
+		CoresPerDie:      4,
+		SharedCacheLevel: 3,
+		SharedCacheSize:  4 << 20,
+		NUMAPerSocket:    true,
+		MemPerNUMA:       8 << 30,
+		OSNumbering:      OSPhysical,
+	}
+}
+
+func TestBuildClusterShape(t *testing.T) {
+	c, err := BuildCluster(ClusterSpec{
+		Name: "testcluster", Switches: 2, NodesPerSwitch: 2, Node: miniNodeSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NumCores(); got != 32 {
+		t.Fatalf("cores = %d, want 32", got)
+	}
+	if got := len(c.ObjectsOfKind(KindMachine)); got != 4 {
+		t.Errorf("machines = %d, want 4", got)
+	}
+	if got := len(c.ObjectsOfKind(KindSwitch)); got != 2 {
+		t.Errorf("switches = %d, want 2", got)
+	}
+	if got := len(c.ObjectsOfKind(KindNUMANode)); got != 8 {
+		t.Errorf("NUMA nodes = %d, want 8", got)
+	}
+	// OS ids are globally unique and node-offset.
+	seen := make(map[int]bool)
+	for _, core := range c.Cores() {
+		if seen[core.OSIndex] {
+			t.Fatalf("duplicate OS id %d", core.OSIndex)
+		}
+		seen[core.OSIndex] = true
+	}
+}
+
+func TestClusterMachineAndSwitchPredicates(t *testing.T) {
+	c, err := BuildCluster(ClusterSpec{
+		Name: "testcluster", Switches: 2, NodesPerSwitch: 2, Node: miniNodeSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 cores per machine: cores 0–7 machine 0, 8–15 machine 1 (switch 0),
+	// 16–23 machine 2, 24–31 machine 3 (switch 1).
+	if !SameMachine(c.Core(0), c.Core(7)) {
+		t.Error("cores 0,7 should share a machine")
+	}
+	if SameMachine(c.Core(7), c.Core(8)) {
+		t.Error("cores 7,8 are on different machines")
+	}
+	if !SameSwitch(c.Core(0), c.Core(15)) {
+		t.Error("cores 0,15 should share switch 0")
+	}
+	if SameSwitch(c.Core(15), c.Core(16)) {
+		t.Error("cores 15,16 are on different switches")
+	}
+	// SameBoard must not leak across machines (both nodes are single-board).
+	if SameBoard(c.Core(0), c.Core(8)) {
+		t.Error("SameBoard true across machines")
+	}
+	if !SameBoard(c.Core(0), c.Core(7)) {
+		t.Error("SameBoard false within a single-board machine")
+	}
+}
+
+func TestBuildClusterErrors(t *testing.T) {
+	if _, err := BuildCluster(ClusterSpec{Switches: 0, NodesPerSwitch: 2, Node: miniNodeSpec()}); err == nil {
+		t.Error("zero switches accepted")
+	}
+	bad := miniNodeSpec()
+	bad.CoresPerDie = 0
+	if _, err := BuildCluster(ClusterSpec{Name: "x", Switches: 1, NodesPerSwitch: 1, Node: bad}); err == nil {
+		t.Error("invalid node spec accepted")
+	}
+}
+
+func TestSingleNodePredicatesUnchanged(t *testing.T) {
+	ig := NewIG()
+	if !SameMachine(ig.Core(0), ig.Core(47)) {
+		t.Error("single-node machine predicate broken")
+	}
+	if !SameSwitch(ig.Core(0), ig.Core(47)) {
+		t.Error("single-node switch predicate broken")
+	}
+}
+
+func FuzzReadJSON(f *testing.F) {
+	// Seed with valid topologies and malformed variants; the loader must
+	// never panic and must re-validate whatever it accepts.
+	var zoot strings.Builder
+	if err := NewZoot().WriteJSON(&zoot); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(zoot.String())
+	f.Add(`{"name":"x","root":{"kind":"Machine","memory_controller":true,"children":[{"kind":"Socket","children":[{"kind":"Core"}]}]}}`)
+	f.Add(`{"name":"x","root":{"kind":"Gadget"}}`)
+	f.Add(`{}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, src string) {
+		topo, err := ReadJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent.
+		if topo.NumCores() < 1 {
+			t.Fatalf("accepted topology with %d cores", topo.NumCores())
+		}
+		for i := 0; i < topo.NumCores(); i++ {
+			if MemoryControllerOf(topo.Core(i)) == nil {
+				t.Fatalf("accepted core %d without memory controller", i)
+			}
+		}
+	})
+}

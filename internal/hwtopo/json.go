@@ -1,0 +1,91 @@
+package hwtopo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonObject is the wire form of an Object; parent links and derived
+// indices are reconstructed on load.
+type jsonObject struct {
+	Kind             string        `json:"kind"`
+	OSIndex          int           `json:"os_index,omitempty"`
+	CacheLevel       int           `json:"cache_level,omitempty"`
+	SizeBytes        int64         `json:"size_bytes,omitempty"`
+	MemoryController bool          `json:"memory_controller,omitempty"`
+	Children         []*jsonObject `json:"children,omitempty"`
+}
+
+type jsonTopology struct {
+	Name string      `json:"name"`
+	Root *jsonObject `json:"root"`
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+func toJSONObject(o *Object) *jsonObject {
+	j := &jsonObject{
+		Kind:             o.Kind.String(),
+		OSIndex:          o.OSIndex,
+		CacheLevel:       o.CacheLevel,
+		SizeBytes:        o.SizeBytes,
+		MemoryController: o.MemoryController,
+	}
+	for _, c := range o.Children {
+		j.Children = append(j.Children, toJSONObject(c))
+	}
+	return j
+}
+
+func fromJSONObject(j *jsonObject) (*Object, error) {
+	k, ok := kindByName[j.Kind]
+	if !ok {
+		return nil, fmt.Errorf("hwtopo: unknown object kind %q", j.Kind)
+	}
+	o := &Object{
+		Kind:             k,
+		OSIndex:          j.OSIndex,
+		CacheLevel:       j.CacheLevel,
+		SizeBytes:        j.SizeBytes,
+		MemoryController: j.MemoryController,
+	}
+	for _, c := range j.Children {
+		child, err := fromJSONObject(c)
+		if err != nil {
+			return nil, err
+		}
+		o.Children = append(o.Children, child)
+	}
+	return o, nil
+}
+
+// WriteJSON serializes the topology (indented) to w.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonTopology{Name: t.Name, Root: toJSONObject(t.Root)})
+}
+
+// ReadJSON loads a topology previously written with WriteJSON and
+// re-validates it.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var jt jsonTopology
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("hwtopo: decoding topology: %w", err)
+	}
+	if jt.Root == nil {
+		return nil, fmt.Errorf("hwtopo: topology %q has no root", jt.Name)
+	}
+	root, err := fromJSONObject(jt.Root)
+	if err != nil {
+		return nil, err
+	}
+	return Finalize(jt.Name, root)
+}

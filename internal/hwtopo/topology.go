@@ -1,0 +1,346 @@
+// Package hwtopo models the hardware topology of shared-memory compute
+// nodes: boards, NUMA nodes, sockets, dies, caches and cores arranged in a
+// containment tree. It is the stand-in for the hwloc library the paper's
+// framework builds on: the process-distance metric (package distance) and
+// the machine performance model (package machine) both consume this tree.
+//
+// A Topology is immutable once built. Builders for the paper's two
+// evaluation machines, Zoot and IG, are provided in builders.go, together
+// with a generic parameterized builder.
+package hwtopo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the hardware object a tree node represents.
+type Kind int
+
+// Object kinds, ordered roughly from outermost to innermost.
+const (
+	KindMachine Kind = iota
+	KindBoard
+	KindNUMANode
+	KindSocket
+	KindDie
+	KindCache
+	KindCore
+	// Cluster-level objects (the §VI multi-node extension).
+	KindCluster
+	KindSwitch
+)
+
+var kindNames = map[Kind]string{
+	KindMachine:  "Machine",
+	KindBoard:    "Board",
+	KindNUMANode: "NUMANode",
+	KindSocket:   "Socket",
+	KindDie:      "Die",
+	KindCache:    "Cache",
+	KindCore:     "Core",
+	KindCluster:  "Cluster",
+	KindSwitch:   "Switch",
+}
+
+// String returns the human-readable name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Object is one node of the hardware containment tree. Cores are always
+// leaves. Parent links are maintained by the builder.
+type Object struct {
+	Kind Kind
+
+	// Index is the logical index of this object among objects of the same
+	// kind, in depth-first order (e.g. Socket #0..#7, Core #0..#47).
+	Index int
+
+	// OSIndex is the operating-system processor identifier for cores. The
+	// OS may enumerate cores in a different order than the physical layout
+	// (on Zoot, consecutive OS ids hop across sockets); round-robin and
+	// user bindings are expressed in OS ids. Zero-valued for non-cores
+	// unless a builder sets it.
+	OSIndex int
+
+	// CacheLevel is the level (1, 2 or 3) for KindCache objects.
+	CacheLevel int
+
+	// SizeBytes is the cache capacity for caches and the local memory size
+	// for NUMA nodes and machines.
+	SizeBytes int64
+
+	// MemoryController marks objects that own a memory controller. On NUMA
+	// machines every NUMA node has one; on SMP front-side-bus machines a
+	// single controller hangs off the machine (northbridge).
+	MemoryController bool
+
+	Parent   *Object
+	Children []*Object
+
+	depth int // root = 0
+}
+
+// IsCache reports whether the object is a cache of any level.
+func (o *Object) IsCache() bool { return o.Kind == KindCache }
+
+// Depth returns the distance from the topology root (root = 0).
+func (o *Object) Depth() int { return o.depth }
+
+// Ancestors returns the chain from the object's parent up to the root.
+func (o *Object) Ancestors() []*Object {
+	var out []*Object
+	for p := o.Parent; p != nil; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// AncestorOfKind returns the nearest ancestor (possibly the object itself)
+// of the given kind, or nil.
+func (o *Object) AncestorOfKind(k Kind) *Object {
+	for p := o; p != nil; p = p.Parent {
+		if p.Kind == k {
+			return p
+		}
+	}
+	return nil
+}
+
+// String renders a short description, e.g. "Socket#3" or "L2#1 (4MB)".
+func (o *Object) String() string {
+	switch {
+	case o == nil:
+		return "<nil>"
+	case o.Kind == KindCache:
+		return fmt.Sprintf("L%d#%d", o.CacheLevel, o.Index)
+	case o.Kind == KindCore:
+		return fmt.Sprintf("Core#%d(os:%d)", o.Index, o.OSIndex)
+	default:
+		return fmt.Sprintf("%s#%d", o.Kind, o.Index)
+	}
+}
+
+// Topology is an immutable hardware tree plus fast lookup tables.
+type Topology struct {
+	// Name identifies the machine (e.g. "zoot", "ig").
+	Name string
+
+	Root *Object
+
+	cores    []*Object // by logical Index
+	coresOS  map[int]*Object
+	kindObjs map[Kind][]*Object
+}
+
+// Finalize validates a hand-built tree and computes the lookup tables.
+// Builders call this; external callers constructing custom trees must too.
+func Finalize(name string, root *Object) (*Topology, error) {
+	if root == nil {
+		return nil, fmt.Errorf("hwtopo: nil root")
+	}
+	t := &Topology{
+		Name:     name,
+		Root:     root,
+		coresOS:  make(map[int]*Object),
+		kindObjs: make(map[Kind][]*Object),
+	}
+	counters := make(map[Kind]int)
+	var walk func(o *Object, parent *Object, depth int) error
+	walk = func(o *Object, parent *Object, depth int) error {
+		if o == nil {
+			return fmt.Errorf("hwtopo: nil object in tree")
+		}
+		o.Parent = parent
+		o.depth = depth
+		o.Index = counters[o.Kind]
+		counters[o.Kind]++
+		t.kindObjs[o.Kind] = append(t.kindObjs[o.Kind], o)
+		if o.Kind == KindCore {
+			if len(o.Children) != 0 {
+				return fmt.Errorf("hwtopo: core %v has children", o)
+			}
+			if _, dup := t.coresOS[o.OSIndex]; dup {
+				return fmt.Errorf("hwtopo: duplicate OS index %d", o.OSIndex)
+			}
+			t.cores = append(t.cores, o)
+			t.coresOS[o.OSIndex] = o
+		}
+		for _, c := range o.Children {
+			if err := walk(c, o, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, nil, 0); err != nil {
+		return nil, err
+	}
+	if len(t.cores) == 0 {
+		return nil, fmt.Errorf("hwtopo: topology %q has no cores", name)
+	}
+	if len(t.ObjectsOfKind(KindSocket)) == 0 {
+		return nil, fmt.Errorf("hwtopo: topology %q has no sockets", name)
+	}
+	if !t.hasMemoryController() {
+		return nil, fmt.Errorf("hwtopo: topology %q has no memory controller", name)
+	}
+	return t, nil
+}
+
+func (t *Topology) hasMemoryController() bool {
+	for _, objs := range t.kindObjs {
+		for _, o := range objs {
+			if o.MemoryController {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NumCores returns the number of cores (leaves).
+func (t *Topology) NumCores() int { return len(t.cores) }
+
+// Cores returns the cores in logical (depth-first physical) order. The
+// returned slice must not be modified.
+func (t *Topology) Cores() []*Object { return t.cores }
+
+// Core returns the core with the given logical index, or nil.
+func (t *Topology) Core(index int) *Object {
+	if index < 0 || index >= len(t.cores) {
+		return nil
+	}
+	return t.cores[index]
+}
+
+// CoreByOS returns the core with the given OS processor id, or nil.
+func (t *Topology) CoreByOS(osIndex int) *Object { return t.coresOS[osIndex] }
+
+// ObjectsOfKind returns all objects of a kind in depth-first order.
+func (t *Topology) ObjectsOfKind(k Kind) []*Object { return t.kindObjs[k] }
+
+// OSOrder returns the logical core indices sorted by OS processor id; this
+// is the enumeration a round-robin ("-binding rr") placement follows.
+func (t *Topology) OSOrder() []int {
+	idx := make([]int, len(t.cores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return t.cores[idx[a]].OSIndex < t.cores[idx[b]].OSIndex
+	})
+	return idx
+}
+
+// CommonAncestor returns the deepest object containing both a and b
+// (possibly one of them). It is nil only if the objects belong to
+// different trees.
+func CommonAncestor(a, b *Object) *Object {
+	for a != nil && b != nil {
+		for a.depth > b.depth {
+			a = a.Parent
+		}
+		for b.depth > a.depth {
+			b = b.Parent
+		}
+		if a == b {
+			return a
+		}
+		a, b = a.Parent, b.Parent
+	}
+	return nil
+}
+
+// SharedCache returns the innermost cache shared by both cores, or nil.
+// Any shared level (L1/L2/L3) counts, per the paper's distance factor (1).
+func SharedCache(a, b *Object) *Object {
+	ca := CommonAncestor(a, b)
+	for p := ca; p != nil; p = p.Parent {
+		if p.IsCache() {
+			return p
+		}
+	}
+	return nil
+}
+
+// SameSocket reports whether two cores sit on the same physical socket
+// (the paper's distance factor (2)).
+func SameSocket(a, b *Object) bool {
+	sa, sb := a.AncestorOfKind(KindSocket), b.AncestorOfKind(KindSocket)
+	return sa != nil && sa == sb
+}
+
+// MemoryControllerOf returns the object owning the memory controller
+// serving the core: the nearest ancestor marked MemoryController.
+func MemoryControllerOf(c *Object) *Object {
+	for p := c; p != nil; p = p.Parent {
+		if p.MemoryController {
+			return p
+		}
+	}
+	return nil
+}
+
+// SameMemoryController reports whether two cores share a memory controller
+// (the paper's distance factor (3)).
+func SameMemoryController(a, b *Object) bool {
+	ma, mb := MemoryControllerOf(a), MemoryControllerOf(b)
+	return ma != nil && ma == mb
+}
+
+// SameBoard reports whether two cores are on the same physical board (the
+// paper's distance factor (4)). Machines without explicit board objects
+// are single-board: cores on the same machine share it.
+func SameBoard(a, b *Object) bool {
+	ba, bb := a.AncestorOfKind(KindBoard), b.AncestorOfKind(KindBoard)
+	if ba == nil && bb == nil {
+		return SameMachine(a, b) // one implicit board per machine
+	}
+	return ba != nil && ba == bb
+}
+
+// NUMANodeOf returns the NUMA node containing the core, or nil on UMA
+// machines.
+func NUMANodeOf(c *Object) *Object { return c.AncestorOfKind(KindNUMANode) }
+
+// Render returns an lstopo-style indented description of the tree.
+func (t *Topology) Render() string {
+	var b strings.Builder
+	var walk func(o *Object, indent int)
+	walk = func(o *Object, indent int) {
+		b.WriteString(strings.Repeat("  ", indent))
+		b.WriteString(o.String())
+		if o.SizeBytes > 0 {
+			fmt.Fprintf(&b, " (%s)", FormatBytes(o.SizeBytes))
+		}
+		if o.MemoryController {
+			b.WriteString(" [MC]")
+		}
+		b.WriteByte('\n')
+		for _, c := range o.Children {
+			walk(c, indent+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// FormatBytes renders a byte count with binary units (4MB, 16GB, 512B).
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

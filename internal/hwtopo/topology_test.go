@@ -1,0 +1,334 @@
+package hwtopo
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZootShape(t *testing.T) {
+	z := NewZoot()
+	if got := z.NumCores(); got != 16 {
+		t.Fatalf("zoot cores = %d, want 16", got)
+	}
+	if got := len(z.ObjectsOfKind(KindSocket)); got != 4 {
+		t.Errorf("zoot sockets = %d, want 4", got)
+	}
+	if got := len(z.ObjectsOfKind(KindDie)); got != 8 {
+		t.Errorf("zoot dies = %d, want 8", got)
+	}
+	if got := len(z.ObjectsOfKind(KindCache)); got != 8 {
+		t.Errorf("zoot caches = %d, want 8 shared L2", got)
+	}
+	if got := len(z.ObjectsOfKind(KindBoard)); got != 0 {
+		t.Errorf("zoot boards = %d, want 0 (implicit single board)", got)
+	}
+	if got := len(z.ObjectsOfKind(KindNUMANode)); got != 0 {
+		t.Errorf("zoot NUMA nodes = %d, want 0 (UMA)", got)
+	}
+	if !z.Root.MemoryController {
+		t.Errorf("zoot machine should own the single memory controller")
+	}
+	for _, c := range z.Cores() {
+		if mc := MemoryControllerOf(c); mc != z.Root {
+			t.Fatalf("core %v memory controller = %v, want machine", c, mc)
+		}
+	}
+}
+
+func TestZootOSNumberingRoundRobin(t *testing.T) {
+	z := NewZoot()
+	// OS id k must land on socket k mod 4: consecutive OS ids hop sockets.
+	for k := 0; k < 16; k++ {
+		core := z.CoreByOS(k)
+		if core == nil {
+			t.Fatalf("no core with OS id %d", k)
+		}
+		socket := core.AncestorOfKind(KindSocket)
+		if socket.Index != k%4 {
+			t.Errorf("OS id %d on socket %d, want %d", k, socket.Index, k%4)
+		}
+	}
+	// Logical order packs sockets: cores 0..3 all on socket 0.
+	for i := 0; i < 4; i++ {
+		if s := z.Core(i).AncestorOfKind(KindSocket).Index; s != 0 {
+			t.Errorf("logical core %d on socket %d, want 0", i, s)
+		}
+	}
+}
+
+func TestZootCacheSharing(t *testing.T) {
+	z := NewZoot()
+	if SharedCache(z.Core(0), z.Core(1)) == nil {
+		t.Errorf("cores 0,1 should share a die L2")
+	}
+	if got := SharedCache(z.Core(0), z.Core(2)); got != nil {
+		t.Errorf("cores 0,2 (different dies) share %v, want none", got)
+	}
+	if !SameSocket(z.Core(0), z.Core(3)) {
+		t.Errorf("cores 0,3 should be on the same socket")
+	}
+	if SameSocket(z.Core(3), z.Core(4)) {
+		t.Errorf("cores 3,4 should be on different sockets")
+	}
+	if !SameMemoryController(z.Core(0), z.Core(15)) {
+		t.Errorf("all zoot cores share the single northbridge controller")
+	}
+	if !SameBoard(z.Core(0), z.Core(15)) {
+		t.Errorf("all zoot cores are on one (implicit) board")
+	}
+}
+
+func TestIGShape(t *testing.T) {
+	ig := NewIG()
+	if got := ig.NumCores(); got != 48 {
+		t.Fatalf("ig cores = %d, want 48", got)
+	}
+	if got := len(ig.ObjectsOfKind(KindBoard)); got != 2 {
+		t.Errorf("ig boards = %d, want 2", got)
+	}
+	if got := len(ig.ObjectsOfKind(KindNUMANode)); got != 8 {
+		t.Errorf("ig NUMA nodes = %d, want 8", got)
+	}
+	if got := len(ig.ObjectsOfKind(KindSocket)); got != 8 {
+		t.Errorf("ig sockets = %d, want 8", got)
+	}
+	var l3s int
+	for _, c := range ig.ObjectsOfKind(KindCache) {
+		if c.CacheLevel == 3 {
+			l3s++
+			if got := len(c.Children); got != 6 {
+				t.Errorf("L3 #%d has %d children, want 6 cores", c.Index, got)
+			}
+		}
+	}
+	if l3s != 8 {
+		t.Errorf("ig L3 caches = %d, want 8", l3s)
+	}
+	for _, n := range ig.ObjectsOfKind(KindNUMANode) {
+		if !n.MemoryController {
+			t.Errorf("NUMA node %v should own a memory controller", n)
+		}
+		if n.SizeBytes != 16<<30 {
+			t.Errorf("NUMA node %v memory = %d, want 16GB", n, n.SizeBytes)
+		}
+	}
+}
+
+func TestIGPaperDistanceFactors(t *testing.T) {
+	ig := NewIG()
+	// Paper: core#0 and core#12 are on different NUMA nodes/sockets but the
+	// same board; core#0 and core#24 are on different boards.
+	c0, c12, c24 := ig.Core(0), ig.Core(12), ig.Core(24)
+	if SameSocket(c0, c12) {
+		t.Errorf("cores 0,12 should be on different sockets")
+	}
+	if SameMemoryController(c0, c12) {
+		t.Errorf("cores 0,12 should use different memory controllers")
+	}
+	if !SameBoard(c0, c12) {
+		t.Errorf("cores 0,12 should share a board")
+	}
+	if SameBoard(c0, c24) {
+		t.Errorf("cores 0,24 should be on different boards")
+	}
+	if SharedCache(c0, ig.Core(5)) == nil {
+		t.Errorf("cores 0,5 should share the socket L3")
+	}
+	if SharedCache(c0, ig.Core(6)) != nil {
+		t.Errorf("cores 0,6 are on different sockets, no shared cache")
+	}
+}
+
+func TestIGOSNumberingPhysical(t *testing.T) {
+	ig := NewIG()
+	for i := 0; i < 48; i++ {
+		if ig.Core(i).OSIndex != i {
+			t.Fatalf("ig core %d OS id = %d, want %d", i, ig.Core(i).OSIndex, i)
+		}
+	}
+	order := ig.OSOrder()
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("ig OS order[%d] = %d, want identity", i, idx)
+		}
+	}
+}
+
+func TestZootOSOrder(t *testing.T) {
+	z := NewZoot()
+	order := z.OSOrder()
+	if len(order) != 16 {
+		t.Fatalf("OS order length = %d", len(order))
+	}
+	// OS id 0 is logical core 0 (socket 0 slot 0); OS id 1 is the first
+	// core of socket 1, which is logical core 4.
+	if order[0] != 0 || order[1] != 4 {
+		t.Errorf("OS order starts %v, want [0 4 ...]", order[:2])
+	}
+	seen := make(map[int]bool)
+	for _, idx := range order {
+		if seen[idx] {
+			t.Fatalf("OS order repeats core %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestCommonAncestorProperties(t *testing.T) {
+	ig := NewIG()
+	n := ig.NumCores()
+	rng := rand.New(rand.NewSource(7))
+	contains := func(anc, o *Object) bool {
+		for p := o; p != nil; p = p.Parent {
+			if p == anc {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 200; i++ {
+		a, b := ig.Core(rng.Intn(n)), ig.Core(rng.Intn(n))
+		ca := CommonAncestor(a, b)
+		if ca == nil {
+			t.Fatalf("CommonAncestor(%v,%v) = nil", a, b)
+		}
+		if ca != CommonAncestor(b, a) {
+			t.Fatalf("CommonAncestor not symmetric for %v,%v", a, b)
+		}
+		if !contains(ca, a) || !contains(ca, b) {
+			t.Fatalf("CommonAncestor(%v,%v)=%v does not contain both", a, b, ca)
+		}
+		if a == b && ca != a {
+			t.Fatalf("CommonAncestor(x,x) = %v, want x", ca)
+		}
+	}
+}
+
+func TestSharedCacheSymmetric(t *testing.T) {
+	z := NewZoot()
+	f := func(a, b uint8) bool {
+		ca, cb := z.Core(int(a)%16), z.Core(int(b)%16)
+		return SharedCache(ca, cb) == SharedCache(cb, ca)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRejectsInvalidSpec(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Name: "x", Boards: 1, SocketsPerBoard: 0, DiesPerSocket: 1, CoresPerDie: 1},
+		{Name: "x", Boards: -1, SocketsPerBoard: 2, DiesPerSocket: 1, CoresPerDie: 1},
+		{Name: "x", Boards: 1, SocketsPerBoard: 2, DiesPerSocket: 1, CoresPerDie: 0},
+	}
+	for _, s := range bad {
+		if _, err := Build(s); err == nil {
+			t.Errorf("Build(%+v) succeeded, want error", s)
+		}
+	}
+}
+
+func TestBuildRequiresMemoryController(t *testing.T) {
+	// A hand-built tree without any MC must be rejected.
+	root := &Object{Kind: KindMachine, Children: []*Object{
+		{Kind: KindSocket, Children: []*Object{{Kind: KindCore}}},
+	}}
+	if _, err := Finalize("nomc", root); err == nil {
+		t.Fatal("Finalize accepted a topology without memory controller")
+	}
+}
+
+func TestFinalizeRejectsDuplicateOSIndex(t *testing.T) {
+	root := &Object{Kind: KindMachine, MemoryController: true, Children: []*Object{
+		{Kind: KindSocket, Children: []*Object{
+			{Kind: KindCore, OSIndex: 3},
+			{Kind: KindCore, OSIndex: 3},
+		}},
+	}}
+	if _, err := Finalize("dup", root); err == nil {
+		t.Fatal("Finalize accepted duplicate OS indices")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, mk := range []func() *Topology{NewZoot, NewIG} {
+		orig := mk()
+		var buf bytes.Buffer
+		if err := orig.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: WriteJSON: %v", orig.Name, err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: ReadJSON: %v", orig.Name, err)
+		}
+		if got.Name != orig.Name {
+			t.Errorf("name = %q, want %q", got.Name, orig.Name)
+		}
+		if got.NumCores() != orig.NumCores() {
+			t.Errorf("%s: cores = %d, want %d", orig.Name, got.NumCores(), orig.NumCores())
+		}
+		if got.Render() != orig.Render() {
+			t.Errorf("%s: rendered topology differs after round trip:\n%s\nvs\n%s",
+				orig.Name, got.Render(), orig.Render())
+		}
+		for i := 0; i < orig.NumCores(); i++ {
+			if got.Core(i).OSIndex != orig.Core(i).OSIndex {
+				t.Fatalf("%s: core %d OS id mismatch", orig.Name, i)
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{"name":"x"}`,
+		`{"name":"x","root":{"kind":"Gadget"}}`,
+	}
+	for _, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadJSON(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRenderMentionsStructure(t *testing.T) {
+	r := NewIG().Render()
+	for _, want := range []string{"Machine", "Board#1", "NUMANode#7", "Socket#0", "L3#0", "Core#47", "[MC]", "16GB"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Render missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("zoot"); err != nil {
+		t.Errorf("ByName(zoot): %v", err)
+	}
+	if _, err := ByName("ig"); err != nil {
+		t.Errorf("ByName(ig): %v", err)
+	}
+	if _, err := ByName("cray"); err == nil {
+		t.Errorf("ByName(cray) succeeded, want error")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:        "512B",
+		4 << 10:    "4KB",
+		5118 << 10: "5118KB",
+		4 << 20:    "4MB",
+		16 << 30:   "16GB",
+		1000:       "1000B",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

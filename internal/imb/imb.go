@@ -1,0 +1,159 @@
+// Package imb reproduces the measurement protocol of the Intel MPI
+// Benchmarks (IMB-3.2) used in the paper's evaluation: message-size sweeps
+// from 512 B to 8 MB, per-size timings converted to MBytes/s, and tabular
+// reporting of one series per (algorithm, binding) configuration.
+//
+// Bandwidth metrics follow the aggregate convention the paper's plots use:
+// a broadcast delivers (P−1)·size bytes, an allgather P·(P−1)·size bytes.
+package imb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MB is the megabyte used for MB/s reporting (decimal, like the paper).
+const MB = 1e6
+
+// StandardSizes returns the paper's sweep: 512 B … 8 MB in powers of two
+// (Figs. 2, 6, 7).
+func StandardSizes() []int64 {
+	var out []int64
+	for s := int64(512); s <= 8<<20; s <<= 1 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// LargeSizes returns the Fig. 8 sweep: 32 KB … 8 MB.
+func LargeSizes() []int64 {
+	var out []int64
+	for s := int64(32 << 10); s <= 8<<20; s <<= 1 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// FormatSize renders a message size the way the paper's axes do (512,
+// 1K … 8M).
+func FormatSize(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// BcastBandwidth converts a broadcast completion time to aggregate MB/s.
+func BcastBandwidth(p int, size int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(p-1) * float64(size) / seconds / MB
+}
+
+// AllgatherBandwidth converts an allgather completion time (size bytes
+// contributed per process) to aggregate MB/s.
+func AllgatherBandwidth(p int, size int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(p) * float64(p-1) * float64(size) / seconds / MB
+}
+
+// Point is one measurement.
+type Point struct {
+	Size    int64
+	Seconds float64
+	MBps    float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// At returns the point for a size, or false.
+func (s *Series) At(size int64) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Size == size {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Runner produces the completion time in seconds for one message size.
+type Runner func(size int64) (float64, error)
+
+// Sweep measures one series over the sizes; toMBps converts each timing.
+func Sweep(label string, sizes []int64, run Runner, toMBps func(size int64, seconds float64) float64) (Series, error) {
+	out := Series{Label: label}
+	for _, size := range sizes {
+		sec, err := run(size)
+		if err != nil {
+			return Series{}, fmt.Errorf("imb: %s at %s: %w", label, FormatSize(size), err)
+		}
+		out.Points = append(out.Points, Point{Size: size, Seconds: sec, MBps: toMBps(size, sec)})
+	}
+	return out, nil
+}
+
+// WriteTable renders series side by side, one row per message size, in
+// MB/s — the textual equivalent of one paper figure.
+func WriteTable(w io.Writer, title string, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("imb: no series")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%-10s", "msgsize")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %24s", s.Label)
+	}
+	b.WriteByte('\n')
+	for i, p := range series[0].Points {
+		fmt.Fprintf(&b, "%-10s", FormatSize(p.Size))
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " %24.1f", s.Points[i].MBps)
+			} else {
+				fmt.Fprintf(&b, " %24s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders series as CSV (size in bytes, MB/s per series).
+func WriteCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("imb: no series")
+	}
+	var b strings.Builder
+	b.WriteString("msgsize")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for i, p := range series[0].Points {
+		fmt.Fprintf(&b, "%d", p.Size)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, ",%.2f", s.Points[i].MBps)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

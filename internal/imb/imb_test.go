@@ -1,0 +1,115 @@
+package imb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestStandardSizes(t *testing.T) {
+	sizes := StandardSizes()
+	if sizes[0] != 512 || sizes[len(sizes)-1] != 8<<20 {
+		t.Fatalf("sweep bounds = %d..%d", sizes[0], sizes[len(sizes)-1])
+	}
+	if len(sizes) != 15 {
+		t.Fatalf("sweep has %d sizes, want 15 (512B..8MB)", len(sizes))
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != 2*sizes[i-1] {
+			t.Fatalf("sizes not doubling at %d", i)
+		}
+	}
+	large := LargeSizes()
+	if large[0] != 32<<10 || large[len(large)-1] != 8<<20 || len(large) != 9 {
+		t.Fatalf("large sweep = %v", large)
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[int64]string{512: "512", 1 << 10: "1K", 256 << 10: "256K", 8 << 20: "8M", 1000: "1000"}
+	for in, want := range cases {
+		if got := FormatSize(in); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBandwidthMetrics(t *testing.T) {
+	// Broadcast: 16 procs, 1 MB (decimal) in 1 s → 15 MB/s aggregate.
+	if got := BcastBandwidth(16, 1e6, 1.0); got != 15 {
+		t.Errorf("BcastBandwidth = %g, want 15", got)
+	}
+	// Allgather: 4 procs, 1 MB blocks in 1 s → 12 MB/s.
+	if got := AllgatherBandwidth(4, 1e6, 1.0); got != 12 {
+		t.Errorf("AllgatherBandwidth = %g, want 12", got)
+	}
+	if BcastBandwidth(16, 1024, 0) != 0 || AllgatherBandwidth(4, 1024, -1) != 0 {
+		t.Error("non-positive time should yield 0")
+	}
+}
+
+func TestSweepAndAt(t *testing.T) {
+	s, err := Sweep("x", []int64{512, 1024},
+		func(size int64) (float64, error) { return float64(size) / 1e9, nil },
+		func(size int64, sec float64) float64 { return BcastBandwidth(2, size, sec) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 || s.Label != "x" {
+		t.Fatalf("series = %+v", s)
+	}
+	p, ok := s.At(1024)
+	if !ok || p.Seconds != 1024/1e9 {
+		t.Fatalf("At(1024) = %+v, %v", p, ok)
+	}
+	if _, ok := s.At(999); ok {
+		t.Error("At(999) found a phantom point")
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Sweep("x", []int64{512},
+		func(size int64) (float64, error) { return 0, boom },
+		func(size int64, sec float64) float64 { return 0 })
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	series := []Series{
+		{Label: "a", Points: []Point{{Size: 512, MBps: 10.5}, {Size: 1024, MBps: 20}}},
+		{Label: "b", Points: []Point{{Size: 512, MBps: 5}, {Size: 1024, MBps: 9}}},
+	}
+	var tb strings.Builder
+	if err := WriteTable(&tb, "demo", series); err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"# demo", "msgsize", "a", "b", "512", "1K", "10.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var cb strings.Builder
+	if err := WriteCSV(&cb, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "msgsize,a,b" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "512,10.50,5.00") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+	if err := WriteTable(&tb, "none", nil); err == nil {
+		t.Error("empty series accepted by WriteTable")
+	}
+	if err := WriteCSV(&cb, nil); err == nil {
+		t.Error("empty series accepted by WriteCSV")
+	}
+}

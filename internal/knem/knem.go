@@ -1,0 +1,117 @@
+// Package knem emulates the KNEM kernel module's user-visible semantics:
+// a process declares a memory region and receives an opaque *cookie*; any
+// other process holding the cookie can then move bytes between that region
+// and its own memory in a single copy, without the owner's involvement —
+// the receiver-driven RMA-style pull the paper's KNEM collectives build
+// on.
+//
+// The emulation is a process-shared device (one per mini-MPI world).
+// Regions are real byte slices; copies are real memcpys. Cookie lifetime
+// follows the module's rules: a region can be declared once, used many
+// times, and destroyed by its owner, after which the cookie is invalid.
+// The device is safe for concurrent use by many goroutine-processes.
+package knem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Cookie identifies a declared region. The zero Cookie is never valid.
+type Cookie uint64
+
+// Device is one node's KNEM pseudo-device.
+type Device struct {
+	mu      sync.RWMutex
+	regions map[Cookie]*region
+	next    atomic.Uint64
+
+	copies  atomic.Int64 // completed copy operations
+	declare atomic.Int64 // completed region declarations
+}
+
+type region struct {
+	owner int
+	buf   []byte
+}
+
+// NewDevice creates an empty device.
+func NewDevice() *Device {
+	return &Device{regions: make(map[Cookie]*region)}
+}
+
+// Declare registers buf as a region owned by rank and returns its cookie.
+// The buffer is aliased, not copied: later writes by the owner are visible
+// to subsequent Copy calls, exactly like the kernel pinning user pages.
+func (d *Device) Declare(owner int, buf []byte) Cookie {
+	c := Cookie(d.next.Add(1))
+	d.mu.Lock()
+	d.regions[c] = &region{owner: owner, buf: buf}
+	d.mu.Unlock()
+	d.declare.Add(1)
+	return c
+}
+
+// Destroy invalidates a cookie. Only the owner may destroy its region.
+func (d *Device) Destroy(owner int, c Cookie) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.regions[c]
+	if !ok {
+		return fmt.Errorf("knem: destroy of invalid cookie %d", c)
+	}
+	if r.owner != owner {
+		return fmt.Errorf("knem: rank %d cannot destroy cookie %d owned by rank %d", owner, c, r.owner)
+	}
+	delete(d.regions, c)
+	return nil
+}
+
+// CopyFrom pulls bytes out of the region at the given offset into dst
+// (inline get — the common pull direction of the paper's collectives).
+func (d *Device) CopyFrom(c Cookie, offset int64, dst []byte) error {
+	r, err := d.lookup(c, offset, int64(len(dst)))
+	if err != nil {
+		return err
+	}
+	copy(dst, r.buf[offset:offset+int64(len(dst))])
+	d.copies.Add(1)
+	return nil
+}
+
+// CopyTo pushes src into the region at the given offset (inline put).
+func (d *Device) CopyTo(c Cookie, offset int64, src []byte) error {
+	r, err := d.lookup(c, offset, int64(len(src)))
+	if err != nil {
+		return err
+	}
+	copy(r.buf[offset:offset+int64(len(src))], src)
+	d.copies.Add(1)
+	return nil
+}
+
+func (d *Device) lookup(c Cookie, offset, n int64) (*region, error) {
+	if n < 0 || offset < 0 {
+		return nil, fmt.Errorf("knem: negative range (off=%d, len=%d)", offset, n)
+	}
+	d.mu.RLock()
+	r, ok := d.regions[c]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("knem: invalid cookie %d", c)
+	}
+	if offset+n > int64(len(r.buf)) {
+		return nil, fmt.Errorf("knem: range [%d,%d) exceeds region of %d bytes", offset, offset+n, len(r.buf))
+	}
+	return r, nil
+}
+
+// Stats reports lifetime counters: declared regions, live regions and
+// completed copies.
+func (d *Device) Stats() (declared, live int64, copies int64) {
+	d.mu.RLock()
+	liveN := len(d.regions)
+	d.mu.RUnlock()
+	return d.declare.Load(), int64(liveN), d.copies.Load()
+}

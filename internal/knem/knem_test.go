@@ -1,0 +1,148 @@
+package knem
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestDeclareCopyDestroy(t *testing.T) {
+	d := NewDevice()
+	buf := []byte("hello knem region")
+	c := d.Declare(0, buf)
+	out := make([]byte, 5)
+	if err := d.CopyFrom(c, 6, out); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "knem " {
+		t.Fatalf("CopyFrom = %q", out)
+	}
+	if err := d.CopyTo(c, 0, []byte("HELLO")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, []byte("HELLO")) {
+		t.Fatalf("CopyTo did not write through: %q", buf)
+	}
+	if err := d.Destroy(0, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyFrom(c, 0, out); err == nil {
+		t.Fatal("copy from destroyed cookie succeeded")
+	}
+	declared, live, copies := d.Stats()
+	if declared != 1 || live != 0 || copies != 2 {
+		t.Fatalf("stats = %d declared, %d live, %d copies", declared, live, copies)
+	}
+}
+
+func TestRegionAliasesOwnerBuffer(t *testing.T) {
+	// The kernel pins pages: writes by the owner after Declare are seen by
+	// later pulls — the property the pipelined broadcast relies on.
+	d := NewDevice()
+	buf := make([]byte, 8)
+	c := d.Declare(3, buf)
+	copy(buf, "fresh!!!")
+	out := make([]byte, 8)
+	if err := d.CopyFrom(c, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "fresh!!!" {
+		t.Fatalf("pull saw stale data: %q", out)
+	}
+}
+
+func TestBoundsAndOwnership(t *testing.T) {
+	d := NewDevice()
+	c := d.Declare(1, make([]byte, 16))
+	if err := d.CopyFrom(c, 10, make([]byte, 8)); err == nil {
+		t.Error("overrun read accepted")
+	}
+	if err := d.CopyTo(c, -1, make([]byte, 2)); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := d.CopyFrom(Cookie(999), 0, make([]byte, 1)); err == nil {
+		t.Error("bogus cookie accepted")
+	}
+	if err := d.Destroy(2, c); err == nil {
+		t.Error("foreign destroy accepted")
+	}
+	if err := d.Destroy(1, c); err != nil {
+		t.Error(err)
+	}
+	if err := d.Destroy(1, c); err == nil {
+		t.Error("double destroy accepted")
+	}
+}
+
+func TestZeroLengthCopies(t *testing.T) {
+	d := NewDevice()
+	c := d.Declare(0, make([]byte, 4))
+	if err := d.CopyFrom(c, 4, nil); err != nil {
+		t.Errorf("zero-length read at end: %v", err)
+	}
+	if err := d.CopyTo(c, 0, nil); err != nil {
+		t.Errorf("zero-length write: %v", err)
+	}
+}
+
+func TestConcurrentPulls(t *testing.T) {
+	// Many goroutine-processes pulling disjoint chunks of one region
+	// concurrently — the linear broadcast pattern.
+	d := NewDevice()
+	src := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	c := d.Declare(0, src)
+	const workers = 16
+	chunk := len(src) / workers
+	var wg sync.WaitGroup
+	results := make([][]byte, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]byte, chunk)
+			if err := d.CopyFrom(c, int64(w*chunk), out); err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	var got []byte
+	for _, r := range results {
+		got = append(got, r...)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("concurrent pulls reassembled wrong data")
+	}
+	if _, _, copies := func() (int64, int64, int64) { return d.Stats() }(); copies != workers {
+		t.Errorf("copies = %d, want %d", copies, workers)
+	}
+}
+
+func TestConcurrentDeclareDestroy(t *testing.T) {
+	d := NewDevice()
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := d.Declare(r, make([]byte, 32))
+				if err := d.CopyTo(c, 0, []byte{1, 2, 3}); err != nil {
+					t.Error(err)
+				}
+				if err := d.Destroy(r, c); err != nil {
+					t.Error(err)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if _, live, _ := d.Stats(); live != 0 {
+		t.Errorf("live regions = %d after destroy storm", live)
+	}
+}

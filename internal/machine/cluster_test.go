@@ -1,0 +1,119 @@
+package machine
+
+import (
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/sched"
+)
+
+func testCluster(t *testing.T) *hwtopo.Topology {
+	t.Helper()
+	c, err := hwtopo.BuildCluster(hwtopo.ClusterSpec{
+		Name: "mc-cluster", Switches: 2, NodesPerSwitch: 2,
+		Node: hwtopo.Spec{
+			Name: "node", Boards: 1, SocketsPerBoard: 2, DiesPerSocket: 1, CoresPerDie: 4,
+			SharedCacheLevel: 3, SharedCacheSize: 4 << 20, NUMAPerSocket: true,
+			MemPerNUMA: 8 << 30, OSNumbering: hwtopo.OSPhysical,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterSessionRequiresNetworkParams(t *testing.T) {
+	c := testCluster(t)
+	b, err := binding.Contiguous(c, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := IGParams() // no NIC/switch numbers
+	if _, err := NewSession(b, p, sched.New(32)); err == nil {
+		t.Fatal("cluster session without NIC bandwidth accepted")
+	}
+	p = ClusterParams(IGParams())
+	if _, err := NewSession(b, p, sched.New(32)); err != nil {
+		t.Fatalf("cluster session rejected: %v", err)
+	}
+	// Single-switch cluster must not demand a trunk.
+	c1, err := hwtopo.BuildCluster(hwtopo.ClusterSpec{
+		Name: "oneswitch", Switches: 1, NodesPerSwitch: 2,
+		Node: hwtopo.Spec{
+			Name: "node", Boards: 1, SocketsPerBoard: 1, DiesPerSocket: 1, CoresPerDie: 2,
+			NUMAPerSocket: true, MemPerNUMA: 1 << 30,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := binding.Contiguous(c1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := ClusterParams(IGParams())
+	p1.TrunkBandwidth = 0
+	if _, err := NewSession(b1, p1, sched.New(4)); err != nil {
+		t.Fatalf("single-switch cluster rejected: %v", err)
+	}
+}
+
+func TestInterNodeTransferIsNICBound(t *testing.T) {
+	c := testCluster(t)
+	b, err := binding.Contiguous(c, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ClusterParams(IGParams())
+	const bytes = 8 << 20
+	// Intra-node pull (core 1 from core 0) vs inter-node (core 8 on
+	// machine 1 pulling machine 0) vs cross-switch (core 16 on machine 2).
+	intra := simulate(t, b, p, pullSchedule(32, 0, 1, bytes))
+	inter := simulate(t, b, p, pullSchedule(32, 0, 8, bytes))
+	cross := simulate(t, b, p, pullSchedule(32, 0, 16, bytes))
+	if !(inter > intra*2) {
+		t.Errorf("inter-node pull %.4gs not ≫ intra-node %.4gs", inter, intra)
+	}
+	if cross < inter {
+		t.Errorf("cross-switch pull %.4gs faster than same-switch %.4gs", cross, inter)
+	}
+	// The inter-node rate sits at NIC bandwidth (the bottleneck).
+	rate := float64(bytes) / inter
+	if rate > p.NICBandwidth*1.05 || rate < p.NICBandwidth*0.7 {
+		t.Errorf("inter-node rate %.3g B/s, want ≈ NIC %.3g", rate, p.NICBandwidth)
+	}
+}
+
+func TestNetworkLatencyCharged(t *testing.T) {
+	c := testCluster(t)
+	b, err := binding.Contiguous(c, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ClusterParams(IGParams())
+	local := simulate(t, b, p, pullSchedule(32, 0, 1, 1))
+	remote := simulate(t, b, p, pullSchedule(32, 0, 8, 1))
+	if got := remote - local; got < p.NetworkOpLatency*0.9 {
+		t.Errorf("network latency delta %.3g, want ≈ %.3g", got, p.NetworkOpLatency)
+	}
+}
+
+func TestClusterNotifyDistances(t *testing.T) {
+	c := testCluster(t)
+	b, err := binding.Contiguous(c, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(b, ClusterParams(IGParams()), sched.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := sess.NotifyLatency(0, 1)   // distance 1
+	node := sess.NotifyLatency(0, 8)    // distance 7 (same switch)
+	zwitch := sess.NotifyLatency(0, 16) // distance 8
+	if !(intra < node && node < zwitch) {
+		t.Errorf("notify not monotone: %g, %g, %g", intra, node, zwitch)
+	}
+}

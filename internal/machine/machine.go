@@ -1,0 +1,478 @@
+// Package machine turns a hardware topology plus a process binding into a
+// des.CostModel: the performance model under every figure reproduction.
+//
+// Resources derived from the topology:
+//
+//   - one memory controller per NUMA node (IG) or a single northbridge
+//     controller (Zoot), with combined read+write capacity;
+//   - one uplink per socket: the front-side bus on Zoot, the
+//     HyperTransport port on IG — all traffic entering or leaving the
+//     socket's cores (UMA) or memory (NUMA) crosses it;
+//   - one bridge between boards (IG's inter-board interlink);
+//   - one copy engine per bound core (a rank copies at most at its core's
+//     memcpy rate);
+//   - one resource per shared cache, used when the cache-reuse model is
+//     enabled and a read hits a segment recently touched by a core sharing
+//     that cache (IMB without -off_cache, Fig. 2).
+//
+// First-touch placement: a rank's buffers live on its core's NUMA node.
+// A copy by rank R from a buffer on node A to a buffer on node B loads the
+// read path (MC(A) + links from R's socket to A), the write path (MC(B) +
+// links to B) and R's engine; concurrent copies share all of it max–min
+// fairly in the simulator.
+package machine
+
+import (
+	"fmt"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/des"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/sched"
+)
+
+// Params are the calibrated performance constants of a machine. Bandwidths
+// are bytes/second, latencies seconds.
+type Params struct {
+	MCBandwidth     float64 // per memory controller, combined read+write
+	UplinkBandwidth float64 // per-socket FSB / HyperTransport port
+	BridgeBandwidth float64 // inter-board interlink (0 on single-board)
+	CoreCopyBW      float64 // single-core memcpy throughput
+	CacheBandwidth  float64 // shared-cache transfer rate
+
+	LocalLatency    float64 // plain memcpy start
+	ShmLatency      float64 // shared-memory fragment handshake
+	KnemSetupLat    float64 // region declaration / cookie (0-byte knem op)
+	KnemCopyLatency float64 // kernel trap for one knem copy
+
+	NotifyBase        float64 // out-of-band notification, same socket
+	NotifyPerDistance float64 // added per unit of process distance
+
+	// Network resources for multi-node cluster topologies (the §VI
+	// extension). Zero values are fine for single-node machines; a
+	// cluster topology requires NICBandwidth and SwitchBandwidth (and
+	// TrunkBandwidth with more than one switch).
+	NICBandwidth     float64 // per node network adapter
+	SwitchBandwidth  float64 // per switch backplane
+	TrunkBandwidth   float64 // inter-switch trunk
+	NetworkOpLatency float64 // added start latency for inter-node ops
+
+	// CacheModel enables cache-residency tracking for reads: a segment
+	// recently written or read by a core is served from the innermost
+	// fitting cache shared with the reader instead of memory. All buffers
+	// start cold, which matches IMB's -off_cache semantics for collective
+	// *sources*; hits arise only from forwarding inside one collective,
+	// which is physical on any machine. Disable for the write-through
+	// memory-only ablation.
+	CacheModel bool
+}
+
+// ZootParams returns constants for the 16-core Tigerton SMP node,
+// calibrated so aggregate bandwidths land in the paper's ranges
+// (2.5 GB/s MPICH broadcast, ~4.5 GB/s KNEM linear broadcast).
+func ZootParams() Params {
+	return Params{
+		MCBandwidth:       12.8e9,
+		UplinkBandwidth:   3.6e9,
+		BridgeBandwidth:   0,
+		CoreCopyBW:        3.2e9,
+		CacheBandwidth:    12e9,
+		LocalLatency:      0.1e-6,
+		ShmLatency:        0.3e-6,
+		KnemSetupLat:      3e-6,
+		KnemCopyLatency:   7e-6,
+		NotifyBase:        0.2e-6,
+		NotifyPerDistance: 0.15e-6,
+		CacheModel:        true,
+	}
+}
+
+// IGParams returns constants for the 48-core dual-board Istanbul node
+// (paper ranges: ~25 GB/s tuned broadcast contiguous, ~30 GB/s allgather).
+func IGParams() Params {
+	return Params{
+		MCBandwidth:       8.0e9,
+		UplinkBandwidth:   2.0e9,
+		BridgeBandwidth:   4.0e9,
+		CoreCopyBW:        2.8e9,
+		CacheBandwidth:    12e9,
+		LocalLatency:      0.1e-6,
+		ShmLatency:        0.3e-6,
+		KnemSetupLat:      3e-6,
+		KnemCopyLatency:   7e-6,
+		NotifyBase:        0.2e-6,
+		NotifyPerDistance: 0.15e-6,
+		CacheModel:        true,
+	}
+}
+
+// ClusterParams extends a node parameter set with network constants for
+// a multi-node cluster: ~10GbE-class adapters, a non-blocking switch
+// backplane and a thinner inter-switch trunk.
+func ClusterParams(node Params) Params {
+	node.NICBandwidth = 1.2e9
+	node.SwitchBandwidth = 16e9
+	node.TrunkBandwidth = 4e9
+	node.NetworkOpLatency = 15e-6
+	return node
+}
+
+// ParamsFor returns the calibrated parameter set for a known machine name.
+func ParamsFor(name string) (Params, error) {
+	switch name {
+	case "zoot":
+		return ZootParams(), nil
+	case "ig":
+		return IGParams(), nil
+	case "igcluster":
+		return ClusterParams(IGParams()), nil
+	default:
+		return Params{}, fmt.Errorf("machine: no calibrated parameters for %q", name)
+	}
+}
+
+type segKey struct {
+	buf sched.BufID
+	off int64
+	len int64
+}
+
+// Session implements des.CostModel for one schedule execution on one
+// machine + binding. Sessions are single-use: cache-residency state
+// accumulates over a run.
+type Session struct {
+	params Params
+	plat   *des.Platform
+	s      *sched.Schedule
+	bind   *binding.Binding
+
+	// Per-rank placement lookups.
+	coreObj    []*hwtopo.Object
+	nodeIdx    []int // memory domain per rank (index into mcRes)
+	sockIdx    []int
+	boardIdx   []int
+	machineIdx []int
+	switchIdx  []int
+	umaRank    []bool // rank's controller is a machine-level northbridge
+
+	// Resources.
+	mcRes     []des.ResourceID // per memory domain
+	uplinkRes []des.ResourceID // per socket
+	bridgeRes []des.ResourceID // per machine; -1 if single-board
+	nicRes    []des.ResourceID // per machine; empty on single-node
+	switchRes []des.ResourceID // per switch
+	trunkRes  des.ResourceID   // -1 if at most one switch
+	engineRes []des.ResourceID // per rank
+	cacheRes  map[*hwtopo.Object]des.ResourceID
+
+	// Cache residency: segment → cores that recently touched it.
+	touched map[segKey][]*hwtopo.Object
+
+	notify [][]float64 // precomputed per rank pair
+}
+
+// NewSession builds the cost model for executing s with ranks placed by
+// bind on bind's topology.
+func NewSession(bind *binding.Binding, params Params, s *sched.Schedule) (*Session, error) {
+	if s.NumRanks != bind.NumRanks() {
+		return nil, fmt.Errorf("machine: schedule has %d ranks, binding %d", s.NumRanks, bind.NumRanks())
+	}
+	topo := bind.Topology()
+	sess := &Session{
+		params:   params,
+		plat:     des.NewPlatform(),
+		s:        s,
+		bind:     bind,
+		trunkRes: -1,
+		cacheRes: make(map[*hwtopo.Object]des.ResourceID),
+		touched:  make(map[segKey][]*hwtopo.Object),
+	}
+
+	// Memory domains: one per memory-controller owner (NUMA nodes on IG,
+	// one machine-level northbridge per Zoot node).
+	domainOf := make(map[*hwtopo.Object]int)
+	machines := topo.ObjectsOfKind(hwtopo.KindMachine)
+	switches := topo.ObjectsOfKind(hwtopo.KindSwitch)
+	machineByObj := make(map[*hwtopo.Object]int, len(machines))
+	for i, mo := range machines {
+		machineByObj[mo] = i
+	}
+	sockets := topo.ObjectsOfKind(hwtopo.KindSocket)
+	sess.uplinkRes = make([]des.ResourceID, len(sockets))
+	for i := range sess.uplinkRes {
+		sess.uplinkRes[i] = sess.plat.AddResource(fmt.Sprintf("uplink%d", i), params.UplinkBandwidth)
+	}
+	// One inter-board bridge per machine that has multiple boards.
+	sess.bridgeRes = make([]des.ResourceID, len(machines))
+	for i, mo := range machines {
+		sess.bridgeRes[i] = -1
+		nBoards := 0
+		for _, c := range mo.Children {
+			if c.Kind == hwtopo.KindBoard {
+				nBoards++
+			}
+		}
+		if nBoards > 1 {
+			if params.BridgeBandwidth <= 0 {
+				return nil, fmt.Errorf("machine: multi-board topology %q needs BridgeBandwidth", topo.Name)
+			}
+			sess.bridgeRes[i] = sess.plat.AddResource(fmt.Sprintf("bridge%d", i), params.BridgeBandwidth)
+		}
+	}
+	// Network resources for clusters.
+	if len(machines) > 1 {
+		if params.NICBandwidth <= 0 || params.SwitchBandwidth <= 0 {
+			return nil, fmt.Errorf("machine: cluster topology %q needs NICBandwidth and SwitchBandwidth", topo.Name)
+		}
+		sess.nicRes = make([]des.ResourceID, len(machines))
+		for i := range sess.nicRes {
+			sess.nicRes[i] = sess.plat.AddResource(fmt.Sprintf("nic%d", i), params.NICBandwidth)
+		}
+		sess.switchRes = make([]des.ResourceID, len(switches))
+		for i := range sess.switchRes {
+			sess.switchRes[i] = sess.plat.AddResource(fmt.Sprintf("switch%d", i), params.SwitchBandwidth)
+		}
+		if len(switches) > 1 {
+			if params.TrunkBandwidth <= 0 {
+				return nil, fmt.Errorf("machine: multi-switch topology %q needs TrunkBandwidth", topo.Name)
+			}
+			sess.trunkRes = sess.plat.AddResource("trunk", params.TrunkBandwidth)
+		}
+	}
+
+	n := bind.NumRanks()
+	sess.coreObj = make([]*hwtopo.Object, n)
+	sess.nodeIdx = make([]int, n)
+	sess.sockIdx = make([]int, n)
+	sess.boardIdx = make([]int, n)
+	sess.machineIdx = make([]int, n)
+	sess.switchIdx = make([]int, n)
+	sess.umaRank = make([]bool, n)
+	sess.engineRes = make([]des.ResourceID, n)
+	for r := 0; r < n; r++ {
+		core := bind.CoreObject(r)
+		sess.coreObj[r] = core
+		owner := hwtopo.MemoryControllerOf(core)
+		if owner == nil {
+			return nil, fmt.Errorf("machine: core %v has no memory controller", core)
+		}
+		dom, ok := domainOf[owner]
+		if !ok {
+			dom = len(domainOf)
+			domainOf[owner] = dom
+			sess.mcRes = append(sess.mcRes, sess.plat.AddResource(fmt.Sprintf("mc%d", dom), params.MCBandwidth))
+		}
+		sess.nodeIdx[r] = dom
+		sess.umaRank[r] = owner.Kind != hwtopo.KindNUMANode
+		sess.sockIdx[r] = core.AncestorOfKind(hwtopo.KindSocket).Index
+		if b := core.AncestorOfKind(hwtopo.KindBoard); b != nil {
+			sess.boardIdx[r] = b.Index
+		}
+		if mo := hwtopo.MachineOf(core); mo != nil {
+			sess.machineIdx[r] = machineByObj[mo]
+		}
+		if sw := hwtopo.SwitchOf(core); sw != nil {
+			sess.switchIdx[r] = sw.Index
+		}
+		sess.engineRes[r] = sess.plat.AddResource(fmt.Sprintf("core%d", core.Index), params.CoreCopyBW)
+	}
+	if params.CacheModel {
+		for _, c := range topo.ObjectsOfKind(hwtopo.KindCache) {
+			sess.cacheRes[c] = sess.plat.AddResource(fmt.Sprintf("L%d#%d", c.CacheLevel, c.Index), params.CacheBandwidth)
+		}
+	}
+
+	sess.notify = make([][]float64, n)
+	for a := 0; a < n; a++ {
+		sess.notify[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			d := distance.BetweenCores(sess.coreObj[a], sess.coreObj[b])
+			sess.notify[a][b] = params.NotifyBase + params.NotifyPerDistance*float64(d)
+		}
+	}
+	return sess, nil
+}
+
+func countCores(o *hwtopo.Object) int {
+	if o.Kind == hwtopo.KindCore {
+		return 1
+	}
+	total := 0
+	for _, c := range o.Children {
+		total += countCores(c)
+	}
+	return total
+}
+
+// Platform implements des.CostModel.
+func (m *Session) Platform() *des.Platform { return m.plat }
+
+// StartLatency implements des.CostModel.
+func (m *Session) StartLatency(op *sched.Op) float64 {
+	var base float64
+	switch op.Mode {
+	case sched.ModeLocal:
+		base = m.params.LocalLatency
+	case sched.ModeShm:
+		base = m.params.ShmLatency
+	case sched.ModeKnem:
+		if op.Bytes == 0 {
+			base = m.params.KnemSetupLat
+		} else {
+			base = m.params.KnemCopyLatency
+		}
+	default:
+		base = m.params.LocalLatency
+	}
+	if len(m.nicRes) > 0 && op.Bytes > 0 {
+		src := m.s.Buffers[op.Src].Rank
+		dst := m.s.Buffers[op.Dst].Rank
+		if m.machineIdx[src] != m.machineIdx[op.Rank] || m.machineIdx[dst] != m.machineIdx[op.Rank] {
+			base += m.params.NetworkOpLatency
+		}
+	}
+	return base
+}
+
+// NotifyLatency implements des.CostModel.
+func (m *Session) NotifyLatency(from, to int) float64 { return m.notify[from][to] }
+
+// Uses implements des.CostModel: the resource demands of one copy.
+func (m *Session) Uses(op *sched.Op) []des.Use {
+	if op.Bytes <= 0 {
+		return nil
+	}
+	exec := op.Rank
+	srcRank := m.s.Buffers[op.Src].Rank
+	dstRank := m.s.Buffers[op.Dst].Rank
+
+	demand := make(map[des.ResourceID]float64)
+	demand[m.engineRes[exec]] += 1
+
+	// Read leg: from the source buffer's memory (or a cache on a hit)
+	// into the executing core.
+	if cache, ok := m.cacheHit(op, exec); ok {
+		demand[cache] += 1
+	} else {
+		demand[m.mcRes[m.nodeIdx[srcRank]]] += 1
+		m.addPath(demand, exec, srcRank, 1)
+	}
+	// Write leg: from the executing core into the destination memory.
+	// A cached write still costs two memory transactions per byte
+	// (read-for-ownership plus eventual writeback) — the classic 3-beat
+	// memcpy traffic, and the reason the paper's Zoot broadcast saturates
+	// its single controller with writes whatever the read side does.
+	// A reduce additionally reads the destination before combining.
+	writeWeight := 2.0
+	if op.Kind == sched.OpReduce {
+		writeWeight = 3.0
+	}
+	demand[m.mcRes[m.nodeIdx[dstRank]]] += writeWeight
+	m.addPath(demand, exec, dstRank, writeWeight)
+
+	uses := make([]des.Use, 0, len(demand))
+	for rid, d := range demand {
+		uses = append(uses, des.Use{Resource: rid, Demand: d})
+	}
+	return uses
+}
+
+// addPath accumulates the link demands between the executing rank's core
+// and the memory domain of the buffer owner `memRank`, weighted by the
+// leg's per-byte transaction count.
+func (m *Session) addPath(demand map[des.ResourceID]float64, exec, memRank int, weight float64) {
+	if m.machineIdx[exec] != m.machineIdx[memRank] {
+		// Inter-node: the transfer crosses both network adapters and the
+		// switching fabric (NIC bandwidth dominates the on-node links).
+		demand[m.nicRes[m.machineIdx[exec]]] += weight
+		demand[m.nicRes[m.machineIdx[memRank]]] += weight
+		if m.switchIdx[exec] == m.switchIdx[memRank] {
+			demand[m.switchRes[m.switchIdx[exec]]] += weight
+		} else {
+			demand[m.switchRes[m.switchIdx[exec]]] += weight
+			demand[m.switchRes[m.switchIdx[memRank]]] += weight
+			demand[m.trunkRes] += weight
+		}
+		return
+	}
+	if m.umaRank[exec] {
+		// UMA northbridge: every access flows over the executing socket's
+		// FSB.
+		demand[m.uplinkRes[m.sockIdx[exec]]] += weight
+		return
+	}
+	if m.nodeIdx[exec] == m.nodeIdx[memRank] {
+		return // local access, on-die controller
+	}
+	demand[m.uplinkRes[m.sockIdx[exec]]] += weight
+	demand[m.uplinkRes[m.sockIdx[memRank]]] += weight
+	if br := m.bridgeRes[m.machineIdx[exec]]; br >= 0 && m.boardIdx[exec] != m.boardIdx[memRank] {
+		demand[br] += weight
+	}
+}
+
+// cacheHit reports whether the op's source segment is resident in a cache
+// reachable by the executing core: some recent toucher shares a cache with
+// it, and walking outward from the innermost shared level finds a cache
+// large enough to have kept the segment (a core re-reading its own 128 KB
+// chunk hits its socket L3 even though its private L1/L2 are too small).
+//
+// KNEM operations never hit: the kernel copies through its own mappings
+// with streaming accesses, neither consuming nor producing user-visible
+// cache residency. This is what annihilates the read-side benefit of the
+// hierarchical tree in the paper's Fig. 8 discussion while leaving the
+// user-space copy-in/copy-out path (Fig. 2) fully cache-sensitive.
+func (m *Session) cacheHit(op *sched.Op, exec int) (des.ResourceID, bool) {
+	if !m.params.CacheModel || op.Mode == sched.ModeKnem {
+		return 0, false
+	}
+	key := segKey{buf: op.Src, off: op.SrcOff, len: op.Bytes}
+	execCore := m.coreObj[exec]
+	for _, toucher := range m.touched[key] {
+		for c := hwtopo.SharedCache(execCore, toucher); c != nil && c.IsCache(); c = c.Parent {
+			if op.Bytes*2 <= c.SizeBytes {
+				if rid, ok := m.cacheRes[c]; ok {
+					return rid, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// Observe implements des.CostModel: cache bookkeeping after an op. A
+// write invalidates other cached copies of the destination segment and
+// leaves it in the writer's caches; a read adds the reader as a holder.
+func (m *Session) Observe(op *sched.Op) {
+	if !m.params.CacheModel || op.Bytes <= 0 || op.Mode == sched.ModeKnem {
+		return
+	}
+	core := m.coreObj[op.Rank]
+	m.touched[segKey{buf: op.Dst, off: op.DstOff, len: op.Bytes}] = []*hwtopo.Object{core}
+	m.touch(segKey{buf: op.Src, off: op.SrcOff, len: op.Bytes}, core)
+}
+
+const maxTouchers = 4
+
+func (m *Session) touch(key segKey, core *hwtopo.Object) {
+	cur := m.touched[key]
+	for _, c := range cur {
+		if c == core {
+			return
+		}
+	}
+	if len(cur) >= maxTouchers {
+		cur = cur[1:]
+	}
+	m.touched[key] = append(cur, core)
+}
+
+// Simulate is a convenience wrapper: build a session and run the schedule.
+func Simulate(bind *binding.Binding, params Params, s *sched.Schedule) (*des.Result, error) {
+	sess, err := NewSession(bind, params, s)
+	if err != nil {
+		return nil, err
+	}
+	return des.Simulate(s, sess)
+}

@@ -1,0 +1,281 @@
+package mpi
+
+import (
+	"fmt"
+
+	"distcoll/internal/baseline"
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/knem"
+	"distcoll/internal/sched"
+)
+
+// Component selects the collective implementation, mirroring Open MPI's
+// collective component framework.
+type Component int
+
+const (
+	// KNEMColl is the paper's distance-aware component: topologies built
+	// from runtime process distance, executed as receiver-driven
+	// kernel-assisted single copies.
+	KNEMColl Component = iota
+	// Tuned is the rank-based Open MPI baseline over the SM/KNEM BTL.
+	Tuned
+	// MPICH2 is the MPICH2-1.4 baseline over nemesis double-copy shared
+	// memory.
+	MPICH2
+)
+
+func (c Component) String() string {
+	switch c {
+	case KNEMColl:
+		return "knemcoll"
+	case Tuned:
+		return "tuned"
+	case MPICH2:
+		return "mpich2"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// collPlan is the shared execution state of one collective: the compiled
+// schedule, the real backing buffers, KNEM cookies, and per-op completion
+// gates.
+type collPlan struct {
+	s       *sched.Schedule
+	bufs    [][]byte
+	cookies []knem.Cookie
+	done    []chan struct{}
+}
+
+// bcastArgs is each member's contribution to a broadcast.
+type bcastArgs struct {
+	buf  []byte
+	root int
+	comp Component
+}
+
+// Bcast broadcasts the root's buffer to every member. All members must
+// pass equal-length buffers, the same root and the same component.
+func (c *Comm) Bcast(buf []byte, root int, comp Component) error {
+	_, result, err := c.coordinate(bcastArgs{buf: buf, root: root, comp: comp},
+		func(vals []any) (any, error) {
+			args := make([]bcastArgs, len(vals))
+			for i, v := range vals {
+				a, ok := v.(bcastArgs)
+				if !ok {
+					return nil, fmt.Errorf("mpi: bcast coordination corrupted")
+				}
+				args[i] = a
+				if a.root != args[0].root || a.comp != args[0].comp || len(a.buf) != len(args[0].buf) {
+					return nil, fmt.Errorf("mpi: bcast arguments mismatch across ranks")
+				}
+			}
+			size := int64(len(args[0].buf))
+			if size == 0 {
+				return &collPlan{s: sched.New(len(args))}, nil
+			}
+			s, err := c.buildBcast(size, args[0].root, args[0].comp)
+			if err != nil {
+				return nil, err
+			}
+			caller := func(rank int, name string) []byte {
+				if name == "data" {
+					return args[rank].buf
+				}
+				return nil
+			}
+			return newCollPlan(c.state.world.dev, s, caller)
+		})
+	if err != nil {
+		return err
+	}
+	plan := result.(*collPlan)
+	c.execute(plan)
+	c.finish(plan)
+	return nil
+}
+
+// allgatherArgs is each member's contribution to an allgather.
+type allgatherArgs struct {
+	send, recv []byte
+	comp       Component
+}
+
+// Allgather gathers every member's send buffer into every member's recv
+// buffer in communicator-rank order. recv must be Size()·len(send) bytes.
+func (c *Comm) Allgather(send, recv []byte, comp Component) error {
+	_, result, err := c.coordinate(allgatherArgs{send: send, recv: recv, comp: comp},
+		func(vals []any) (any, error) {
+			args := make([]allgatherArgs, len(vals))
+			for i, v := range vals {
+				a, ok := v.(allgatherArgs)
+				if !ok {
+					return nil, fmt.Errorf("mpi: allgather coordination corrupted")
+				}
+				args[i] = a
+				if a.comp != args[0].comp || len(a.send) != len(args[0].send) {
+					return nil, fmt.Errorf("mpi: allgather arguments mismatch across ranks")
+				}
+				if len(a.recv) != len(vals)*len(a.send) {
+					return nil, fmt.Errorf("mpi: allgather recv buffer is %d bytes, want %d",
+						len(a.recv), len(vals)*len(a.send))
+				}
+			}
+			block := int64(len(args[0].send))
+			if block == 0 {
+				return &collPlan{s: sched.New(len(args))}, nil
+			}
+			s, err := c.buildAllgather(block, args[0].comp)
+			if err != nil {
+				return nil, err
+			}
+			caller := func(rank int, name string) []byte {
+				switch name {
+				case "send":
+					return args[rank].send
+				case "recv":
+					return args[rank].recv
+				default:
+					return nil
+				}
+			}
+			return newCollPlan(c.state.world.dev, s, caller)
+		})
+	if err != nil {
+		return err
+	}
+	plan := result.(*collPlan)
+	c.execute(plan)
+	c.finish(plan)
+	return nil
+}
+
+// buildBcast compiles the broadcast schedule for this communicator's
+// members: the distance-aware component consults the runtime placement of
+// exactly the member processes, so the topology adapts to communicator
+// composition (the paper's dynamic-communicator argument).
+func (c *Comm) buildBcast(size int64, root int, comp Component) (*sched.Schedule, error) {
+	n := c.Size()
+	switch comp {
+	case KNEMColl:
+		tree, err := c.state.distanceTree(c, root)
+		if err != nil {
+			return nil, err
+		}
+		return core.CompileBroadcast(tree, size, 0)
+	case Tuned:
+		alg, seg := baseline.TunedBcastDecision(n, size)
+		return baseline.CompileBcast(alg, n, root, size, seg, baseline.SMKnemBTL())
+	case MPICH2:
+		alg, seg := baseline.MPICHBcastDecision(n, size)
+		return baseline.CompileBcast(alg, n, root, size, seg, baseline.NemesisSM())
+	default:
+		return nil, fmt.Errorf("mpi: unknown component %v", comp)
+	}
+}
+
+func (c *Comm) buildAllgather(block int64, comp Component) (*sched.Schedule, error) {
+	n := c.Size()
+	switch comp {
+	case KNEMColl:
+		ring, err := c.state.distanceRing(c)
+		if err != nil {
+			return nil, err
+		}
+		return core.CompileAllgather(ring, block)
+	case Tuned:
+		alg := baseline.TunedAllgatherDecision(n, block)
+		return baseline.CompileAllgather(alg, n, block, baseline.SMKnemBTL())
+	case MPICH2:
+		alg := baseline.TunedAllgatherDecision(n, block)
+		return baseline.CompileAllgather(alg, n, block, baseline.NemesisSM())
+	default:
+		return nil, fmt.Errorf("mpi: unknown component %v", comp)
+	}
+}
+
+// distanceMatrix computes the member-to-member process distances from the
+// runtime binding.
+func (c *Comm) distanceMatrix() distance.Matrix {
+	w := c.state.world
+	cores := make([]int, len(c.state.group))
+	for i, wr := range c.state.group {
+		cores[i] = w.bind.CoreOf(wr)
+	}
+	return distance.NewMatrix(w.Topology(), cores)
+}
+
+// newCollPlan validates the schedule, binds caller buffers, allocates
+// auxiliary ones (bounce/temporary segments), and declares every buffer as
+// a KNEM region.
+func newCollPlan(dev *knem.Device, s *sched.Schedule, caller func(rank int, name string) []byte) (*collPlan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &collPlan{
+		s:       s,
+		bufs:    make([][]byte, len(s.Buffers)),
+		cookies: make([]knem.Cookie, len(s.Buffers)),
+		done:    make([]chan struct{}, len(s.Ops)),
+	}
+	for i, spec := range s.Buffers {
+		if b := caller(spec.Rank, spec.Name); b != nil {
+			if int64(len(b)) != spec.Bytes {
+				return nil, fmt.Errorf("mpi: rank %d buffer %q is %d bytes, schedule expects %d",
+					spec.Rank, spec.Name, len(b), spec.Bytes)
+			}
+			plan.bufs[i] = b
+		} else {
+			plan.bufs[i] = make([]byte, spec.Bytes)
+		}
+		plan.cookies[i] = dev.Declare(spec.Rank, plan.bufs[i])
+	}
+	for i := range plan.done {
+		plan.done[i] = make(chan struct{})
+	}
+	return plan, nil
+}
+
+// execute runs this member's share of the plan: wait for dependencies,
+// perform the copy (via the KNEM device for kernel-assisted ops), signal
+// completion.
+func (c *Comm) execute(plan *collPlan) {
+	dev := c.state.world.dev
+	for i := range plan.s.Ops {
+		op := &plan.s.Ops[i]
+		if op.Rank != c.rank {
+			continue
+		}
+		for _, d := range op.Deps {
+			<-plan.done[d]
+		}
+		if op.Bytes > 0 {
+			dst := plan.bufs[op.Dst][op.DstOff : op.DstOff+op.Bytes]
+			switch op.Mode {
+			case sched.ModeKnem:
+				// Receiver-driven single copy through the device.
+				if err := dev.CopyFrom(plan.cookies[op.Src], op.SrcOff, dst); err != nil {
+					panic(err) // plan invariants guarantee validity
+				}
+			default:
+				copy(dst, plan.bufs[op.Src][op.SrcOff:op.SrcOff+op.Bytes])
+			}
+		}
+		close(plan.done[op.ID])
+	}
+}
+
+// finish waits for the whole communicator, then the last member releases
+// the KNEM regions (they must outlive every remote pull).
+func (c *Comm) finish(plan *collPlan) {
+	c.coordinate(nil, func([]any) (any, error) {
+		for i, cookie := range plan.cookies {
+			if err := c.state.world.dev.Destroy(plan.s.Buffers[i].Rank, cookie); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+}

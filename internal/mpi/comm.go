@@ -1,0 +1,200 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"distcoll/internal/core"
+)
+
+// commState is the shared (cross-process) state of one communicator.
+type commState struct {
+	world *World
+	group []int // comm rank → world rank
+
+	// seqs[commRank] counts collectives issued by that member; each entry
+	// is touched only by its own process goroutine.
+	seqs []int
+
+	mu    sync.Mutex
+	slots map[int]*collSlot
+
+	// Topology cache: process placement is fixed for a communicator's
+	// lifetime, so the distance-aware tree for each root and the ring are
+	// built once and reused by every later collective (the §V-B overhead
+	// concern). Guarded by mu; builds counts constructions for tests.
+	trees  map[int]*core.Tree
+	ring   *core.Ring
+	builds int
+}
+
+func newCommState(w *World, group []int) *commState {
+	return &commState{
+		world: w,
+		group: group,
+		seqs:  make([]int, len(group)),
+		slots: make(map[int]*collSlot),
+		trees: make(map[int]*core.Tree),
+	}
+}
+
+// distanceTree returns the cached distance-aware tree rooted at root,
+// building it on first use.
+func (st *commState) distanceTree(c *Comm, root int) (*core.Tree, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if t, ok := st.trees[root]; ok {
+		return t, nil
+	}
+	t, err := core.BuildBroadcastTree(c.distanceMatrix(), root, core.TreeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	st.trees[root] = t
+	st.builds++
+	return t, nil
+}
+
+// distanceRing returns the cached distance-aware ring.
+func (st *commState) distanceRing(c *Comm) (*core.Ring, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.ring != nil {
+		return st.ring, nil
+	}
+	r, err := core.BuildAllgatherRing(c.distanceMatrix(), core.RingOptions{})
+	if err != nil {
+		return nil, err
+	}
+	st.ring = r
+	st.builds++
+	return r, nil
+}
+
+// collSlot synchronizes one collective call across the communicator.
+type collSlot struct {
+	vals    []any
+	arrived int
+	left    int
+	ready   chan struct{}
+	result  any
+	err     error
+}
+
+// Comm is one process's handle on a communicator. The per-member sequence
+// counters rely on MPI's rule that all members invoke collectives on a
+// communicator in the same order.
+type Comm struct {
+	state *commState
+	rank  int
+	proc  *Proc
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.state.group) }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(r int) int { return c.state.group[r] }
+
+// Proc returns the owning process handle.
+func (c *Comm) Proc() *Proc { return c.proc }
+
+// coordinate deposits val, blocks until every member arrived, and returns
+// all members' values plus a result computed exactly once (by the last
+// arriver) from the full value set. A nil build yields a nil result.
+func (c *Comm) coordinate(val any, build func(vals []any) (any, error)) ([]any, any, error) {
+	st := c.state
+	seq := st.seqs[c.rank]
+	st.seqs[c.rank]++
+	n := len(st.group)
+
+	st.mu.Lock()
+	slot, ok := st.slots[seq]
+	if !ok {
+		slot = &collSlot{vals: make([]any, n), ready: make(chan struct{})}
+		st.slots[seq] = slot
+	}
+	slot.vals[c.rank] = val
+	slot.arrived++
+	last := slot.arrived == n
+	st.mu.Unlock()
+
+	if last {
+		if build != nil {
+			slot.result, slot.err = build(slot.vals)
+		}
+		close(slot.ready)
+	}
+	<-slot.ready
+
+	vals, result, err := slot.vals, slot.result, slot.err
+	st.mu.Lock()
+	slot.left++
+	if slot.left == n {
+		delete(st.slots, seq)
+	}
+	st.mu.Unlock()
+	return vals, result, err
+}
+
+// Barrier blocks until every member has entered it.
+func (c *Comm) Barrier() {
+	c.coordinate(nil, nil)
+}
+
+// splitSpec is the per-rank contribution to a Split.
+type splitSpec struct {
+	color, key, commRank int
+}
+
+// Split partitions the communicator by color; within each new
+// communicator members are ordered by (key, old rank), like MPI_Comm_split.
+// A negative color yields a nil communicator for that member.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	_, result, err := c.coordinate(splitSpec{color: color, key: key, commRank: c.rank},
+		func(vals []any) (any, error) {
+			byColor := make(map[int][]splitSpec)
+			for _, v := range vals {
+				s, ok := v.(splitSpec)
+				if !ok {
+					return nil, fmt.Errorf("mpi: split coordination corrupted")
+				}
+				if s.color >= 0 {
+					byColor[s.color] = append(byColor[s.color], s)
+				}
+			}
+			states := make(map[int]*commState)
+			for color, members := range byColor {
+				sort.Slice(members, func(a, b int) bool {
+					if members[a].key != members[b].key {
+						return members[a].key < members[b].key
+					}
+					return members[a].commRank < members[b].commRank
+				})
+				group := make([]int, len(members))
+				for i, m := range members {
+					group[i] = c.state.group[m.commRank]
+				}
+				states[color] = newCommState(c.state.world, group)
+			}
+			return states, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	states := result.(map[int]*commState)
+	st := states[color]
+	for newRank, wr := range st.group {
+		if wr == c.state.group[c.rank] {
+			return &Comm{state: st, rank: newRank, proc: c.proc}, nil
+		}
+	}
+	return nil, fmt.Errorf("mpi: rank %d missing from split group", c.rank)
+}

@@ -1,0 +1,173 @@
+// Package mpi is a miniature message-passing runtime: the substrate that
+// stands in for Open MPI's process layer in this reproduction. A World
+// runs one goroutine per MPI process, bound to the cores of a simulated
+// machine; processes exchange messages point-to-point, form communicators
+// (split, re-rank), and invoke collective operations backed by pluggable
+// components — the distance-aware KNEM collectives of package core or the
+// rank-based tuned/MPICH baselines.
+//
+// Collectives compile to the same sched.Schedule the performance model
+// simulates, then execute concurrently on real buffers, with cross-address
+// space transfers routed through the emulated KNEM device. The runtime
+// therefore demonstrates the paper's full stack end to end: communicator →
+// process distance → adaptive topology → kernel-assisted data movement.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/knem"
+)
+
+// message is one point-to-point payload in flight.
+type message struct {
+	tag  int
+	data []byte
+}
+
+// World is a job: n processes bound to cores of one machine.
+type World struct {
+	bind *binding.Binding
+	dev  *knem.Device
+	n    int
+
+	// mail[src][dst] carries messages; receivers keep per-sender pending
+	// queues for tag matching.
+	mail [][]chan message
+
+	worldComm *commState
+}
+
+// NewWorld creates a world with one process per bound rank.
+func NewWorld(b *binding.Binding) *World {
+	n := b.NumRanks()
+	w := &World{
+		bind: b,
+		dev:  knem.NewDevice(),
+		n:    n,
+		mail: make([][]chan message, n),
+	}
+	for s := 0; s < n; s++ {
+		w.mail[s] = make([]chan message, n)
+		for d := 0; d < n; d++ {
+			w.mail[s][d] = make(chan message, 64)
+		}
+	}
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	w.worldComm = newCommState(w, group)
+	return w
+}
+
+// Size returns the number of processes.
+func (w *World) Size() int { return w.n }
+
+// Binding returns the process placement.
+func (w *World) Binding() *binding.Binding { return w.bind }
+
+// Topology returns the machine.
+func (w *World) Topology() *hwtopo.Topology { return w.bind.Topology() }
+
+// Device returns the shared KNEM device (for stats and tests).
+func (w *World) Device() *knem.Device { return w.dev }
+
+// Run spawns every process, executes main on each, and waits for all. The
+// first error (or recovered panic) is returned.
+func (w *World) Run(main func(p *Proc) error) error {
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			p := &Proc{world: w, rank: rank, pending: make([][]message, w.n)}
+			errs[rank] = main(p)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Proc is the handle one process uses: its rank, world, and mailbox state.
+// A Proc is owned by its goroutine and must not be shared.
+type Proc struct {
+	world   *World
+	rank    int
+	pending [][]message // unmatched messages per sender
+}
+
+// Rank returns the process's world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.n }
+
+// World returns the owning world.
+func (p *Proc) World() *World { return p.world }
+
+// Core returns the core the process is bound to.
+func (p *Proc) Core() *hwtopo.Object { return p.world.bind.CoreObject(p.rank) }
+
+// Comm returns the world communicator handle for this process.
+func (p *Proc) Comm() *Comm {
+	return &Comm{state: p.world.worldComm, rank: p.rank, proc: p}
+}
+
+// Send delivers a tagged message to dst. The payload is copied (MPI send
+// semantics: the caller's buffer is reusable on return).
+func (p *Proc) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= p.world.n {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	p.world.mail[p.rank][dst] <- message{tag: tag, data: cp}
+	return nil
+}
+
+// Recv blocks until a message with the given tag arrives from src and
+// returns its payload. Messages from one sender are matched in order;
+// unmatched tags are queued.
+func (p *Proc) Recv(src, tag int) ([]byte, error) {
+	if src < 0 || src >= p.world.n {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	q := p.pending[src]
+	for i, m := range q {
+		if m.tag == tag {
+			p.pending[src] = append(q[:i:i], q[i+1:]...)
+			return m.data, nil
+		}
+	}
+	for {
+		m := <-p.world.mail[src][p.rank]
+		if m.tag == tag {
+			return m.data, nil
+		}
+		p.pending[src] = append(p.pending[src], m)
+	}
+}
+
+// Sendrecv exchanges messages with a partner (deadlock-free pairwise
+// exchange).
+func (p *Proc) Sendrecv(partner, tag int, send []byte) ([]byte, error) {
+	if err := p.Send(partner, tag, send); err != nil {
+		return nil, err
+	}
+	return p.Recv(partner, tag)
+}

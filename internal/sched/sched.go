@@ -1,0 +1,325 @@
+// Package sched defines the communication-schedule representation shared
+// by every collective algorithm in this repository. A Schedule is a DAG of
+// copy operations over named per-rank buffers: algorithms (distance-aware
+// or rank-based baselines) compile a collective call into a Schedule, the
+// exec package runs it on real memory to prove correctness, and the
+// des/machine packages run it in virtual time to estimate performance.
+//
+// The representation captures exactly the mechanics the paper measures:
+// who executes each copy (receiver-driven KNEM pulls vs sender copy-ins),
+// which buffers the bytes traverse, what transfer mode is used (shared
+// memory double copy vs kernel-assisted single copy), and the dependency
+// edges whose cross-rank notifications cost latency.
+package sched
+
+import "fmt"
+
+// BufID identifies a buffer within one Schedule.
+type BufID int
+
+// OpID identifies an operation within one Schedule.
+type OpID int
+
+// Mode distinguishes the transfer mechanisms the paper compares.
+type Mode int
+
+const (
+	// ModeLocal is a plain memcpy within the executing rank's own buffers
+	// (e.g. allgather's step (1) self-copy).
+	ModeLocal Mode = iota
+	// ModeShm is one leg of a shared-memory double copy (copy-in to a
+	// bounce buffer or copy-out of one): a user-space copy with eager
+	// per-fragment handshakes but no kernel crossing.
+	ModeShm
+	// ModeKnem is a kernel-assisted single copy: one memory traversal,
+	// plus a fixed syscall/cookie overhead per operation.
+	ModeKnem
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeLocal:
+		return "local"
+	case ModeShm:
+		return "shm"
+	case ModeKnem:
+		return "knem"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// BufSpec declares a buffer owned by (and first-touched on the NUMA node
+// of) a rank.
+type BufSpec struct {
+	Rank  int
+	Name  string
+	Bytes int64
+}
+
+// OpKind distinguishes plain copies from combining operations.
+type OpKind int
+
+const (
+	// OpCopy moves bytes: dst = src.
+	OpCopy OpKind = iota
+	// OpReduce combines bytes: dst = combine(dst, src), element-wise under
+	// the reduction operator supplied at execution time. Used by the
+	// Reduce/Allreduce collectives (the paper's §VI future work).
+	OpReduce
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCopy:
+		return "copy"
+	case OpReduce:
+		return "reduce"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one copy or reduce operation. The executing rank's core performs
+// it; source and destination buffers may belong to other ranks
+// (cross-address-space access is what KNEM provides and shared segments
+// emulate).
+type Op struct {
+	ID   OpID
+	Rank int // executing rank
+	Kind OpKind
+	Mode Mode
+
+	Src    BufID
+	SrcOff int64
+	Dst    BufID
+	DstOff int64
+	Bytes  int64
+
+	// Deps are operations that must complete before this one starts. A
+	// dependency on an op executed by another rank implies a notification
+	// (out-of-band message), which the simulator charges latency for.
+	Deps []OpID
+}
+
+// Schedule is a complete compiled collective.
+type Schedule struct {
+	NumRanks int
+	Buffers  []BufSpec
+	Ops      []Op
+}
+
+// New creates an empty schedule for n ranks.
+func New(n int) *Schedule {
+	return &Schedule{NumRanks: n}
+}
+
+// AddBuffer declares a buffer and returns its id.
+func (s *Schedule) AddBuffer(rank int, name string, bytes int64) BufID {
+	s.Buffers = append(s.Buffers, BufSpec{Rank: rank, Name: name, Bytes: bytes})
+	return BufID(len(s.Buffers) - 1)
+}
+
+// AddOp appends an operation, assigning and returning its id.
+func (s *Schedule) AddOp(op Op) OpID {
+	op.ID = OpID(len(s.Ops))
+	s.Ops = append(s.Ops, op)
+	return op.ID
+}
+
+// Buffer returns the spec for id.
+func (s *Schedule) Buffer(id BufID) BufSpec { return s.Buffers[id] }
+
+// FindBuffer returns the buffer named name owned by rank, or (-1, false).
+func (s *Schedule) FindBuffer(rank int, name string) (BufID, bool) {
+	for i, b := range s.Buffers {
+		if b.Rank == rank && b.Name == name {
+			return BufID(i), true
+		}
+	}
+	return -1, false
+}
+
+// HasReduce reports whether any op combines rather than copies; such
+// schedules need a reduction operator at execution time.
+func (s *Schedule) HasReduce() bool {
+	for _, op := range s.Ops {
+		if op.Kind == OpReduce {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalCopiedBytes sums Bytes over all ops (each op is one read + one
+// write of that many bytes).
+func (s *Schedule) TotalCopiedBytes() int64 {
+	var total int64
+	for _, op := range s.Ops {
+		total += op.Bytes
+	}
+	return total
+}
+
+// OpsByRank groups op ids by executing rank.
+func (s *Schedule) OpsByRank() [][]OpID {
+	out := make([][]OpID, s.NumRanks)
+	for _, op := range s.Ops {
+		out[op.Rank] = append(out[op.Rank], op.ID)
+	}
+	return out
+}
+
+// CrossRankDeps counts dependency edges whose endpoint ops run on
+// different ranks — each costs one notification. The paper's §IV-C
+// overhead analysis counts these synchronizations.
+func (s *Schedule) CrossRankDeps() int {
+	n := 0
+	for _, op := range s.Ops {
+		for _, d := range op.Deps {
+			if s.Ops[d].Rank != op.Rank {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TopoOrder returns op ids in a dependency-respecting order, or an error
+// if the graph has a cycle.
+func (s *Schedule) TopoOrder() ([]OpID, error) {
+	n := len(s.Ops)
+	indeg := make([]int, n)
+	out := make([][]int, n)
+	for i, op := range s.Ops {
+		for _, d := range op.Deps {
+			if int(d) < 0 || int(d) >= n {
+				return nil, fmt.Errorf("sched: op %d depends on invalid op %d", i, d)
+			}
+			indeg[i]++
+			out[d] = append(out[d], i)
+		}
+	}
+	queue := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]OpID, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, OpID(u))
+		for _, v := range out[u] {
+			if indeg[v]--; indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("sched: dependency cycle (%d of %d ops orderable)", len(order), n)
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: buffer references in range,
+// offsets within buffer bounds, ranks valid, dependencies acyclic.
+func (s *Schedule) Validate() error {
+	if s.NumRanks <= 0 {
+		return fmt.Errorf("sched: NumRanks = %d", s.NumRanks)
+	}
+	for i, b := range s.Buffers {
+		if b.Rank < 0 || b.Rank >= s.NumRanks {
+			return fmt.Errorf("sched: buffer %d owned by invalid rank %d", i, b.Rank)
+		}
+		if b.Bytes < 0 {
+			return fmt.Errorf("sched: buffer %d has negative size", i)
+		}
+	}
+	for i, op := range s.Ops {
+		if op.ID != OpID(i) {
+			return fmt.Errorf("sched: op %d has id %d", i, op.ID)
+		}
+		if op.Rank < 0 || op.Rank >= s.NumRanks {
+			return fmt.Errorf("sched: op %d executed by invalid rank %d", i, op.Rank)
+		}
+		if op.Bytes < 0 {
+			return fmt.Errorf("sched: op %d has negative size", i)
+		}
+		for _, ref := range []struct {
+			buf BufID
+			off int64
+			tag string
+		}{{op.Src, op.SrcOff, "src"}, {op.Dst, op.DstOff, "dst"}} {
+			if int(ref.buf) < 0 || int(ref.buf) >= len(s.Buffers) {
+				return fmt.Errorf("sched: op %d %s buffer %d out of range", i, ref.tag, ref.buf)
+			}
+			if ref.off < 0 || ref.off+op.Bytes > s.Buffers[ref.buf].Bytes {
+				return fmt.Errorf("sched: op %d %s range [%d,%d) exceeds buffer %q size %d",
+					i, ref.tag, ref.off, ref.off+op.Bytes, s.Buffers[ref.buf].Name, s.Buffers[ref.buf].Bytes)
+			}
+		}
+	}
+	if _, err := s.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BlockTable splits size bytes into n rank blocks of ⌊size/n⌋ bytes with
+// the remainder folded into the last block (MPICH's scatter layout, also
+// used by ring reduce-scatter). Blocks may be empty when size < n.
+func BlockTable(size int64, n int) (offs, lens []int64) {
+	offs = make([]int64, n)
+	lens = make([]int64, n)
+	base := size / int64(n)
+	var off int64
+	for i := 0; i < n; i++ {
+		offs[i] = off
+		lens[i] = base
+		off += base
+	}
+	lens[n-1] += size - base*int64(n)
+	return offs, lens
+}
+
+// AlignedBlockTable is BlockTable with block boundaries aligned to
+// multiples of align bytes, so element-wise reductions never split an
+// element across blocks; the last block absorbs the remainder.
+func AlignedBlockTable(size int64, n int, align int64) (offs, lens []int64) {
+	if align <= 1 {
+		return BlockTable(size, n)
+	}
+	offs = make([]int64, n)
+	lens = make([]int64, n)
+	base := size / int64(n) / align * align
+	var off int64
+	for i := 0; i < n; i++ {
+		offs[i] = off
+		lens[i] = base
+		off += base
+	}
+	lens[n-1] += size - base*int64(n)
+	return offs, lens
+}
+
+// Chunks splits size into pipeline chunks of at most chunkBytes,
+// returning (offset, length) pairs. chunkBytes ≤ 0 yields a single chunk.
+func Chunks(size, chunkBytes int64) [][2]int64 {
+	if size <= 0 {
+		return nil
+	}
+	if chunkBytes <= 0 || chunkBytes >= size {
+		return [][2]int64{{0, size}}
+	}
+	var out [][2]int64
+	for off := int64(0); off < size; off += chunkBytes {
+		n := chunkBytes
+		if off+n > size {
+			n = size - off
+		}
+		out = append(out, [2]int64{off, n})
+	}
+	return out
+}

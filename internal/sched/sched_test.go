@@ -1,0 +1,271 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// pairSchedule builds a tiny two-rank schedule: rank 0 fills nothing (data
+// pre-set), rank 1 pulls 1 KB from rank 0's buffer.
+func pairSchedule() *Schedule {
+	s := New(2)
+	src := s.AddBuffer(0, "buf", 1024)
+	dst := s.AddBuffer(1, "buf", 1024)
+	s.AddOp(Op{Rank: 1, Mode: ModeKnem, Src: src, Dst: dst, Bytes: 1024})
+	return s
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	s := pairSchedule()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadRanks(t *testing.T) {
+	s := pairSchedule()
+	s.Ops[0].Rank = 5
+	if err := s.Validate(); err == nil {
+		t.Error("op with invalid rank accepted")
+	}
+	s = pairSchedule()
+	s.Buffers[0].Rank = -1
+	if err := s.Validate(); err == nil {
+		t.Error("buffer with invalid rank accepted")
+	}
+	if err := New(0).Validate(); err == nil {
+		t.Error("zero-rank schedule accepted")
+	}
+}
+
+func TestValidateRejectsOutOfBounds(t *testing.T) {
+	s := pairSchedule()
+	s.Ops[0].Bytes = 2048
+	if err := s.Validate(); err == nil {
+		t.Error("oversized copy accepted")
+	}
+	s = pairSchedule()
+	s.Ops[0].SrcOff = 512
+	if err := s.Validate(); err == nil {
+		t.Error("src overrun accepted")
+	}
+	s = pairSchedule()
+	s.Ops[0].DstOff = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative offset accepted")
+	}
+	s = pairSchedule()
+	s.Ops[0].Src = 99
+	if err := s.Validate(); err == nil {
+		t.Error("dangling buffer reference accepted")
+	}
+}
+
+func TestValidateRejectsCycles(t *testing.T) {
+	s := New(1)
+	b := s.AddBuffer(0, "a", 64)
+	id0 := s.AddOp(Op{Rank: 0, Src: b, Dst: b, Bytes: 0})
+	id1 := s.AddOp(Op{Rank: 0, Src: b, Dst: b, Bytes: 0, Deps: []OpID{id0}})
+	s.Ops[id0].Deps = []OpID{id1}
+	if err := s.Validate(); err == nil {
+		t.Error("cyclic dependency accepted")
+	}
+	s.Ops[id0].Deps = []OpID{99}
+	if err := s.Validate(); err == nil {
+		t.Error("dangling dependency accepted")
+	}
+}
+
+func TestTopoOrderRespectsDeps(t *testing.T) {
+	s := New(3)
+	b := make([]BufID, 3)
+	for r := 0; r < 3; r++ {
+		b[r] = s.AddBuffer(r, "buf", 128)
+	}
+	// Chain 0 → 1 → 2 plus an independent op.
+	o0 := s.AddOp(Op{Rank: 0, Src: b[0], Dst: b[0], Bytes: 128})
+	o1 := s.AddOp(Op{Rank: 1, Src: b[0], Dst: b[1], Bytes: 128, Deps: []OpID{o0}})
+	o2 := s.AddOp(Op{Rank: 2, Src: b[1], Dst: b[2], Bytes: 128, Deps: []OpID{o1}})
+	o3 := s.AddOp(Op{Rank: 0, Src: b[0], Dst: b[0], Bytes: 64})
+	order, err := s.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[OpID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos[o0] > pos[o1] || pos[o1] > pos[o2] {
+		t.Errorf("topo order violates chain: %v", order)
+	}
+	if len(order) != 4 {
+		t.Errorf("order length = %d", len(order))
+	}
+	_ = o3
+}
+
+func TestCrossRankDeps(t *testing.T) {
+	s := New(2)
+	b0 := s.AddBuffer(0, "buf", 64)
+	b1 := s.AddBuffer(1, "buf", 64)
+	o0 := s.AddOp(Op{Rank: 0, Src: b0, Dst: b0, Bytes: 64})
+	o1 := s.AddOp(Op{Rank: 1, Src: b0, Dst: b1, Bytes: 64, Deps: []OpID{o0}})
+	s.AddOp(Op{Rank: 1, Src: b0, Dst: b1, Bytes: 32, Deps: []OpID{o1}})
+	if got := s.CrossRankDeps(); got != 1 {
+		t.Errorf("cross-rank deps = %d, want 1", got)
+	}
+}
+
+func TestFindBufferAndTotals(t *testing.T) {
+	s := pairSchedule()
+	if id, ok := s.FindBuffer(1, "buf"); !ok || s.Buffer(id).Rank != 1 {
+		t.Errorf("FindBuffer(1) = %v, %v", id, ok)
+	}
+	if _, ok := s.FindBuffer(0, "nope"); ok {
+		t.Error("found nonexistent buffer")
+	}
+	if got := s.TotalCopiedBytes(); got != 1024 {
+		t.Errorf("TotalCopiedBytes = %d", got)
+	}
+	byRank := s.OpsByRank()
+	if len(byRank[0]) != 0 || len(byRank[1]) != 1 {
+		t.Errorf("OpsByRank = %v", byRank)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		size, chunk int64
+		want        int
+	}{
+		{0, 128, 0},
+		{100, 0, 1},
+		{100, 200, 1},
+		{256, 128, 2},
+		{300, 128, 3},
+	}
+	for _, c := range cases {
+		got := Chunks(c.size, c.chunk)
+		if len(got) != c.want {
+			t.Errorf("Chunks(%d,%d) = %d chunks, want %d", c.size, c.chunk, len(got), c.want)
+			continue
+		}
+		var covered int64
+		for i, ch := range got {
+			if ch[0] != covered {
+				t.Errorf("Chunks(%d,%d)[%d] offset %d, want %d", c.size, c.chunk, i, ch[0], covered)
+			}
+			covered += ch[1]
+		}
+		if c.size > 0 && covered != c.size {
+			t.Errorf("Chunks(%d,%d) covers %d bytes", c.size, c.chunk, covered)
+		}
+	}
+}
+
+func TestChunksProperty(t *testing.T) {
+	f := func(size uint16, chunk uint8) bool {
+		s, c := int64(size), int64(chunk)
+		chunks := Chunks(s, c)
+		var covered int64
+		for _, ch := range chunks {
+			if ch[1] <= 0 {
+				return false
+			}
+			if c > 0 && ch[1] > c && c < s {
+				return false
+			}
+			if ch[0] != covered {
+				return false
+			}
+			covered += ch[1]
+		}
+		return s <= 0 || covered == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	// Two ranks on different nodes: rank 1 pulls from rank 0's buffer,
+	// writing into its own. Read traffic lands on node 0, write on node 1,
+	// and the read is remote for the executor (rank 1 on node 1).
+	s := pairSchedule()
+	st := s.Analyze(2, func(r int) int { return r })
+	if st.CopiesPerRank[0] != 0 || st.CopiesPerRank[1] != 1 {
+		t.Errorf("copies = %v", st.CopiesPerRank)
+	}
+	if st.ReadBytes[0] != 1024 || st.ReadBytes[1] != 0 {
+		t.Errorf("reads = %v", st.ReadBytes)
+	}
+	if st.WriteBytes[1] != 1024 || st.WriteBytes[0] != 0 {
+		t.Errorf("writes = %v", st.WriteBytes)
+	}
+	if st.RemoteReadBytes != 1024 || st.RemoteWriteBytes != 0 {
+		t.Errorf("remote = %d/%d", st.RemoteReadBytes, st.RemoteWriteBytes)
+	}
+	if st.RemoteOps != 1 {
+		t.Errorf("remote ops = %d", st.RemoteOps)
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	if !Balanced([]int64{100, 100, 100}, 0.01) {
+		t.Error("equal values reported unbalanced")
+	}
+	if Balanced([]int64{100, 200}, 0.1) {
+		t.Error("skewed values reported balanced")
+	}
+	if !Balanced([]int64{95, 105}, 0.1) {
+		t.Error("near-mean values reported unbalanced")
+	}
+	if !Balanced(nil, 0.1) || !Balanced([]int64{0, 0}, 0.1) {
+		t.Error("zero cases mishandled")
+	}
+	if Balanced([]int64{0, 5}, 0.1) {
+		t.Error("zero-mean with nonzero entry reported balanced")
+	}
+}
+
+func TestBlockTableProperties(t *testing.T) {
+	f := func(size uint16, nRaw uint8, alignRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		align := int64(alignRaw%16) + 1
+		s := int64(size)
+		offs, lens := AlignedBlockTable(s, n, align)
+		if len(offs) != n || len(lens) != n {
+			return false
+		}
+		var covered int64
+		for i := 0; i < n; i++ {
+			if offs[i] != covered || lens[i] < 0 {
+				return false
+			}
+			// Every block except the last starts and ends aligned.
+			if i < n-1 && (offs[i]%align != 0 || lens[i]%align != 0) {
+				return false
+			}
+			covered += lens[i]
+		}
+		return covered == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockTableMatchesUnaligned(t *testing.T) {
+	// align ≤ 1 must reproduce the plain table exactly.
+	for _, size := range []int64{0, 5, 100, 8 << 20} {
+		for _, n := range []int{1, 3, 16, 48} {
+			o1, l1 := BlockTable(size, n)
+			o2, l2 := AlignedBlockTable(size, n, 1)
+			for i := 0; i < n; i++ {
+				if o1[i] != o2[i] || l1[i] != l2[i] {
+					t.Fatalf("size=%d n=%d: aligned(1) diverges at %d", size, n, i)
+				}
+			}
+		}
+	}
+}

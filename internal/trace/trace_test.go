@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/core"
+	"distcoll/internal/des"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/machine"
+	"distcoll/internal/sched"
+)
+
+func simulatedBcast(t *testing.T) (*sched.Schedule, *des.Result) {
+	t.Helper()
+	ig := hwtopo.NewIG()
+	b, err := binding.CrossSocket(ig, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, b.Cores())
+	tree, err := core.BuildBroadcastTree(m, 0, core.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.CompileBroadcast(tree, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Simulate(b, machine.IGParams(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res
+}
+
+func TestCriticalPathProperties(t *testing.T) {
+	s, res := simulatedBcast(t)
+	steps := CriticalPath(s, res)
+	if len(steps) == 0 {
+		t.Fatal("empty critical path")
+	}
+	// Ends at the makespan, ordered, non-overlapping in dependency order.
+	if last := steps[len(steps)-1].Finish; last != res.Makespan {
+		t.Errorf("path ends at %g, makespan %g", last, res.Makespan)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].Start < steps[i-1].Start {
+			t.Errorf("step %d starts before its predecessor", i)
+		}
+		if steps[i].Finish < steps[i-1].Finish {
+			t.Errorf("step %d finishes before its predecessor", i)
+		}
+	}
+	// First step has no unfinished prerequisites: it starts at time of its
+	// own readiness (always ≥ 0).
+	if steps[0].Start < 0 {
+		t.Errorf("negative start")
+	}
+	out := RenderCriticalPath(steps)
+	if !strings.Contains(out, "critical path") || !strings.Contains(out, "rank") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestTimelineAccounting(t *testing.T) {
+	s, res := simulatedBcast(t)
+	spans := Timeline(s, res)
+	if len(spans) != 48 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	// The root does no copies in a receiver-driven broadcast; every other
+	// rank pulls at least once.
+	if spans[0].Ops != 0 {
+		t.Errorf("root executed %d ops", spans[0].Ops)
+	}
+	for r := 1; r < 48; r++ {
+		if spans[r].Ops == 0 {
+			t.Errorf("rank %d executed no ops", r)
+		}
+		if spans[r].Busy <= 0 || spans[r].Last <= spans[r].First {
+			t.Errorf("rank %d has degenerate span", r)
+		}
+		if spans[r].Last > res.Makespan+1e-12 {
+			t.Errorf("rank %d ends after makespan", r)
+		}
+	}
+}
+
+func TestRenderTimelineShape(t *testing.T) {
+	s, res := simulatedBcast(t)
+	out := RenderTimeline(s, res, 40)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 49 { // header + 48 ranks
+		t.Fatalf("timeline lines = %d", len(lines))
+	}
+	for _, ln := range lines[1:] {
+		if !strings.Contains(ln, "|") {
+			t.Fatalf("row without bars: %q", ln)
+		}
+	}
+	// Zero-width defaults, empty schedule handled.
+	if got := RenderTimeline(sched.New(1), &des.Result{}, 0); !strings.Contains(got, "empty") {
+		t.Errorf("empty render = %q", got)
+	}
+}
+
+func TestHotResources(t *testing.T) {
+	_, res := simulatedBcast(t)
+	hot := HotResources(res, 3)
+	if len(hot) != 3 {
+		t.Fatalf("hot = %v", hot)
+	}
+	if !strings.Contains(hot[0], "%") {
+		t.Errorf("missing percentage: %v", hot)
+	}
+	all := HotResources(res, 0)
+	if len(all) < 10 {
+		t.Errorf("expected many resources, got %d", len(all))
+	}
+	// Descending order of the reported percentages.
+	prev := 101.0
+	for _, h := range all[:5] {
+		i := strings.LastIndex(h, ": ")
+		if i < 0 {
+			t.Fatalf("unparseable %q", h)
+		}
+		var pct float64
+		if _, err := fmt.Sscanf(h[i+2:], "%f%%", &pct); err != nil {
+			t.Fatalf("unparseable %q: %v", h, err)
+		}
+		if pct > prev {
+			t.Fatalf("not descending: %v", all[:5])
+		}
+		prev = pct
+	}
+}
+
+func TestCriticalPathEmptySchedule(t *testing.T) {
+	if got := CriticalPath(sched.New(1), &des.Result{}); got != nil {
+		t.Fatalf("expected nil path, got %v", got)
+	}
+}

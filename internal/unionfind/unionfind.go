@@ -1,0 +1,105 @@
+// Package unionfind provides the disjoint-set structure used by the
+// paper's Algorithms 1 and 2, with the paper's leader rule: FIND-SET
+// returns the set's head node, which is the broadcast root process if the
+// set contains it and otherwise the member with the smallest MPI rank.
+package unionfind
+
+import "fmt"
+
+// DSU is a disjoint-set union over elements 0..n-1 with path compression,
+// union by size, and explicit leader tracking.
+type DSU struct {
+	parent []int
+	size   []int
+	leader []int // leader[root of set] = designated head element
+	root   int   // privileged element (broadcast root), or -1
+	sets   int
+}
+
+// New creates n singleton sets. root is the privileged element that always
+// leads any set containing it; pass -1 for none (allgather ring
+// construction has no privileged process).
+func New(n, root int) *DSU {
+	if n <= 0 {
+		panic(fmt.Sprintf("unionfind: invalid size %d", n))
+	}
+	if root < -1 || root >= n {
+		panic(fmt.Sprintf("unionfind: root %d out of range [-1,%d)", root, n))
+	}
+	d := &DSU{
+		parent: make([]int, n),
+		size:   make([]int, n),
+		leader: make([]int, n),
+		root:   root,
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+		d.leader[i] = i
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// find returns the internal representative with path compression.
+func (d *DSU) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int) bool { return d.find(a) == d.find(b) }
+
+// Leader returns the head node of x's set: the privileged root if present,
+// otherwise the smallest member (the paper's FIND-SET).
+func (d *DSU) Leader(x int) int { return d.leader[d.find(x)] }
+
+// Union merges the sets of a and b and returns true if they were distinct.
+// The merged set's leader follows the paper's rule.
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return false
+	}
+	la, lb := d.leader[ra], d.leader[rb]
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	d.leader[ra] = mergeLeader(la, lb, d.root)
+	d.sets--
+	return true
+}
+
+func mergeLeader(a, b, root int) int {
+	if a == root || b == root {
+		return root
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Members returns the elements of x's set in increasing order. O(n); used
+// by construction traces and tests, not hot paths.
+func (d *DSU) Members(x int) []int {
+	r := d.find(x)
+	var out []int
+	for i := range d.parent {
+		if d.find(i) == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}

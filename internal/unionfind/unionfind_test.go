@@ -1,0 +1,167 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingletons(t *testing.T) {
+	d := New(5, -1)
+	if d.Sets() != 5 || d.Len() != 5 {
+		t.Fatalf("sets=%d len=%d", d.Sets(), d.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Leader(i) != i {
+			t.Fatalf("singleton leader(%d) = %d", i, d.Leader(i))
+		}
+	}
+	if d.Same(0, 1) {
+		t.Fatal("distinct singletons reported same")
+	}
+}
+
+func TestLeaderIsMinRankWithoutRoot(t *testing.T) {
+	d := New(8, -1)
+	d.Union(5, 7)
+	if d.Leader(7) != 5 {
+		t.Fatalf("leader = %d, want 5", d.Leader(7))
+	}
+	d.Union(7, 2)
+	if d.Leader(5) != 2 {
+		t.Fatalf("leader = %d, want 2", d.Leader(5))
+	}
+	d.Union(0, 1)
+	d.Union(1, 2) // merge {0,1} with {2,5,7}
+	for _, x := range []int{0, 1, 2, 5, 7} {
+		if d.Leader(x) != 0 {
+			t.Fatalf("leader(%d) = %d, want 0", x, d.Leader(x))
+		}
+	}
+}
+
+func TestRootDominatesLeadership(t *testing.T) {
+	// The paper's FIND-SET: the root process leads any set containing it,
+	// even when other members have smaller ranks.
+	d := New(8, 5)
+	d.Union(5, 6)
+	if d.Leader(6) != 5 {
+		t.Fatalf("leader = %d, want root 5", d.Leader(6))
+	}
+	d.Union(0, 6) // {0,5,6}: 0 < 5 but 5 is root
+	if d.Leader(0) != 5 {
+		t.Fatalf("leader = %d, want root 5", d.Leader(0))
+	}
+	// A set without the root keeps min-rank leadership.
+	d.Union(3, 7)
+	if d.Leader(7) != 3 {
+		t.Fatalf("leader = %d, want 3", d.Leader(7))
+	}
+}
+
+func TestUnionReturnValueAndSetCount(t *testing.T) {
+	d := New(4, -1)
+	if !d.Union(0, 1) {
+		t.Fatal("first union returned false")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeated union returned true")
+	}
+	if d.Sets() != 3 {
+		t.Fatalf("sets = %d, want 3", d.Sets())
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if d.Sets() != 1 {
+		t.Fatalf("sets = %d, want 1", d.Sets())
+	}
+	if !d.Same(0, 2) {
+		t.Fatal("all elements should be united")
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	d := New(6, -1)
+	d.Union(4, 2)
+	d.Union(2, 5)
+	got := d.Members(4)
+	want := []int{2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	for _, c := range []struct{ n, root int }{{0, -1}, {-3, -1}, {4, 4}, {4, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.n, c.root)
+				}
+			}()
+			New(c.n, c.root)
+		}()
+	}
+}
+
+// TestAgainstNaive cross-checks leadership and connectivity against a
+// brute-force implementation under random union sequences.
+func TestAgainstNaive(t *testing.T) {
+	const n = 24
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		root := int(seed%3) - 1 // exercise -1, 0, 1 as privileged roots
+		if root >= n {
+			root = -1
+		}
+		d := New(n, root)
+		group := make([]int, n) // naive: group id per element
+		for i := range group {
+			group[i] = i
+		}
+		naiveLeader := func(x int) int {
+			g := group[x]
+			leader := -1
+			for i := 0; i < n; i++ {
+				if group[i] != g {
+					continue
+				}
+				if i == root {
+					return root
+				}
+				if leader == -1 {
+					leader = i
+				}
+			}
+			return leader
+		}
+		for step := 0; step < 80; step++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			merged := d.Union(a, b)
+			if merged != (group[a] != group[b]) {
+				t.Fatalf("seed %d step %d: union(%d,%d) merged=%v, naive=%v",
+					seed, step, a, b, merged, group[a] != group[b])
+			}
+			if merged {
+				ga, gb := group[a], group[b]
+				for i := range group {
+					if group[i] == gb {
+						group[i] = ga
+					}
+				}
+			}
+			x := rng.Intn(n)
+			if got, want := d.Leader(x), naiveLeader(x); got != want {
+				t.Fatalf("seed %d step %d: leader(%d) = %d, want %d", seed, step, x, got, want)
+			}
+			y := rng.Intn(n)
+			if d.Same(x, y) != (group[x] == group[y]) {
+				t.Fatalf("seed %d step %d: Same(%d,%d) mismatch", seed, step, x, y)
+			}
+		}
+	}
+}
