@@ -29,6 +29,7 @@ import (
 	"distcoll/internal/core"
 	"distcoll/internal/distance"
 	"distcoll/internal/exec"
+	"distcoll/internal/fault"
 	"distcoll/internal/figures"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/imb"
@@ -97,10 +98,15 @@ type (
 	Levels      = core.Levels
 )
 
-// Topology construction and compilation.
+// Topology construction and compilation. The Rebuild/Restrict helpers are
+// the self-healing half: re-running the constructions over the survivors
+// of a rank failure.
 var (
 	BuildBroadcastTree          = core.BuildBroadcastTree
 	BuildAllgatherRing          = core.BuildAllgatherRing
+	RestrictDistanceMatrix      = core.RestrictMatrix
+	RebuildBroadcastTree        = core.RebuildBroadcastTree
+	RebuildAllgatherRing        = core.RebuildAllgatherRing
 	BuildBroadcastTreeFast      = core.BuildBroadcastTreeFast
 	BuildAllgatherRingFast      = core.BuildAllgatherRingFast
 	NewLinearTree               = core.NewLinearTree
@@ -122,10 +128,13 @@ type (
 	Buffers  = exec.Buffers
 )
 
-// Functional executors (real memory, full concurrency).
+// Functional executors (real memory, full concurrency). The context
+// variant aborts on cancellation/deadline with a pending-op diagnostic
+// instead of deadlocking.
 var (
-	AllocBuffers = exec.Alloc
-	RunSchedule  = exec.Run
+	AllocBuffers       = exec.Alloc
+	RunSchedule        = exec.Run
+	RunScheduleContext = exec.RunContext
 )
 
 // Baselines (rank-based algorithms the paper compares against).
@@ -151,6 +160,31 @@ type (
 	ReduceOp  = mpi.ReduceOp
 )
 
+// Fault tolerance: deterministic fault injection (transport faults, rank
+// crashes), watchdogged failure detection, and ULFM-style recovery via
+// Comm.Shrink / the *Resilient collectives.
+type (
+	FaultPlan        = fault.Plan
+	FaultInjector    = fault.Injector
+	FaultStats       = fault.Stats
+	RankFailureError = mpi.RankFailureError
+	HangError        = mpi.HangError
+	SendTimeoutError = mpi.SendTimeoutError
+)
+
+// Fault-layer constructors, classifiers, and World options.
+var (
+	NewFaultInjector    = fault.NewInjector
+	IsTransientFault    = fault.IsTransient
+	IsCrashed           = fault.IsCrashed
+	IsRankFailure       = mpi.IsRankFailure
+	IsHang              = mpi.IsHang
+	WithFault           = mpi.WithFault
+	WithOpDeadline      = mpi.WithOpDeadline
+	WithSendTimeout     = mpi.WithSendTimeout
+	WithMailboxCapacity = mpi.WithMailboxCapacity
+)
+
 // Built-in reduction operators.
 var (
 	OpSumFloat64 = mpi.OpSumFloat64
@@ -166,8 +200,10 @@ const (
 	MPICH2   = mpi.MPICH2
 )
 
-// NewWorld creates a mini-MPI job over a binding.
-func NewWorld(b *Binding) *World { return mpi.NewWorld(b) }
+// NewWorld creates a mini-MPI job over a binding. Options configure the
+// fault layer: WithFault, WithOpDeadline, WithSendTimeout,
+// WithMailboxCapacity.
+func NewWorld(b *Binding, opts ...mpi.Option) *World { return mpi.NewWorld(b, opts...) }
 
 // Performance model and simulation.
 type MachineParams = machine.Params

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"distcoll/internal/distance"
+)
+
+// This file is the self-healing half of the topology layer: when ranks
+// die mid-job, the distance-aware constructions are simply re-run over
+// the survivors. Because Algorithms 1 and 2 take nothing but a distance
+// matrix, recovery is a restriction of the original matrix followed by
+// an ordinary build — the same topology-rebuild trick multilevel
+// frameworks use when the process set changes.
+
+// RestrictMatrix returns dist restricted to the given alive ranks, in the
+// order given: the process-distance matrix of the shrunken communicator.
+// alive must be non-empty and hold distinct indices into the original
+// matrix.
+func RestrictMatrix(m distance.Matrix, alive []int) (distance.Matrix, error) {
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("core: no surviving ranks")
+	}
+	n := m.Size()
+	seen := make(map[int]bool, len(alive))
+	for _, r := range alive {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("core: surviving rank %d out of range [0,%d)", r, n)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("core: surviving rank %d listed twice", r)
+		}
+		seen[r] = true
+	}
+	sub := make(distance.Matrix, len(alive))
+	for i, ri := range alive {
+		sub[i] = make([]int, len(alive))
+		for j, rj := range alive {
+			sub[i][j] = m.At(ri, rj)
+		}
+	}
+	return sub, nil
+}
+
+// RebuildBroadcastTree re-runs Algorithm 1 over the surviving subset of a
+// communicator — the recovery step after a rank failure. root is given in
+// the ORIGINAL rank space and must be among the survivors. The returned
+// tree is in subset space (its rank i is the survivor alive[i]); the
+// second result maps subset ranks back to original ranks.
+func RebuildBroadcastTree(m distance.Matrix, alive []int, root int, opts TreeOptions) (*Tree, []int, error) {
+	sub, err := RestrictMatrix(m, alive)
+	if err != nil {
+		return nil, nil, err
+	}
+	subRoot := -1
+	for i, r := range alive {
+		if r == root {
+			subRoot = i
+			break
+		}
+	}
+	if subRoot < 0 {
+		return nil, nil, fmt.Errorf("core: broadcast root %d did not survive", root)
+	}
+	t, err := BuildBroadcastTree(sub, subRoot, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ranks := make([]int, len(alive))
+	copy(ranks, alive)
+	return t, ranks, nil
+}
+
+// RebuildAllgatherRing re-runs Algorithm 2 over the surviving subset. The
+// returned ring is in subset space; the second result maps subset ranks
+// back to original ranks.
+func RebuildAllgatherRing(m distance.Matrix, alive []int, opts RingOptions) (*Ring, []int, error) {
+	sub, err := RestrictMatrix(m, alive)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := BuildAllgatherRing(sub, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ranks := make([]int, len(alive))
+	copy(ranks, alive)
+	return r, ranks, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+)
+
+func TestRestrictMatrix(t *testing.T) {
+	ig := hwtopo.NewIG()
+	b, err := binding.Random(ig, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, b.Cores())
+	alive := []int{0, 2, 5, 9, 11}
+	sub, err := RestrictMatrix(m, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Size() != len(alive) {
+		t.Fatalf("restricted size = %d", sub.Size())
+	}
+	for i, ri := range alive {
+		for j, rj := range alive {
+			if sub.At(i, j) != m.At(ri, rj) {
+				t.Fatalf("sub[%d][%d] = %d, want m[%d][%d] = %d",
+					i, j, sub.At(i, j), ri, rj, m.At(ri, rj))
+			}
+		}
+	}
+	for _, bad := range [][]int{nil, {0, 0}, {-1}, {12}} {
+		if _, err := RestrictMatrix(m, bad); err == nil {
+			t.Errorf("RestrictMatrix(%v) accepted", bad)
+		}
+	}
+}
+
+func TestRebuildBroadcastTreeOverSurvivors(t *testing.T) {
+	// Kill ranks one at a time on a cross-socket binding: every rebuilt
+	// tree must validate, keep the requested root, and — the paper's
+	// optimality property — it must equal a fresh Algorithm-1 build over
+	// the survivors' own distance matrix.
+	ig := hwtopo.NewIG()
+	b, err := binding.CrossSocket(ig, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, b.Cores())
+	const root = 0
+	for dead := 1; dead < 16; dead++ {
+		var alive []int
+		for r := 0; r < 16; r++ {
+			if r != dead {
+				alive = append(alive, r)
+			}
+		}
+		tree, ranks, err := RebuildBroadcastTree(m, alive, root, TreeOptions{})
+		if err != nil {
+			t.Fatalf("dead=%d: %v", dead, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("dead=%d: invalid tree: %v", dead, err)
+		}
+		if ranks[tree.Root] != root {
+			t.Fatalf("dead=%d: root moved to original rank %d", dead, ranks[tree.Root])
+		}
+		for i, orig := range ranks {
+			if orig == dead {
+				t.Fatalf("dead=%d: dead rank mapped at subset slot %d", dead, i)
+			}
+		}
+		// Cross-check: building directly from the survivors' cores gives
+		// the same topology (weights and parents).
+		cores := make([]int, len(alive))
+		for i, r := range alive {
+			cores[i] = b.CoreOf(r)
+		}
+		fresh, err := BuildBroadcastTree(distance.NewMatrix(ig, cores), 0, TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range tree.Parent {
+			if tree.Parent[r] != fresh.Parent[r] {
+				t.Fatalf("dead=%d: rebuilt parent[%d]=%d, fresh build %d",
+					dead, r, tree.Parent[r], fresh.Parent[r])
+			}
+		}
+	}
+	// A dead root is unrecoverable by rebuild.
+	if _, _, err := RebuildBroadcastTree(m, []int{1, 2, 3}, 0, TreeOptions{}); err == nil {
+		t.Error("rebuild accepted a dead root")
+	}
+}
+
+func TestRebuildAllgatherRingOverSurvivors(t *testing.T) {
+	ig := hwtopo.NewIG()
+	b, err := binding.Random(ig, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, b.Cores())
+	alive := []int{0, 1, 3, 4, 6, 7, 9, 10}
+	ring, ranks, err := RebuildAllgatherRing(m, alive, RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Validate(); err != nil {
+		t.Fatalf("invalid rebuilt ring: %v", err)
+	}
+	if ring.Size() != len(alive) {
+		t.Fatalf("ring size = %d, want %d", ring.Size(), len(alive))
+	}
+	for i, r := range ranks {
+		if r != alive[i] {
+			t.Fatalf("ranks[%d] = %d, want %d", i, r, alive[i])
+		}
+	}
+	// Survivor singleton and pair still form valid rings.
+	for _, small := range [][]int{{5}, {2, 8}} {
+		r, _, err := RebuildAllgatherRing(m, small, RingOptions{})
+		if err != nil {
+			t.Fatalf("alive=%v: %v", small, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("alive=%v: %v", small, err)
+		}
+	}
+}

@@ -6,8 +6,10 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"distcoll/internal/sched"
 )
@@ -46,6 +48,20 @@ func Run(s *sched.Schedule, b *Buffers) error {
 // RunReduce executes a schedule that may contain OpReduce operations,
 // combining with the given operator.
 func RunReduce(s *sched.Schedule, b *Buffers, combine Combiner) error {
+	return RunReduceContext(context.Background(), s, b, combine)
+}
+
+// RunContext is Run under a context: when ctx is canceled or its deadline
+// passes, operations blocked on dependencies abort instead of waiting
+// forever, already-running copies finish, and the returned error carries
+// a diagnostic of every unfinished operation — the hang dump a watchdog
+// prints instead of deadlocking the job.
+func RunContext(ctx context.Context, s *sched.Schedule, b *Buffers) error {
+	return RunReduceContext(ctx, s, b, nil)
+}
+
+// RunReduceContext is RunContext with a reduction operator.
+func RunReduceContext(ctx context.Context, s *sched.Schedule, b *Buffers, combine Combiner) error {
 	if err := check(s, b, combine); err != nil {
 		return err
 	}
@@ -53,6 +69,8 @@ func RunReduce(s *sched.Schedule, b *Buffers, combine Combiner) error {
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
+	finished := make([]atomic.Bool, len(s.Ops))
+	cancel := ctx.Done()
 	var wg sync.WaitGroup
 	wg.Add(len(s.Ops))
 	for i := range s.Ops {
@@ -60,13 +78,25 @@ func RunReduce(s *sched.Schedule, b *Buffers, combine Combiner) error {
 		go func() {
 			defer wg.Done()
 			for _, d := range op.Deps {
-				<-done[d]
+				select {
+				case <-done[d]:
+				case <-cancel:
+					return
+				}
+			}
+			if ctx.Err() != nil {
+				return
 			}
 			perform(b, op, combine)
+			finished[op.ID].Store(true)
 			close(done[op.ID])
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("exec: schedule aborted (%w); %s", err,
+			s.PendingDump(func(id sched.OpID) bool { return finished[id].Load() }))
+	}
 	return nil
 }
 

@@ -2,6 +2,9 @@ package exec
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"strings"
 	"fmt"
 	"testing"
 
@@ -234,4 +237,95 @@ func ExampleRun() {
 	}
 	fmt.Println(string(bufs.Bytes(dst)))
 	// Output: distcoll
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	// A dead context aborts before any op runs; the error carries the
+	// pending-op hang dump.
+	ig := hwtopo.NewIG()
+	b, err := binding.Contiguous(ig, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, b.Cores())
+	tree, err := core.BuildBroadcastTree(m, 0, core.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.CompileBroadcast(tree, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := Alloc(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = RunContext(ctx, s, bufs)
+	if err == nil {
+		t.Fatal("canceled run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "ops unfinished") {
+		t.Fatalf("error lacks pending-op dump: %v", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// op0 is a reduce whose combiner cancels the context; the downstream
+	// op must abort instead of performing, deterministically — the cancel
+	// happens strictly before op0's completion is signaled.
+	s := sched.New(2)
+	b0 := s.AddBuffer(0, "a", 8)
+	b1 := s.AddBuffer(1, "a", 8)
+	o0 := s.AddOp(sched.Op{Rank: 0, Kind: sched.OpReduce, Mode: sched.ModeLocal, Src: b0, Dst: b0, Bytes: 8})
+	s.AddOp(sched.Op{Rank: 1, Mode: sched.ModeKnem, Src: b0, Dst: b1, Bytes: 8, Deps: []sched.OpID{o0}})
+	bufs := Alloc(s)
+	copy(bufs.Bytes(b0), "payload!")
+	ctx, cancel := context.WithCancel(context.Background())
+	bomb := func(dst, src []byte) { cancel() }
+	err := RunReduceContext(ctx, s, bufs, bomb)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want canceled error, got %v", err)
+	}
+	if strings.Contains(err.Error(), "all ops finished") {
+		t.Fatalf("dump claims completion after cancel: %v", err)
+	}
+	if bytes.Equal(bufs.Bytes(b1), bufs.Bytes(b0)) {
+		t.Fatal("downstream op performed after cancellation")
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	z := hwtopo.NewZoot()
+	b, err := binding.Random(z, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(z, b.Cores())
+	ring, err := core.BuildAllgatherRing(m, core.RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.CompileAllgather(ring, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := Alloc(s)
+	var want []byte
+	for r := 0; r < 16; r++ {
+		id, _ := s.FindBuffer(r, "send")
+		p := pattern(r, 123)
+		copy(bufs.Bytes(id), p)
+		want = append(want, p...)
+	}
+	if err := RunContext(context.Background(), s, bufs); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		id, _ := s.FindBuffer(r, "recv")
+		if !bytes.Equal(bufs.Bytes(id), want) {
+			t.Fatalf("rank %d gathered wrong data under background context", r)
+		}
+	}
 }

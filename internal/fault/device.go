@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"distcoll/internal/knem"
+)
+
+// Device interposes an Injector on a knem.Mover: copies may be delayed,
+// fail transiently, be corrupted, or fail permanently once the calling
+// rank has crashed. Declare/Destroy pass through untouched — region
+// bookkeeping is host-kernel state, not a data-path operation.
+type Device struct {
+	inner knem.Mover
+	in    *Injector
+}
+
+var _ knem.Mover = (*Device)(nil)
+
+// Wrap returns a Mover that routes m's data path through the injector.
+func (in *Injector) Wrap(m knem.Mover) *Device {
+	return &Device{inner: m, in: in}
+}
+
+// Inner returns the wrapped transport.
+func (d *Device) Inner() knem.Mover { return d.inner }
+
+// Declare passes through to the wrapped device.
+func (d *Device) Declare(owner int, buf []byte) knem.Cookie {
+	return d.inner.Declare(owner, buf)
+}
+
+// Destroy passes through to the wrapped device.
+func (d *Device) Destroy(owner int, c knem.Cookie) error {
+	return d.inner.Destroy(owner, c)
+}
+
+// CopyFrom applies injected faults around the wrapped pull; a corrupted
+// pull flips one byte of the data delivered to the caller.
+func (d *Device) CopyFrom(caller int, c knem.Cookie, offset int64, dst []byte) error {
+	seq, err := d.in.onCopy(caller)
+	if err != nil {
+		return err
+	}
+	if err := d.inner.CopyFrom(caller, c, offset, dst); err != nil {
+		return err
+	}
+	d.in.corrupt(caller, seq, dst)
+	return nil
+}
+
+// CopyTo applies injected faults around the wrapped push; a corrupted
+// push writes one flipped byte into the region while the caller's source
+// buffer stays intact.
+func (d *Device) CopyTo(caller int, c knem.Cookie, offset int64, src []byte) error {
+	seq, err := d.in.onCopy(caller)
+	if err != nil {
+		return err
+	}
+	in := d.in
+	in.mu.Lock()
+	hit := in.decide(caller, seq, saltCorrupt, in.plan.CorruptProb)
+	if hit {
+		in.stats.Corruptions++
+	}
+	in.mu.Unlock()
+	if hit {
+		cp := make([]byte, len(src))
+		copy(cp, src)
+		if len(cp) > 0 {
+			idx := mix(uint64(in.plan.Seed), uint64(caller), uint64(seq), saltCorruptIdx) % uint64(len(cp))
+			cp[idx] ^= 0xFF
+		}
+		src = cp
+	}
+	return d.inner.CopyTo(caller, c, offset, src)
+}

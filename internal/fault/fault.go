@@ -1,0 +1,281 @@
+// Package fault is the fault-injection layer of the mini-MPI runtime: a
+// deterministic, seed-driven injector that wraps the KNEM transport and
+// the mailbox point-to-point path with the failures a production MPI stack
+// must survive — transient copy errors, corrupted or delayed transfers,
+// dropped messages, slow ranks, and whole-rank crashes.
+//
+// Determinism is the design center: every injection decision is a pure
+// function of (seed, rank, that rank's operation index), never of
+// wall-clock time or goroutine interleaving, so a failing run replays
+// exactly under `go test -race` and in CI. Crashes are sticky — once a
+// rank crashes, every later operation it attempts fails with the same
+// CrashError, emulating a dead process.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Plan configures which faults an Injector introduces. The zero Plan
+// injects nothing. Probabilities are per-operation in [0,1].
+type Plan struct {
+	// Seed drives every probabilistic decision; two injectors with equal
+	// plans make identical decisions.
+	Seed int64
+
+	// CopyFailProb is the probability a KNEM copy fails transiently (the
+	// retryable EAGAIN class). MaxTransients caps the total number of
+	// injected transient failures (0 = unlimited), so retry loops can be
+	// proven to converge.
+	CopyFailProb  float64
+	MaxTransients int64
+
+	// CorruptProb is the probability a completed copy is corrupted: one
+	// byte of the transferred data is flipped.
+	CorruptProb float64
+
+	// DelayProb stalls a copy for Delay before it executes.
+	DelayProb float64
+	Delay     time.Duration
+
+	// DropProb is the probability a mailbox message is silently lost in
+	// transit; MsgDelayProb/MsgDelay stall delivery instead.
+	DropProb     float64
+	MsgDelayProb float64
+	MsgDelay     time.Duration
+
+	// CrashAtOp maps a rank to the 0-based index of the collective
+	// operation at which it dies: the rank completes CrashAtOp[r]
+	// operations, then fails permanently.
+	CrashAtOp map[int]int
+
+	// SlowRanks stalls every operation of the given ranks by the given
+	// duration (a straggler, not a failure).
+	SlowRanks map[int]time.Duration
+}
+
+// TransientError is a retryable injected copy failure.
+type TransientError struct {
+	Rank int   // rank whose copy failed
+	Op   int64 // that rank's device-operation index
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("fault: transient copy failure injected (rank %d, copy %d)", e.Rank, e.Op)
+}
+
+// IsTransient reports whether err is (or wraps) an injected transient
+// failure, i.e. whether retrying can succeed.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// CrashError marks a rank as dead: the rank reached its crash point and
+// every operation it attempts from then on fails with this error.
+type CrashError struct {
+	Rank int
+	Op   int // the operation index at which the rank died
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: rank %d crashed at operation %d (injected)", e.Rank, e.Op)
+}
+
+// IsCrashed reports whether err is (or wraps) a rank crash.
+func IsCrashed(err error) bool {
+	var ce *CrashError
+	return errors.As(err, &ce)
+}
+
+// Stats counts the faults an injector has introduced.
+type Stats struct {
+	Transients  int64 // transient copy failures
+	Corruptions int64 // corrupted copies
+	Delays      int64 // delayed copies or messages
+	Drops       int64 // dropped mailbox messages
+	Crashes     int64 // rank crashes
+}
+
+// Injector makes fault decisions for one world. It is safe for concurrent
+// use by all rank goroutines.
+type Injector struct {
+	plan Plan
+
+	mu      sync.Mutex
+	copySeq map[int]int64       // per-rank device-operation index
+	opSeq   map[int]int         // per-rank collective-operation index
+	sendSeq map[[2]int]int64    // per-(src,dst) message index
+	crashed map[int]bool        // sticky crash state
+	stats   Stats
+}
+
+// NewInjector builds an injector for the plan.
+func NewInjector(p Plan) *Injector {
+	return &Injector{
+		plan:    p,
+		copySeq: make(map[int]int64),
+		opSeq:   make(map[int]int),
+		sendSeq: make(map[[2]int]int64),
+		crashed: make(map[int]bool),
+	}
+}
+
+// Plan returns the plan the injector was built from.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Crashed reports whether rank has passed its crash point.
+func (in *Injector) Crashed(rank int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed[rank]
+}
+
+// BeforeOp is called by the runtime before a rank executes one schedule
+// operation. It applies straggler delay, and kills the rank when it
+// reaches its planned crash point (or has already crashed).
+func (in *Injector) BeforeOp(rank int) error {
+	in.mu.Lock()
+	if in.crashed[rank] {
+		op := in.opSeq[rank]
+		in.mu.Unlock()
+		return &CrashError{Rank: rank, Op: op}
+	}
+	op := in.opSeq[rank]
+	in.opSeq[rank] = op + 1
+	crashAt, planned := in.plan.CrashAtOp[rank]
+	if planned && op >= crashAt {
+		in.crashed[rank] = true
+		in.stats.Crashes++
+		in.mu.Unlock()
+		return &CrashError{Rank: rank, Op: op}
+	}
+	slow := in.plan.SlowRanks[rank]
+	in.mu.Unlock()
+	if slow > 0 {
+		time.Sleep(slow)
+	}
+	return nil
+}
+
+// onCopy makes the per-copy decision for rank: crash (sticky), delay,
+// then possibly a transient failure. It returns the copy's sequence
+// number for corruption keying.
+func (in *Injector) onCopy(rank int) (int64, error) {
+	in.mu.Lock()
+	if in.crashed[rank] {
+		op := in.opSeq[rank]
+		in.mu.Unlock()
+		return 0, &CrashError{Rank: rank, Op: op}
+	}
+	seq := in.copySeq[rank]
+	in.copySeq[rank] = seq + 1
+	delay := time.Duration(0)
+	if in.plan.Delay > 0 && in.decide(rank, seq, saltDelay, in.plan.DelayProb) {
+		delay = in.plan.Delay
+		in.stats.Delays++
+	}
+	var err error
+	if in.decide(rank, seq, saltFail, in.plan.CopyFailProb) &&
+		(in.plan.MaxTransients == 0 || in.stats.Transients < in.plan.MaxTransients) {
+		in.stats.Transients++
+		err = &TransientError{Rank: rank, Op: seq}
+	}
+	in.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return seq, err
+}
+
+// corrupt flips one deterministic byte of data when the corruption draw
+// for (rank, seq) fires.
+func (in *Injector) corrupt(rank int, seq int64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	in.mu.Lock()
+	hit := in.decide(rank, seq, saltCorrupt, in.plan.CorruptProb)
+	if hit {
+		in.stats.Corruptions++
+	}
+	in.mu.Unlock()
+	if hit {
+		idx := mix(uint64(in.plan.Seed), uint64(rank), uint64(seq), saltCorruptIdx) % uint64(len(data))
+		data[idx] ^= 0xFF
+	}
+}
+
+// OnSend is consulted by the mailbox transport for each message from src
+// to dst. drop=true means the message is lost in transit; a non-zero
+// delay stalls delivery. A crashed sender cannot send.
+func (in *Injector) OnSend(src, dst int) (drop bool, delay time.Duration, err error) {
+	in.mu.Lock()
+	if in.crashed[src] {
+		op := in.opSeq[src]
+		in.mu.Unlock()
+		return false, 0, &CrashError{Rank: src, Op: op}
+	}
+	key := [2]int{src, dst}
+	seq := in.sendSeq[key]
+	in.sendSeq[key] = seq + 1
+	// Key message draws by a combined src/dst identity so every directed
+	// pair has an independent deterministic stream.
+	pair := src*1_000_003 + dst
+	if in.decide(pair, seq, saltDrop, in.plan.DropProb) {
+		in.stats.Drops++
+		in.mu.Unlock()
+		return true, 0, nil
+	}
+	if in.plan.MsgDelay > 0 && in.decide(pair, seq, saltMsgDelay, in.plan.MsgDelayProb) {
+		in.stats.Delays++
+		delay = in.plan.MsgDelay
+	}
+	in.mu.Unlock()
+	return false, delay, nil
+}
+
+// decide makes one deterministic probabilistic draw. Callers hold in.mu.
+func (in *Injector) decide(rank int, seq int64, salt uint64, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	h := mix(uint64(in.plan.Seed), uint64(rank), uint64(seq), salt)
+	return float64(h>>11)/float64(1<<53) < prob
+}
+
+const (
+	saltFail       = 0x9E3779B97F4A7C15
+	saltCorrupt    = 0xC2B2AE3D27D4EB4F
+	saltCorruptIdx = 0x165667B19E3779F9
+	saltDelay      = 0x27D4EB2F165667C5
+	saltDrop       = 0x85EBCA77C2B2AE63
+	saltMsgDelay   = 0xFF51AFD7ED558CCD
+)
+
+// mix is a splitmix64-style avalanche over the decision coordinates.
+func mix(vs ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vs {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}

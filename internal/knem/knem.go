@@ -21,6 +21,20 @@ import (
 // Cookie identifies a declared region. The zero Cookie is never valid.
 type Cookie uint64
 
+// Mover is the transport interface the runtime moves collective bytes
+// through. *Device is the real emulation; wrappers (e.g. the fault
+// injector) interpose on it to drop, delay, corrupt or fail operations.
+// The caller argument of the copy methods identifies the rank performing
+// the operation — implicit in the real kernel module (the calling
+// process), explicit here so interposers can attribute faults to ranks
+// deterministically.
+type Mover interface {
+	Declare(owner int, buf []byte) Cookie
+	Destroy(owner int, c Cookie) error
+	CopyFrom(caller int, c Cookie, offset int64, dst []byte) error
+	CopyTo(caller int, c Cookie, offset int64, src []byte) error
+}
+
 // Device is one node's KNEM pseudo-device.
 type Device struct {
 	mu      sync.RWMutex
@@ -40,6 +54,8 @@ type region struct {
 func NewDevice() *Device {
 	return &Device{regions: make(map[Cookie]*region)}
 }
+
+var _ Mover = (*Device)(nil)
 
 // Declare registers buf as a region owned by rank and returns its cookie.
 // The buffer is aliased, not copied: later writes by the owner are visible
@@ -68,9 +84,39 @@ func (d *Device) Destroy(owner int, c Cookie) error {
 	return nil
 }
 
+// ForceDestroy removes a region regardless of owner, tolerating invalid
+// cookies, and reports whether the region existed. It is the crash-cleanup
+// path: after a process failure the runtime reclaims the dead process's
+// pinned regions (and an abandoned collective's surviving regions) without
+// the owner's cooperation.
+func (d *Device) ForceDestroy(c Cookie) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.regions[c]
+	delete(d.regions, c)
+	return ok
+}
+
+// PurgeOwner destroys every region owned by the given rank and returns how
+// many were reclaimed — the kernel tearing down a dead process's state.
+func (d *Device) PurgeOwner(owner int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for c, r := range d.regions {
+		if r.owner == owner {
+			delete(d.regions, c)
+			n++
+		}
+	}
+	return n
+}
+
 // CopyFrom pulls bytes out of the region at the given offset into dst
 // (inline get — the common pull direction of the paper's collectives).
-func (d *Device) CopyFrom(c Cookie, offset int64, dst []byte) error {
+// caller is the rank performing the pull.
+func (d *Device) CopyFrom(caller int, c Cookie, offset int64, dst []byte) error {
+	_ = caller
 	r, err := d.lookup(c, offset, int64(len(dst)))
 	if err != nil {
 		return err
@@ -81,7 +127,9 @@ func (d *Device) CopyFrom(c Cookie, offset int64, dst []byte) error {
 }
 
 // CopyTo pushes src into the region at the given offset (inline put).
-func (d *Device) CopyTo(c Cookie, offset int64, src []byte) error {
+// caller is the rank performing the put.
+func (d *Device) CopyTo(caller int, c Cookie, offset int64, src []byte) error {
+	_ = caller
 	r, err := d.lookup(c, offset, int64(len(src)))
 	if err != nil {
 		return err

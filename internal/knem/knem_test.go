@@ -11,13 +11,13 @@ func TestDeclareCopyDestroy(t *testing.T) {
 	buf := []byte("hello knem region")
 	c := d.Declare(0, buf)
 	out := make([]byte, 5)
-	if err := d.CopyFrom(c, 6, out); err != nil {
+	if err := d.CopyFrom(0, c, 6, out); err != nil {
 		t.Fatal(err)
 	}
 	if string(out) != "knem " {
 		t.Fatalf("CopyFrom = %q", out)
 	}
-	if err := d.CopyTo(c, 0, []byte("HELLO")); err != nil {
+	if err := d.CopyTo(0, c, 0, []byte("HELLO")); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.HasPrefix(buf, []byte("HELLO")) {
@@ -26,7 +26,7 @@ func TestDeclareCopyDestroy(t *testing.T) {
 	if err := d.Destroy(0, c); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.CopyFrom(c, 0, out); err == nil {
+	if err := d.CopyFrom(0, c, 0, out); err == nil {
 		t.Fatal("copy from destroyed cookie succeeded")
 	}
 	declared, live, copies := d.Stats()
@@ -43,7 +43,7 @@ func TestRegionAliasesOwnerBuffer(t *testing.T) {
 	c := d.Declare(3, buf)
 	copy(buf, "fresh!!!")
 	out := make([]byte, 8)
-	if err := d.CopyFrom(c, 0, out); err != nil {
+	if err := d.CopyFrom(0, c, 0, out); err != nil {
 		t.Fatal(err)
 	}
 	if string(out) != "fresh!!!" {
@@ -54,13 +54,13 @@ func TestRegionAliasesOwnerBuffer(t *testing.T) {
 func TestBoundsAndOwnership(t *testing.T) {
 	d := NewDevice()
 	c := d.Declare(1, make([]byte, 16))
-	if err := d.CopyFrom(c, 10, make([]byte, 8)); err == nil {
+	if err := d.CopyFrom(0, c, 10, make([]byte, 8)); err == nil {
 		t.Error("overrun read accepted")
 	}
-	if err := d.CopyTo(c, -1, make([]byte, 2)); err == nil {
+	if err := d.CopyTo(0, c, -1, make([]byte, 2)); err == nil {
 		t.Error("negative offset accepted")
 	}
-	if err := d.CopyFrom(Cookie(999), 0, make([]byte, 1)); err == nil {
+	if err := d.CopyFrom(0, Cookie(999), 0, make([]byte, 1)); err == nil {
 		t.Error("bogus cookie accepted")
 	}
 	if err := d.Destroy(2, c); err == nil {
@@ -77,10 +77,10 @@ func TestBoundsAndOwnership(t *testing.T) {
 func TestZeroLengthCopies(t *testing.T) {
 	d := NewDevice()
 	c := d.Declare(0, make([]byte, 4))
-	if err := d.CopyFrom(c, 4, nil); err != nil {
+	if err := d.CopyFrom(0, c, 4, nil); err != nil {
 		t.Errorf("zero-length read at end: %v", err)
 	}
-	if err := d.CopyTo(c, 0, nil); err != nil {
+	if err := d.CopyTo(0, c, 0, nil); err != nil {
 		t.Errorf("zero-length write: %v", err)
 	}
 }
@@ -103,7 +103,7 @@ func TestConcurrentPulls(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			out := make([]byte, chunk)
-			if err := d.CopyFrom(c, int64(w*chunk), out); err != nil {
+			if err := d.CopyFrom(0, c, int64(w*chunk), out); err != nil {
 				t.Error(err)
 				return
 			}
@@ -132,7 +132,7 @@ func TestConcurrentDeclareDestroy(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				c := d.Declare(r, make([]byte, 32))
-				if err := d.CopyTo(c, 0, []byte{1, 2, 3}); err != nil {
+				if err := d.CopyTo(r, c, 0, []byte{1, 2, 3}); err != nil {
 					t.Error(err)
 				}
 				if err := d.Destroy(r, c); err != nil {
@@ -144,5 +144,133 @@ func TestConcurrentDeclareDestroy(t *testing.T) {
 	wg.Wait()
 	if _, live, _ := d.Stats(); live != 0 {
 		t.Errorf("live regions = %d after destroy storm", live)
+	}
+}
+
+func TestDestroyVersusCopyRace(t *testing.T) {
+	// An owner destroying its region while other ranks pull from / push to
+	// it: every copy must either complete fully or fail with an
+	// invalid-cookie error — never a partial copy, panic, or data race.
+	d := NewDevice()
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		buf := make([]byte, 256)
+		for j := range buf {
+			buf[j] = 0xAB
+		}
+		c := d.Declare(0, buf)
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			// Pull [0,64) — disjoint from the concurrent push, as KNEM
+			// (like any RMA) leaves overlapping concurrent access undefined.
+			out := make([]byte, 64)
+			if err := d.CopyFrom(1, c, 0, out); err == nil {
+				for _, b := range out {
+					if b != 0xAB {
+						t.Error("successful pull saw torn data")
+						return
+					}
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			src := make([]byte, 16)
+			_ = d.CopyTo(2, c, 64, src) // success or invalid-cookie, both fine
+		}()
+		go func() {
+			defer wg.Done()
+			if err := d.Destroy(0, c); err != nil {
+				t.Errorf("owner destroy failed: %v", err)
+			}
+		}()
+		wg.Wait()
+		if err := d.CopyFrom(1, c, 0, make([]byte, 1)); err == nil {
+			t.Fatal("use-after-destroy cookie accepted")
+		}
+	}
+	if _, live, _ := d.Stats(); live != 0 {
+		t.Errorf("live regions = %d after race rounds", live)
+	}
+}
+
+func TestUseAfterDestroyCookies(t *testing.T) {
+	// Stale cookies must stay invalid forever: cookie values are never
+	// reused, so a late pull against a long-destroyed region always errors.
+	d := NewDevice()
+	var stale []Cookie
+	for i := 0; i < 32; i++ {
+		c := d.Declare(i, make([]byte, 8))
+		if err := d.Destroy(i, c); err != nil {
+			t.Fatal(err)
+		}
+		stale = append(stale, c)
+	}
+	fresh := d.Declare(99, make([]byte, 8))
+	for _, c := range stale {
+		if c == fresh {
+			t.Fatalf("cookie %d reused after destroy", c)
+		}
+		if err := d.CopyFrom(0, c, 0, make([]byte, 4)); err == nil {
+			t.Errorf("stale cookie %d readable", c)
+		}
+		if err := d.CopyTo(0, c, 0, make([]byte, 4)); err == nil {
+			t.Errorf("stale cookie %d writable", c)
+		}
+	}
+}
+
+func TestForceDestroyAndPurgeOwner(t *testing.T) {
+	d := NewDevice()
+	c0 := d.Declare(0, make([]byte, 8))
+	c1 := d.Declare(1, make([]byte, 8))
+	c2 := d.Declare(1, make([]byte, 8))
+	if !d.ForceDestroy(c0) {
+		t.Error("ForceDestroy of live cookie reported missing")
+	}
+	if d.ForceDestroy(c0) {
+		t.Error("ForceDestroy of dead cookie reported live")
+	}
+	if n := d.PurgeOwner(1); n != 2 {
+		t.Errorf("PurgeOwner(1) reclaimed %d regions, want 2", n)
+	}
+	if _, live, _ := d.Stats(); live != 0 {
+		t.Errorf("live regions = %d after purge", live)
+	}
+	if err := d.CopyFrom(0, c1, 0, make([]byte, 1)); err == nil {
+		t.Error("purged cookie readable")
+	}
+	_ = c2
+}
+
+func TestConcurrentPurgeVersusDeclare(t *testing.T) {
+	// A crash-cleanup purge racing new declarations from live ranks: the
+	// purge only reclaims the dead rank's regions.
+	d := NewDevice()
+	const dead = 7
+	for i := 0; i < 20; i++ {
+		d.Declare(dead, make([]byte, 8))
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	live := make([]Cookie, 0, 100)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			live = append(live, d.Declare(1, make([]byte, 8)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		d.PurgeOwner(dead)
+	}()
+	wg.Wait()
+	d.PurgeOwner(dead)
+	for _, c := range live {
+		if err := d.CopyFrom(1, c, 0, make([]byte, 1)); err != nil {
+			t.Fatalf("live rank's region lost to purge: %v", err)
+		}
 	}
 }

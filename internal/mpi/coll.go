@@ -2,10 +2,13 @@ package mpi
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"distcoll/internal/baseline"
 	"distcoll/internal/core"
 	"distcoll/internal/distance"
+	"distcoll/internal/fault"
 	"distcoll/internal/knem"
 	"distcoll/internal/sched"
 )
@@ -39,14 +42,88 @@ func (c Component) String() string {
 	}
 }
 
+// Transient KNEM copy failures are retried with exponential backoff before
+// the collective gives up; MaxTransients-bounded injection plans are
+// guaranteed to converge well inside the attempt budget.
+const (
+	copyRetryAttempts = 8
+	copyRetryBase     = 20 * time.Microsecond
+)
+
 // collPlan is the shared execution state of one collective: the compiled
 // schedule, the real backing buffers, KNEM cookies, and per-op completion
-// gates.
+// gates. Cookie cleanup is handled by a reaper: the LAST member to leave
+// execute force-destroys every region, which works on the success path and
+// on every abandonment path (failure, watchdog timeout, crash) alike,
+// since even a crashing member leaves execute.
 type collPlan struct {
 	s       *sched.Schedule
 	bufs    [][]byte
 	cookies []knem.Cookie
 	done    []chan struct{}
+	world   *World
+	members int
+	leavers atomic.Int32
+}
+
+// isDone reports op completion for the pending-op diagnostic.
+func (p *collPlan) isDone(id sched.OpID) bool {
+	select {
+	case <-p.done[id]:
+		return true
+	default:
+		return false
+	}
+}
+
+// reap releases every KNEM region of the plan. Called exactly once, by the
+// last member to leave execute, so no member can still be mid-copy.
+func (p *collPlan) reap() {
+	if p.world == nil {
+		return
+	}
+	for _, cookie := range p.cookies {
+		p.world.dev.ForceDestroy(cookie)
+	}
+}
+
+// emptyPlan is the no-op plan for zero-byte collectives.
+func (st *commState) emptyPlan(n int) *collPlan {
+	return &collPlan{s: sched.New(n), world: st.world, members: len(st.group)}
+}
+
+// newPlan validates the schedule, binds caller buffers, allocates
+// auxiliary ones (bounce/temporary segments), and declares every buffer as
+// a KNEM region owned by the member's WORLD rank (fault plans address
+// world ranks).
+func (st *commState) newPlan(s *sched.Schedule, caller func(rank int, name string) []byte) (*collPlan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &collPlan{
+		s:       s,
+		bufs:    make([][]byte, len(s.Buffers)),
+		cookies: make([]knem.Cookie, len(s.Buffers)),
+		done:    make([]chan struct{}, len(s.Ops)),
+		world:   st.world,
+		members: len(st.group),
+	}
+	for i, spec := range s.Buffers {
+		if b := caller(spec.Rank, spec.Name); b != nil {
+			if int64(len(b)) != spec.Bytes {
+				return nil, fmt.Errorf("mpi: rank %d buffer %q is %d bytes, schedule expects %d",
+					spec.Rank, spec.Name, len(b), spec.Bytes)
+			}
+			plan.bufs[i] = b
+		} else {
+			plan.bufs[i] = make([]byte, spec.Bytes)
+		}
+		plan.cookies[i] = st.world.mover.Declare(st.group[spec.Rank], plan.bufs[i])
+	}
+	for i := range plan.done {
+		plan.done[i] = make(chan struct{})
+	}
+	return plan, nil
 }
 
 // bcastArgs is each member's contribution to a broadcast.
@@ -74,7 +151,7 @@ func (c *Comm) Bcast(buf []byte, root int, comp Component) error {
 			}
 			size := int64(len(args[0].buf))
 			if size == 0 {
-				return &collPlan{s: sched.New(len(args))}, nil
+				return c.state.emptyPlan(len(args)), nil
 			}
 			s, err := c.buildBcast(size, args[0].root, args[0].comp)
 			if err != nil {
@@ -86,15 +163,12 @@ func (c *Comm) Bcast(buf []byte, root int, comp Component) error {
 				}
 				return nil
 			}
-			return newCollPlan(c.state.world.dev, s, caller)
+			return c.state.newPlan(s, caller)
 		})
 	if err != nil {
 		return err
 	}
-	plan := result.(*collPlan)
-	c.execute(plan)
-	c.finish(plan)
-	return nil
+	return c.runPlan(result.(*collPlan))
 }
 
 // allgatherArgs is each member's contribution to an allgather.
@@ -125,7 +199,7 @@ func (c *Comm) Allgather(send, recv []byte, comp Component) error {
 			}
 			block := int64(len(args[0].send))
 			if block == 0 {
-				return &collPlan{s: sched.New(len(args))}, nil
+				return c.state.emptyPlan(len(args)), nil
 			}
 			s, err := c.buildAllgather(block, args[0].comp)
 			if err != nil {
@@ -141,15 +215,12 @@ func (c *Comm) Allgather(send, recv []byte, comp Component) error {
 					return nil
 				}
 			}
-			return newCollPlan(c.state.world.dev, s, caller)
+			return c.state.newPlan(s, caller)
 		})
 	if err != nil {
 		return err
 	}
-	plan := result.(*collPlan)
-	c.execute(plan)
-	c.finish(plan)
-	return nil
+	return c.runPlan(result.(*collPlan))
 }
 
 // buildBcast compiles the broadcast schedule for this communicator's
@@ -160,7 +231,7 @@ func (c *Comm) buildBcast(size int64, root int, comp Component) (*sched.Schedule
 	n := c.Size()
 	switch comp {
 	case KNEMColl:
-		tree, err := c.state.distanceTree(c, root)
+		tree, err := c.state.distanceTree(root)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +251,7 @@ func (c *Comm) buildAllgather(block int64, comp Component) (*sched.Schedule, err
 	n := c.Size()
 	switch comp {
 	case KNEMColl:
-		ring, err := c.state.distanceRing(c)
+		ring, err := c.state.distanceRing()
 		if err != nil {
 			return nil, err
 		}
@@ -196,86 +267,175 @@ func (c *Comm) buildAllgather(block int64, comp Component) (*sched.Schedule, err
 	}
 }
 
-// distanceMatrix computes the member-to-member process distances from the
-// runtime binding.
+// distanceMatrix returns the member-to-member process distances from the
+// runtime binding (cached for the communicator's lifetime).
 func (c *Comm) distanceMatrix() distance.Matrix {
-	w := c.state.world
-	cores := make([]int, len(c.state.group))
-	for i, wr := range c.state.group {
-		cores[i] = w.bind.CoreOf(wr)
-	}
-	return distance.NewMatrix(w.Topology(), cores)
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	return c.state.matrixLocked()
 }
 
-// newCollPlan validates the schedule, binds caller buffers, allocates
-// auxiliary ones (bounce/temporary segments), and declares every buffer as
-// a KNEM region.
-func newCollPlan(dev *knem.Device, s *sched.Schedule, caller func(rank int, name string) []byte) (*collPlan, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
+// runPlan executes this member's share and synchronizes completion. A
+// member that crashed must NOT join the completion barrier — it is dead;
+// its absence is precisely what tells the survivors to fail over.
+func (c *Comm) runPlan(plan *collPlan) error {
+	err := c.execute(plan)
+	if fault.IsCrashed(err) {
+		return err
 	}
-	plan := &collPlan{
-		s:       s,
-		bufs:    make([][]byte, len(s.Buffers)),
-		cookies: make([]knem.Cookie, len(s.Buffers)),
-		done:    make([]chan struct{}, len(s.Ops)),
+	if ferr := c.finish(plan); err == nil {
+		err = ferr
 	}
-	for i, spec := range s.Buffers {
-		if b := caller(spec.Rank, spec.Name); b != nil {
-			if int64(len(b)) != spec.Bytes {
-				return nil, fmt.Errorf("mpi: rank %d buffer %q is %d bytes, schedule expects %d",
-					spec.Rank, spec.Name, len(b), spec.Bytes)
-			}
-			plan.bufs[i] = b
-		} else {
-			plan.bufs[i] = make([]byte, spec.Bytes)
+	return err
+}
+
+// runReducePlan is runPlan for plans with combining operations.
+func (c *Comm) runReducePlan(plan *collPlan, op ReduceOp) error {
+	err := c.executeReduce(plan, op)
+	if fault.IsCrashed(err) {
+		return err
+	}
+	if ferr := c.finish(plan); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// execute runs this member's share of the plan: consult the fault
+// injector, wait for dependencies (failure-aware, watchdogged), perform
+// the copy (via the KNEM data path for kernel-assisted ops, with transient
+// retry), signal completion.
+func (c *Comm) execute(plan *collPlan) error {
+	return c.executeOps(plan, func(o *sched.Op, dst []byte, wr int) error {
+		if o.Mode == sched.ModeKnem {
+			// Receiver-driven single copy through the device.
+			return c.knemPull(wr, plan.cookies[o.Src], o.SrcOff, dst)
 		}
-		plan.cookies[i] = dev.Declare(spec.Rank, plan.bufs[i])
-	}
-	for i := range plan.done {
-		plan.done[i] = make(chan struct{})
-	}
-	return plan, nil
+		copy(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
+		return nil
+	})
 }
 
-// execute runs this member's share of the plan: wait for dependencies,
-// perform the copy (via the KNEM device for kernel-assisted ops), signal
-// completion.
-func (c *Comm) execute(plan *collPlan) {
-	dev := c.state.world.dev
+// executeOps is the shared per-member execution loop.
+func (c *Comm) executeOps(plan *collPlan, perform func(o *sched.Op, dst []byte, wr int) error) error {
+	wr := c.state.group[c.rank]
+	defer func() {
+		if int(plan.leavers.Add(1)) == plan.members {
+			plan.reap()
+		}
+	}()
 	for i := range plan.s.Ops {
-		op := &plan.s.Ops[i]
-		if op.Rank != c.rank {
+		o := &plan.s.Ops[i]
+		if o.Rank != c.rank {
 			continue
 		}
-		for _, d := range op.Deps {
-			<-plan.done[d]
+		if err := c.opFault(wr); err != nil {
+			return err
 		}
-		if op.Bytes > 0 {
-			dst := plan.bufs[op.Dst][op.DstOff : op.DstOff+op.Bytes]
-			switch op.Mode {
-			case sched.ModeKnem:
-				// Receiver-driven single copy through the device.
-				if err := dev.CopyFrom(plan.cookies[op.Src], op.SrcOff, dst); err != nil {
-					panic(err) // plan invariants guarantee validity
-				}
-			default:
-				copy(dst, plan.bufs[op.Src][op.SrcOff:op.SrcOff+op.Bytes])
+		if err := c.awaitDeps(plan, o, wr); err != nil {
+			return err
+		}
+		if o.Bytes > 0 {
+			dst := plan.bufs[o.Dst][o.DstOff : o.DstOff+o.Bytes]
+			if err := perform(o, dst, wr); err != nil {
+				return err
 			}
 		}
-		close(plan.done[op.ID])
+		close(plan.done[o.ID])
+	}
+	return nil
+}
+
+// opFault consults the injector before one schedule operation. A crash is
+// published to the world (waking every blocked rank) and breaks the
+// communicator before the error propagates.
+func (c *Comm) opFault(wr int) error {
+	inj := c.state.world.inj
+	if inj == nil {
+		return nil
+	}
+	err := inj.BeforeOp(wr)
+	if err != nil && fault.IsCrashed(err) {
+		c.state.world.MarkFailed(wr)
+		c.state.setBroken()
+	}
+	return err
+}
+
+// awaitDeps blocks until the op's dependencies complete. If any member of
+// the communicator fails meanwhile, the collective cannot complete
+// reliably, so the wait aborts with a RankFailureError; if the watchdog
+// deadline expires, it aborts with a HangError carrying both the
+// blocked-rank dump and the schedule's pending-op dump.
+func (c *Comm) awaitDeps(plan *collPlan, o *sched.Op, wr int) error {
+	for _, d := range o.Deps {
+		select {
+		case <-plan.done[d]:
+			continue
+		default:
+		}
+		if err := c.awaitDep(plan, o, d, wr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Comm) awaitDep(plan *collPlan, o *sched.Op, d sched.OpID, wr int) error {
+	w := c.state.world
+	desc := fmt.Sprintf("collective op %d (waiting on op %d of rank %d)",
+		o.ID, d, c.state.group[plan.s.Ops[d].Rank])
+	w.blockEnter(wr, desc)
+	defer w.blockExit(wr)
+	timeoutC, stop := w.watchdog()
+	defer stop()
+	for {
+		failed, failCh := w.failureWatch()
+		if dead := deadIn(failed, c.state.group); len(dead) > 0 {
+			c.state.setBroken()
+			return &RankFailureError{Failed: dead}
+		}
+		select {
+		case <-plan.done[d]:
+			return nil
+		case <-failCh:
+		case <-timeoutC:
+			return &HangError{Rank: wr, Op: desc, Deadline: w.opDeadline,
+				Dump: w.BlockedDump() + "; schedule: " + plan.s.PendingDump(plan.isDone)}
+		}
 	}
 }
 
-// finish waits for the whole communicator, then the last member releases
-// the KNEM regions (they must outlive every remote pull).
-func (c *Comm) finish(plan *collPlan) {
-	c.coordinate(nil, func([]any) (any, error) {
-		for i, cookie := range plan.cookies {
-			if err := c.state.world.dev.Destroy(plan.s.Buffers[i].Rank, cookie); err != nil {
-				return nil, err
-			}
+// knemPull performs one kernel-assisted copy with retry-with-backoff on
+// injected transient failures.
+func (c *Comm) knemPull(wr int, cookie knem.Cookie, off int64, dst []byte) error {
+	mover := c.state.world.mover
+	backoff := copyRetryBase
+	var err error
+	for attempt := 0; attempt < copyRetryAttempts; attempt++ {
+		err = mover.CopyFrom(wr, cookie, off, dst)
+		if err == nil {
+			return nil
 		}
-		return nil, nil
-	})
+		if !fault.IsTransient(err) {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	if fault.IsCrashed(err) {
+		c.state.world.MarkFailed(wr)
+		c.state.setBroken()
+		return err
+	}
+	return fmt.Errorf("mpi: rank %d knem copy failed: %w", wr, err)
+}
+
+// finish is the completion barrier: no member may return (and reuse its
+// buffers) before every member has stopped copying. It is failure-aware —
+// a member that crashed mid-collective never arrives, so the survivors get
+// a RankFailureError here even when their own copies all succeeded.
+func (c *Comm) finish(plan *collPlan) error {
+	_, _, err := c.coordinate(nil, nil)
+	return err
 }

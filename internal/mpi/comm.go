@@ -6,24 +6,36 @@ import (
 	"sync"
 
 	"distcoll/internal/core"
+	"distcoll/internal/distance"
 )
 
 // commState is the shared (cross-process) state of one communicator.
 type commState struct {
 	world *World
+	id    int64 // unique per world; keys the shrink registry
 	group []int // comm rank → world rank
 
-	// seqs[commRank] counts collectives issued by that member; each entry
-	// is touched only by its own process goroutine.
-	seqs []int
+	mu sync.Mutex
 
-	mu    sync.Mutex
+	// seqs[commRank] counts collectives issued by that member, guarded by
+	// mu; members invoke collectives in the same order (the MPI rule), so
+	// equal seq values identify the same logical collective.
+	seqs  []int
 	slots map[int]*collSlot
 
+	// broken is set when a member failure surfaces in an operation on this
+	// communicator; every later collective fails fast with a
+	// RankFailureError (ULFM semantics) until the survivors Shrink.
+	broken bool
+
 	// Topology cache: process placement is fixed for a communicator's
-	// lifetime, so the distance-aware tree for each root and the ring are
-	// built once and reused by every later collective (the §V-B overhead
-	// concern). Guarded by mu; builds counts constructions for tests.
+	// lifetime, so the distance matrix, the distance-aware tree for each
+	// root and the ring are built once and reused by every later
+	// collective (the §V-B overhead concern). Guarded by mu; builds counts
+	// constructions for tests. A shrunken communicator inherits its matrix
+	// by restriction of the parent's (core.RestrictMatrix) instead of
+	// re-measuring.
+	matrix distance.Matrix
 	trees  map[int]*core.Tree
 	ring   *core.Ring
 	builds int
@@ -32,6 +44,7 @@ type commState struct {
 func newCommState(w *World, group []int) *commState {
 	return &commState{
 		world: w,
+		id:    w.ncomm.Add(1),
 		group: group,
 		seqs:  make([]int, len(group)),
 		slots: make(map[int]*collSlot),
@@ -39,15 +52,36 @@ func newCommState(w *World, group []int) *commState {
 	}
 }
 
+// setBroken marks the communicator unusable after a member failure.
+func (st *commState) setBroken() {
+	st.mu.Lock()
+	st.broken = true
+	st.mu.Unlock()
+}
+
+// matrixLocked returns the cached member distance matrix, computing it
+// from the runtime binding on first use. Callers hold st.mu.
+func (st *commState) matrixLocked() distance.Matrix {
+	if st.matrix == nil {
+		w := st.world
+		cores := make([]int, len(st.group))
+		for i, wr := range st.group {
+			cores[i] = w.bind.CoreOf(wr)
+		}
+		st.matrix = distance.NewMatrix(w.Topology(), cores)
+	}
+	return st.matrix
+}
+
 // distanceTree returns the cached distance-aware tree rooted at root,
 // building it on first use.
-func (st *commState) distanceTree(c *Comm, root int) (*core.Tree, error) {
+func (st *commState) distanceTree(root int) (*core.Tree, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if t, ok := st.trees[root]; ok {
 		return t, nil
 	}
-	t, err := core.BuildBroadcastTree(c.distanceMatrix(), root, core.TreeOptions{})
+	t, err := core.BuildBroadcastTree(st.matrixLocked(), root, core.TreeOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -57,13 +91,13 @@ func (st *commState) distanceTree(c *Comm, root int) (*core.Tree, error) {
 }
 
 // distanceRing returns the cached distance-aware ring.
-func (st *commState) distanceRing(c *Comm) (*core.Ring, error) {
+func (st *commState) distanceRing() (*core.Ring, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.ring != nil {
 		return st.ring, nil
 	}
-	r, err := core.BuildAllgatherRing(c.distanceMatrix(), core.RingOptions{})
+	r, err := core.BuildAllgatherRing(st.matrixLocked(), core.RingOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -74,12 +108,13 @@ func (st *commState) distanceRing(c *Comm) (*core.Ring, error) {
 
 // collSlot synchronizes one collective call across the communicator.
 type collSlot struct {
-	vals    []any
-	arrived int
-	left    int
-	ready   chan struct{}
-	result  any
-	err     error
+	vals      []any
+	arrivedBy []bool
+	arrived   int
+	left      int
+	ready     chan struct{}
+	result    any
+	err       error
 }
 
 // Comm is one process's handle on a communicator. The per-member sequence
@@ -103,22 +138,44 @@ func (c *Comm) WorldRank(r int) int { return c.state.group[r] }
 // Proc returns the owning process handle.
 func (c *Comm) Proc() *Proc { return c.proc }
 
+// Broken reports whether a member failure has broken this communicator.
+func (c *Comm) Broken() bool {
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	return c.state.broken
+}
+
 // coordinate deposits val, blocks until every member arrived, and returns
 // all members' values plus a result computed exactly once (by the last
 // arriver) from the full value set. A nil build yields a nil result.
+//
+// The wait is failure-aware and watchdogged: if a member that has not yet
+// arrived is marked failed, the rendezvous can never complete, so every
+// waiter returns a RankFailureError and the communicator is marked broken;
+// if the world's op deadline expires first, the waiter returns a HangError
+// with the blocked-rank dump. Detection is event-driven (the world's
+// failure channel), never polled.
 func (c *Comm) coordinate(val any, build func(vals []any) (any, error)) ([]any, any, error) {
 	st := c.state
-	seq := st.seqs[c.rank]
-	st.seqs[c.rank]++
+	w := st.world
 	n := len(st.group)
+	wr := st.group[c.rank]
 
 	st.mu.Lock()
+	if st.broken {
+		st.mu.Unlock()
+		failed, _ := w.failureWatch()
+		return nil, nil, &RankFailureError{Failed: deadIn(failed, st.group)}
+	}
+	seq := st.seqs[c.rank]
+	st.seqs[c.rank]++
 	slot, ok := st.slots[seq]
 	if !ok {
-		slot = &collSlot{vals: make([]any, n), ready: make(chan struct{})}
+		slot = &collSlot{vals: make([]any, n), arrivedBy: make([]bool, n), ready: make(chan struct{})}
 		st.slots[seq] = slot
 	}
 	slot.vals[c.rank] = val
+	slot.arrivedBy[c.rank] = true
 	slot.arrived++
 	last := slot.arrived == n
 	st.mu.Unlock()
@@ -128,8 +185,9 @@ func (c *Comm) coordinate(val any, build func(vals []any) (any, error)) ([]any, 
 			slot.result, slot.err = build(slot.vals)
 		}
 		close(slot.ready)
+	} else if err := c.awaitSlot(slot, seq, wr); err != nil {
+		return nil, nil, err
 	}
-	<-slot.ready
 
 	vals, result, err := slot.vals, slot.result, slot.err
 	st.mu.Lock()
@@ -141,9 +199,107 @@ func (c *Comm) coordinate(val any, build func(vals []any) (any, error)) ([]any, 
 	return vals, result, err
 }
 
-// Barrier blocks until every member has entered it.
-func (c *Comm) Barrier() {
-	c.coordinate(nil, nil)
+// awaitSlot blocks until the slot's rendezvous completes, a member failure
+// makes completion impossible, or the watchdog deadline expires.
+func (c *Comm) awaitSlot(slot *collSlot, seq int, wr int) error {
+	st := c.state
+	w := st.world
+	select {
+	case <-slot.ready:
+		return nil
+	default:
+	}
+	desc := fmt.Sprintf("collective sync (comm %d, seq %d)", st.id, seq)
+	w.blockEnter(wr, desc)
+	defer w.blockExit(wr)
+	timeoutC, stop := w.watchdog()
+	defer stop()
+	for {
+		failed, failCh := w.failureWatch()
+		st.mu.Lock()
+		var deadWaiting bool
+		for i, g := range st.group {
+			if failed[g] && !slot.arrivedBy[i] {
+				deadWaiting = true
+				break
+			}
+		}
+		if deadWaiting {
+			st.broken = true
+			st.mu.Unlock()
+			return &RankFailureError{Failed: deadIn(failed, st.group)}
+		}
+		st.mu.Unlock()
+		select {
+		case <-slot.ready:
+			return nil
+		case <-failCh:
+		case <-timeoutC:
+			return &HangError{Rank: wr, Op: desc, Deadline: w.opDeadline, Dump: w.BlockedDump()}
+		}
+	}
+}
+
+// Barrier blocks until every member has entered it. It returns a
+// RankFailureError if a member died instead of arriving.
+func (c *Comm) Barrier() error {
+	_, _, err := c.coordinate(nil, nil)
+	return err
+}
+
+// Shrink builds a new communicator over the surviving members of this
+// (typically broken) one — the MPIX_Comm_shrink of the runtime. Every
+// survivor must call Shrink; survivors observing the same failure set
+// rendezvous on the same shared state without communicating through the
+// broken communicator. The group keeps the parent's rank order, and the
+// child's distance matrix is the parent's restricted to the survivors
+// (core.RestrictMatrix), so the first collective on the shrunken
+// communicator rebuilds its distance-aware tree/ring over exactly the
+// surviving processes.
+func (c *Comm) Shrink() (*Comm, error) {
+	st := c.state
+	w := st.world
+	me := st.group[c.rank]
+	failed, _ := w.failureWatch()
+	if failed[me] {
+		return nil, fmt.Errorf("mpi: rank %d is itself failed; cannot shrink", me)
+	}
+	var aliveIdx, aliveWorld []int
+	for i, wr := range st.group {
+		if !failed[wr] {
+			aliveIdx = append(aliveIdx, i)
+			aliveWorld = append(aliveWorld, wr)
+		}
+	}
+	if len(aliveWorld) == len(st.group) {
+		return nil, fmt.Errorf("mpi: no failed members in communicator %d; nothing to shrink", st.id)
+	}
+
+	// Restrict the parent's distance matrix to the survivors: recovery
+	// re-derives the child topology instead of re-measuring it.
+	st.mu.Lock()
+	parent := st.matrixLocked()
+	st.mu.Unlock()
+	sub, err := core.RestrictMatrix(parent, aliveIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	key := fmt.Sprintf("%d|%v", st.id, aliveWorld)
+	w.smu.Lock()
+	ns, ok := w.shrunk[key]
+	if !ok {
+		ns = newCommState(w, aliveWorld)
+		ns.matrix = sub
+		w.shrunk[key] = ns
+	}
+	w.smu.Unlock()
+	for nr, wr := range ns.group {
+		if wr == me {
+			return &Comm{state: ns, rank: nr, proc: c.proc}, nil
+		}
+	}
+	return nil, fmt.Errorf("mpi: rank %d missing from shrunken group", me)
 }
 
 // splitSpec is the per-rank contribution to a Split.

@@ -1,0 +1,63 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RankFailureError reports that a collective (or point-to-point operation)
+// could not complete because members of the communicator have failed. It
+// follows ULFM semantics: the communicator is broken — every subsequent
+// collective on it fails fast with the same error — and the survivors must
+// call Shrink to obtain a working communicator over the survivors.
+type RankFailureError struct {
+	// Failed holds the world ranks known dead at detection time, sorted.
+	Failed []int
+}
+
+func (e *RankFailureError) Error() string {
+	return fmt.Sprintf("mpi: operation failed: dead ranks %v (shrink the communicator to continue)", e.Failed)
+}
+
+// IsRankFailure reports whether err is (or wraps) a rank-failure error.
+func IsRankFailure(err error) bool {
+	var rf *RankFailureError
+	return errors.As(err, &rf)
+}
+
+// HangError is the watchdog's verdict: a blocking operation exceeded the
+// world's op deadline with no failure detected. Instead of deadlocking the
+// job it carries a diagnostic dump of every blocked rank (and, for
+// collectives, the unfinished schedule operations).
+type HangError struct {
+	Rank     int           // world rank whose operation timed out
+	Op       string        // description of the blocked operation
+	Deadline time.Duration // the deadline that expired
+	Dump     string        // blocked-rank / pending-op diagnostic
+}
+
+func (e *HangError) Error() string {
+	return fmt.Sprintf("mpi: rank %d hung in %s (deadline %v); %s", e.Rank, e.Op, e.Deadline, e.Dump)
+}
+
+// IsHang reports whether err is (or wraps) a watchdog hang.
+func IsHang(err error) bool {
+	var he *HangError
+	return errors.As(err, &he)
+}
+
+// SendTimeoutError reports a send that blocked past its timeout on a full
+// mailbox, naming the blocked src→dst pair — the diagnosable replacement
+// for a silent producer-consumer deadlock.
+type SendTimeoutError struct {
+	Src, Dst int           // world ranks of the blocked pair
+	Tag      int           // message tag
+	Capacity int           // mailbox depth that filled up
+	Timeout  time.Duration // how long the send waited
+}
+
+func (e *SendTimeoutError) Error() string {
+	return fmt.Sprintf("mpi: send %d→%d (tag %d) blocked %v on a full mailbox (capacity %d)",
+		e.Src, e.Dst, e.Tag, e.Timeout, e.Capacity)
+}

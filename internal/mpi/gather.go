@@ -21,7 +21,7 @@ type gatherArgs struct {
 func (c *Comm) gatherTree(root int, comp Component) (*core.Tree, error) {
 	switch comp {
 	case KNEMColl:
-		return c.state.distanceTree(c, root)
+		return c.state.distanceTree(root)
 	case Tuned, MPICH2:
 		return baseline.BinomialTree(c.Size(), root)
 	default:
@@ -41,7 +41,7 @@ func (c *Comm) Gather(send, recv []byte, root int, comp Component) error {
 			}
 			block := int64(len(args[0].small))
 			if block == 0 {
-				return &collPlan{s: sched.New(len(args))}, nil
+				return c.state.emptyPlan(len(args)), nil
 			}
 			tree, err := c.gatherTree(args[0].root, args[0].comp)
 			if err != nil {
@@ -61,15 +61,12 @@ func (c *Comm) Gather(send, recv []byte, root int, comp Component) error {
 					return nil
 				}
 			}
-			return newCollPlan(c.state.world.dev, s, caller)
+			return c.state.newPlan(s, caller)
 		})
 	if err != nil {
 		return err
 	}
-	plan := result.(*collPlan)
-	c.execute(plan)
-	c.finish(plan)
-	return nil
+	return c.runPlan(result.(*collPlan))
 }
 
 // Scatter distributes the root's send buffer (Size()·len(recv) bytes, in
@@ -84,7 +81,7 @@ func (c *Comm) Scatter(send, recv []byte, root int, comp Component) error {
 			}
 			block := int64(len(args[0].small))
 			if block == 0 {
-				return &collPlan{s: sched.New(len(args))}, nil
+				return c.state.emptyPlan(len(args)), nil
 			}
 			tree, err := c.gatherTree(args[0].root, args[0].comp)
 			if err != nil {
@@ -104,15 +101,12 @@ func (c *Comm) Scatter(send, recv []byte, root int, comp Component) error {
 					return nil
 				}
 			}
-			return newCollPlan(c.state.world.dev, s, caller)
+			return c.state.newPlan(s, caller)
 		})
 	if err != nil {
 		return err
 	}
-	plan := result.(*collPlan)
-	c.execute(plan)
-	c.finish(plan)
-	return nil
+	return c.runPlan(result.(*collPlan))
 }
 
 // checkGatherArgs validates the coordinated arguments; gather=true checks
@@ -180,7 +174,7 @@ func (c *Comm) Alltoall(send, recv []byte, comp Component) error {
 			}
 			block := int64(len(args[0].send) / n)
 			if block == 0 {
-				return &collPlan{s: sched.New(n)}, nil
+				return c.state.emptyPlan(n), nil
 			}
 			var s *sched.Schedule
 			var err error
@@ -211,13 +205,10 @@ func (c *Comm) Alltoall(send, recv []byte, comp Component) error {
 					return nil
 				}
 			}
-			return newCollPlan(c.state.world.dev, s, caller)
+			return c.state.newPlan(s, caller)
 		})
 	if err != nil {
 		return err
 	}
-	plan := result.(*collPlan)
-	c.execute(plan)
-	c.finish(plan)
-	return nil
+	return c.runPlan(result.(*collPlan))
 }

@@ -95,7 +95,7 @@ func (c *Comm) Reduce(send, recv []byte, root int, op ReduceOp, comp Component) 
 			}
 			size := int64(len(args[0].send))
 			if size == 0 {
-				return &collPlan{s: sched.New(len(args))}, nil
+				return c.state.emptyPlan(len(args)), nil
 			}
 			s, err := c.buildReduce(size, rt, args[0].comp)
 			if err != nil {
@@ -111,15 +111,12 @@ func (c *Comm) Reduce(send, recv []byte, root int, op ReduceOp, comp Component) 
 					return nil
 				}
 			}
-			return newCollPlan(c.state.world.dev, s, caller)
+			return c.state.newPlan(s, caller)
 		})
 	if err != nil {
 		return err
 	}
-	plan := result.(*collPlan)
-	c.executeReduce(plan, op)
-	c.finish(plan)
-	return nil
+	return c.runReducePlan(result.(*collPlan), op)
 }
 
 // allreduceArgs is each member's contribution to an Allreduce.
@@ -161,7 +158,7 @@ func (c *Comm) Allreduce(send, recv []byte, op ReduceOp, comp Component) error {
 			}
 			size := int64(len(args[0].send))
 			if size == 0 {
-				return &collPlan{s: sched.New(len(args))}, nil
+				return c.state.emptyPlan(len(args)), nil
 			}
 			s, err := c.buildAllreduce(size, args[0].elem, args[0].comp)
 			if err != nil {
@@ -177,22 +174,19 @@ func (c *Comm) Allreduce(send, recv []byte, op ReduceOp, comp Component) error {
 					return nil
 				}
 			}
-			return newCollPlan(c.state.world.dev, s, caller)
+			return c.state.newPlan(s, caller)
 		})
 	if err != nil {
 		return err
 	}
-	plan := result.(*collPlan)
-	c.executeReduce(plan, op)
-	c.finish(plan)
-	return nil
+	return c.runReducePlan(result.(*collPlan), op)
 }
 
 func (c *Comm) buildReduce(size int64, root int, comp Component) (*sched.Schedule, error) {
 	n := c.Size()
 	switch comp {
 	case KNEMColl:
-		tree, err := c.state.distanceTree(c, root)
+		tree, err := c.state.distanceTree(root)
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +204,7 @@ func (c *Comm) buildAllreduce(size, align int64, comp Component) (*sched.Schedul
 	n := c.Size()
 	switch comp {
 	case KNEMColl:
-		ring, err := c.state.distanceRing(c)
+		ring, err := c.state.distanceRing()
 		if err != nil {
 			return nil, err
 		}
@@ -227,40 +221,30 @@ func (c *Comm) buildAllreduce(size, align int64, comp Component) (*sched.Schedul
 // executeReduce runs this member's share of a plan that may contain
 // combining operations. Kernel-assisted reduces pull into a scratch
 // buffer first (KNEM moves bytes; the combine is a user-space pass),
-// mirroring how a real KNEM reduction works.
-func (c *Comm) executeReduce(plan *collPlan, op ReduceOp) {
-	dev := c.state.world.dev
+// mirroring how a real KNEM reduction works. Fault handling (injection,
+// failure-aware dependency waits, transient retry) matches execute.
+func (c *Comm) executeReduce(plan *collPlan, op ReduceOp) error {
 	var scratch []byte
-	for i := range plan.s.Ops {
-		o := &plan.s.Ops[i]
-		if o.Rank != c.rank {
-			continue
-		}
-		for _, d := range o.Deps {
-			<-plan.done[d]
-		}
-		if o.Bytes > 0 {
-			dst := plan.bufs[o.Dst][o.DstOff : o.DstOff+o.Bytes]
-			switch {
-			case o.Kind == sched.OpReduce && o.Mode == sched.ModeKnem:
-				if int64(cap(scratch)) < o.Bytes {
-					scratch = make([]byte, o.Bytes)
-				}
-				tmp := scratch[:o.Bytes]
-				if err := dev.CopyFrom(plan.cookies[o.Src], o.SrcOff, tmp); err != nil {
-					panic(err)
-				}
-				op.Combine(dst, tmp)
-			case o.Kind == sched.OpReduce:
-				op.Combine(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
-			case o.Mode == sched.ModeKnem:
-				if err := dev.CopyFrom(plan.cookies[o.Src], o.SrcOff, dst); err != nil {
-					panic(err)
-				}
-			default:
-				copy(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
+	return c.executeOps(plan, func(o *sched.Op, dst []byte, wr int) error {
+		switch {
+		case o.Kind == sched.OpReduce && o.Mode == sched.ModeKnem:
+			if int64(cap(scratch)) < o.Bytes {
+				scratch = make([]byte, o.Bytes)
 			}
+			tmp := scratch[:o.Bytes]
+			if err := c.knemPull(wr, plan.cookies[o.Src], o.SrcOff, tmp); err != nil {
+				return err
+			}
+			op.Combine(dst, tmp)
+			return nil
+		case o.Kind == sched.OpReduce:
+			op.Combine(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
+			return nil
+		case o.Mode == sched.ModeKnem:
+			return c.knemPull(wr, plan.cookies[o.Src], o.SrcOff, dst)
+		default:
+			copy(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
+			return nil
 		}
-		close(plan.done[o.ID])
-	}
+	})
 }

@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"distcoll/internal/fault"
+)
+
+// This file implements the self-healing entry points: collectives that,
+// on a member failure, shrink the communicator and re-run the operation
+// over the survivors with a freshly rebuilt distance-aware topology.
+// They are the runtime analog of an ULFM error-handler loop:
+//
+//	for { err := coll(comm); if failure(err) { comm = shrink(comm) } }
+//
+// A crashed caller gets its CrashError back unchanged — a dead rank does
+// not recover; recovery is the survivors' job.
+
+// maxRecoveries bounds the shrink-and-retry loop: each iteration removes
+// at least one rank, so a communicator of size n can need at most n-1.
+func maxRecoveries(c *Comm) int { return c.Size() }
+
+// recoverable reports whether err means "members died; shrink and retry".
+// A watchdog hang also counts when failures have in fact been detected —
+// the hang may simply have fired on a rank whose failure notification
+// raced the deadline.
+func recoverable(c *Comm, err error) bool {
+	var rf *RankFailureError
+	if errors.As(err, &rf) {
+		return true
+	}
+	if IsHang(err) {
+		failed, _ := c.state.world.failureWatch()
+		return len(deadIn(failed, c.state.group)) > 0
+	}
+	return false
+}
+
+// BcastResilient broadcasts like Bcast but survives member failures: when
+// the collective fails because ranks died, every survivor shrinks to the
+// same successor communicator (whose distance-aware tree is rebuilt over
+// the survivors by restriction of the parent's distance matrix) and
+// retries. root is given in c's rank space and must survive — a dead root
+// is unrecoverable for a broadcast. Returns the communicator that finally
+// completed the operation: its rank space is the survivors'. A caller
+// whose own rank crashed gets its CrashError back.
+func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, error) {
+	if root < 0 || root >= c.Size() {
+		return c, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	rootWorld := c.state.group[root]
+	cur := c
+	for try := 0; ; try++ {
+		r := -1
+		for i, wr := range cur.state.group {
+			if wr == rootWorld {
+				r = i
+				break
+			}
+		}
+		if r < 0 {
+			return cur, fmt.Errorf("mpi: broadcast root (world rank %d) failed; cannot recover", rootWorld)
+		}
+		err := cur.Bcast(buf, r, comp)
+		if err == nil {
+			return cur, nil
+		}
+		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c) {
+			return cur, err
+		}
+		next, serr := cur.Shrink()
+		if serr != nil {
+			return cur, serr
+		}
+		cur = next
+	}
+}
+
+// AllgatherResilient gathers like Allgather but survives member failures.
+// recv must be sized for c (c.Size()·len(send) bytes); after a recovery
+// the result occupies the first newComm.Size()·len(send) bytes, in the
+// shrunken communicator's rank order, and is returned as the second
+// result. The final communicator is returned like BcastResilient.
+func (c *Comm) AllgatherResilient(send, recv []byte, comp Component) (*Comm, []byte, error) {
+	if len(recv) != c.Size()*len(send) {
+		return c, nil, fmt.Errorf("mpi: allgather recv buffer is %d bytes, want %d", len(recv), c.Size()*len(send))
+	}
+	cur := c
+	for try := 0; ; try++ {
+		out := recv[:cur.Size()*len(send)]
+		err := cur.Allgather(send, out, comp)
+		if err == nil {
+			return cur, out, nil
+		}
+		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c) {
+			return cur, nil, err
+		}
+		next, serr := cur.Shrink()
+		if serr != nil {
+			return cur, nil, serr
+		}
+		cur = next
+	}
+}

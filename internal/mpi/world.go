@@ -11,13 +11,26 @@
 // space transfers routed through the emulated KNEM device. The runtime
 // therefore demonstrates the paper's full stack end to end: communicator →
 // process distance → adaptive topology → kernel-assisted data movement.
+//
+// On top of that sits a fault-tolerance layer modeled on ULFM: a World
+// can carry a fault.Injector (transient copy failures, corrupted or
+// delayed transfers, dropped messages, rank crashes), a watchdog whose
+// per-operation deadlines turn deadlocks into diagnosable HangErrors,
+// and failure notification that lets surviving ranks shrink a broken
+// communicator (Comm.Shrink) and re-run the distance-aware topology
+// construction over the survivors.
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"distcoll/internal/binding"
+	"distcoll/internal/fault"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/knem"
 )
@@ -28,32 +41,110 @@ type message struct {
 	data []byte
 }
 
+// DefaultMailboxCapacity is the per-(src,dst) mailbox depth unless
+// overridden with WithMailboxCapacity.
+const DefaultMailboxCapacity = 64
+
 // World is a job: n processes bound to cores of one machine.
 type World struct {
-	bind *binding.Binding
-	dev  *knem.Device
-	n    int
+	bind  *binding.Binding
+	dev   *knem.Device
+	mover knem.Mover      // data path: the device, possibly fault-wrapped
+	inj   *fault.Injector // nil when no fault injection is configured
+	n     int
+
+	mailboxCap  int
+	sendTimeout time.Duration
+	opDeadline  time.Duration
 
 	// mail[src][dst] carries messages; receivers keep per-sender pending
 	// queues for tag matching.
 	mail [][]chan message
 
+	// Failure detection: the set of dead world ranks, plus a broadcast
+	// channel closed (and replaced) on every change so blocked operations
+	// wake immediately — event-driven, never polled.
+	fmu    sync.Mutex
+	failed map[int]bool
+	failCh chan struct{}
+
+	// Watchdog bookkeeping: what each rank is currently blocked on, for
+	// the hang diagnostic.
+	bmu     sync.Mutex
+	blocked map[int]blockEntry
+
+	// Communicator identity and the shrink registry: survivors of a
+	// failure derive the same shrunken communicator state from (parent
+	// comm id, survivor group) without coordinating through the broken
+	// communicator.
+	ncomm  atomic.Int64
+	smu    sync.Mutex
+	shrunk map[string]*commState
+
 	worldComm *commState
 }
 
+// Option configures a World at construction.
+type Option func(*World)
+
+// WithMailboxCapacity sets the per-(src,dst) mailbox depth. Senders that
+// outrun a full mailbox block, then time out with a SendTimeoutError
+// (when a send timeout or op deadline is set) instead of hanging silently.
+func WithMailboxCapacity(n int) Option {
+	return func(w *World) {
+		if n > 0 {
+			w.mailboxCap = n
+		}
+	}
+}
+
+// WithSendTimeout bounds how long a Send may block on a full mailbox
+// before failing with a SendTimeoutError naming the blocked src→dst pair.
+// Zero falls back to the op deadline, if any.
+func WithSendTimeout(d time.Duration) Option {
+	return func(w *World) { w.sendTimeout = d }
+}
+
+// WithOpDeadline arms the watchdog: any single blocking operation (a
+// recv, a send on a full mailbox, a collective synchronization, a
+// dependency wait inside a collective) that exceeds d fails with a
+// HangError carrying a dump of every blocked rank, instead of
+// deadlocking the job. Zero disables the watchdog.
+func WithOpDeadline(d time.Duration) Option {
+	return func(w *World) { w.opDeadline = d }
+}
+
+// WithFault installs a fault-injection plan: the KNEM data path and the
+// mailbox transport are routed through a deterministic fault.Injector.
+func WithFault(plan fault.Plan) Option {
+	return func(w *World) { w.inj = fault.NewInjector(plan) }
+}
+
 // NewWorld creates a world with one process per bound rank.
-func NewWorld(b *binding.Binding) *World {
+func NewWorld(b *binding.Binding, opts ...Option) *World {
 	n := b.NumRanks()
 	w := &World{
-		bind: b,
-		dev:  knem.NewDevice(),
-		n:    n,
-		mail: make([][]chan message, n),
+		bind:       b,
+		dev:        knem.NewDevice(),
+		n:          n,
+		mailboxCap: DefaultMailboxCapacity,
+		mail:       make([][]chan message, n),
+		failed:     make(map[int]bool),
+		failCh:     make(chan struct{}),
+		blocked:    make(map[int]blockEntry),
+		shrunk:     make(map[string]*commState),
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	w.mover = knem.Mover(w.dev)
+	if w.inj != nil {
+		w.mover = w.inj.Wrap(w.dev)
 	}
 	for s := 0; s < n; s++ {
 		w.mail[s] = make([]chan message, n)
 		for d := 0; d < n; d++ {
-			w.mail[s][d] = make(chan message, 64)
+			w.mail[s][d] = make(chan message, w.mailboxCap)
 		}
 	}
 	group := make([]int, n)
@@ -76,8 +167,13 @@ func (w *World) Topology() *hwtopo.Topology { return w.bind.Topology() }
 // Device returns the shared KNEM device (for stats and tests).
 func (w *World) Device() *knem.Device { return w.dev }
 
-// Run spawns every process, executes main on each, and waits for all. The
-// first error (or recovered panic) is returned.
+// Injector returns the fault injector, or nil when none is installed.
+func (w *World) Injector() *fault.Injector { return w.inj }
+
+// Run spawns every process, executes main on each, and waits for all.
+// Per-rank errors (and recovered panics) are aggregated with errors.Join,
+// so multi-rank failures are fully reported; nil means every rank
+// succeeded.
 func (w *World) Run(main func(p *Proc) error) error {
 	errs := make([]error, w.n)
 	var wg sync.WaitGroup
@@ -91,16 +187,120 @@ func (w *World) Run(main func(p *Proc) error) error {
 				}
 			}()
 			p := &Proc{world: w, rank: rank, pending: make([][]message, w.n)}
-			errs[rank] = main(p)
+			if err := main(p); err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+			}
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	return errors.Join(errs...)
+}
+
+// MarkFailed records the death of a world rank and wakes every blocked
+// operation so failure handling is event-driven. Idempotent.
+func (w *World) MarkFailed(rank int) {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.failed[rank] {
+		return
+	}
+	w.failed[rank] = true
+	close(w.failCh)
+	w.failCh = make(chan struct{})
+}
+
+// Failed returns the sorted world ranks known to be dead.
+func (w *World) Failed() []int {
+	failed, _ := w.failureWatch()
+	return sortedRanks(failed)
+}
+
+// failureWatch returns a snapshot of the failed set and a channel closed
+// on its next change. Waiters loop: check the snapshot, block on the
+// channel, re-check.
+func (w *World) failureWatch() (map[int]bool, <-chan struct{}) {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	snap := make(map[int]bool, len(w.failed))
+	for r := range w.failed {
+		snap[r] = true
+	}
+	return snap, w.failCh
+}
+
+// blockEntry records one rank's current blocking operation.
+type blockEntry struct {
+	what  string
+	since time.Time
+}
+
+func (w *World) blockEnter(rank int, what string) {
+	w.bmu.Lock()
+	w.blocked[rank] = blockEntry{what: what, since: time.Now()}
+	w.bmu.Unlock()
+}
+
+func (w *World) blockExit(rank int) {
+	w.bmu.Lock()
+	delete(w.blocked, rank)
+	w.bmu.Unlock()
+}
+
+// BlockedDump renders the watchdog diagnostic: every currently blocked
+// rank, what it is blocked on, and for how long.
+func (w *World) BlockedDump() string {
+	w.bmu.Lock()
+	ranks := make([]int, 0, len(w.blocked))
+	for r := range w.blocked {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	parts := make([]string, 0, len(ranks))
+	for _, r := range ranks {
+		e := w.blocked[r]
+		parts = append(parts, fmt.Sprintf("rank %d in %s for %v", r, e.what, time.Since(e.since).Round(time.Millisecond)))
+	}
+	w.bmu.Unlock()
+	if len(parts) == 0 {
+		return "no ranks blocked"
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "; " + p
+	}
+	return out
+}
+
+// watchdog returns the timeout channel for one blocking operation (nil —
+// never firing — when the watchdog is disabled) and a stop function.
+func (w *World) watchdog() (<-chan time.Time, func()) {
+	if w.opDeadline <= 0 {
+		return nil, func() {}
+	}
+	t := time.NewTimer(w.opDeadline)
+	return t.C, func() { t.Stop() }
+}
+
+// sortedRanks flattens a rank set into sorted order.
+func sortedRanks(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// deadIn returns the sorted world ranks of group present in failed.
+func deadIn(failed map[int]bool, group []int) []int {
+	var dead []int
+	for _, wr := range group {
+		if failed[wr] {
+			dead = append(dead, wr)
 		}
 	}
-	return nil
+	sort.Ints(dead)
+	return dead
 }
 
 // Proc is the handle one process uses: its rank, world, and mailbox state.
@@ -129,20 +329,73 @@ func (p *Proc) Comm() *Comm {
 }
 
 // Send delivers a tagged message to dst. The payload is copied (MPI send
-// semantics: the caller's buffer is reusable on return).
+// semantics: the caller's buffer is reusable on return). A send that
+// blocks on a full mailbox past the send timeout (or, failing that, the
+// op deadline) returns a SendTimeoutError naming the blocked src→dst
+// pair; a send to a rank known dead fails with a RankFailureError.
 func (p *Proc) Send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= p.world.n {
 		return fmt.Errorf("mpi: send to invalid rank %d", dst)
 	}
+	w := p.world
+	if w.inj != nil {
+		drop, delay, err := w.inj.OnSend(p.rank, dst)
+		if err != nil {
+			return fmt.Errorf("mpi: send from rank %d: %w", p.rank, err)
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if drop {
+			// Lost in transit. Send has local-completion semantics, so the
+			// sender cannot tell — the receiver's watchdog will.
+			return nil
+		}
+	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	p.world.mail[p.rank][dst] <- message{tag: tag, data: cp}
-	return nil
+	m := message{tag: tag, data: cp}
+	ch := w.mail[p.rank][dst]
+	select {
+	case ch <- m:
+		return nil
+	default:
+	}
+	// Mailbox full: block with failure watch and timeout.
+	timeout := w.sendTimeout
+	if timeout <= 0 {
+		timeout = w.opDeadline
+	}
+	desc := fmt.Sprintf("send(dst=%d, tag=%d)", dst, tag)
+	w.blockEnter(p.rank, desc)
+	defer w.blockExit(p.rank)
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	for {
+		failed, failCh := w.failureWatch()
+		if failed[dst] {
+			return &RankFailureError{Failed: sortedRanks(failed)}
+		}
+		select {
+		case ch <- m:
+			return nil
+		case <-failCh:
+		case <-timeoutC:
+			return &SendTimeoutError{Src: p.rank, Dst: dst, Tag: tag, Capacity: cap(ch), Timeout: timeout}
+		}
+	}
 }
 
 // Recv blocks until a message with the given tag arrives from src and
 // returns its payload. Messages from one sender are matched in order;
-// unmatched tags are queued.
+// unmatched tags are queued. If src is known dead and no matching
+// message is buffered, Recv fails with a RankFailureError; if the
+// watchdog deadline passes first, it fails with a HangError carrying the
+// blocked-rank dump.
 func (p *Proc) Recv(src, tag int) ([]byte, error) {
 	if src < 0 || src >= p.world.n {
 		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
@@ -154,8 +407,38 @@ func (p *Proc) Recv(src, tag int) ([]byte, error) {
 			return m.data, nil
 		}
 	}
+	w := p.world
+	ch := w.mail[src][p.rank]
+	blocked := false
+	var timeoutC <-chan time.Time
+	desc := fmt.Sprintf("recv(src=%d, tag=%d)", src, tag)
 	for {
-		m := <-p.world.mail[src][p.rank]
+		var m message
+		select {
+		case m = <-ch:
+		default:
+			// Would block: arm the watchdog once, then wait on the message,
+			// a failure notification, or the deadline.
+			if !blocked {
+				blocked = true
+				w.blockEnter(p.rank, desc)
+				defer w.blockExit(p.rank)
+				var stop func()
+				timeoutC, stop = w.watchdog()
+				defer stop()
+			}
+			failed, failCh := w.failureWatch()
+			if failed[src] {
+				return nil, &RankFailureError{Failed: sortedRanks(failed)}
+			}
+			select {
+			case m = <-ch:
+			case <-failCh:
+				continue
+			case <-timeoutC:
+				return nil, &HangError{Rank: p.rank, Op: desc, Deadline: w.opDeadline, Dump: w.BlockedDump()}
+			}
+		}
 		if m.tag == tag {
 			return m.data, nil
 		}

@@ -1,5 +1,64 @@
 package sched
 
+import (
+	"fmt"
+	"strings"
+)
+
+// PendingOps returns the ids of operations not yet completed according to
+// done, in id order — the raw form of the watchdog's hang diagnostic.
+func (s *Schedule) PendingOps(done func(OpID) bool) []OpID {
+	var out []OpID
+	for i := range s.Ops {
+		if !done(OpID(i)) {
+			out = append(out, OpID(i))
+		}
+	}
+	return out
+}
+
+// PendingDump renders the diagnostic a watchdog emits instead of
+// deadlocking: every unfinished operation grouped by executing rank, with
+// the dependencies it is still waiting on. Runnable ops (all deps met)
+// are flagged, since they distinguish a stalled executor from a blocked
+// one.
+func (s *Schedule) PendingDump(done func(OpID) bool) string {
+	pending := s.PendingOps(done)
+	if len(pending) == 0 {
+		return "all ops finished"
+	}
+	byRank := make(map[int][]OpID)
+	for _, id := range pending {
+		r := s.Ops[id].Rank
+		byRank[r] = append(byRank[r], id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d ops unfinished:", len(pending), len(s.Ops))
+	for r := 0; r < s.NumRanks; r++ {
+		ids, ok := byRank[r]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  rank %d:", r)
+		for _, id := range ids {
+			op := &s.Ops[id]
+			var unmet []OpID
+			for _, d := range op.Deps {
+				if !done(d) {
+					unmet = append(unmet, d)
+				}
+			}
+			fmt.Fprintf(&b, " op %d (%s %s %dB", id, op.Mode, op.Kind, op.Bytes)
+			if len(unmet) > 0 {
+				fmt.Fprintf(&b, ", waits on %v)", unmet)
+			} else {
+				b.WriteString(", runnable)")
+			}
+		}
+	}
+	return b.String()
+}
+
 // AccessStats summarizes the memory traffic a schedule generates, for the
 // paper's §IV-C balance analysis of the distance-aware allgather: per-rank
 // copy counts, per-NUMA-node read/write volume, and the remote (cross-node)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -267,5 +268,43 @@ func TestBlockTableMatchesUnaligned(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestPendingDump(t *testing.T) {
+	// Three-rank chain: op0 (rank 0) → op1 (rank 1) → op2 (rank 2).
+	s := New(3)
+	b0 := s.AddBuffer(0, "buf", 8)
+	b1 := s.AddBuffer(1, "buf", 8)
+	b2 := s.AddBuffer(2, "buf", 8)
+	o0 := s.AddOp(Op{Rank: 0, Mode: ModeLocal, Src: b0, Dst: b0, Bytes: 8})
+	o1 := s.AddOp(Op{Rank: 1, Mode: ModeKnem, Src: b0, Dst: b1, Bytes: 8, Deps: []OpID{o0}})
+	s.AddOp(Op{Rank: 2, Mode: ModeKnem, Src: b1, Dst: b2, Bytes: 8, Deps: []OpID{o1}})
+
+	// Nothing done: all three pending, op 0 runnable, the rest blocked.
+	none := func(OpID) bool { return false }
+	if got := s.PendingOps(none); len(got) != 3 {
+		t.Fatalf("PendingOps = %v", got)
+	}
+	dump := s.PendingDump(none)
+	for _, want := range []string{"3/3 ops unfinished", "rank 0:", "runnable", "waits on [1]"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+
+	// First op done: two pending, op 1 now runnable.
+	first := func(id OpID) bool { return id == o0 }
+	dump = s.PendingDump(first)
+	if strings.Contains(dump, "rank 0:") {
+		t.Errorf("finished rank still dumped:\n%s", dump)
+	}
+	if !strings.Contains(dump, "2/3 ops unfinished") {
+		t.Errorf("wrong pending count:\n%s", dump)
+	}
+
+	// Everything done.
+	if got := s.PendingDump(func(OpID) bool { return true }); got != "all ops finished" {
+		t.Errorf("PendingDump(all done) = %q", got)
 	}
 }
