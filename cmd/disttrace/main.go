@@ -1,0 +1,324 @@
+// Command disttrace captures, verifies, and exports traces of the
+// distance-aware collectives. It is the mechanical check on the paper's
+// §IV promises: given the copy events a collective actually executed, it
+// verifies that (1) the broadcast tree is a minimum-weight spanning tree
+// of minimum depth over the distance matrix, (2) the allgather ring has
+// fan-out ≤ 2 (a single Hamiltonian cycle), (3) no executed edge crosses
+// a higher distance class than the construction promised, and (4)
+// pipelined chunks are ordered along every path.
+//
+// Usage:
+//
+//	disttrace run [flags]        run traced collectives, verify, export
+//	disttrace verify FILE        verify a captured JSONL trace
+//	disttrace chrome FILE OUT    convert a JSONL trace to Chrome format
+//
+// "run" executes the collectives in-process on a simulated machine,
+// verifies every invariant plus the metrics registry's per-distance-class
+// accounting, and optionally writes the trace (-o) and a Chrome
+// trace-event file (-chrome) for chrome://tracing or Perfetto.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/mpi"
+	"distcoll/internal/trace"
+	"distcoll/internal/trace/check"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "chrome":
+		err = cmdChrome(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disttrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  disttrace run [-machine zoot] [-bind contiguous] [-np 16] [-size 262144] [-block 4096] [-root 0] [-ops bcast,allgather] [-o trace.jsonl] [-chrome out.json]
+  disttrace verify FILE
+  disttrace chrome FILE OUT`)
+}
+
+// cmdRun executes traced collectives on a simulated machine and verifies
+// the captured trace end to end.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	machine := fs.String("machine", "zoot", "machine topology (zoot, ig)")
+	bindName := fs.String("bind", "contiguous", "process binding strategy")
+	np := fs.Int("np", 16, "number of processes")
+	size := fs.Int64("size", 256<<10, "broadcast message bytes")
+	block := fs.Int64("block", 4096, "allgather per-rank block bytes")
+	root := fs.Int("root", 0, "broadcast root rank")
+	ops := fs.String("ops", "bcast,allgather", "comma-separated collectives to run")
+	out := fs.String("o", "", "write the captured trace as JSONL")
+	chrome := fs.String("chrome", "", "write a Chrome trace-event file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := hwtopo.ByName(*machine)
+	if err != nil {
+		return err
+	}
+	bind, err := binding.ByName(topo, *bindName, *np, 0)
+	if err != nil {
+		return err
+	}
+	ring := trace.NewRing(trace.DefaultRingCapacity)
+	tr := trace.New(ring)
+	w := mpi.NewWorld(bind, mpi.WithTracer(tr))
+
+	err = w.Run(func(p *mpi.Proc) error {
+		comm := p.Comm()
+		for _, op := range strings.Split(*ops, ",") {
+			switch strings.TrimSpace(op) {
+			case "bcast":
+				buf := make([]byte, *size)
+				if p.Rank() == *root {
+					for i := range buf {
+						buf[i] = byte(i * 7)
+					}
+				}
+				if err := comm.Bcast(buf, *root, mpi.KNEMColl); err != nil {
+					return err
+				}
+			case "allgather":
+				send := make([]byte, *block)
+				for i := range send {
+					send[i] = byte(p.Rank() ^ i)
+				}
+				recv := make([]byte, int64(p.Size())**block)
+				if err := comm.Allgather(send, recv, mpi.KNEMColl); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unknown op %q", op)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	events := ring.Events()
+	m := distance.NewMatrix(topo, bind.Cores())
+	fmt.Printf("captured %d events from %d ranks on %s/%s\n",
+		len(events), *np, *machine, *bindName)
+	ok := verifyAll(events, m)
+
+	mr := check.VerifyMetrics(tr.Metrics(), events)
+	fmt.Print(mr.String())
+	ok = ok && mr.OK()
+
+	if *out != "" {
+		data, err := trace.MarshalJSONL(events)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s\n", *chrome)
+	}
+	if !ok {
+		return fmt.Errorf("invariant violations found")
+	}
+	return nil
+}
+
+// cmdVerify replays a captured JSONL trace: the distance matrix is
+// rebuilt from the trace's meta record, and every collective in the
+// trace is checked against the four invariants.
+func cmdVerify(args []string) error {
+	if len(args) != 1 {
+		usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	m, err := matrixFromMeta(events)
+	if err != nil {
+		return err
+	}
+	if !verifyAll(events, m) {
+		return fmt.Errorf("invariant violations found")
+	}
+	return nil
+}
+
+// cmdChrome converts a JSONL trace to the Chrome trace-event format.
+func cmdChrome(args []string) error {
+	if len(args) != 2 {
+		usage()
+		os.Exit(2)
+	}
+	in, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	events, err := trace.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(args[1])
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(out, events); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// matrixFromMeta rebuilds the process-distance matrix from the trace's
+// meta record ("machine=<name> bind=<name> np=<n>").
+func matrixFromMeta(events []trace.Event) (distance.Matrix, error) {
+	metas := trace.Filter(events, trace.KindMeta)
+	if len(metas) == 0 {
+		return nil, fmt.Errorf("trace has no meta record; cannot rebuild the distance matrix")
+	}
+	var machine, bindName string
+	var np int
+	if _, err := fmt.Sscanf(metas[0].Det, "machine=%s bind=%s np=%d", &machine, &bindName, &np); err != nil {
+		return nil, fmt.Errorf("unparseable meta record %q: %w", metas[0].Det, err)
+	}
+	topo, err := hwtopo.ByName(machine)
+	if err != nil {
+		return nil, err
+	}
+	bind, err := binding.ByName(topo, bindName, np, 0)
+	if err != nil {
+		return nil, err
+	}
+	return distance.NewMatrix(topo, bind.Cores()), nil
+}
+
+// verifyAll groups the trace's copy events by plan and runs the invariant
+// checks appropriate to each collective. It prints one report per plan
+// and returns whether every report passed.
+func verifyAll(events []trace.Event, m distance.Matrix) bool {
+	copies := trace.Filter(events, trace.KindCopy)
+	order := []int64{}
+	byPlan := map[int64][]trace.Event{}
+	for _, e := range copies {
+		if _, seen := byPlan[e.Plan]; !seen {
+			order = append(order, e.Plan)
+		}
+		byPlan[e.Plan] = append(byPlan[e.Plan], e)
+	}
+	ok := true
+	for _, plan := range order {
+		evs := byPlan[plan]
+		var r *check.Report
+		switch op := evs[0].Op; op {
+		case "bcast":
+			root, size, err := inferBcast(evs, m.Size())
+			if err != nil {
+				fmt.Printf("plan %d (%s): %v\n", plan, op, err)
+				ok = false
+				continue
+			}
+			r = check.VerifyBroadcast(evs, m, root, size)
+		case "allgather":
+			r = check.VerifyAllgather(evs, m, inferBlock(evs))
+		default:
+			fmt.Printf("plan %d (%s): %d copies (no verifier for this collective)\n",
+				plan, op, len(evs))
+			continue
+		}
+		fmt.Printf("plan %d: %s", plan, r.String())
+		ok = ok && r.OK()
+	}
+	return ok
+}
+
+// inferBcast recovers the root (the only rank executing no pull) and the
+// payload size (one rank's pulled bytes) from a broadcast's copy events.
+func inferBcast(events []trace.Event, n int) (root int, size int64, err error) {
+	pulled := make([]int64, n)
+	executed := make([]bool, n)
+	for _, e := range events {
+		if e.Rank < 0 || e.Rank >= n {
+			return 0, 0, fmt.Errorf("copy by out-of-range rank %d", e.Rank)
+		}
+		executed[e.Rank] = true
+		pulled[e.Rank] += e.Bytes
+	}
+	root = -1
+	for v := 0; v < n; v++ {
+		if !executed[v] {
+			if root != -1 {
+				return 0, 0, fmt.Errorf("ranks %d and %d both executed no pull; root ambiguous", root, v)
+			}
+			root = v
+		}
+	}
+	if root == -1 {
+		return 0, 0, fmt.Errorf("every rank executed pulls; no root candidate")
+	}
+	for v := 0; v < n; v++ {
+		if v != root {
+			return root, pulled[v], nil
+		}
+	}
+	return root, 0, nil
+}
+
+// inferBlock recovers the allgather block size from the local
+// contribution copies.
+func inferBlock(events []trace.Event) int64 {
+	for _, e := range events {
+		if e.Mode == "local" {
+			return e.Bytes
+		}
+	}
+	return 0
+}

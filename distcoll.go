@@ -15,12 +15,14 @@
 //     collective components) that runs those schedules on real memory
 //     through an emulated KNEM device;
 //   - a calibrated flow-level performance simulator and the IMB-style
-//     harness that regenerates every figure of the paper's evaluation.
+//     harness that regenerates every figure of the paper's evaluation;
+//   - structured runtime tracing and metrics with an invariant-checking
+//     trace analyzer (DESIGN.md §7).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured results. The runnable entry points are
-// cmd/distbench (figures), cmd/lstopo and cmd/collviz, and the programs
-// under examples/.
+// cmd/distbench (figures), cmd/lstopo, cmd/collviz, cmd/disttrace, and
+// the programs under examples/.
 package distcoll
 
 import (
@@ -36,6 +38,7 @@ import (
 	"distcoll/internal/machine"
 	"distcoll/internal/mpi"
 	"distcoll/internal/sched"
+	"distcoll/internal/trace"
 )
 
 // Hardware topology (hwloc substitute).
@@ -185,6 +188,34 @@ var (
 	WithMailboxCapacity = mpi.WithMailboxCapacity
 )
 
+// Observability: structured runtime tracing and metrics (DESIGN.md §7).
+// A world built with WithTracer emits op/copy/plan/cookie/failure events
+// into the tracer's sinks; internal/trace/check and cmd/disttrace verify
+// captured traces against the paper's §IV invariants.
+type (
+	TraceEvent     = trace.Event
+	TraceKind      = trace.Kind
+	Tracer         = trace.Tracer
+	TraceSink      = trace.Sink
+	TraceRingSink  = trace.RingSink
+	TraceJSONLSink = trace.JSONLSink
+	TraceMetrics   = trace.Metrics
+)
+
+// Tracer constructors, sinks, and trace manipulation helpers.
+var (
+	NewTracer         = trace.New
+	NewTraceRing      = trace.NewRing
+	NewTraceJSONL     = trace.NewJSONL
+	WithTracer        = mpi.WithTracer
+	MarshalTraceJSONL = trace.MarshalJSONL
+	ReadTraceJSONL    = trace.ReadJSONL
+	WriteChromeTrace  = trace.WriteChrome
+	FilterTrace       = trace.Filter
+	CanonicalTrace    = trace.Canonical
+	TraceOfSchedule   = trace.ScheduleEvents
+)
+
 // Built-in reduction operators.
 var (
 	OpSumFloat64 = mpi.OpSumFloat64
@@ -201,8 +232,8 @@ const (
 )
 
 // NewWorld creates a mini-MPI job over a binding. Options configure the
-// fault layer: WithFault, WithOpDeadline, WithSendTimeout,
-// WithMailboxCapacity.
+// fault layer (WithFault, WithOpDeadline, WithSendTimeout,
+// WithMailboxCapacity) and observability (WithTracer).
 func NewWorld(b *Binding, opts ...mpi.Option) *World { return mpi.NewWorld(b, opts...) }
 
 // Performance model and simulation.

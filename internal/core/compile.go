@@ -88,6 +88,7 @@ func CompileBroadcast(t *Tree, size int64, chunkBytes int64) (*sched.Schedule, e
 					Dst:    buf[v],
 					DstOff: ch[0],
 					Bytes:  ch[1],
+					Chunk:  c,
 					Deps:   deps,
 				})
 			}
@@ -154,6 +155,7 @@ func CompileAllgather(r *Ring, block int64) (*sched.Schedule, error) {
 				Dst:    recvBuf[v],
 				DstOff: int64(blk) * block,
 				Bytes:  block,
+				Chunk:  step,
 				Deps:   []sched.OpID{prev[left], prev[v]},
 			})
 			nextOrigin[v] = blk

@@ -108,9 +108,10 @@ func transformedMatrix(m distance.Matrix, levels Levels) distance.Matrix {
 }
 
 // BuildBroadcastTreeFast constructs the same tree as BuildBroadcastTree
-// without sorting edges: stars around cluster leaders, leaders attached to
-// the leader of the enclosing cluster, the root leading every cluster that
-// contains it.
+// without sorting edges: stars around leaf-cluster leaders, each cluster's
+// entry vertex hung under the champion entry of the enclosing cluster (the
+// root's cluster when present, else the deepest), the root leading every
+// cluster that contains it.
 func BuildBroadcastTreeFast(m distance.Matrix, root int, opts TreeOptions) (*Tree, error) {
 	n := m.Size()
 	if n == 0 {
@@ -159,13 +160,15 @@ func leaderOf(members []int, root int) int {
 	return leader
 }
 
-// attachTree wires a cluster node: every child-cluster leader (and every
-// direct member of a leaf cluster) attaches to the node's leader, in the
-// rank order Algorithm 1's edge ordering yields (root edges first by the
-// other endpoint, then min-rank pairs).
-func attachTree(t *Tree, m distance.Matrix, node *clusterNode, root int) {
-	leader := leaderOf(node.members, root)
+// attachTree wires a cluster node and returns its entry vertex and the
+// node's depth when oriented away from it. It mirrors Algorithm 1's
+// level-grouped attachment: the champion sub-cluster — the one containing
+// the root, otherwise the deepest (ties to the smallest entry rank) —
+// keeps its entry, and every other sub-cluster hangs its entry directly
+// under the champion's, in ascending entry order.
+func attachTree(t *Tree, m distance.Matrix, node *clusterNode, root int) (entry, depth int) {
 	if len(node.children) == 0 {
+		leader := leaderOf(node.members, root)
 		for _, x := range node.members {
 			if x != leader {
 				t.Parent[x] = leader
@@ -173,37 +176,42 @@ func attachTree(t *Tree, m distance.Matrix, node *clusterNode, root int) {
 				t.Children[leader] = append(t.Children[leader], x)
 			}
 		}
-		return
+		if len(node.members) == 1 {
+			return leader, 0
+		}
+		return leader, 1
 	}
-	// Children sorted by their leaders (the acceptance order of the
-	// cross-cluster edges).
 	type sub struct {
-		node   *clusterNode
-		leader int
+		entry, depth int
 	}
 	subs := make([]sub, 0, len(node.children))
 	for _, c := range node.children {
-		subs = append(subs, sub{node: c, leader: leaderOf(c.members, root)})
+		e, d := attachTree(t, m, c, root)
+		subs = append(subs, sub{entry: e, depth: d})
 	}
-	sort.Slice(subs, func(a, b int) bool {
-		if subs[a].leader == root {
-			return true
+	sort.Slice(subs, func(a, b int) bool { return subs[a].entry < subs[b].entry })
+	champ := 0
+	for i := 1; i < len(subs); i++ {
+		if subs[champ].entry == root {
+			break
 		}
-		if subs[b].leader == root {
-			return false
+		if subs[i].entry == root || subs[i].depth > subs[champ].depth {
+			champ = i
 		}
-		return subs[a].leader < subs[b].leader
-	})
+	}
+	entry, depth = subs[champ].entry, subs[champ].depth
 	for _, sb := range subs {
-		if sb.leader != leader {
-			t.Parent[sb.leader] = leader
-			t.ParentWeight[sb.leader] = m.At(leader, sb.leader)
-			t.Children[leader] = append(t.Children[leader], sb.leader)
+		if sb.entry == entry {
+			continue
+		}
+		t.Parent[sb.entry] = entry
+		t.ParentWeight[sb.entry] = m.At(entry, sb.entry)
+		t.Children[entry] = append(t.Children[entry], sb.entry)
+		if sb.depth+1 > depth {
+			depth = sb.depth + 1
 		}
 	}
-	for _, sb := range subs {
-		attachTree(t, m, sb.node, root)
-	}
+	return entry, depth
 }
 
 // BuildAllgatherRingFast constructs a distance-aware ring without edge

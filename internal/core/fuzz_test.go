@@ -1,0 +1,122 @@
+package core_test
+
+// Native fuzz targets for the topology constructions. The seed corpus in
+// testdata/fuzz includes the shrunken counterexample that exposed the
+// depth-suboptimal attachment on non-uniform ultrametrics (asymmetric
+// cluster entry points, the shape shrunken communicators produce); the
+// seeds run on every plain `go test`, so they double as regressions.
+
+import (
+	"testing"
+
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+)
+
+// matrixFromBytes decodes a fuzz payload into a symmetric matrix: the
+// largest n with n(n-1)/2 ≤ len(data), upper-triangle entries data[k] % 8
+// in row-major order. Returns false when the payload holds fewer than two
+// ranks.
+func matrixFromBytes(data []byte) (distance.Matrix, bool) {
+	n := 2
+	for (n+1)*n/2 <= len(data) {
+		n++
+	}
+	if n*(n-1)/2 > len(data) {
+		return nil, false
+	}
+	m := make(distance.Matrix, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := int(data[k] % 8)
+			m[i][j], m[j][i] = d, d
+			k++
+		}
+	}
+	return m, true
+}
+
+func FuzzBuildBroadcastTree(f *testing.F) {
+	// Uniform pair, a flat triple, and the depth-regression ultrametric
+	// (n=6, root 1: optimal MSTs enter cluster {0,3,5} at rank 3, not 0).
+	f.Add([]byte{1}, byte(0))
+	f.Add([]byte{2, 2, 2}, byte(2))
+	f.Add([]byte{3, 3, 2, 3, 2, 0, 3, 2, 3, 3, 2, 3, 3, 1, 3}, byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, rootByte byte) {
+		m, ok := matrixFromBytes(data)
+		if !ok {
+			t.Skip()
+		}
+		n := m.Size()
+		root := int(rootByte) % n
+		tree, err := core.BuildBroadcastTree(m, root, core.TreeOptions{RecordTrace: true})
+		if err != nil {
+			t.Fatalf("build: %v\n%v", err, m)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("invalid tree: %v\n%v", err, m)
+		}
+		if tree.Root != root {
+			t.Fatalf("root %d, want %d", tree.Root, root)
+		}
+		if got, want := tree.TotalWeight(), primWeight(m); got != want {
+			t.Fatalf("weight %d, MST weight %d\n%v", got, want, m)
+		}
+		if len(tree.Trace) != n-1 {
+			t.Fatalf("%d trace steps, want %d", len(tree.Trace), n-1)
+		}
+		if isUltra(m) {
+			fast, err := core.BuildBroadcastTreeFast(m, root, core.TreeOptions{})
+			if err != nil {
+				t.Fatalf("fast build: %v\n%v", err, m)
+			}
+			for v := 0; v < n; v++ {
+				if tree.Parent[v] != fast.Parent[v] {
+					t.Fatalf("parent of %d: greedy %d, fast %d\n%v", v, tree.Parent[v], fast.Parent[v], m)
+				}
+			}
+		}
+	})
+}
+
+func FuzzBuildAllgatherRing(f *testing.F) {
+	f.Add([]byte{1, 1, 1}, byte(0))
+	f.Add([]byte{1, 2, 2, 2, 2, 1}, byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, orderByte byte) {
+		m, ok := matrixFromBytes(data)
+		if !ok {
+			t.Skip()
+		}
+		n := m.Size()
+		ordering := core.RingCanonical
+		if orderByte%2 == 1 {
+			ordering = core.RingLexicographic
+		}
+		ring, err := core.BuildAllgatherRing(m, core.RingOptions{Ordering: ordering, RecordTrace: true})
+		if err != nil {
+			t.Fatalf("build: %v\n%v", err, m)
+		}
+		if err := ring.Validate(); err != nil {
+			t.Fatalf("invalid ring: %v\n%v", err, m)
+		}
+		seen := make([]bool, n)
+		v := 0
+		for i := 0; i < n; i++ {
+			if seen[v] {
+				t.Fatalf("cycle revisits %d\n%v", v, m)
+			}
+			seen[v] = true
+			if ring.Left[ring.Right[v]] != v {
+				t.Fatalf("Left[Right[%d]] = %d\n%v", v, ring.Left[ring.Right[v]], m)
+			}
+			v = ring.Right[v]
+		}
+		if v != 0 {
+			t.Fatalf("walk does not close\n%v", m)
+		}
+	})
+}

@@ -1,0 +1,398 @@
+package core_test
+
+// Property tests for the Algorithm 1/2 constructions: randomized matrices
+// checked against brute-force optima. Ultrametric matrices are the ones
+// machine hierarchies (and every shrunken submatrix of one) produce, and
+// the regime where the paper's optimality claims hold exactly:
+//
+//   - broadcast tree weight equals the minimum spanning tree weight on any
+//     symmetric matrix (Kruskal acceptance, independent of attachment);
+//   - broadcast tree depth is minimal among minimum-weight spanning trees
+//     on ultrametrics (the champion attachment rule);
+//   - allgather ring weight equals the minimum Hamiltonian cycle weight on
+//     ultrametrics (cluster-contiguous greedy).
+//
+// The brute forcers enumerate all n^(n-2) labeled trees via Prüfer
+// sequences and all (n-1)! cycles, so sizes stay ≤ 7.
+
+import (
+	"math/rand"
+	"testing"
+
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+)
+
+// randUltra draws a random ultrametric over n ranks: each rank gets a
+// random digit path of the given length, and the distance between two
+// ranks is the number of levels below their longest common prefix. Equal
+// paths give distance 0, which a distance matrix permits (co-scheduled
+// hyperthreads) and the constructions must tolerate.
+func randUltra(r *rand.Rand, n, levels, branch int) distance.Matrix {
+	paths := make([][]int, n)
+	for i := range paths {
+		p := make([]int, levels)
+		for l := range p {
+			p[l] = r.Intn(branch)
+		}
+		paths[i] = p
+	}
+	m := make(distance.Matrix, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := levels
+			for l := 0; l < levels; l++ {
+				if paths[i][l] != paths[j][l] {
+					break
+				}
+				d--
+			}
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}
+
+// randSym draws an arbitrary symmetric matrix with entries in [0, max].
+func randSym(r *rand.Rand, n, max int) distance.Matrix {
+	m := make(distance.Matrix, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := r.Intn(max + 1)
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}
+
+// isUltra reports the strong triangle inequality d(i,k) ≤ max(d(i,j), d(j,k)).
+func isUltra(m distance.Matrix) bool {
+	n := m.Size()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				a, b := m.At(i, j), m.At(j, k)
+				if b > a {
+					a = b
+				}
+				if m.At(i, k) > a {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// primWeight computes the MST weight independently of the construction
+// under test (Prim's algorithm, O(n²)).
+func primWeight(m distance.Matrix) int {
+	n := m.Size()
+	const inf = 1 << 30
+	best := make([]int, n)
+	in := make([]bool, n)
+	for i := range best {
+		best[i] = inf
+	}
+	best[0] = 0
+	total := 0
+	for iter := 0; iter < n; iter++ {
+		u := -1
+		for v := 0; v < n; v++ {
+			if !in[v] && (u == -1 || best[v] < best[u]) {
+				u = v
+			}
+		}
+		in[u] = true
+		total += best[u]
+		for v := 0; v < n; v++ {
+			if !in[v] && m.At(u, v) < best[v] {
+				best[v] = m.At(u, v)
+			}
+		}
+	}
+	return total
+}
+
+// allTrees enumerates every labeled tree on n vertices (as a parent array
+// rooted at 0) via Prüfer sequences.
+func allTrees(n int, visit func(parent []int)) {
+	if n == 1 {
+		visit([]int{-1})
+		return
+	}
+	if n == 2 {
+		visit([]int{-1, 0})
+		return
+	}
+	seq := make([]int, n-2)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n-2 {
+			deg := make([]int, n)
+			for i := range deg {
+				deg[i] = 1
+			}
+			for _, v := range seq {
+				deg[v]++
+			}
+			adj := make([][]int, n)
+			for _, v := range seq {
+				for u := 0; u < n; u++ {
+					if deg[u] == 1 {
+						adj[u] = append(adj[u], v)
+						adj[v] = append(adj[v], u)
+						deg[u]--
+						deg[v]--
+						break
+					}
+				}
+			}
+			var last []int
+			for u := 0; u < n; u++ {
+				if deg[u] == 1 {
+					last = append(last, u)
+				}
+			}
+			adj[last[0]] = append(adj[last[0]], last[1])
+			adj[last[1]] = append(adj[last[1]], last[0])
+			parent := make([]int, n)
+			for i := range parent {
+				parent[i] = -2
+			}
+			parent[0] = -1
+			q := []int{0}
+			for len(q) > 0 {
+				u := q[0]
+				q = q[1:]
+				for _, v := range adj[u] {
+					if parent[v] == -2 {
+						parent[v] = u
+						q = append(q, v)
+					}
+				}
+			}
+			visit(parent)
+			return
+		}
+		for v := 0; v < n; v++ {
+			seq[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// weightDepth evaluates a parent array against a matrix.
+func weightDepth(parent []int, m distance.Matrix) (w, depth int) {
+	n := len(parent)
+	for v := 0; v < n; v++ {
+		if parent[v] >= 0 {
+			w += m.At(v, parent[v])
+		}
+		d, q := 0, v
+		for parent[q] != -1 {
+			q = parent[q]
+			d++
+		}
+		if d > depth {
+			depth = d
+		}
+	}
+	return
+}
+
+// minWeightMinDepth brute-forces the MST weight and the minimum depth
+// among MSTs rooted at root, by relabeling so the enumeration root 0 maps
+// to root.
+func minWeightMinDepth(m distance.Matrix, root int) (bestW, bestD int) {
+	n := m.Size()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[0], perm[root] = root, 0
+	pm := make(distance.Matrix, n)
+	for i := range pm {
+		pm[i] = make([]int, n)
+		for j := range pm[i] {
+			pm[i][j] = m.At(perm[i], perm[j])
+		}
+	}
+	bestW, bestD = 1<<30, 1<<30
+	allTrees(n, func(parent []int) {
+		w, d := weightDepth(parent, pm)
+		if w < bestW {
+			bestW, bestD = w, d
+		} else if w == bestW && d < bestD {
+			bestD = d
+		}
+	})
+	return bestW, bestD
+}
+
+// TestTreeWeightMinimalArbitrary: on any symmetric matrix the broadcast
+// tree is a minimum spanning tree (checked against an independent Prim).
+func TestTreeWeightMinimalArbitrary(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		n := 2 + r.Intn(9)
+		m := randSym(r, n, 6)
+		root := r.Intn(n)
+		tree, err := core.BuildBroadcastTree(m, root, core.TreeOptions{RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("iter %d: %v\n%v", iter, err, m)
+		}
+		if got, want := tree.TotalWeight(), primWeight(m); got != want {
+			t.Fatalf("iter %d n=%d root=%d: weight %d, MST weight %d\n%v", iter, n, root, got, want, m)
+		}
+		if len(tree.Trace) != n-1 {
+			t.Fatalf("iter %d: %d trace steps, want %d", iter, len(tree.Trace), n-1)
+		}
+	}
+}
+
+// TestTreeDepthMinimalUltra: on ultrametric matrices the broadcast tree
+// additionally has minimum depth among all minimum-weight spanning trees
+// (brute-forced over every labeled tree).
+func TestTreeDepthMinimalUltra(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 400; iter++ {
+		n := 2 + r.Intn(5)
+		m := randUltra(r, n, 3, 2)
+		root := r.Intn(n)
+		tree, err := core.BuildBroadcastTree(m, root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestW, bestD := minWeightMinDepth(m, root)
+		if got := tree.TotalWeight(); got != bestW {
+			t.Fatalf("iter %d n=%d root=%d: weight %d, want %d\n%v", iter, n, root, got, bestW, m)
+		}
+		if got := tree.Depth(); got != bestD {
+			t.Fatalf("iter %d n=%d root=%d: depth %d, min depth among MSTs %d\n%v", iter, n, root, got, bestD, m)
+		}
+	}
+}
+
+// TestTreeFastEquivalenceUltra: the sort-free builder matches the greedy
+// parent-for-parent on arbitrary random ultrametrics, not just machine
+// matrices (TestFastTreeEquivalence covers those).
+func TestTreeFastEquivalenceUltra(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 400; iter++ {
+		n := 2 + r.Intn(9)
+		m := randUltra(r, n, 4, 3)
+		root := r.Intn(n)
+		slow, err := core.BuildBroadcastTree(m, root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := core.BuildBroadcastTreeFast(m, root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if slow.Parent[v] != fast.Parent[v] {
+				t.Fatalf("iter %d n=%d root=%d: parent of %d: greedy %d, fast %d\n%v",
+					iter, n, root, v, slow.Parent[v], fast.Parent[v], m)
+			}
+		}
+	}
+}
+
+// TestRingWeightMinimalUltra: on ultrametric matrices the allgather ring's
+// cycle weight equals the minimum Hamiltonian cycle weight (brute-forced
+// over all (n-1)! tours).
+func TestRingWeightMinimalUltra(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 400; iter++ {
+		n := 3 + r.Intn(5)
+		m := randUltra(r, n, 3, 2)
+		ring, err := core.BuildAllgatherRing(m, core.RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for v := 0; v < n; v++ {
+			got += m.At(v, ring.Right[v])
+		}
+		perm := make([]int, n-1)
+		for i := range perm {
+			perm[i] = i + 1
+		}
+		best := 1 << 30
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(perm) {
+				w := m.At(0, perm[0])
+				for j := 0; j+1 < len(perm); j++ {
+					w += m.At(perm[j], perm[j+1])
+				}
+				w += m.At(perm[len(perm)-1], 0)
+				if w < best {
+					best = w
+				}
+				return
+			}
+			for j := i; j < len(perm); j++ {
+				perm[i], perm[j] = perm[j], perm[i]
+				rec(i + 1)
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+		}
+		rec(0)
+		if got != best {
+			t.Fatalf("iter %d n=%d: ring weight %d, min Hamiltonian cycle %d\n%v", iter, n, got, best, m)
+		}
+	}
+}
+
+// TestRingStructureArbitrary: on any symmetric matrix the ring is a single
+// Hamiltonian cycle — every rank has exactly one successor and one
+// predecessor (fan-out ≤ 2) and the successor walk visits all n ranks.
+func TestRingStructureArbitrary(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 500; iter++ {
+		n := 2 + r.Intn(11)
+		var m distance.Matrix
+		if iter%2 == 0 {
+			m = randSym(r, n, 6)
+		} else {
+			m = randUltra(r, n, 3, 3)
+		}
+		ring, err := core.BuildAllgatherRing(m, core.RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ring.Validate(); err != nil {
+			t.Fatalf("iter %d n=%d: %v\n%v", iter, n, err, m)
+		}
+		for v := 0; v < n; v++ {
+			if ring.Left[ring.Right[v]] != v {
+				t.Fatalf("iter %d: Left[Right[%d]] = %d, want %d", iter, v, ring.Left[ring.Right[v]], v)
+			}
+		}
+		seen := make([]bool, n)
+		v := 0
+		for i := 0; i < n; i++ {
+			if seen[v] {
+				t.Fatalf("iter %d: successor walk revisits %d after %d hops\n%v", iter, v, i, m)
+			}
+			seen[v] = true
+			v = ring.Right[v]
+		}
+		if v != 0 {
+			t.Fatalf("iter %d: successor walk does not close (ends at %d)\n%v", iter, v, m)
+		}
+	}
+}

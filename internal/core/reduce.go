@@ -58,7 +58,7 @@ func CompileReduce(t *Tree, size int64, chunkBytes int64) (*sched.Schedule, erro
 			id := s.AddOp(sched.Op{
 				Rank: r, Mode: sched.ModeLocal,
 				Src: send[r], SrcOff: ch[0], Dst: acc[r], DstOff: ch[0], Bytes: ch[1],
-				Deps: deps,
+				Chunk: c, Deps: deps,
 			})
 			last[r][c] = id
 			prev = id
@@ -80,7 +80,7 @@ func CompileReduce(t *Tree, size int64, chunkBytes int64) (*sched.Schedule, erro
 				id := s.AddOp(sched.Op{
 					Rank: u, Kind: sched.OpReduce, Mode: sched.ModeKnem,
 					Src: acc[v], SrcOff: ch[0], Dst: acc[u], DstOff: ch[0], Bytes: ch[1],
-					Deps: []sched.OpID{last[v][c], prev},
+					Chunk: c, Deps: []sched.OpID{last[v][c], prev},
 				})
 				prev = id
 				last[u][c] = id
@@ -187,7 +187,7 @@ func CompileAllreduce(r *Ring, size int64, align int64) (*sched.Schedule, error)
 			id := s.AddOp(sched.Op{
 				Rank: v, Kind: sched.OpReduce, Mode: sched.ModeKnem,
 				Src: work[left], SrcOff: offs[b], Dst: work[v], DstOff: offs[b], Bytes: lens[b],
-				Deps: []sched.OpID{srcReady, lastOf[v]},
+				Chunk: st, Deps: []sched.OpID{srcReady, lastOf[v]},
 			})
 			rsOp[v][st] = id
 			lastOf[v] = id
@@ -216,7 +216,7 @@ func CompileAllreduce(r *Ring, size int64, align int64) (*sched.Schedule, error)
 			id := s.AddOp(sched.Op{
 				Rank: v, Mode: sched.ModeKnem,
 				Src: work[left], SrcOff: offs[b], Dst: work[v], DstOff: offs[b], Bytes: lens[b],
-				Deps: deps,
+				Chunk: n - 1 + st, Deps: deps,
 			})
 			next[v] = id
 			nextOrigin[v] = b

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"distcoll/internal/distance"
@@ -39,6 +40,19 @@ type TreeOptions struct {
 
 // BuildBroadcastTree runs Algorithm 1 on the distance matrix: a Kruskal
 // minimum spanning tree with the root-aware edge ordering, rooted at root.
+//
+// Equal-weight edges are processed as one level. The components a level's
+// edges would merge are partitioned into groups, and each group is joined
+// as a star: the group's champion — the root's component when present,
+// otherwise the member entered at the greatest depth — keeps its entry
+// vertex, and every other member's entry attaches directly under it. On an
+// ultrametric matrix (every machine hierarchy, and every shrunken
+// submatrix of one) any cross pair between merging components sits at
+// exactly the level weight, so the re-anchored star preserves the MST
+// weight while making the depth minimal among minimum-weight spanning
+// trees. On a non-ultrametric matrix a member whose re-anchored edge is
+// off-weight falls back to an accepted Kruskal edge of the level, keeping
+// the weight minimal; depth is then best-effort.
 func BuildBroadcastTree(m distance.Matrix, root int, opts TreeOptions) (*Tree, error) {
 	n := m.Size()
 	if n == 0 {
@@ -60,20 +74,36 @@ func BuildBroadcastTree(m distance.Matrix, root int, opts TreeOptions) (*Tree, e
 		return t, nil
 	}
 
+	weight := func(a, b int) int {
+		if opts.Levels != nil {
+			return opts.Levels(m.At(a, b))
+		}
+		return m.At(a, b)
+	}
+
 	edges := allEdges(m, opts.Levels)
 	sortBroadcastEdges(edges, root)
 
 	dsu := unionfind.New(n, root)
 	adj := make([][]int, n)
+	// Attachment state per component, keyed by its DSU leader: entry is
+	// the vertex future merges anchor at; depth is the component's depth
+	// when oriented away from it.
+	entry := make([]int, n)
+	depth := make([]int, n)
+	for i := range entry {
+		entry[i] = i
+	}
 	accepted := 0
-	for _, e := range edges {
-		if accepted == n-1 {
-			break
-		}
-		if dsu.Same(e.U, e.V) {
-			continue
-		}
+
+	// link accepts the tree edge (a, b) at weight w, recording the trace
+	// step against the pre-union leaders like the plain Kruskal loop.
+	link := func(a, b, w int) {
 		if opts.RecordTrace {
+			e := Edge{U: a, V: b, Weight: w}
+			if e.V < e.U {
+				e.U, e.V = e.V, e.U
+			}
 			t.Trace = append(t.Trace, UnionStep{
 				Step:    accepted + 1,
 				Edge:    e,
@@ -81,10 +111,109 @@ func BuildBroadcastTree(m distance.Matrix, root int, opts TreeOptions) (*Tree, e
 				LeaderV: dsu.Leader(e.V),
 			})
 		}
-		dsu.Union(e.U, e.V)
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
+		dsu.Union(a, b)
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
 		accepted++
+	}
+
+	// bfsDepth returns the depth of start's component when oriented away
+	// from start. adj holds only accepted tree edges, so the walk stays
+	// inside the component.
+	dist := make([]int, n)
+	bfsDepth := func(start int) int {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[start] = 0
+		queue := []int{start}
+		max := 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					if dist[v] > max {
+						max = dist[v]
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		return max
+	}
+
+	comp := make([]int, n)
+	for lo := 0; lo < len(edges) && accepted < n-1; {
+		w := edges[lo].Weight
+		hi := lo
+		for hi < len(edges) && edges[hi].Weight == w {
+			hi++
+		}
+		level := edges[lo:hi]
+		lo = hi
+
+		// Components as of the start of this level; the real DSU mutates
+		// as the level's groups attach.
+		for v := 0; v < n; v++ {
+			comp[v] = dsu.Leader(v)
+		}
+		for _, members := range levelGroups(comp, level) {
+			champ := -1
+			for _, l := range members {
+				if l == comp[root] {
+					champ = l
+					break
+				}
+			}
+			if champ == -1 {
+				for _, l := range members {
+					if champ == -1 || depth[l] > depth[champ] ||
+						(depth[l] == depth[champ] && entry[l] < entry[champ]) {
+						champ = l
+					}
+				}
+			}
+			anchor := entry[champ]
+
+			rest := make([]int, 0, len(members)-1)
+			for _, l := range members {
+				if l != champ {
+					rest = append(rest, l)
+				}
+			}
+			sort.Slice(rest, func(a, b int) bool { return entry[rest[a]] < entry[rest[b]] })
+
+			attached := map[int]bool{champ: true}
+			for len(rest) > 0 {
+				progress := false
+				for i := 0; i < len(rest); i++ {
+					b := rest[i]
+					switch {
+					case weight(anchor, entry[b]) == w:
+						link(anchor, entry[b], w)
+					default:
+						u, v, ok := fallbackEdge(b, attached, comp, level)
+						if !ok {
+							continue
+						}
+						link(u, v, w)
+					}
+					attached[b] = true
+					rest = append(rest[:i], rest[i+1:]...)
+					i--
+					progress = true
+				}
+				if !progress {
+					break
+				}
+			}
+
+			nl := dsu.Leader(anchor)
+			entry[nl] = anchor
+			depth[nl] = bfsDepth(anchor)
+		}
 	}
 	if accepted != n-1 {
 		return nil, fmt.Errorf("core: disconnected construction (%d/%d edges)", accepted, n-1)
@@ -92,12 +221,6 @@ func BuildBroadcastTree(m distance.Matrix, root int, opts TreeOptions) (*Tree, e
 
 	// Orient the spanning tree away from the root. Neighbors were appended
 	// in acceptance order, so children keep the union order.
-	weight := func(a, b int) int {
-		if opts.Levels != nil {
-			return opts.Levels(m.At(a, b))
-		}
-		return m.At(a, b)
-	}
 	queue := []int{root}
 	visited := make([]bool, n)
 	visited[root] = true
@@ -121,6 +244,77 @@ func BuildBroadcastTree(m distance.Matrix, root int, opts TreeOptions) (*Tree, e
 		}
 	}
 	return t, nil
+}
+
+// levelGroups partitions the components touched by one weight level's
+// edges into merge groups: the sets of components the level's edges
+// connect transitively. comp maps each vertex to its component leader as
+// of the start of the level. Groups appear in the scan order of the first
+// edge touching them (root-covering edges sort first, so a group absorbing
+// the root's component always comes first); singleton groups are dropped.
+func levelGroups(comp []int, level []Edge) [][]int {
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for _, e := range level {
+		lu, lv := comp[e.U], comp[e.V]
+		if lu == lv {
+			continue
+		}
+		ru, rv := find(lu), find(lv)
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	byGroup := map[int][]int{}
+	var order []int
+	seen := map[int]bool{}
+	for _, e := range level {
+		for _, v := range [2]int{e.U, e.V} {
+			l := comp[v]
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			g := find(l)
+			if len(byGroup[g]) == 0 {
+				order = append(order, g)
+			}
+			byGroup[g] = append(byGroup[g], l)
+		}
+	}
+	groups := make([][]int, 0, len(order))
+	for _, g := range order {
+		if len(byGroup[g]) >= 2 {
+			groups = append(groups, byGroup[g])
+		}
+	}
+	return groups
+}
+
+// fallbackEdge finds the first level edge in scan order joining component
+// b to an already-attached component of its group. It is the
+// non-ultrametric escape hatch: when the re-anchored star edge would be
+// off-weight, the construction falls back to an edge Kruskal itself would
+// have accepted.
+func fallbackEdge(b int, attached map[int]bool, comp []int, level []Edge) (u, v int, ok bool) {
+	for _, e := range level {
+		switch {
+		case comp[e.U] == b && attached[comp[e.V]]:
+			return e.V, e.U, true
+		case comp[e.V] == b && attached[comp[e.U]]:
+			return e.U, e.V, true
+		}
+	}
+	return 0, 0, false
 }
 
 // NewLinearTree returns the linear topology: every non-root rank is a

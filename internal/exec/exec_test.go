@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"strings"
 	"fmt"
+	"strings"
 	"testing"
 
 	"distcoll/internal/binding"

@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distcoll/internal/sched"
+	"distcoll/internal/trace"
+)
+
+// nplan issues plan ids for standalone traced executions, so events from
+// several RunTraced calls into one sink stay separable (the mpi runtime
+// has its own world-scoped counter).
+var nplan atomic.Int64
+
+// RunTraced executes a copy-only schedule like Run while emitting the
+// structured event stream: a plan_build record, op_begin/op_end brackets,
+// and one copy event per executed operation tagged with the operation's
+// chunk index and the distance class of the edge it crossed. dist maps a
+// (src rank, dst rank) pair to its process-distance class; a nil dist
+// tags every copy with class -1 (unknown). A nil (disabled) tracer makes
+// RunTraced identical to Run.
+func RunTraced(s *sched.Schedule, b *Buffers, tr *trace.Tracer, op string, dist func(src, dst int) int) error {
+	if !tr.Enabled() {
+		return Run(s, b)
+	}
+	if err := check(s, b, nil); err != nil {
+		return err
+	}
+	id := nplan.Add(1)
+	tr.PlanBuild(op, id, len(s.Ops), len(s.Buffers), s.TotalCopiedBytes())
+	tr.OpBegin(op, id, -1, s.TotalCopiedBytes())
+	t0 := time.Now()
+	done := make([]chan struct{}, len(s.Ops))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(s.Ops))
+	for i := range s.Ops {
+		o := &s.Ops[i]
+		go func() {
+			defer wg.Done()
+			for _, d := range o.Deps {
+				<-done[d]
+			}
+			c0 := time.Now()
+			perform(b, o, nil)
+			src, dst := s.Buffers[o.Src].Rank, s.Buffers[o.Dst].Rank
+			d := -1
+			if dist != nil {
+				d = dist(src, dst)
+			}
+			tr.Copy(op, id, o.Rank, src, dst, int(o.ID), o.Chunk,
+				o.Bytes, d, o.Mode.String(), time.Since(c0))
+			close(done[o.ID])
+		}()
+	}
+	wg.Wait()
+	tr.OpEnd(op, id, -1, time.Since(t0), nil)
+	return nil
+}

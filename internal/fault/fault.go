@@ -106,10 +106,10 @@ type Injector struct {
 	plan Plan
 
 	mu      sync.Mutex
-	copySeq map[int]int64       // per-rank device-operation index
-	opSeq   map[int]int         // per-rank collective-operation index
-	sendSeq map[[2]int]int64    // per-(src,dst) message index
-	crashed map[int]bool        // sticky crash state
+	copySeq map[int]int64    // per-rank device-operation index
+	opSeq   map[int]int      // per-rank collective-operation index
+	sendSeq map[[2]int]int64 // per-(src,dst) message index
+	crashed map[int]bool     // sticky crash state
 	stats   Stats
 }
 

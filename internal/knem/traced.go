@@ -1,0 +1,43 @@
+package knem
+
+import "distcoll/internal/trace"
+
+// tracedMover interposes on a Mover to emit cookie-lifecycle events:
+// region declarations and destructions, the transport half of the
+// plan/cookie story (the semantic copy events — with distance classes and
+// chunk indices — are emitted by the runtime layer that knows them).
+type tracedMover struct {
+	inner Mover
+	tr    *trace.Tracer
+}
+
+// Traced wraps a Mover so region declarations and destructions are traced.
+// A nil tracer returns the mover unchanged.
+func Traced(m Mover, tr *trace.Tracer) Mover {
+	if tr == nil {
+		return m
+	}
+	return &tracedMover{inner: m, tr: tr}
+}
+
+func (t *tracedMover) Declare(owner int, buf []byte) Cookie {
+	c := t.inner.Declare(owner, buf)
+	t.tr.Declare(owner, uint64(c), int64(len(buf)))
+	return c
+}
+
+func (t *tracedMover) Destroy(owner int, c Cookie) error {
+	err := t.inner.Destroy(owner, c)
+	if err == nil {
+		t.tr.Destroy(owner, uint64(c))
+	}
+	return err
+}
+
+func (t *tracedMover) CopyFrom(caller int, c Cookie, offset int64, dst []byte) error {
+	return t.inner.CopyFrom(caller, c, offset, dst)
+}
+
+func (t *tracedMover) CopyTo(caller int, c Cookie, offset int64, src []byte) error {
+	return t.inner.CopyTo(caller, c, offset, src)
+}

@@ -58,6 +58,8 @@ const (
 // since even a crashing member leaves execute.
 type collPlan struct {
 	s       *sched.Schedule
+	op      string // collective name for trace attribution
+	id      int64  // world-unique plan id
 	bufs    [][]byte
 	cookies []knem.Cookie
 	done    []chan struct{}
@@ -85,23 +87,26 @@ func (p *collPlan) reap() {
 	for _, cookie := range p.cookies {
 		p.world.dev.ForceDestroy(cookie)
 	}
+	p.world.tracer.PlanReap(p.id, len(p.cookies))
 }
 
 // emptyPlan is the no-op plan for zero-byte collectives.
-func (st *commState) emptyPlan(n int) *collPlan {
-	return &collPlan{s: sched.New(n), world: st.world, members: len(st.group)}
+func (st *commState) emptyPlan(op string, n int) *collPlan {
+	return &collPlan{s: sched.New(n), op: op, world: st.world, members: len(st.group)}
 }
 
 // newPlan validates the schedule, binds caller buffers, allocates
 // auxiliary ones (bounce/temporary segments), and declares every buffer as
 // a KNEM region owned by the member's WORLD rank (fault plans address
 // world ranks).
-func (st *commState) newPlan(s *sched.Schedule, caller func(rank int, name string) []byte) (*collPlan, error) {
+func (st *commState) newPlan(op string, s *sched.Schedule, caller func(rank int, name string) []byte) (*collPlan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	plan := &collPlan{
 		s:       s,
+		op:      op,
+		id:      st.world.nplan.Add(1),
 		bufs:    make([][]byte, len(s.Buffers)),
 		cookies: make([]knem.Cookie, len(s.Buffers)),
 		done:    make([]chan struct{}, len(s.Ops)),
@@ -123,6 +128,7 @@ func (st *commState) newPlan(s *sched.Schedule, caller func(rank int, name strin
 	for i := range plan.done {
 		plan.done[i] = make(chan struct{})
 	}
+	st.world.tracer.PlanBuild(op, plan.id, len(s.Ops), len(s.Buffers), s.TotalCopiedBytes())
 	return plan, nil
 }
 
@@ -151,7 +157,7 @@ func (c *Comm) Bcast(buf []byte, root int, comp Component) error {
 			}
 			size := int64(len(args[0].buf))
 			if size == 0 {
-				return c.state.emptyPlan(len(args)), nil
+				return c.state.emptyPlan("bcast", len(args)), nil
 			}
 			s, err := c.buildBcast(size, args[0].root, args[0].comp)
 			if err != nil {
@@ -163,7 +169,7 @@ func (c *Comm) Bcast(buf []byte, root int, comp Component) error {
 				}
 				return nil
 			}
-			return c.state.newPlan(s, caller)
+			return c.state.newPlan("bcast", s, caller)
 		})
 	if err != nil {
 		return err
@@ -199,7 +205,7 @@ func (c *Comm) Allgather(send, recv []byte, comp Component) error {
 			}
 			block := int64(len(args[0].send))
 			if block == 0 {
-				return c.state.emptyPlan(len(args)), nil
+				return c.state.emptyPlan("allgather", len(args)), nil
 			}
 			s, err := c.buildAllgather(block, args[0].comp)
 			if err != nil {
@@ -215,7 +221,7 @@ func (c *Comm) Allgather(send, recv []byte, comp Component) error {
 					return nil
 				}
 			}
-			return c.state.newPlan(s, caller)
+			return c.state.newPlan("allgather", s, caller)
 		})
 	if err != nil {
 		return err
@@ -279,26 +285,47 @@ func (c *Comm) distanceMatrix() distance.Matrix {
 // member that crashed must NOT join the completion barrier — it is dead;
 // its absence is precisely what tells the survivors to fail over.
 func (c *Comm) runPlan(plan *collPlan) error {
+	finishBracket := c.opBracket(plan)
 	err := c.execute(plan)
 	if fault.IsCrashed(err) {
+		finishBracket(err)
 		return err
 	}
 	if ferr := c.finish(plan); err == nil {
 		err = ferr
 	}
+	finishBracket(err)
 	return err
 }
 
 // runReducePlan is runPlan for plans with combining operations.
 func (c *Comm) runReducePlan(plan *collPlan, op ReduceOp) error {
+	finishBracket := c.opBracket(plan)
 	err := c.executeReduce(plan, op)
 	if fault.IsCrashed(err) {
+		finishBracket(err)
 		return err
 	}
 	if ferr := c.finish(plan); err == nil {
 		err = ferr
 	}
+	finishBracket(err)
 	return err
+}
+
+// opBracket emits the OpBegin event for this member and returns the
+// closure emitting the matching OpEnd with the measured duration. On the
+// disabled tracer both halves are no-ops.
+func (c *Comm) opBracket(plan *collPlan) func(error) {
+	tr := c.state.world.tracer
+	if !tr.Enabled() {
+		return func(error) {}
+	}
+	tr.OpBegin(plan.op, plan.id, c.rank, plan.s.TotalCopiedBytes())
+	t0 := time.Now()
+	return func(err error) {
+		tr.OpEnd(plan.op, plan.id, c.rank, time.Since(t0), err)
+	}
 }
 
 // execute runs this member's share of the plan: consult the fault
@@ -309,7 +336,7 @@ func (c *Comm) execute(plan *collPlan) error {
 	return c.executeOps(plan, func(o *sched.Op, dst []byte, wr int) error {
 		if o.Mode == sched.ModeKnem {
 			// Receiver-driven single copy through the device.
-			return c.knemPull(wr, plan.cookies[o.Src], o.SrcOff, dst)
+			return c.knemPull(plan, wr, plan.cookies[o.Src], o.SrcOff, dst)
 		}
 		copy(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
 		return nil
@@ -324,6 +351,13 @@ func (c *Comm) executeOps(plan *collPlan, perform func(o *sched.Op, dst []byte, 
 			plan.reap()
 		}
 	}()
+	// When tracing, resolve the member distance matrix once so every copy
+	// event carries the distance class of the edge it crossed.
+	tr := c.state.world.tracer
+	var mx distance.Matrix
+	if tr.Enabled() && plan.s.NumRanks <= c.Size() {
+		mx = c.distanceMatrix()
+	}
 	for i := range plan.s.Ops {
 		o := &plan.s.Ops[i]
 		if o.Rank != c.rank {
@@ -337,8 +371,21 @@ func (c *Comm) executeOps(plan *collPlan, perform func(o *sched.Op, dst []byte, 
 		}
 		if o.Bytes > 0 {
 			dst := plan.bufs[o.Dst][o.DstOff : o.DstOff+o.Bytes]
+			var t0 time.Time
+			if tr.Enabled() {
+				t0 = time.Now()
+			}
 			if err := perform(o, dst, wr); err != nil {
 				return err
+			}
+			if tr.Enabled() {
+				src, dstRank := plan.s.Buffers[o.Src].Rank, plan.s.Buffers[o.Dst].Rank
+				dist := -1
+				if mx != nil && src < mx.Size() && dstRank < mx.Size() {
+					dist = mx.At(src, dstRank)
+				}
+				tr.Copy(plan.op, plan.id, c.rank, src, dstRank, int(o.ID), o.Chunk,
+					o.Bytes, dist, o.Mode.String(), time.Since(t0))
 			}
 		}
 		close(plan.done[o.ID])
@@ -400,6 +447,7 @@ func (c *Comm) awaitDep(plan *collPlan, o *sched.Op, d sched.OpID, wr int) error
 			return nil
 		case <-failCh:
 		case <-timeoutC:
+			w.tracer.Watchdog(wr, desc)
 			return &HangError{Rank: wr, Op: desc, Deadline: w.opDeadline,
 				Dump: w.BlockedDump() + "; schedule: " + plan.s.PendingDump(plan.isDone)}
 		}
@@ -408,7 +456,7 @@ func (c *Comm) awaitDep(plan *collPlan, o *sched.Op, d sched.OpID, wr int) error
 
 // knemPull performs one kernel-assisted copy with retry-with-backoff on
 // injected transient failures.
-func (c *Comm) knemPull(wr int, cookie knem.Cookie, off int64, dst []byte) error {
+func (c *Comm) knemPull(plan *collPlan, wr int, cookie knem.Cookie, off int64, dst []byte) error {
 	mover := c.state.world.mover
 	backoff := copyRetryBase
 	var err error
@@ -420,6 +468,7 @@ func (c *Comm) knemPull(wr int, cookie knem.Cookie, off int64, dst []byte) error
 		if !fault.IsTransient(err) {
 			break
 		}
+		c.state.world.tracer.Retry(plan.op, wr, attempt+1, err)
 		time.Sleep(backoff)
 		backoff *= 2
 	}

@@ -41,7 +41,7 @@ func (c *Comm) Gather(send, recv []byte, root int, comp Component) error {
 			}
 			block := int64(len(args[0].small))
 			if block == 0 {
-				return c.state.emptyPlan(len(args)), nil
+				return c.state.emptyPlan("gather", len(args)), nil
 			}
 			tree, err := c.gatherTree(args[0].root, args[0].comp)
 			if err != nil {
@@ -61,7 +61,7 @@ func (c *Comm) Gather(send, recv []byte, root int, comp Component) error {
 					return nil
 				}
 			}
-			return c.state.newPlan(s, caller)
+			return c.state.newPlan("gather", s, caller)
 		})
 	if err != nil {
 		return err
@@ -81,7 +81,7 @@ func (c *Comm) Scatter(send, recv []byte, root int, comp Component) error {
 			}
 			block := int64(len(args[0].small))
 			if block == 0 {
-				return c.state.emptyPlan(len(args)), nil
+				return c.state.emptyPlan("scatter", len(args)), nil
 			}
 			tree, err := c.gatherTree(args[0].root, args[0].comp)
 			if err != nil {
@@ -101,7 +101,7 @@ func (c *Comm) Scatter(send, recv []byte, root int, comp Component) error {
 					return nil
 				}
 			}
-			return c.state.newPlan(s, caller)
+			return c.state.newPlan("scatter", s, caller)
 		})
 	if err != nil {
 		return err
@@ -174,7 +174,7 @@ func (c *Comm) Alltoall(send, recv []byte, comp Component) error {
 			}
 			block := int64(len(args[0].send) / n)
 			if block == 0 {
-				return c.state.emptyPlan(n), nil
+				return c.state.emptyPlan("alltoall", n), nil
 			}
 			var s *sched.Schedule
 			var err error
@@ -205,7 +205,7 @@ func (c *Comm) Alltoall(send, recv []byte, comp Component) error {
 					return nil
 				}
 			}
-			return c.state.newPlan(s, caller)
+			return c.state.newPlan("alltoall", s, caller)
 		})
 	if err != nil {
 		return err

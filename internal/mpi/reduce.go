@@ -95,7 +95,7 @@ func (c *Comm) Reduce(send, recv []byte, root int, op ReduceOp, comp Component) 
 			}
 			size := int64(len(args[0].send))
 			if size == 0 {
-				return c.state.emptyPlan(len(args)), nil
+				return c.state.emptyPlan("reduce", len(args)), nil
 			}
 			s, err := c.buildReduce(size, rt, args[0].comp)
 			if err != nil {
@@ -111,7 +111,7 @@ func (c *Comm) Reduce(send, recv []byte, root int, op ReduceOp, comp Component) 
 					return nil
 				}
 			}
-			return c.state.newPlan(s, caller)
+			return c.state.newPlan("reduce", s, caller)
 		})
 	if err != nil {
 		return err
@@ -158,7 +158,7 @@ func (c *Comm) Allreduce(send, recv []byte, op ReduceOp, comp Component) error {
 			}
 			size := int64(len(args[0].send))
 			if size == 0 {
-				return c.state.emptyPlan(len(args)), nil
+				return c.state.emptyPlan("allreduce", len(args)), nil
 			}
 			s, err := c.buildAllreduce(size, args[0].elem, args[0].comp)
 			if err != nil {
@@ -174,7 +174,7 @@ func (c *Comm) Allreduce(send, recv []byte, op ReduceOp, comp Component) error {
 					return nil
 				}
 			}
-			return c.state.newPlan(s, caller)
+			return c.state.newPlan("allreduce", s, caller)
 		})
 	if err != nil {
 		return err
@@ -232,7 +232,7 @@ func (c *Comm) executeReduce(plan *collPlan, op ReduceOp) error {
 				scratch = make([]byte, o.Bytes)
 			}
 			tmp := scratch[:o.Bytes]
-			if err := c.knemPull(wr, plan.cookies[o.Src], o.SrcOff, tmp); err != nil {
+			if err := c.knemPull(plan, wr, plan.cookies[o.Src], o.SrcOff, tmp); err != nil {
 				return err
 			}
 			op.Combine(dst, tmp)
@@ -241,7 +241,7 @@ func (c *Comm) executeReduce(plan *collPlan, op ReduceOp) error {
 			op.Combine(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
 			return nil
 		case o.Mode == sched.ModeKnem:
-			return c.knemPull(wr, plan.cookies[o.Src], o.SrcOff, dst)
+			return c.knemPull(plan, wr, plan.cookies[o.Src], o.SrcOff, dst)
 		default:
 			copy(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
 			return nil

@@ -1,0 +1,219 @@
+package mpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distcoll/internal/fault"
+)
+
+// TestShrinkToSoleSurvivor: with two ranks and one crash, the survivor
+// shrinks down to a single-member communicator, and that degenerate comm
+// still runs the whole collective suite (all of them no-op or self-copy).
+func TestShrinkToSoleSurvivor(t *testing.T) {
+	const size = 1024
+	w := faultWorld(t, 2, fault.Plan{CrashAtOp: map[int]int{1: 0}})
+	want := pattern(0, size)
+	err := w.Run(func(p *Proc) error {
+		buf := make([]byte, size)
+		if p.Rank() == 0 {
+			copy(buf, want)
+		}
+		err := p.Comm().Bcast(buf, 0, KNEMColl)
+		if p.Rank() == 1 {
+			if !fault.IsCrashed(err) {
+				t.Errorf("victim got %v, want CrashError", err)
+			}
+			return nil
+		}
+		if !IsRankFailure(err) {
+			t.Fatalf("survivor got %v, want RankFailureError", err)
+		}
+		nc, err := p.Comm().Shrink()
+		if err != nil {
+			return err
+		}
+		if nc.Size() != 1 || nc.Rank() != 0 || nc.WorldRank(0) != 0 {
+			t.Fatalf("sole-survivor comm: size=%d rank=%d world=%d",
+				nc.Size(), nc.Rank(), nc.WorldRank(0))
+		}
+		// Every collective degenerates gracefully on a single member.
+		if err := nc.Bcast(buf, 0, KNEMColl); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			t.Error("payload corrupted by single-member broadcast")
+		}
+		send := pattern(0, 64)
+		recv := make([]byte, 64)
+		if err := nc.Allgather(send, recv, KNEMColl); err != nil {
+			return err
+		}
+		if !bytes.Equal(recv, send) {
+			t.Error("single-member allgather lost the local block")
+		}
+		if err := nc.Barrier(); err != nil {
+			return err
+		}
+		// With every member alive there is nothing left to shrink away.
+		if _, err := nc.Shrink(); err == nil ||
+			!strings.Contains(err.Error(), "no failed members") {
+			t.Errorf("second shrink on healthy comm: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("survivor failed: %v", err)
+	}
+	if got := w.Failed(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Failed() = %v, want [1]", got)
+	}
+}
+
+// TestShrinkAfterRootDiesBeforeFirstChunk: the broadcast root dies before
+// copying a single chunk (it never even enters the collective). The
+// survivors' rendezvous detects the death, the communicator breaks, and
+// after a shrink the payload is re-broadcast from a surviving root.
+func TestShrinkAfterRootDiesBeforeFirstChunk(t *testing.T) {
+	const (
+		n    = 6
+		root = 2
+		size = 1024
+	)
+	w := faultWorld(t, n, fault.Plan{})
+	want := pattern(root, size)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == root {
+			return nil // dies before broadcasting anything
+		}
+		p.World().MarkFailed(root)
+		comm := p.Comm()
+		buf := make([]byte, size)
+		if err := comm.Bcast(buf, root, KNEMColl); !IsRankFailure(err) {
+			t.Fatalf("rank %d: bcast with dead root returned %v", p.Rank(), err)
+		}
+		if !comm.Broken() {
+			t.Errorf("rank %d: comm not broken after root death", p.Rank())
+		}
+		nc, err := comm.Shrink()
+		if err != nil {
+			return err
+		}
+		if nc.Size() != n-1 {
+			t.Errorf("rank %d: shrunken size %d, want %d", p.Rank(), nc.Size(), n-1)
+		}
+		for r := 0; r < nc.Size(); r++ {
+			if nc.WorldRank(r) == root {
+				t.Errorf("rank %d: dead root still in shrunken comm", p.Rank())
+			}
+		}
+		// A surviving rank takes over as root; the data originates there.
+		if nc.Rank() == 0 {
+			copy(buf, want)
+		} else {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+		if err := nc.Bcast(buf, 0, KNEMColl); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			t.Errorf("rank %d: payload wrong after root takeover", p.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("survivors failed: %v", err)
+	}
+}
+
+// TestDoubleShrinkAfterConsecutiveFailures: two ranks die in two
+// consecutive broadcasts (the second on the already-shrunken
+// communicator); each failure breaks the current comm and each shrink
+// produces a working smaller one. The broadcasts are single-chunk
+// (size < PipelineThreshold), so each non-root rank reaches exactly one
+// schedule op per collective and the crash indices land deterministically:
+// rank 5 at its op 0 (first bcast), rank 4 at its op 1 (second bcast).
+func TestDoubleShrinkAfterConsecutiveFailures(t *testing.T) {
+	const (
+		n       = 8
+		size    = 1024
+		victim1 = 5
+		victim2 = 4
+	)
+	w := faultWorld(t, n, fault.Plan{CrashAtOp: map[int]int{victim1: 0, victim2: 1}})
+	want := pattern(0, size)
+	err := w.Run(func(p *Proc) error {
+		buf := make([]byte, size)
+		if p.Rank() == 0 {
+			copy(buf, want)
+		}
+		err := p.Comm().Bcast(buf, 0, KNEMColl)
+		if p.Rank() == victim1 {
+			if !fault.IsCrashed(err) {
+				t.Errorf("first victim got %v, want CrashError", err)
+			}
+			return nil
+		}
+		if !IsRankFailure(err) {
+			t.Fatalf("rank %d: first bcast returned %v", p.Rank(), err)
+		}
+		nc1, err := p.Comm().Shrink()
+		if err != nil {
+			return err
+		}
+		if nc1.Size() != n-1 {
+			t.Errorf("rank %d: first shrink size %d, want %d", p.Rank(), nc1.Size(), n-1)
+		}
+
+		err = nc1.Bcast(buf, 0, KNEMColl)
+		if p.Rank() == victim2 {
+			if !fault.IsCrashed(err) {
+				t.Errorf("second victim got %v, want CrashError", err)
+			}
+			return nil
+		}
+		if !IsRankFailure(err) {
+			t.Fatalf("rank %d: second bcast returned %v", p.Rank(), err)
+		}
+		if !nc1.Broken() {
+			t.Errorf("rank %d: shrunken comm not broken after second failure", p.Rank())
+		}
+		nc2, err := nc1.Shrink()
+		if err != nil {
+			return err
+		}
+		if nc2.Size() != n-2 {
+			t.Errorf("rank %d: second shrink size %d, want %d", p.Rank(), nc2.Size(), n-2)
+		}
+		for r := 0; r < nc2.Size(); r++ {
+			if wr := nc2.WorldRank(r); wr == victim1 || wr == victim2 {
+				t.Errorf("rank %d: victim %d still present after double shrink", p.Rank(), wr)
+			}
+		}
+
+		// The twice-shrunken communicator delivers.
+		if nc2.Rank() == 0 {
+			copy(buf, want)
+		} else {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+		if err := nc2.Bcast(buf, 0, KNEMColl); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			t.Errorf("rank %d: payload wrong after double shrink", p.Rank())
+		}
+		return nc2.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("survivors failed: %v", err)
+	}
+	if got := w.Failed(); len(got) != 2 || got[0] != victim2 || got[1] != victim1 {
+		t.Fatalf("Failed() = %v, want [%d %d]", got, victim2, victim1)
+	}
+}

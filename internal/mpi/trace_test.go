@@ -1,0 +1,162 @@
+package mpi
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/trace"
+	"distcoll/internal/trace/check"
+)
+
+// TestTracedCollectivesVerifyEndToEnd is the observability acceptance
+// test: a live 16-rank broadcast + allgather on Zoot is captured through
+// the tracer, and the executed copy events must pass every §IV invariant
+// (minimum-weight minimum-depth tree, Hamiltonian fan-out ≤ 2 ring,
+// distance classes within the construction's promise, ordered pipeline
+// chunks), with the metrics registry's per-distance-class byte totals
+// exactly matching the traced copies.
+func TestTracedCollectivesVerifyEndToEnd(t *testing.T) {
+	const (
+		np    = 16
+		root  = 0
+		size  = 256 << 10
+		block = 4096
+	)
+	topo := hwtopo.NewZoot()
+	b, err := binding.Contiguous(topo, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := trace.NewRing(trace.DefaultRingCapacity)
+	tr := trace.New(ring)
+	w := NewWorld(b, WithTracer(tr))
+	if w.Tracer() != tr {
+		t.Fatal("world does not expose its tracer")
+	}
+
+	want := pattern(root, size)
+	err = w.Run(func(p *Proc) error {
+		buf := make([]byte, size)
+		if p.Rank() == root {
+			copy(buf, want)
+		}
+		if err := p.Comm().Bcast(buf, root, KNEMColl); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			t.Errorf("rank %d: broadcast payload wrong", p.Rank())
+		}
+		send := pattern(p.Rank(), block)
+		recv := make([]byte, np*block)
+		return p.Comm().Allgather(send, recv, KNEMColl)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := ring.Events()
+	if ring.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events", ring.Dropped())
+	}
+	m := distance.NewMatrix(topo, b.Cores())
+
+	var bcastCopies, agCopies []trace.Event
+	for _, e := range trace.Filter(events, trace.KindCopy) {
+		switch e.Op {
+		case "bcast":
+			bcastCopies = append(bcastCopies, e)
+		case "allgather":
+			agCopies = append(agCopies, e)
+		default:
+			t.Fatalf("copy event from unexpected collective %q", e.Op)
+		}
+	}
+
+	if r := check.VerifyBroadcast(bcastCopies, m, root, size); !r.OK() {
+		t.Errorf("broadcast invariants violated:\n%s", r.String())
+	}
+	if r := check.VerifyAllgather(agCopies, m, block); !r.OK() {
+		t.Errorf("allgather invariants violated:\n%s", r.String())
+	}
+	if r := check.VerifyMetrics(tr.Metrics(), events); !r.OK() {
+		t.Errorf("metrics accounting violated:\n%s", r.String())
+	}
+}
+
+// TestTracedRunMatchesGoldenSchedule: the canonical form of a live traced
+// run must be byte-identical to the committed golden edge schedule — the
+// runtime executed exactly the schedule the constructions promised, with
+// no reordering, duplication or loss across the concurrent rank
+// goroutines.
+func TestTracedRunMatchesGoldenSchedule(t *testing.T) {
+	const (
+		np    = 16
+		size  = 256 << 10
+		block = 4096
+	)
+	topo := hwtopo.NewZoot()
+	b, err := binding.Contiguous(topo, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := trace.NewRing(trace.DefaultRingCapacity)
+	w := NewWorld(b, WithTracer(trace.New(ring)))
+	err = w.Run(func(p *Proc) error {
+		buf := make([]byte, size)
+		if err := p.Comm().Bcast(buf, 0, KNEMColl); err != nil {
+			return err
+		}
+		send := make([]byte, block)
+		recv := make([]byte, np*block)
+		return p.Comm().Allgather(send, recv, KNEMColl)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		op     string
+		golden string
+	}{
+		{"bcast", "zoot16.bcast.trace.jsonl"},
+		{"allgather", "zoot16.allgather.trace.jsonl"},
+	} {
+		live := trace.Canonical(trace.FilterOp(ring.Events(), trace.KindCopy, tc.op))
+		got, err := trace.MarshalJSONL(live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join("..", "trace", "testdata", tc.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: live canonical trace (%d events) differs from golden %s",
+				tc.op, len(live), tc.golden)
+		}
+	}
+}
+
+// TestTracingDisabledByDefault: a world without WithTracer runs with a nil
+// tracer end to end — the zero-cost path.
+func TestTracingDisabledByDefault(t *testing.T) {
+	b, err := binding.Contiguous(hwtopo.NewZoot(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(b)
+	if w.Tracer() != nil {
+		t.Fatal("untraced world has a tracer")
+	}
+	err = w.Run(func(p *Proc) error {
+		buf := make([]byte, 1024)
+		return p.Comm().Bcast(buf, 0, KNEMColl)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"distcoll/internal/fault"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/knem"
+	"distcoll/internal/trace"
 )
 
 // message is one point-to-point payload in flight.
@@ -47,11 +48,16 @@ const DefaultMailboxCapacity = 64
 
 // World is a job: n processes bound to cores of one machine.
 type World struct {
-	bind  *binding.Binding
-	dev   *knem.Device
-	mover knem.Mover      // data path: the device, possibly fault-wrapped
-	inj   *fault.Injector // nil when no fault injection is configured
-	n     int
+	bind   *binding.Binding
+	dev    *knem.Device
+	mover  knem.Mover      // data path: the device, possibly fault-wrapped
+	inj    *fault.Injector // nil when no fault injection is configured
+	tracer *trace.Tracer   // nil when tracing is disabled
+	n      int
+
+	// nplan issues world-unique plan ids so trace events from concurrent
+	// collectives on different communicators stay separable.
+	nplan atomic.Int64
 
 	mailboxCap  int
 	sendTimeout time.Duration
@@ -120,6 +126,15 @@ func WithFault(plan fault.Plan) Option {
 	return func(w *World) { w.inj = fault.NewInjector(plan) }
 }
 
+// WithTracer installs a structured-event tracer: collective plans, edge
+// copies (tagged with distance class and chunk index), cookie lifecycle,
+// retries, failure detection and watchdog fires are emitted into its
+// sinks, and its metrics registry accumulates the per-distance-class
+// counters. A nil tracer leaves tracing disabled.
+func WithTracer(t *trace.Tracer) Option {
+	return func(w *World) { w.tracer = t }
+}
+
 // NewWorld creates a world with one process per bound rank.
 func NewWorld(b *binding.Binding, opts ...Option) *World {
 	n := b.NumRanks()
@@ -140,6 +155,11 @@ func NewWorld(b *binding.Binding, opts ...Option) *World {
 	w.mover = knem.Mover(w.dev)
 	if w.inj != nil {
 		w.mover = w.inj.Wrap(w.dev)
+	}
+	w.mover = knem.Traced(w.mover, w.tracer)
+	if w.tracer != nil {
+		w.tracer.Meta(fmt.Sprintf("machine=%s bind=%s np=%d",
+			b.Topology().Name, b.Name, n))
 	}
 	for s := 0; s < n; s++ {
 		w.mail[s] = make([]chan message, n)
@@ -169,6 +189,9 @@ func (w *World) Device() *knem.Device { return w.dev }
 
 // Injector returns the fault injector, or nil when none is installed.
 func (w *World) Injector() *fault.Injector { return w.inj }
+
+// Tracer returns the installed tracer, or nil when tracing is disabled.
+func (w *World) Tracer() *trace.Tracer { return w.tracer }
 
 // Run spawns every process, executes main on each, and waits for all.
 // Per-rank errors (and recovered panics) are aggregated with errors.Join,
@@ -207,6 +230,7 @@ func (w *World) MarkFailed(rank int) {
 	w.failed[rank] = true
 	close(w.failCh)
 	w.failCh = make(chan struct{})
+	w.tracer.Failure(rank)
 }
 
 // Failed returns the sorted world ranks known to be dead.
@@ -436,6 +460,7 @@ func (p *Proc) Recv(src, tag int) ([]byte, error) {
 			case <-failCh:
 				continue
 			case <-timeoutC:
+				w.tracer.Watchdog(p.rank, desc)
 				return nil, &HangError{Rank: p.rank, Op: desc, Deadline: w.opDeadline, Dump: w.BlockedDump()}
 			}
 		}

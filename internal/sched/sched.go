@@ -96,6 +96,11 @@ type Op struct {
 	DstOff int64
 	Bytes  int64
 
+	// Chunk is the pipeline chunk index (broadcast) or ring step
+	// (allgather) this op carries, for trace attribution; 0 when the
+	// schedule is not pipelined.
+	Chunk int
+
 	// Deps are operations that must complete before this one starts. A
 	// dependency on an op executed by another rank implies a notification
 	// (out-of-band message), which the simulator charges latency for.

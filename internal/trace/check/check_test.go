@@ -1,0 +1,276 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/trace"
+)
+
+// zootTrace compiles a broadcast on the 16-core Zoot machine and projects
+// it into its canonical copy events.
+func zootTrace(t *testing.T, size int64) ([]trace.Event, distance.Matrix) {
+	t.Helper()
+	topo := hwtopo.NewZoot()
+	b, err := binding.Contiguous(topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(topo, b.Cores())
+	tree, err := core.BuildBroadcastTree(m, 0, core.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.CompileBroadcast(tree, size, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.ScheduleEvents("bcast", s, m), m
+}
+
+func TestVerifyBroadcastPass(t *testing.T) {
+	events, m := zootTrace(t, 64<<10)
+	r := VerifyBroadcast(events, m, 0, 64<<10)
+	if !r.OK() {
+		t.Fatalf("clean broadcast trace rejected:\n%s", r.String())
+	}
+}
+
+// TestVerifyBroadcastDetects: each seeded defect must produce a violation.
+func TestVerifyBroadcastDetects(t *testing.T) {
+	const size = 64 << 10
+	corruptions := map[string]func([]trace.Event) []trace.Event{
+		"wrong distance tag": func(evs []trace.Event) []trace.Event {
+			evs[3].Dist++
+			return evs
+		},
+		"root executes a pull": func(evs []trace.Event) []trace.Event {
+			e := evs[0]
+			e.Rank, e.Dst = 0, 0
+			return append(evs, e)
+		},
+		"rank starved": func(evs []trace.Event) []trace.Event {
+			var out []trace.Event
+			for _, e := range evs {
+				if e.Rank != 3 {
+					out = append(out, e)
+				}
+			}
+			return out
+		},
+		"two parents": func(evs []trace.Event) []trace.Event {
+			// Give some rank a second parent while keeping tags honest.
+			for i, e := range evs {
+				if e.Rank == 5 && e.Chunk == 0 {
+					evs[i].Src = 9
+					evs[i].Dist = 3
+					break
+				}
+			}
+			return evs
+		},
+		"pipeline disordered": func(evs []trace.Event) []trace.Event {
+			var idx []int
+			for i, e := range evs {
+				if e.Rank == 1 {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) < 2 {
+				t.Fatal("rank 1 has no pipeline to disorder")
+			}
+			a, b := idx[0], idx[1]
+			evs[a].Chunk, evs[b].Chunk = evs[b].Chunk, evs[a].Chunk
+			return evs
+		},
+		"short payload": func(evs []trace.Event) []trace.Event {
+			for i, e := range evs {
+				if e.Rank == 2 {
+					evs[i].Bytes = e.Bytes / 2
+					break
+				}
+			}
+			return evs
+		},
+	}
+	for name, corrupt := range corruptions {
+		events, m := zootTrace(t, size)
+		r := VerifyBroadcast(corrupt(events), m, 0, size)
+		if r.OK() {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+// TestVerifyBroadcastRejectsLinearTree: the linear topology is not an MST
+// on Zoot, so its trace must fail the weight invariant.
+func TestVerifyBroadcastRejectsLinearTree(t *testing.T) {
+	topo := hwtopo.NewZoot()
+	b, err := binding.Contiguous(topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(topo, b.Cores())
+	lin, err := core.NewLinearTree(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.CompileBroadcast(lin, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := VerifyBroadcast(trace.ScheduleEvents("bcast", s, m), m, 0, 4096)
+	if r.OK() {
+		t.Fatalf("linear-tree trace accepted as distance-aware:\n%s", r.String())
+	}
+}
+
+func igAllgatherTrace(t *testing.T, block int64) ([]trace.Event, distance.Matrix) {
+	t.Helper()
+	topo := hwtopo.NewIG()
+	b, err := binding.CrossSocket(topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.NewMatrix(topo, b.Cores())
+	ring, err := core.BuildAllgatherRing(m, core.RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.CompileAllgather(ring, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.ScheduleEvents("allgather", s, m), m
+}
+
+func TestVerifyAllgatherPass(t *testing.T) {
+	events, m := igAllgatherTrace(t, 4096)
+	r := VerifyAllgather(events, m, 4096)
+	if !r.OK() {
+		t.Fatalf("clean allgather trace rejected:\n%s", r.String())
+	}
+}
+
+// TestVerifyAllgatherDetects: fan-out and completeness defects must fail.
+func TestVerifyAllgatherDetects(t *testing.T) {
+	corruptions := map[string]func([]trace.Event) []trace.Event{
+		"second pull source": func(evs []trace.Event) []trace.Event {
+			for i, e := range evs {
+				if e.Rank == 4 && e.Mode != "local" {
+					evs[i].Src = (e.Src + 2) % 16
+					break
+				}
+			}
+			return evs
+		},
+		"missing local contribution": func(evs []trace.Event) []trace.Event {
+			for i, e := range evs {
+				if e.Rank == 7 && e.Mode == "local" {
+					return append(evs[:i], evs[i+1:]...)
+				}
+			}
+			t.Fatal("no local contribution to drop")
+			return evs
+		},
+		"ring step disordered": func(evs []trace.Event) []trace.Event {
+			var idx []int
+			for i, e := range evs {
+				if e.Rank == 2 && e.Mode != "local" {
+					idx = append(idx, i)
+				}
+			}
+			a, b := idx[0], idx[1]
+			evs[a].Chunk, evs[b].Chunk = evs[b].Chunk, evs[a].Chunk
+			return evs
+		},
+	}
+	for name, corrupt := range corruptions {
+		events, m := igAllgatherTrace(t, 4096)
+		r := VerifyAllgather(corrupt(events), m, 4096)
+		if r.OK() {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+// TestVerifyMetrics: a registry fed exactly the traced copies passes; a
+// tampered registry fails.
+func TestVerifyMetrics(t *testing.T) {
+	events, _ := zootTrace(t, 4096)
+	tr := trace.New()
+	for _, e := range events {
+		tr.Copy(e.Op, e.Plan, e.Rank, e.Src, e.Dst, e.OpID, e.Chunk, e.Bytes, e.Dist, e.Mode, 0)
+	}
+	if r := VerifyMetrics(tr.Metrics(), events); !r.OK() {
+		t.Fatalf("consistent registry rejected:\n%s", r.String())
+	}
+	tr.Metrics().DistClass("bytes", 1).Add(1)
+	if r := VerifyMetrics(tr.Metrics(), events); r.OK() {
+		t.Fatal("tampered byte counter not detected")
+	}
+}
+
+func TestIsUltrametric(t *testing.T) {
+	topo := hwtopo.NewZoot()
+	b, err := binding.Contiguous(topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsUltrametric(distance.NewMatrix(topo, b.Cores())) {
+		t.Fatal("machine matrix not recognized as ultrametric")
+	}
+	bad := distance.Matrix{{0, 1, 3}, {1, 0, 1}, {3, 1, 0}}
+	if IsUltrametric(bad) {
+		t.Fatal("violating matrix accepted as ultrametric")
+	}
+}
+
+// TestMinDepthUltraMatchesConstruction: the independent lower bound and
+// the construction (proved depth-minimal by the core property tests) must
+// agree on random ultrametrics.
+func TestMinDepthUltraMatchesConstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		n := 2 + r.Intn(9)
+		paths := make([][3]int, n)
+		for i := range paths {
+			for l := range paths[i] {
+				paths[i][l] = r.Intn(2)
+			}
+		}
+		m := make(distance.Matrix, n)
+		for i := range m {
+			m[i] = make([]int, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := 3
+				for l := 0; l < 3; l++ {
+					if paths[i][l] != paths[j][l] {
+						break
+					}
+					d--
+				}
+				m[i][j], m[j][i] = d, d
+			}
+		}
+		root := r.Intn(n)
+		tree, err := core.BuildBroadcastTree(m, root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		if lb := minDepthUltra(m, all, root); tree.Depth() != lb {
+			t.Fatalf("iter %d n=%d root=%d: construction depth %d, lower bound %d\n%v",
+				iter, n, root, tree.Depth(), lb, m)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+// Golden-trace regression tests: the canonical edge schedules of the
+// distance-aware collectives on the paper's two machines are committed as
+// JSONL traces, and every change to the constructions or the compiler must
+// reproduce them byte for byte. Regenerate with:
+//
+//	go test ./internal/trace -run TestGoldenTraces -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+func goldenCase(t *testing.T, machine string, np int) (distance.Matrix, *binding.Binding) {
+	t.Helper()
+	var (
+		topo *hwtopo.Topology
+		b    *binding.Binding
+		err  error
+	)
+	switch machine {
+	case "zoot":
+		topo = hwtopo.NewZoot()
+		b, err = binding.Contiguous(topo, np)
+	case "ig":
+		topo = hwtopo.NewIG()
+		b, err = binding.CrossSocket(topo, np)
+	default:
+		t.Fatalf("unknown machine %q", machine)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return distance.NewMatrix(topo, b.Cores()), b
+}
+
+func TestGoldenTraces(t *testing.T) {
+	const (
+		np    = 16
+		size  = 256 << 10
+		block = 4096
+	)
+	for _, machine := range []string{"zoot", "ig"} {
+		m, _ := goldenCase(t, machine, np)
+
+		tree, err := core.BuildBroadcastTree(m, 0, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := core.CompileBroadcast(tree, size, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, machine+"16.bcast.trace.jsonl", ScheduleEvents("bcast", bs, m))
+
+		ring, err := core.BuildAllgatherRing(m, core.RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := core.CompileAllgather(ring, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, machine+"16.allgather.trace.jsonl", ScheduleEvents("allgather", as, m))
+	}
+}
+
+func compareGolden(t *testing.T, name string, events []Event) {
+	t.Helper()
+	got, err := MarshalJSONL(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with -update): %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: edge schedule changed (%d bytes, golden %d bytes).\n"+
+			"If the construction change is intentional, regenerate with -update and review the diff.",
+			name, len(got), len(want))
+	}
+}
+
+// TestGoldenTracesRoundTrip: the committed goldens read back as valid
+// traces whose canonical form is themselves — guarding the files against
+// hand edits and the serializer against field loss.
+func TestGoldenTracesRoundTrip(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("testdata", "*.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 4 {
+		t.Fatalf("found %d golden traces, want 4 (%v)", len(matches), matches)
+	}
+	for _, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("%s: empty golden", path)
+		}
+		canon := Canonical(events)
+		if len(canon) != len(events) {
+			t.Fatalf("%s: golden contains non-copy events", path)
+		}
+		for i := range canon {
+			if canon[i] != events[i] {
+				t.Fatalf("%s: event %d not in canonical form: %+v", path, i, events[i])
+			}
+		}
+	}
+}

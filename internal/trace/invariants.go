@@ -1,0 +1,57 @@
+package trace
+
+// Canonical trace projections. ScheduleEvents renders a compiled schedule
+// as the deterministic, timing-free edge schedule used by the golden-trace
+// regression tests; Canonical reduces a live captured trace to the same
+// form, so a replayed run can be compared byte-for-byte against a golden.
+// The invariant verifier over these events lives in trace/check (it needs
+// the reference constructions of internal/core, which this package must
+// not import — core's tests exercise traced executors).
+
+import (
+	"sort"
+
+	"distcoll/internal/distance"
+	"distcoll/internal/sched"
+)
+
+// ScheduleEvents projects a compiled schedule into its canonical trace:
+// one copy event per schedule op in id order, with zero timing, rank
+// endpoints resolved through the buffer table and distance classes taken
+// from the matrix. This is the byte-stable golden-trace format, and the
+// form Canonical reduces a live trace to.
+func ScheduleEvents(op string, s *sched.Schedule, m distance.Matrix) []Event {
+	out := make([]Event, 0, len(s.Ops))
+	for i := range s.Ops {
+		o := &s.Ops[i]
+		src := s.Buffers[o.Src].Rank
+		dst := s.Buffers[o.Dst].Rank
+		e := blank(KindCopy)
+		e.Op, e.Rank, e.Src, e.Dst = op, o.Rank, src, dst
+		e.OpID, e.Chunk, e.Bytes = int(o.ID), o.Chunk, o.Bytes
+		e.Dist = m.At(src, dst)
+		e.Mode = o.Mode.String()
+		out = append(out, e)
+	}
+	return out
+}
+
+// Canonical reduces a captured trace to the deterministic edge schedule:
+// copy events only, sorted by (plan, schedule op id), timing and plan ids
+// zeroed. Two runs of the same collective produce identical canonical
+// traces however the goroutines interleaved.
+func Canonical(events []Event) []Event {
+	copies := Filter(events, KindCopy)
+	sort.SliceStable(copies, func(a, b int) bool {
+		if copies[a].Plan != copies[b].Plan {
+			return copies[a].Plan < copies[b].Plan
+		}
+		return copies[a].OpID < copies[b].OpID
+	})
+	out := make([]Event, len(copies))
+	for i, e := range copies {
+		e.T, e.Dur, e.Plan = 0, 0, 0
+		out[i] = e
+	}
+	return out
+}

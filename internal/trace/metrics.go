@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a lightweight counter/histogram registry. Counters and
+// histograms are created on first use and live for the registry's
+// lifetime; lookups after warm-up are one RLock + map read, and counter
+// increments are a single atomic add.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotone int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil counter whose Add/Load are no-ops.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	c, ok := m.counters[name]
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok = m.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	m.counters[name] = c
+	return c
+}
+
+// DistClass returns the per-distance-class counter "<base>.dist.<d>"
+// ("<base>.dist.unknown" for d < 0) — the communication-locality
+// accounting the paper's evaluation is built on.
+func (m *Metrics) DistClass(base string, d int) *Counter {
+	if m == nil {
+		return nil
+	}
+	if d < 0 {
+		return m.Counter(base + ".dist.unknown")
+	}
+	return m.Counter(fmt.Sprintf("%s.dist.%d", base, d))
+}
+
+// Histogram observes float64 samples into exponential buckets. Bucket i
+// holds samples in (base·growth^(i-1), base·growth^i]; the layout suits
+// latencies spanning microseconds to seconds.
+type Histogram struct {
+	mu      sync.Mutex
+	base    float64
+	growth  float64
+	buckets []int64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+const (
+	histBase    = 1e-6 // 1µs
+	histGrowth  = 2.0
+	histBuckets = 32 // top bucket ≈ 2000s
+)
+
+func newHistogram() *Histogram {
+	return &Histogram{
+		base:    histBase,
+		growth:  histGrowth,
+		buckets: make([]int64, histBuckets),
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil histogram whose Observe is a no-op.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h, ok := m.hists[name]
+	m.mu.RUnlock()
+	if ok {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok = m.hists[name]; ok {
+		return h
+	}
+	h = newHistogram()
+	m.hists[name] = h
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	i := 0
+	for bound := h.base; i < len(h.buckets)-1 && v > bound; bound *= h.growth {
+		i++
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Summary returns count, mean, min and max (zeroes when empty).
+func (h *Histogram) Summary() (count int64, mean, min, max float64) {
+	if h == nil {
+		return 0, 0, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0, 0, 0, 0
+	}
+	return h.count, h.sum / float64(h.count), h.min, h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) from the
+// bucket layout, or 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var seen int64
+	bound := h.base
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			_ = i
+			return bound
+		}
+		bound *= h.growth
+	}
+	return h.max
+}
+
+// Counters returns a stable snapshot of every counter, sorted by name.
+func (m *Metrics) Counters() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]int64, len(m.counters))
+	for name, c := range m.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// String renders the registry: counters sorted by name, then histogram
+// summaries.
+func (m *Metrics) String() string {
+	if m == nil {
+		return "(metrics disabled)"
+	}
+	var b strings.Builder
+	counters := m.Counters()
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-24s %d\n", n, counters[n])
+	}
+	m.mu.RLock()
+	hnames := make([]string, 0, len(m.hists))
+	for n := range m.hists {
+		hnames = append(hnames, n)
+	}
+	m.mu.RUnlock()
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := m.Histogram(n)
+		count, mean, min, max := h.Summary()
+		if count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s n=%d mean=%.2fµs min=%.2fµs max=%.2fµs p99≤%.2fµs\n",
+			n, count, mean*1e6, min*1e6, max*1e6, h.Quantile(0.99)*1e6)
+	}
+	return b.String()
+}

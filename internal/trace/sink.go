@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// RingSink keeps the last capacity events in memory — the test and
+// analyzer sink. Overwrites are silent: the ring is a flight recorder,
+// not a reliable log.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// DefaultRingCapacity bounds NewRing(0).
+const DefaultRingCapacity = 1 << 16
+
+// NewRing creates a ring sink holding up to capacity events (≤ 0 selects
+// DefaultRingCapacity).
+func NewRing(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(e Event) {
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events in emission order.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten.
+func (r *RingSink) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// JSONLSink streams events as one JSON object per line.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONL creates a JSONL sink over w. Call Flush before reading the
+// underlying writer.
+func NewJSONL(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink. The first encoding error sticks and is reported
+// by Flush; later events are dropped.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains buffered lines and returns the first error seen.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// MarshalJSONL serializes events as JSON lines — the golden-trace format.
+func MarshalJSONL(events []Event) ([]byte, error) {
+	var out []byte
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+		out = append(out, '\n')
+	}
+	return out, nil
+}
+
+// ReadJSONL parses a JSONL trace back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array (the
+// about://tracing / Perfetto "JSON Array Format").
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports events in the Chrome trace-event format: copies and
+// collective calls become complete ("X") slices on the acting rank's
+// track, everything else an instant event. Load the output in
+// about://tracing or Perfetto.
+func WriteChrome(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ce := chromeEvent{Ts: float64(e.T) / 1e3, Pid: 0, Tid: e.Rank}
+		if e.Rank < 0 {
+			ce.Tid = 0
+		}
+		switch e.Kind {
+		case KindCopy:
+			ce.Name = fmt.Sprintf("copy %d←%d", e.Dst, e.Src)
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+			// Chrome renders zero-duration X events invisibly thin; clamp.
+			if ce.Dur <= 0 {
+				ce.Dur = 0.001
+			}
+			ce.Ts -= ce.Dur // T is emission (end-of-copy) time
+			ce.Args = map[string]any{
+				"op": e.Op, "bytes": e.Bytes, "chunk": e.Chunk,
+				"dist": e.Dist, "mode": e.Mode, "opid": e.OpID,
+			}
+		case KindOpEnd:
+			ce.Name = e.Op
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+			ce.Ts -= ce.Dur
+			ce.Args = map[string]any{"plan": e.Plan, "err": e.Err}
+		case KindOpBegin:
+			continue // the op_end slice covers the span
+		default:
+			ce.Name = string(e.Kind)
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Args = map[string]any{"op": e.Op, "plan": e.Plan, "det": e.Det, "err": e.Err}
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Filter returns the events of the given kind, preserving order.
+func Filter(events []Event, kind Kind) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FilterOp returns the events of one collective kind and name.
+func FilterOp(events []Event, kind Kind, op string) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Kind == kind && e.Op == op {
+			out = append(out, e)
+		}
+	}
+	return out
+}
