@@ -12,6 +12,9 @@ import (
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/imb"
 	"distcoll/internal/machine"
+	"distcoll/internal/plancache"
+	"distcoll/internal/sched"
+	"distcoll/internal/tune"
 )
 
 // Figure benchmarks: one per paper figure. Each sub-benchmark simulates
@@ -344,4 +347,56 @@ func BenchmarkSimulator(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(s.Ops)), "ops/run")
+}
+
+// BenchmarkCompileBcast48 measures the cold path the plan cache exists to
+// avoid: selector decision plus full schedule compilation (distance-aware
+// tree construction included) of a 48-rank broadcast.
+func BenchmarkCompileBcast48(b *testing.B) {
+	ig := hwtopo.NewIG()
+	bind, err := binding.CrossSocket(ig, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, bind.Cores())
+	sel := tune.DefaultSelector()
+	const size = 256 << 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := sel.Select(tune.CollBcast, m, size)
+		if _, err := tune.CompileFor(tune.CollBcast, dec, m, 0, size, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedBcast48 measures the same lookup when the plan cache is
+// warm: selector decision plus one cache hit. The ratio to
+// BenchmarkCompileBcast48 is the per-collective saving of the cache.
+func BenchmarkCachedBcast48(b *testing.B) {
+	ig := hwtopo.NewIG()
+	bind, err := binding.CrossSocket(ig, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := distance.NewMatrix(ig, bind.Cores())
+	sel := tune.DefaultSelector()
+	cache := plancache.New(0, nil)
+	topo := plancache.TopoHash(m)
+	const size = 256 << 10
+	compile := func(dec tune.Decision) func() (*sched.Schedule, error) {
+		return func() (*sched.Schedule, error) {
+			return tune.CompileFor(tune.CollBcast, dec, m, 0, size, 0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := sel.Select(tune.CollBcast, m, size)
+		key := plancache.Key{Topo: topo, Coll: "bcast", Size: size, Variant: dec.CacheKey()}
+		if _, _, err := cache.Get(key, compile(dec)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "hit-rate")
 }

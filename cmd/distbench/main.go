@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	distbench -fig 6            # one figure (2, 6, 7, 8, chunk, ordering, allreduce, cluster)
+//	distbench -fig 6            # one figure (2, 6, 7, 8, chunk, ordering, allreduce, cluster, alltoall, adaptive-bcast, adaptive-allgather)
 //	distbench -all              # every paper figure
 //	distbench -fig 7 -csv       # CSV instead of a table
 //	distbench -fig 6 -sizes 1024,65536,8388608
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id to reproduce: 2, 6, 7, 8, chunk, ordering, allreduce, cluster")
+	fig := flag.String("fig", "", "figure id to reproduce: 2, 6, 7, 8, chunk, ordering, allreduce, cluster, alltoall, adaptive-bcast, adaptive-allgather")
 	all := flag.Bool("all", false, "reproduce every paper figure (2, 6, 7, 8)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	sizesFlag := flag.String("sizes", "", "comma-separated message sizes in bytes (default: the paper's sweep)")

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with stdout redirected to a temp file and returns
+// the output text.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestGenerateDumpDiffRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	const sizes = "1024,65536"
+
+	out, err := capture(t, "generate", "-machine", "zoot", "-sizes", sizes, "-o", dir)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	path := filepath.Join(dir, "zoot16.json")
+	if !strings.Contains(out, "wrote "+path) {
+		t.Fatalf("generate output %q does not mention %s", out, path)
+	}
+
+	out, err = capture(t, "dump", path)
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	for _, want := range []string{"table zoot16", "bcast/contiguous", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = capture(t, "diff", "-machine", "zoot", "-sizes", sizes, dir)
+	if err != nil {
+		t.Fatalf("diff on fresh tables: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok    "+path) {
+		t.Errorf("diff output %q does not report ok", out)
+	}
+
+	// Corrupt the shipped file: diff must fail and say DRIFT.
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, "diff", "-machine", "zoot", "-sizes", sizes, dir)
+	if err == nil || !strings.Contains(out, "DRIFT") {
+		t.Errorf("diff on corrupted table: err=%v out=%q, want DRIFT failure", err, out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"generate", "-machine", ""},
+		{"generate", "-sizes", "12kb"},
+		{"generate", "-machine", "nope"},
+		{"dump"},
+		{"dump", "/nonexistent/table.json"},
+		{"diff"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -17,12 +17,15 @@
 //   - a calibrated flow-level performance simulator and the IMB-style
 //     harness that regenerates every figure of the paper's evaluation;
 //   - structured runtime tracing and metrics with an invariant-checking
-//     trace analyzer (DESIGN.md §7).
+//     trace analyzer (DESIGN.md §7);
+//   - an adaptive selection engine driven by simulation-calibrated
+//     decision tables, plus a bounded cache of compiled schedules behind
+//     the runtime's Adaptive component (DESIGN.md §8).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured results. The runnable entry points are
-// cmd/distbench (figures), cmd/lstopo, cmd/collviz, cmd/disttrace, and
-// the programs under examples/.
+// cmd/distbench (figures), cmd/lstopo, cmd/collviz, cmd/disttrace,
+// cmd/disttune (decision tables), and the programs under examples/.
 package distcoll
 
 import (
@@ -37,8 +40,10 @@ import (
 	"distcoll/internal/imb"
 	"distcoll/internal/machine"
 	"distcoll/internal/mpi"
+	"distcoll/internal/plancache"
 	"distcoll/internal/sched"
 	"distcoll/internal/trace"
+	"distcoll/internal/tune"
 )
 
 // Hardware topology (hwloc substitute).
@@ -229,6 +234,35 @@ const (
 	KNEMColl = mpi.KNEMColl
 	Tuned    = mpi.Tuned
 	MPICH2   = mpi.MPICH2
+	Adaptive = mpi.Adaptive
+)
+
+// Adaptive selection and plan caching (DESIGN.md §8): the decision engine
+// that picks component/variant/chunk per (collective, topology, size)
+// from simulation-calibrated tables, and the size-bounded cache of
+// compiled schedules the runtime's Adaptive component reuses.
+type (
+	TuneDecision    = tune.Decision
+	TuneTable       = tune.Table
+	TuneSelector    = tune.Selector
+	TuneFingerprint = tune.Fingerprint
+	PlanCache       = plancache.Cache
+	PlanCacheStats  = plancache.Stats
+)
+
+// Selection-engine constructors, calibration, and the World options wiring
+// them into the runtime.
+var (
+	NewTuneSelector       = tune.NewSelector
+	DefaultTuneSelector   = tune.DefaultSelector
+	DefaultTuneTables     = tune.DefaultTables
+	CalibrateTable        = tune.Calibrate
+	CalibrateMachineTable = tune.CalibrateMachine
+	FingerprintOf         = tune.FingerprintOf
+	NewPlanCache          = plancache.New
+	PlanTopoHash          = plancache.TopoHash
+	WithSelector          = mpi.WithSelector
+	WithPlanCacheCapacity = mpi.WithPlanCacheCapacity
 )
 
 // NewWorld creates a mini-MPI job over a binding. Options configure the

@@ -1,12 +1,14 @@
 // Adaptive allgather: the dynamic-communicator argument of the paper.
 //
-// Static placement tools optimize one binding for the whole application,
-// but communicators change at runtime: this program splits
-// MPI_COMM_WORLD's 48 cross-socket-bound processes into two
-// sub-communicators with reversed rank order, runs a distance-aware
-// allgather inside each, and shows that the ring still clusters physical
-// neighbors — something no static placement could guarantee for both the
-// world and the halves at once.
+// Static tuning picks one component for the whole application, but the
+// right choice changes with message size, placement, and communicator
+// membership. This program binds 48 processes cross-socket on IG, asks
+// the adaptive selection engine what it would run at each message size
+// (printing the decision and where it came from), then splits the world
+// into two sub-communicators with reversed rank order and runs Adaptive
+// allgathers inside each — the selector re-decides for the halves'
+// topology, and the plan cache shows how many schedules were actually
+// compiled versus reused.
 package main
 
 import (
@@ -25,23 +27,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Show how the ring adapts: build it for the halves' placements.
-	for _, half := range []int{0, 1} {
-		var cores []int
-		for r := half; r < 48; r += 2 {
-			cores = append(cores, bind.CoreOf(r))
-		}
-		m := distcoll.NewDistanceMatrix(ig, cores)
-		ring, err := distcoll.BuildAllgatherRing(m, distcoll.RingOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("half %d ring: %d intra-socket, %d inter-socket, %d inter-board edges\n",
-			half, ring.EdgesAtWeight(1), ring.EdgesAtWeight(5), ring.EdgesAtWeight(6))
+	// Ask the selection engine what the world communicator would run at
+	// each block size: small blocks stay on the rank-based tuned baseline,
+	// larger ones switch to the distance-aware component.
+	sel := distcoll.DefaultTuneSelector()
+	world48 := distcoll.NewDistanceMatrix(ig, bind.Cores())
+	fmt.Println("allgather decisions for the 48-rank cross-socket world:")
+	for _, block := range []int64{512, 1 << 10, 4 << 10, 64 << 10, 1 << 20} {
+		dec, src := sel.SelectExplain("allgather", world48, block)
+		fmt.Printf("  block %7d B -> %-16s (%s)\n", block, dec, src)
 	}
 
-	// Now do it for real: split, allgather within each half, verify.
+	// The halves have a different membership, so the selector decides for
+	// their topology, not the world's.
+	var halfCores []int
+	for r := 0; r < 48; r += 2 {
+		halfCores = append(halfCores, bind.CoreOf(r))
+	}
+	mHalf := distcoll.NewDistanceMatrix(ig, halfCores)
 	const block = 4096
+	dec, src := sel.SelectExplain("allgather", mHalf, block)
+	fmt.Printf("24-rank half at %d B -> %s (%s)\n\n", block, dec, src)
+
+	// Now do it for real: split, Adaptive allgather within each half,
+	// verify every gathered block.
 	var mu sync.Mutex
 	verified := 0
 	world := distcoll.NewWorld(bind)
@@ -57,7 +66,7 @@ func main() {
 			send[i] = byte(p.Rank() ^ i)
 		}
 		recv := make([]byte, sub.Size()*block)
-		if err := sub.Allgather(send, recv, distcoll.KNEMColl); err != nil {
+		if err := sub.Allgather(send, recv, distcoll.Adaptive); err != nil {
 			return err
 		}
 		// Check the block gathered from every peer of the half.
@@ -80,5 +89,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("allgather verified on %d ranks across 2 sub-communicators\n", verified)
+	st := world.PlanCache().Stats()
+	fmt.Printf("adaptive allgather verified on %d ranks across 2 sub-communicators\n", verified)
+	fmt.Printf("plan cache: %d compile(s), %d reuse(s) for 2 collective calls\n",
+		st.Misses, st.Hits+st.Coalesced)
 }

@@ -1,0 +1,119 @@
+package figures
+
+import (
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/imb"
+	"distcoll/internal/machine"
+	"distcoll/internal/tune"
+)
+
+// This file is the adaptive-selection experiment (DESIGN.md §8): the
+// paper's Fig. 6/7 sweeps with a third curve — the Adaptive component,
+// which consults the calibrated decision tables per size. The claim the
+// experiment demonstrates is the paper's headline: an adaptive runtime
+// needs no manual component choice because its curve tracks the upper
+// envelope of tuned and the distance-aware collective at every point.
+
+// AdaptiveBcastTime simulates the broadcast the selector picks for this
+// (binding, size) — the schedule the mpi Adaptive component would run.
+func AdaptiveBcastTime(sel *tune.Selector, b *binding.Binding, params machine.Params, root int, size int64) (float64, error) {
+	m := distance.NewMatrix(b.Topology(), b.Cores())
+	dec := sel.Select(tune.CollBcast, m, size)
+	s, err := tune.CompileFor(tune.CollBcast, dec, m, root, size, 0)
+	if err != nil {
+		return 0, err
+	}
+	res, err := machine.Simulate(b, params, s)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// AdaptiveAllgatherTime simulates the allgather the selector picks.
+func AdaptiveAllgatherTime(sel *tune.Selector, b *binding.Binding, params machine.Params, block int64) (float64, error) {
+	m := distance.NewMatrix(b.Topology(), b.Cores())
+	dec := sel.Select(tune.CollAllgather, m, block)
+	s, err := tune.CompileFor(tune.CollAllgather, dec, m, 0, block, 0)
+	if err != nil {
+		return 0, err
+	}
+	res, err := machine.Simulate(b, params, s)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// AdaptiveBcast extends Fig. 6 with the Adaptive component: broadcast on
+// IG, 48 processes, tuned vs distance-aware KNEM vs adaptive, under the
+// contiguous and cross-socket bindings.
+func AdaptiveBcast(sizes []int64) (*Figure, error) {
+	if sizes == nil {
+		sizes = imb.StandardSizes()
+	}
+	cont, cross, err := igBindings(48)
+	if err != nil {
+		return nil, err
+	}
+	params := machine.IGParams()
+	sel := tune.DefaultSelector()
+	const n, root = 48, 0
+	fig := &Figure{ID: "adaptive-bcast", Title: "Broadcast on IG, 48 processes: tuned vs KNEM vs adaptive", Procs: n}
+	type cfg struct {
+		label string
+		run   imb.Runner
+	}
+	for _, c := range []cfg{
+		{"OpenMPI_contiguous", func(size int64) (float64, error) { return TunedBcastTime(cont, params, root, size) }},
+		{"OpenMPI_crosssocket", func(size int64) (float64, error) { return TunedBcastTime(cross, params, root, size) }},
+		{"KNEMColl_contiguous", func(size int64) (float64, error) { return KNEMBcastTime(cont, params, root, size, nil) }},
+		{"KNEMColl_crosssocket", func(size int64) (float64, error) { return KNEMBcastTime(cross, params, root, size, nil) }},
+		{"Adaptive_contiguous", func(size int64) (float64, error) { return AdaptiveBcastTime(sel, cont, params, root, size) }},
+		{"Adaptive_crosssocket", func(size int64) (float64, error) { return AdaptiveBcastTime(sel, cross, params, root, size) }},
+	} {
+		s, err := imb.Sweep(c.label, sizes, c.run,
+			func(size int64, sec float64) float64 { return imb.BcastBandwidth(n, size, sec) })
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AdaptiveAllgather extends Fig. 7 with the Adaptive component.
+func AdaptiveAllgather(sizes []int64) (*Figure, error) {
+	if sizes == nil {
+		sizes = imb.StandardSizes()
+	}
+	cont, cross, err := igBindings(48)
+	if err != nil {
+		return nil, err
+	}
+	params := machine.IGParams()
+	sel := tune.DefaultSelector()
+	const n = 48
+	fig := &Figure{ID: "adaptive-allgather", Title: "Allgather on IG, 48 processes: tuned vs KNEM vs adaptive", Procs: n}
+	type cfg struct {
+		label string
+		run   imb.Runner
+	}
+	for _, c := range []cfg{
+		{"OpenMPI_contiguous", func(size int64) (float64, error) { return TunedAllgatherTime(cont, params, size) }},
+		{"OpenMPI_crosssocket", func(size int64) (float64, error) { return TunedAllgatherTime(cross, params, size) }},
+		{"KNEMColl_contiguous", func(size int64) (float64, error) { return KNEMAllgatherTime(cont, params, size) }},
+		{"KNEMColl_crosssocket", func(size int64) (float64, error) { return KNEMAllgatherTime(cross, params, size) }},
+		{"Adaptive_contiguous", func(size int64) (float64, error) { return AdaptiveAllgatherTime(sel, cont, params, size) }},
+		{"Adaptive_crosssocket", func(size int64) (float64, error) { return AdaptiveAllgatherTime(sel, cross, params, size) }},
+	} {
+		s, err := imb.Sweep(c.label, sizes, c.run,
+			func(size int64, sec float64) float64 { return imb.AllgatherBandwidth(n, size, sec) })
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

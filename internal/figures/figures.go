@@ -287,7 +287,8 @@ func Fig8(sizes []int64) (*Figure, error) {
 }
 
 // ByID returns the driver output for a figure id ("2", "6", "7", "8",
-// "chunk", "ordering").
+// "chunk", "ordering", "allreduce", "cluster", "alltoall",
+// "adaptive-bcast", "adaptive-allgather").
 func ByID(id string, sizes []int64) (*Figure, error) {
 	switch id {
 	case "2":
@@ -308,8 +309,12 @@ func ByID(id string, sizes []int64) (*Figure, error) {
 		return ExtCluster(sizes)
 	case "alltoall":
 		return ExtAlltoall(sizes)
+	case "adaptive-bcast":
+		return AdaptiveBcast(sizes)
+	case "adaptive-allgather":
+		return AdaptiveAllgather(sizes)
 	default:
-		return nil, fmt.Errorf("figures: unknown figure %q (known: 2, 6, 7, 8, chunk, ordering, allreduce, cluster)", id)
+		return nil, fmt.Errorf("figures: unknown figure %q (known: 2, 6, 7, 8, chunk, ordering, allreduce, cluster, alltoall, adaptive-bcast, adaptive-allgather)", id)
 	}
 }
 

@@ -24,6 +24,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"distcoll/internal/binding"
 	"distcoll/internal/des"
@@ -375,6 +376,11 @@ func (m *Session) Uses(op *sched.Op) []des.Use {
 	for rid, d := range demand {
 		uses = append(uses, des.Use{Resource: rid, Demand: d})
 	}
+	// Stable order: map iteration would feed the simulator's fair-share
+	// summations in a different order each run, and offline calibration
+	// (internal/tune) needs bit-identical makespans to keep regenerated
+	// decision tables byte-stable.
+	sort.Slice(uses, func(i, j int) bool { return uses[i].Resource < uses[j].Resource })
 	return uses
 }
 

@@ -1,0 +1,89 @@
+package mpi
+
+import (
+	"distcoll/internal/core"
+	"distcoll/internal/plancache"
+	"distcoll/internal/sched"
+	"distcoll/internal/tune"
+)
+
+// This file is the Adaptive component (DESIGN.md §8): the glue between the
+// runtime's communicators, the tune decision engine, and the compiled-plan
+// cache. Per collective call, the last-arriving member (the one running
+// the coordinate build function, so exactly once per collective) asks the
+// world's selector for the best {component, tree shape, chunk} at this
+// (topology, message size), then fetches the compiled schedule from the
+// world's plan cache — compiling through tune.CompileFor only on a miss.
+
+// adaptiveSchedule resolves one collective call through the selector and
+// plan cache. bytes is the full message (bcast/reduce/allreduce) or the
+// per-rank block (allgather); align the reduction element size.
+func (c *Comm) adaptiveSchedule(coll tune.Collective, root int, bytes, align int64) (*sched.Schedule, error) {
+	st := c.state
+	w := st.world
+
+	st.mu.Lock()
+	m := st.matrixLocked()
+	topo := st.topoHashLocked()
+	st.mu.Unlock()
+
+	dec := w.selector.Select(coll, m, bytes)
+	key := plancache.Key{
+		Topo:    topo,
+		Coll:    string(coll),
+		Root:    root,
+		Size:    bytes,
+		Align:   align,
+		Variant: dec.CacheKey(),
+	}
+	s, hit, err := w.plans.Get(key, func() (*sched.Schedule, error) {
+		return tune.CompileFor(coll, dec, m, root, bytes, align)
+	})
+	w.tracer.PlanCache(string(coll), bytes, dec.String(), hit)
+	return s, err
+}
+
+// topoHashLocked returns the cached fingerprint of the communicator's
+// distance matrix, computing it on first use. Callers hold st.mu.
+func (st *commState) topoHashLocked() uint64 {
+	if !st.topoHashed {
+		st.topoHash = plancache.TopoHash(st.matrixLocked())
+		st.topoHashed = true
+	}
+	return st.topoHash
+}
+
+// invalidatePlans drops every cached plan compiled for this
+// communicator's topology. Called when the topology can no longer be
+// trusted or is going away: a member failure broke the communicator (the
+// fault-triggered rebuild path — survivors will Shrink to a different
+// matrix), Shrink itself, and Free. Safe to call whether or not the
+// matrix was ever built; a no-op if no plan was ever cached for it.
+func (st *commState) invalidatePlans() {
+	st.mu.Lock()
+	hashed := st.topoHashed
+	topo := st.topoHash
+	st.mu.Unlock()
+	if hashed {
+		st.world.plans.InvalidateTopo(topo)
+	}
+}
+
+// Free releases the communicator's cached resources: the distance
+// topologies held by the communicator state and every compiled plan in
+// the world's cache keyed by its topology. Collectives on other
+// communicators with a *different* member placement are unaffected (their
+// plans hash to different topologies). Using the handle after Free simply
+// rebuilds state on demand; Free is an optimization hook, not a
+// correctness requirement — call it when a communicator built by Split or
+// Shrink goes out of scope in a long-running job.
+func (c *Comm) Free() {
+	st := c.state
+	st.invalidatePlans()
+	st.mu.Lock()
+	st.matrix = nil
+	st.topoHashed = false
+	st.trees = make(map[int]*core.Tree)
+	st.ring = nil
+	st.mu.Unlock()
+}

@@ -11,6 +11,7 @@ import (
 	"distcoll/internal/fault"
 	"distcoll/internal/knem"
 	"distcoll/internal/sched"
+	"distcoll/internal/tune"
 )
 
 // Component selects the collective implementation, mirroring Open MPI's
@@ -27,6 +28,11 @@ const (
 	// MPICH2 is the MPICH2-1.4 baseline over nemesis double-copy shared
 	// memory.
 	MPICH2
+	// Adaptive is the selection layer (DESIGN.md §8): each collective call
+	// consults the world's tune.Selector for the best {component, tree
+	// shape, chunk} at this (topology, size) and reuses compiled schedules
+	// through the world's plan cache.
+	Adaptive
 )
 
 func (c Component) String() string {
@@ -37,6 +43,8 @@ func (c Component) String() string {
 		return "tuned"
 	case MPICH2:
 		return "mpich2"
+	case Adaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("Component(%d)", int(c))
 	}
@@ -248,6 +256,8 @@ func (c *Comm) buildBcast(size int64, root int, comp Component) (*sched.Schedule
 	case MPICH2:
 		alg, seg := baseline.MPICHBcastDecision(n, size)
 		return baseline.CompileBcast(alg, n, root, size, seg, baseline.NemesisSM())
+	case Adaptive:
+		return c.adaptiveSchedule(tune.CollBcast, root, size, 0)
 	default:
 		return nil, fmt.Errorf("mpi: unknown component %v", comp)
 	}
@@ -268,6 +278,8 @@ func (c *Comm) buildAllgather(block int64, comp Component) (*sched.Schedule, err
 	case MPICH2:
 		alg := baseline.TunedAllgatherDecision(n, block)
 		return baseline.CompileAllgather(alg, n, block, baseline.NemesisSM())
+	case Adaptive:
+		return c.adaptiveSchedule(tune.CollAllgather, 0, block, 0)
 	default:
 		return nil, fmt.Errorf("mpi: unknown component %v", comp)
 	}

@@ -39,6 +39,11 @@ type commState struct {
 	trees  map[int]*core.Tree
 	ring   *core.Ring
 	builds int
+
+	// topoHash fingerprints the matrix for plan-cache keys (computed
+	// lazily; topoHashed marks validity so hash 0 stays unambiguous).
+	topoHash   uint64
+	topoHashed bool
 }
 
 func newCommState(w *World, group []int) *commState {
@@ -52,11 +57,18 @@ func newCommState(w *World, group []int) *commState {
 	}
 }
 
-// setBroken marks the communicator unusable after a member failure.
+// setBroken marks the communicator unusable after a member failure and
+// drops its cached plans: any later collective on this topology goes
+// through a fault-triggered rebuild (Shrink), so the compiled schedules
+// must not outlive the failure.
 func (st *commState) setBroken() {
 	st.mu.Lock()
 	st.broken = true
+	hashed, topo := st.topoHashed, st.topoHash
 	st.mu.Unlock()
+	if hashed {
+		st.world.plans.InvalidateTopo(topo)
+	}
 }
 
 // matrixLocked returns the cached member distance matrix, computing it
@@ -274,6 +286,10 @@ func (c *Comm) Shrink() (*Comm, error) {
 	if len(aliveWorld) == len(st.group) {
 		return nil, fmt.Errorf("mpi: no failed members in communicator %d; nothing to shrink", st.id)
 	}
+
+	// The parent's compiled plans are dead with its members: drop them
+	// from the world cache before deriving the child.
+	st.invalidatePlans()
 
 	// Restrict the parent's distance matrix to the survivors: recovery
 	// re-derives the child topology instead of re-measuring it.

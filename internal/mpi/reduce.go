@@ -8,6 +8,7 @@ import (
 	"distcoll/internal/baseline"
 	"distcoll/internal/core"
 	"distcoll/internal/sched"
+	"distcoll/internal/tune"
 )
 
 // ReduceOp is a reduction operator over byte vectors. Operators must be
@@ -195,6 +196,8 @@ func (c *Comm) buildReduce(size int64, root int, comp Component) (*sched.Schedul
 		return baseline.CompileReduce(n, root, size, baseline.TunedReduceDecision(n, size), baseline.SMKnemBTL())
 	case MPICH2:
 		return baseline.CompileReduce(n, root, size, baseline.TunedReduceDecision(n, size), baseline.NemesisSM())
+	case Adaptive:
+		return c.adaptiveSchedule(tune.CollReduce, root, size, 0)
 	default:
 		return nil, fmt.Errorf("mpi: unknown component %v", comp)
 	}
@@ -213,6 +216,8 @@ func (c *Comm) buildAllreduce(size, align int64, comp Component) (*sched.Schedul
 		return baseline.CompileAllreduce(baseline.TunedAllreduceDecision(n, size), n, size, align, baseline.SMKnemBTL())
 	case MPICH2:
 		return baseline.CompileAllreduce(baseline.TunedAllreduceDecision(n, size), n, size, align, baseline.NemesisSM())
+	case Adaptive:
+		return c.adaptiveSchedule(tune.CollAllreduce, 0, size, align)
 	default:
 		return nil, fmt.Errorf("mpi: unknown component %v", comp)
 	}

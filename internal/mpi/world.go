@@ -33,7 +33,9 @@ import (
 	"distcoll/internal/fault"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/knem"
+	"distcoll/internal/plancache"
 	"distcoll/internal/trace"
+	"distcoll/internal/tune"
 )
 
 // message is one point-to-point payload in flight.
@@ -62,6 +64,13 @@ type World struct {
 	mailboxCap  int
 	sendTimeout time.Duration
 	opDeadline  time.Duration
+
+	// Adaptive component state: the decision engine picking per-call
+	// algorithms, and the cache of compiled schedules it reuses
+	// (DESIGN.md §8). Always non-nil after NewWorld.
+	selector *tune.Selector
+	plans    *plancache.Cache
+	planCap  int
 
 	// mail[src][dst] carries messages; receivers keep per-sender pending
 	// queues for tag matching.
@@ -135,6 +144,20 @@ func WithTracer(t *trace.Tracer) Option {
 	return func(w *World) { w.tracer = t }
 }
 
+// WithSelector installs a decision selector for the Adaptive component
+// (e.g. one built from freshly calibrated tables). Without this option
+// the world uses tune.DefaultSelector() — the shipped default tables plus
+// the paper's fallback crossover rules.
+func WithSelector(s *tune.Selector) Option {
+	return func(w *World) { w.selector = s }
+}
+
+// WithPlanCacheCapacity bounds the world's compiled-schedule cache (the
+// Adaptive component's LRU); ≤ 0 keeps plancache.DefaultCapacity.
+func WithPlanCacheCapacity(n int) Option {
+	return func(w *World) { w.planCap = n }
+}
+
 // NewWorld creates a world with one process per bound rank.
 func NewWorld(b *binding.Binding, opts ...Option) *World {
 	n := b.NumRanks()
@@ -152,6 +175,10 @@ func NewWorld(b *binding.Binding, opts ...Option) *World {
 	for _, opt := range opts {
 		opt(w)
 	}
+	if w.selector == nil {
+		w.selector = tune.DefaultSelector()
+	}
+	w.plans = plancache.New(w.planCap, w.tracer.Metrics())
 	w.mover = knem.Mover(w.dev)
 	if w.inj != nil {
 		w.mover = w.inj.Wrap(w.dev)
@@ -192,6 +219,13 @@ func (w *World) Injector() *fault.Injector { return w.inj }
 
 // Tracer returns the installed tracer, or nil when tracing is disabled.
 func (w *World) Tracer() *trace.Tracer { return w.tracer }
+
+// Selector returns the adaptive component's decision engine.
+func (w *World) Selector() *tune.Selector { return w.selector }
+
+// PlanCache returns the world's compiled-schedule cache (for stats and
+// tests).
+func (w *World) PlanCache() *plancache.Cache { return w.plans }
 
 // Run spawns every process, executes main on each, and waits for all.
 // Per-rank errors (and recovered panics) are aggregated with errors.Join,

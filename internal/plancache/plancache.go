@@ -1,0 +1,255 @@
+// Package plancache caches compiled collective schedules. A schedule
+// compiled by internal/core or internal/baseline bakes exact byte sizes
+// and buffer offsets into every operation, so repeated collectives with
+// identical shapes — the common case of an iterative application calling
+// MPI_Bcast on the same communicator with the same count every step — can
+// reuse the compiled DAG instead of re-running topology construction and
+// compilation on the hot path.
+//
+// The cache is concurrency-safe and size-bounded: entries evict in LRU
+// order, and concurrent misses on one key coalesce into a single compile
+// (singleflight) so a 48-rank communicator entering a collective together
+// compiles its plan once, not 48 times. Compiled *sched.Schedule values
+// are immutable by construction (the runtime binds buffers per call but
+// never mutates the schedule), which is what makes sharing one schedule
+// across calls and goroutines sound.
+//
+// Invalidation is explicit: the mpi runtime drops a topology's entries
+// when the communicator shrinks after a rank failure, when a communicator
+// is freed, and when the fault layer forces a rebuild. Counters
+// (hits/misses/coalesced/evictions/invalidations) feed the internal/trace
+// metrics registry under the "plancache." prefix.
+package plancache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"distcoll/internal/distance"
+	"distcoll/internal/sched"
+	"distcoll/internal/trace"
+)
+
+// Key identifies one compiled plan. Size is the exact byte size the
+// schedule was compiled for (schedules bake offsets, so there is no
+// rounding to classes), and Variant discriminates the algorithm
+// configuration (component + tree shape + chunk, e.g. a
+// tune.Decision.CacheKey()).
+type Key struct {
+	// Topo is the topology fingerprint: a hash of the communicator's
+	// distance matrix (TopoHash), so communicators with identical member
+	// placement share plans and a shrink invalidates exactly its topology.
+	Topo uint64
+	// Coll is the collective name ("bcast", "allgather", ...).
+	Coll string
+	// Root is the rooted collective's root (0 for unrooted).
+	Root int
+	// Size is the compiled byte size (message for bcast/reduce, per-rank
+	// block for allgather).
+	Size int64
+	// Align is the reduction element size (0 when not a reduction).
+	Align int64
+	// Variant is the algorithm configuration discriminator.
+	Variant string
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits          int64 // Get returned a cached schedule
+	Misses        int64 // Get ran the compile function
+	Coalesced     int64 // Get waited on another goroutine's compile
+	Evictions     int64 // entries dropped by the LRU bound
+	Invalidations int64 // entries dropped by Invalidate/InvalidateTopo
+	Size          int   // resident entries (including in-flight compiles)
+}
+
+// entry is one cache slot. ready closes when the compile finishes;
+// waiters then read s/err. elem is nil until the entry is inserted into
+// the LRU list (in-flight compiles are not evictable).
+type entry struct {
+	ready chan struct{}
+	s     *sched.Schedule
+	err   error
+	key   Key
+	elem  *list.Element
+}
+
+// Cache is a size-bounded LRU of compiled schedules with singleflight
+// compiles. The zero value is not usable; use New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Key]*entry
+	lru      *list.List // front = most recent; values are *entry
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	coalesced     atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+
+	// Mirrored trace counters (nil-safe).
+	mHits, mMisses, mCoalesced, mEvictions, mInvalidations *trace.Counter
+}
+
+// DefaultCapacity bounds a cache built with New(0, ...): an iterative
+// application touches a handful of (collective, size) shapes per
+// communicator, so 128 plans cover many communicators before recompiles.
+const DefaultCapacity = 128
+
+// New creates a cache holding at most capacity completed plans
+// (DefaultCapacity if ≤ 0). metrics may be nil; otherwise the cache
+// registers plancache.* counters in it.
+func New(capacity int, metrics *trace.Metrics) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity:       capacity,
+		entries:        make(map[Key]*entry),
+		lru:            list.New(),
+		mHits:          metrics.Counter("plancache.hits"),
+		mMisses:        metrics.Counter("plancache.misses"),
+		mCoalesced:     metrics.Counter("plancache.coalesced"),
+		mEvictions:     metrics.Counter("plancache.evictions"),
+		mInvalidations: metrics.Counter("plancache.invalidations"),
+	}
+}
+
+// Get returns the schedule for k, compiling it with compile on a miss.
+// hit reports whether the schedule came from the cache without running
+// compile in this call (including coalescing onto another goroutine's
+// in-flight compile). Errors are not cached: a failed compile's entry is
+// removed so the next Get retries.
+func (c *Cache) Get(k Key, compile func() (*sched.Schedule, error)) (s *sched.Schedule, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			// Completed entry: a plain hit.
+			c.hits.Add(1)
+			c.mHits.Add(1)
+		default:
+			// In-flight compile: wait for it.
+			c.coalesced.Add(1)
+			c.mCoalesced.Add(1)
+			<-e.ready
+		}
+		return e.s, true, e.err
+	}
+	e := &entry{ready: make(chan struct{}), key: k}
+	c.entries[k] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	c.mMisses.Add(1)
+	e.s, e.err = compile()
+	close(e.ready)
+
+	c.mu.Lock()
+	// The entry may have been invalidated while compiling; in that case —
+	// or on error — it must not enter the LRU. Waiters already holding the
+	// entry still get its result.
+	if cur, ok := c.entries[k]; ok && cur == e {
+		if e.err != nil {
+			delete(c.entries, k)
+		} else {
+			e.elem = c.lru.PushFront(e)
+			c.evictLocked()
+		}
+	}
+	c.mu.Unlock()
+	return e.s, false, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the bound
+// holds. In-flight compiles are not in the LRU and never evict.
+func (c *Cache) evictLocked() {
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.evictions.Add(1)
+		c.mEvictions.Add(1)
+	}
+}
+
+// Invalidate removes every entry whose key matches pred (in-flight
+// entries too: their compile result is handed to current waiters but not
+// cached). It returns the number removed.
+func (c *Cache) Invalidate(pred func(Key) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for k, e := range c.entries {
+		if !pred(k) {
+			continue
+		}
+		delete(c.entries, k)
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		removed++
+	}
+	c.invalidations.Add(int64(removed))
+	c.mInvalidations.Add(int64(removed))
+	return removed
+}
+
+// InvalidateTopo removes every plan compiled for the given topology
+// fingerprint — the Shrink/free/fault-rebuild hook.
+func (c *Cache) InvalidateTopo(topo uint64) int {
+	return c.Invalidate(func(k Key) bool { return k.Topo == topo })
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	size := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Size:          size,
+	}
+}
+
+// Capacity returns the cache's completed-entry bound.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// TopoHash fingerprints a distance matrix for Key.Topo: FNV-1a over the
+// size and the upper triangle. Distances are small ints, so one byte per
+// pair is exact.
+func TopoHash(m distance.Matrix) uint64 {
+	h := fnv.New64a()
+	n := m.Size()
+	var buf [4]byte
+	buf[0] = byte(n)
+	buf[1] = byte(n >> 8)
+	buf[2] = byte(n >> 16)
+	buf[3] = byte(n >> 24)
+	h.Write(buf[:])
+	row := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := i + 1; j < n; j++ {
+			row = append(row, byte(m.At(i, j)))
+		}
+		h.Write(row)
+	}
+	return h.Sum64()
+}

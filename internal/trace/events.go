@@ -40,6 +40,9 @@ const (
 	// transport layer.
 	KindDeclare Kind = "declare"
 	KindDestroy Kind = "destroy"
+	// KindPlanCache is one plan-cache lookup by the adaptive component:
+	// Det holds the selector's decision, Mode is "hit" or "miss".
+	KindPlanCache Kind = "plan_cache"
 	// KindRetry is one retry of a transiently-failed copy.
 	KindRetry Kind = "retry"
 	// KindFailure is the failure detector marking a rank dead.
@@ -195,6 +198,25 @@ func (t *Tracer) PlanReap(plan int64, cookies int) {
 	e := blank(KindPlanReap)
 	e.Plan, e.Chunk = plan, cookies
 	t.metrics.Counter("plans.reaped").Add(1)
+	t.emit(e)
+}
+
+// PlanCache records one adaptive plan-cache lookup: which decision the
+// selector made for the collective at this size, and whether the compiled
+// schedule came from the cache. Hit/miss/eviction *counters* live with the
+// cache itself (plancache.New wires them into this tracer's registry), so
+// this event only adds the per-lookup trace record.
+func (t *Tracer) PlanCache(op string, bytes int64, decision string, hit bool) {
+	if t == nil {
+		return
+	}
+	e := blank(KindPlanCache)
+	e.Op, e.Bytes, e.Det = op, bytes, decision
+	if hit {
+		e.Mode = "hit"
+	} else {
+		e.Mode = "miss"
+	}
 	t.emit(e)
 }
 

@@ -1,0 +1,419 @@
+// Package tune is the adaptive selection engine: the offline-calibrated
+// decision layer that, per (collective, communicator size, message size,
+// topology fingerprint), picks which collective component and algorithm
+// variant to run — the "adaptive" half of the paper's title that the
+// fixed-component runtime lacked.
+//
+// It mirrors Open MPI tuned's offline-generated decision tables, but the
+// tables are produced by sweeping this repository's own calibrated
+// flow-level simulator (internal/des + internal/machine) across message
+// sizes, collectives and process bindings (Calibrate), so the selector
+// inherits every contention effect the performance model captures — the
+// KNEM syscall-latency penalty for small messages, the single-memory-
+// controller saturation that makes the linear topology beat the
+// hierarchical tree on Zoot above 32 KB (Fig. 8), and the distance-aware
+// wins above the crossover points of Figs. 6/7.
+//
+// Selection is a three-tier match: an exact topology-fingerprint hit in a
+// shipped or user-supplied table, then a same-machine-class hit (equal
+// maximum distance and memory-controller structure), and finally a
+// built-in fallback rule set encoding the paper's published crossovers
+// (~16 KB broadcast and ~2 KB allgather on IG; linear ≥ 32 KB on Zoot).
+package tune
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"distcoll/internal/distance"
+)
+
+// Collective names an operation the selector can decide.
+type Collective string
+
+// The decidable collectives.
+const (
+	CollBcast     Collective = "bcast"
+	CollAllgather Collective = "allgather"
+	CollReduce    Collective = "reduce"
+	CollAllreduce Collective = "allreduce"
+)
+
+// Collectives returns every decidable collective, in calibration order.
+func Collectives() []Collective {
+	return []Collective{CollBcast, CollAllgather, CollReduce, CollAllreduce}
+}
+
+// Component names in decisions (matching mpi.Component.String()).
+const (
+	ComponentKNEM  = "knemcoll"
+	ComponentTuned = "tuned"
+	ComponentMPICH = "mpich2"
+)
+
+// Decision is one selected configuration: which component to run, whether
+// the distance-aware tree collapses to the linear topology (the Fig. 8
+// hierarchical-vs-linear split), and an optional pipeline chunk override.
+type Decision struct {
+	// Component is the collective implementation: "knemcoll" (the paper's
+	// distance-aware kernel-assisted component), "tuned" (Open MPI tuned
+	// over SM/KNEM) or "mpich2" (nemesis double copy).
+	Component string `json:"component"`
+	// Linear flattens the distance levels before topology construction, so
+	// the distance-aware tree degenerates to the linear topology (root
+	// fan-out to every rank). Only meaningful for knemcoll tree collectives.
+	Linear bool `json:"linear,omitempty"`
+	// Chunk overrides the pipeline chunk size in bytes; 0 selects the
+	// compiled-in policy (core.BroadcastChunk). Only meaningful for
+	// knemcoll tree collectives.
+	Chunk int64 `json:"chunk,omitempty"`
+}
+
+// String renders the decision for logs and the disttune CLI.
+func (d Decision) String() string {
+	if d.Component != ComponentKNEM {
+		return d.Component
+	}
+	shape := "hier"
+	if d.Linear {
+		shape = "linear"
+	}
+	if d.Chunk > 0 {
+		return fmt.Sprintf("%s/%s/chunk=%d", d.Component, shape, d.Chunk)
+	}
+	return fmt.Sprintf("%s/%s", d.Component, shape)
+}
+
+// CacheKey returns a stable discriminator for plan-cache keys: two
+// decisions with equal cache keys compile identical schedules for the same
+// (collective, matrix, root, size).
+func (d Decision) CacheKey() string { return d.String() }
+
+// Valid reports whether the decision names a known component.
+func (d Decision) Valid() bool {
+	switch d.Component {
+	case ComponentKNEM, ComponentTuned, ComponentMPICH:
+		return d.Chunk >= 0
+	default:
+		return false
+	}
+}
+
+// Fingerprint is the compact topology identity a rule set is keyed by:
+// the communicator size, the histogram of pairwise process distances, and
+// two class features (largest distance, single shared memory controller)
+// used for fuzzy matching when no exact histogram matches.
+type Fingerprint struct {
+	// Procs is the communicator size.
+	Procs int `json:"procs"`
+	// MaxDist is the largest pairwise distance.
+	MaxDist int `json:"max_dist"`
+	// SingleMC marks a UMA machine: some pair crosses sockets while
+	// sharing the memory controller (distance 3, Zoot's northbridge), and
+	// no pair has a cross-controller distance (4 or 5).
+	SingleMC bool `json:"single_mc"`
+	// Hist[d] counts the unordered process pairs at distance d,
+	// d ∈ [0, MaxDist].
+	Hist []int64 `json:"hist"`
+	// AdjHist[d] counts the *adjacent-rank* pairs (i, i+1) at distance d.
+	// Hist is permutation-invariant — a contiguous and a cross-socket
+	// placement of the same cores have identical pair histograms — but the
+	// rank-based baselines care exactly about how rank order correlates
+	// with placement, so the decision differs between them. Adjacent-rank
+	// distances separate the two: contiguous neighbors share caches,
+	// cross-socket neighbors sit boards apart.
+	AdjHist []int64 `json:"adj_hist"`
+}
+
+// FingerprintOf computes the fingerprint of a distance matrix.
+func FingerprintOf(m distance.Matrix) Fingerprint {
+	n := m.Size()
+	f := Fingerprint{Procs: n}
+	var hist, adj [distance.Max + 1]int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := m.At(i, j)
+			if d < 0 {
+				d = 0
+			}
+			if d > distance.Max {
+				d = distance.Max
+			}
+			hist[d]++
+			if j == i+1 {
+				adj[d]++
+			}
+			if d > f.MaxDist {
+				f.MaxDist = d
+			}
+		}
+	}
+	f.Hist = append([]int64(nil), hist[:f.MaxDist+1]...)
+	f.AdjHist = append([]int64(nil), adj[:f.MaxDist+1]...)
+	f.SingleMC = hist[distance.CrossSocketSameMC] > 0 &&
+		hist[distance.SameSocketCrossMC] == 0 && hist[distance.SameBoard] == 0
+	return f
+}
+
+// Equal reports an exact fingerprint match (same size, same pair and
+// adjacent-rank histograms).
+func (f Fingerprint) Equal(g Fingerprint) bool {
+	if f.Procs != g.Procs || f.MaxDist != g.MaxDist {
+		return false
+	}
+	return histEq(f.Hist, g.Hist) && histEq(f.AdjHist, g.AdjHist)
+}
+
+func histEq(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameClass reports a machine-class match: equal distance reach and
+// memory-controller structure, regardless of communicator size or binding.
+func (f Fingerprint) SameClass(g Fingerprint) bool {
+	return f.MaxDist == g.MaxDist && f.SingleMC == g.SingleMC
+}
+
+// Rule maps a half-open message-size range [MinBytes, MaxBytes) to a
+// decision; MaxBytes 0 means unbounded.
+type Rule struct {
+	MinBytes int64    `json:"min_bytes"`
+	MaxBytes int64    `json:"max_bytes,omitempty"`
+	Decision Decision `json:"decision"`
+}
+
+// Covers reports whether the rule's size range contains bytes.
+func (r Rule) Covers(bytes int64) bool {
+	return bytes >= r.MinBytes && (r.MaxBytes == 0 || bytes < r.MaxBytes)
+}
+
+// RuleSet holds the calibrated decisions of one collective under one
+// topology fingerprint (one machine + binding the calibrator swept).
+type RuleSet struct {
+	Coll        Collective  `json:"collective"`
+	Binding     string      `json:"binding"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+	Rules       []Rule      `json:"rules"`
+}
+
+// decide returns the rule decision covering bytes, if any.
+func (rs *RuleSet) decide(bytes int64) (Decision, bool) {
+	for _, r := range rs.Rules {
+		if r.Covers(bytes) {
+			return r.Decision, true
+		}
+	}
+	return Decision{}, false
+}
+
+// Table is one machine's decision table: the calibrator's output and the
+// disttune CLI's interchange format.
+type Table struct {
+	// Name identifies the table ("zoot16", "ig48", "igcluster48").
+	Name string `json:"name"`
+	// Machine is the hwtopo machine the calibration ran on.
+	Machine string `json:"machine"`
+	// Procs is the calibrated communicator size.
+	Procs int `json:"procs"`
+	// Sizes is the calibration sweep (provenance; rules interpolate
+	// between the points).
+	Sizes []int64 `json:"sizes"`
+	// RuleSets carry the decisions, one per (collective, binding).
+	RuleSets []RuleSet `json:"rule_sets"`
+}
+
+// Validate checks structural sanity: known collectives, valid decisions,
+// ordered non-overlapping rule ranges covering [0, ∞).
+func (t *Table) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("tune: table has no name")
+	}
+	for i := range t.RuleSets {
+		rs := &t.RuleSets[i]
+		switch rs.Coll {
+		case CollBcast, CollAllgather, CollReduce, CollAllreduce:
+		default:
+			return fmt.Errorf("tune: table %s rule set %d: unknown collective %q", t.Name, i, rs.Coll)
+		}
+		if rs.Fingerprint.Procs <= 0 {
+			return fmt.Errorf("tune: table %s rule set %d: fingerprint procs %d", t.Name, i, rs.Fingerprint.Procs)
+		}
+		if len(rs.Rules) == 0 {
+			return fmt.Errorf("tune: table %s rule set %d (%s): no rules", t.Name, i, rs.Coll)
+		}
+		var next int64
+		for j, r := range rs.Rules {
+			if !r.Decision.Valid() {
+				return fmt.Errorf("tune: table %s %s rule %d: invalid decision %+v", t.Name, rs.Coll, j, r.Decision)
+			}
+			if r.MinBytes != next {
+				return fmt.Errorf("tune: table %s %s rule %d: starts at %d, want %d (gap or overlap)",
+					t.Name, rs.Coll, j, r.MinBytes, next)
+			}
+			if j == len(rs.Rules)-1 {
+				if r.MaxBytes != 0 {
+					return fmt.Errorf("tune: table %s %s: last rule bounded at %d", t.Name, rs.Coll, r.MaxBytes)
+				}
+			} else {
+				if r.MaxBytes <= r.MinBytes {
+					return fmt.Errorf("tune: table %s %s rule %d: empty range [%d,%d)",
+						t.Name, rs.Coll, j, r.MinBytes, r.MaxBytes)
+				}
+				next = r.MaxBytes
+			}
+		}
+	}
+	return nil
+}
+
+// Selector answers decision queries against a prioritized table list plus
+// the built-in fallback rules. The zero Selector (and a nil one) uses the
+// fallback rules only. Selectors are immutable after construction and safe
+// for concurrent use.
+type Selector struct {
+	tables []*Table
+}
+
+// NewSelector builds a selector over the given tables, earlier tables
+// taking precedence within each match tier.
+func NewSelector(tables ...*Table) *Selector {
+	return &Selector{tables: append([]*Table(nil), tables...)}
+}
+
+// Tables returns the selector's table list.
+func (s *Selector) Tables() []*Table {
+	if s == nil {
+		return nil
+	}
+	return s.tables
+}
+
+var (
+	defaultOnce     sync.Once
+	defaultSelector *Selector
+)
+
+// DefaultSelector returns the process-wide selector over the shipped
+// default tables (zoot, ig, igcluster). Parsing happens once; a table that
+// fails to parse is skipped (the fallback rules still apply).
+func DefaultSelector() *Selector {
+	defaultOnce.Do(func() {
+		defaultSelector = NewSelector(DefaultTables()...)
+	})
+	return defaultSelector
+}
+
+// Select picks the configuration for one collective call: coll over a
+// communicator whose member distances are m, moving bytes per-rank bytes
+// (the full message for bcast/reduce/allreduce, the per-rank block for
+// allgather).
+func (s *Selector) Select(coll Collective, m distance.Matrix, bytes int64) Decision {
+	d, _ := s.SelectExplain(coll, m, bytes)
+	return d
+}
+
+// SelectExplain is Select plus the provenance of the decision:
+// "table:<name>/<binding>" for an exact fingerprint hit,
+// "class:<name>/<binding>" for a machine-class match, "fallback" for the
+// built-in crossover rules.
+func (s *Selector) SelectExplain(coll Collective, m distance.Matrix, bytes int64) (Decision, string) {
+	fp := FingerprintOf(m)
+	// Tier 1: exact fingerprint (same size, same distance histogram).
+	if s != nil {
+		for _, t := range s.tables {
+			for i := range t.RuleSets {
+				rs := &t.RuleSets[i]
+				if rs.Coll != coll || !rs.Fingerprint.Equal(fp) {
+					continue
+				}
+				if d, ok := rs.decide(bytes); ok {
+					return d, fmt.Sprintf("table:%s/%s", t.Name, rs.Binding)
+				}
+			}
+		}
+		// Tier 2: machine class (same reach and controller structure); among
+		// class matches prefer the closest communicator size.
+		var best *RuleSet
+		var bestTable *Table
+		for _, t := range s.tables {
+			for i := range t.RuleSets {
+				rs := &t.RuleSets[i]
+				if rs.Coll != coll || !rs.Fingerprint.SameClass(fp) {
+					continue
+				}
+				if best == nil || absInt(rs.Fingerprint.Procs-fp.Procs) < absInt(best.Fingerprint.Procs-fp.Procs) {
+					best, bestTable = rs, t
+				}
+			}
+		}
+		if best != nil {
+			if d, ok := best.decide(bytes); ok {
+				return d, fmt.Sprintf("class:%s/%s", bestTable.Name, best.Binding)
+			}
+		}
+	}
+	// Tier 3: the paper's published crossovers.
+	return Fallback(coll, fp, bytes), "fallback"
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// The paper's published crossover points (§V): on IG the KNEM collectives
+// lose to tuned below ~16 KB broadcast and ~2 KB allgather blocks (the
+// kernel-crossing latency dominates), and on single-controller Zoot the
+// linear topology overtakes the hierarchical tree at 32 KB (Fig. 8: the
+// lone controller saturates on writes whatever the tree shape, so tree
+// depth only adds latency).
+const (
+	FallbackBcastCrossover     = 16 << 10
+	FallbackAllgatherCrossover = 2 << 10
+	FallbackLinearCrossover    = 32 << 10
+)
+
+// Fallback is the rule set used when no decision table matches the
+// topology: the paper's published crossovers, applied to the communicator's
+// fingerprint.
+func Fallback(coll Collective, fp Fingerprint, bytes int64) Decision {
+	switch coll {
+	case CollBcast, CollReduce:
+		if bytes < FallbackBcastCrossover || fp.Procs <= 2 {
+			return Decision{Component: ComponentTuned}
+		}
+		return Decision{
+			Component: ComponentKNEM,
+			Linear:    fp.SingleMC && bytes >= FallbackLinearCrossover,
+		}
+	case CollAllgather, CollAllreduce:
+		if bytes < FallbackAllgatherCrossover || fp.Procs <= 2 {
+			return Decision{Component: ComponentTuned}
+		}
+		return Decision{Component: ComponentKNEM}
+	default:
+		return Decision{Component: ComponentTuned}
+	}
+}
+
+// sortRuleSets orders rule sets canonically (collective, then binding) so
+// marshaled tables are byte-stable.
+func sortRuleSets(sets []RuleSet) {
+	sort.SliceStable(sets, func(a, b int) bool {
+		if sets[a].Coll != sets[b].Coll {
+			return sets[a].Coll < sets[b].Coll
+		}
+		return sets[a].Binding < sets[b].Binding
+	})
+}

@@ -1,0 +1,372 @@
+package tune
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+)
+
+func matrixFor(t *testing.T, machineName, bindName string, n int) distance.Matrix {
+	t.Helper()
+	topo, err := hwtopo.ByName(machineName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := binding.ByName(topo, bindName, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return distance.NewMatrix(topo, b.Cores())
+}
+
+func TestDecisionString(t *testing.T) {
+	cases := []struct {
+		d    Decision
+		want string
+	}{
+		{Decision{Component: ComponentTuned}, "tuned"},
+		{Decision{Component: ComponentMPICH}, "mpich2"},
+		{Decision{Component: ComponentKNEM}, "knemcoll/hier"},
+		{Decision{Component: ComponentKNEM, Linear: true}, "knemcoll/linear"},
+		{Decision{Component: ComponentKNEM, Chunk: 65536}, "knemcoll/hier/chunk=65536"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.d, got, c.want)
+		}
+		if got := c.d.CacheKey(); got != c.want {
+			t.Errorf("CacheKey(%+v) = %q, want %q", c.d, got, c.want)
+		}
+		if !c.d.Valid() {
+			t.Errorf("Valid(%+v) = false", c.d)
+		}
+	}
+	if (Decision{Component: "bogus"}).Valid() {
+		t.Error("bogus component reported valid")
+	}
+	if (Decision{Component: ComponentKNEM, Chunk: -1}).Valid() {
+		t.Error("negative chunk reported valid")
+	}
+}
+
+func TestFingerprintZoot(t *testing.T) {
+	m := matrixFor(t, "zoot", "contiguous", 16)
+	fp := FingerprintOf(m)
+	if fp.Procs != 16 {
+		t.Fatalf("procs = %d", fp.Procs)
+	}
+	if fp.MaxDist != distance.CrossSocketSameMC {
+		t.Errorf("zoot max dist = %d, want %d", fp.MaxDist, distance.CrossSocketSameMC)
+	}
+	if !fp.SingleMC {
+		t.Error("zoot (single northbridge) not detected as SingleMC")
+	}
+	var total int64
+	for _, c := range fp.Hist {
+		total += c
+	}
+	if want := int64(16 * 15 / 2); total != want {
+		t.Errorf("histogram total = %d, want %d", total, want)
+	}
+	var adjTotal int64
+	for _, c := range fp.AdjHist {
+		adjTotal += c
+	}
+	if adjTotal != 15 {
+		t.Errorf("adjacent histogram total = %d, want 15", adjTotal)
+	}
+}
+
+func TestFingerprintIGNotSingleMC(t *testing.T) {
+	fp := FingerprintOf(matrixFor(t, "ig", "contiguous", 48))
+	if fp.SingleMC {
+		t.Error("IG (one controller per NUMA node) detected as SingleMC")
+	}
+	if fp.MaxDist != distance.CrossBoard {
+		t.Errorf("IG max dist = %d, want %d", fp.MaxDist, distance.CrossBoard)
+	}
+}
+
+// The pairwise histogram of a full-machine communicator is identical
+// under contiguous and cross-socket placement (same pair multiset); only
+// the adjacent-rank histogram separates them. The selector depends on
+// that separation to give the rank-based baselines binding-specific
+// decisions.
+func TestFingerprintSeparatesBindings(t *testing.T) {
+	cont := FingerprintOf(matrixFor(t, "ig", "contiguous", 48))
+	cross := FingerprintOf(matrixFor(t, "ig", "crosssocket", 48))
+	if !histEq(cont.Hist, cross.Hist) {
+		t.Log("pair histograms differ (fine, but unexpected for full-machine groups)")
+	}
+	if cont.Equal(cross) {
+		t.Fatal("contiguous and cross-socket fingerprints are Equal; adjacent-rank histogram failed to separate them")
+	}
+	if !cont.SameClass(cross) {
+		t.Error("same machine's bindings should share a class")
+	}
+}
+
+func TestFallbackCrossovers(t *testing.T) {
+	ig := FingerprintOf(matrixFor(t, "ig", "contiguous", 48))
+	zoot := FingerprintOf(matrixFor(t, "zoot", "contiguous", 16))
+
+	// Bcast: tuned strictly below 16 KB, knem at and above.
+	if d := Fallback(CollBcast, ig, FallbackBcastCrossover-1); d.Component != ComponentTuned {
+		t.Errorf("bcast below crossover: %s", d)
+	}
+	if d := Fallback(CollBcast, ig, FallbackBcastCrossover); d.Component != ComponentKNEM || d.Linear {
+		t.Errorf("bcast at crossover on IG: %s, want knemcoll/hier", d)
+	}
+	// Allgather: tuned strictly below 2 KB.
+	if d := Fallback(CollAllgather, ig, FallbackAllgatherCrossover-1); d.Component != ComponentTuned {
+		t.Errorf("allgather below crossover: %s", d)
+	}
+	if d := Fallback(CollAllgather, ig, FallbackAllgatherCrossover); d.Component != ComponentKNEM {
+		t.Errorf("allgather at crossover: %s", d)
+	}
+	// Fig. 8: on single-controller Zoot the linear topology takes over at
+	// 32 KB; on IG (multiple controllers) the hierarchy stays.
+	if d := Fallback(CollBcast, zoot, FallbackLinearCrossover); d.Component != ComponentKNEM || !d.Linear {
+		t.Errorf("bcast ≥32K on Zoot: %s, want knemcoll/linear", d)
+	}
+	if d := Fallback(CollBcast, zoot, FallbackLinearCrossover-1); d.Linear {
+		t.Errorf("bcast <32K on Zoot went linear: %s", d)
+	}
+	if d := Fallback(CollBcast, ig, 1<<20); d.Linear {
+		t.Errorf("bcast on IG went linear: %s", d)
+	}
+	// Reduce/allreduce mirror bcast/allgather.
+	if d := Fallback(CollReduce, ig, 8<<10); d.Component != ComponentTuned {
+		t.Errorf("reduce 8K: %s", d)
+	}
+	if d := Fallback(CollAllreduce, ig, 64<<10); d.Component != ComponentKNEM {
+		t.Errorf("allreduce 64K: %s", d)
+	}
+	// Trivial communicators never go kernel-assisted.
+	if d := Fallback(CollBcast, Fingerprint{Procs: 2}, 1<<20); d.Component != ComponentTuned {
+		t.Errorf("2-rank bcast: %s", d)
+	}
+}
+
+func TestRuleCovers(t *testing.T) {
+	r := Rule{MinBytes: 1024, MaxBytes: 4096}
+	for bytes, want := range map[int64]bool{1023: false, 1024: true, 4095: true, 4096: false} {
+		if r.Covers(bytes) != want {
+			t.Errorf("Covers(%d) = %v, want %v", bytes, !want, want)
+		}
+	}
+	open := Rule{MinBytes: 1024}
+	if !open.Covers(1 << 40) {
+		t.Error("unbounded rule does not cover large size")
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	fp := Fingerprint{Procs: 4, Hist: []int64{0}, AdjHist: []int64{0}}
+	good := &Table{Name: "t", RuleSets: []RuleSet{{
+		Coll: CollBcast, Fingerprint: fp,
+		Rules: []Rule{
+			{MinBytes: 0, MaxBytes: 1024, Decision: Decision{Component: ComponentTuned}},
+			{MinBytes: 1024, Decision: Decision{Component: ComponentKNEM}},
+		},
+	}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		mut  func(*Table)
+	}{
+		{"no name", func(t *Table) { t.Name = "" }},
+		{"unknown collective", func(t *Table) { t.RuleSets[0].Coll = "gather" }},
+		{"no rules", func(t *Table) { t.RuleSets[0].Rules = nil }},
+		{"gap", func(t *Table) { t.RuleSets[0].Rules[1].MinBytes = 2048 }},
+		{"bounded last", func(t *Table) { t.RuleSets[0].Rules[1].MaxBytes = 4096 }},
+		{"bad decision", func(t *Table) { t.RuleSets[0].Rules[0].Decision.Component = "x" }},
+		{"zero procs", func(t *Table) { t.RuleSets[0].Fingerprint.Procs = 0 }},
+	}
+	for _, c := range bad {
+		tt := &Table{Name: good.Name, RuleSets: []RuleSet{{
+			Coll: good.RuleSets[0].Coll, Fingerprint: fp,
+			Rules: append([]Rule(nil), good.RuleSets[0].Rules...),
+		}}}
+		c.mut(tt)
+		if err := tt.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken table", c.name)
+		}
+	}
+}
+
+func TestMarshalParseRoundtrip(t *testing.T) {
+	tab, err := CalibrateMachine("zoot", []int64{1024, 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, back) {
+		t.Error("table did not survive a marshal/parse roundtrip")
+	}
+	data2, err := MarshalTable(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("canonical JSON is not byte-stable across roundtrips")
+	}
+	if _, err := ParseTable([]byte("{not json")); err == nil {
+		t.Error("ParseTable accepted garbage")
+	}
+	if _, err := ParseTable([]byte("{}")); err == nil {
+		t.Error("ParseTable accepted a table failing validation")
+	}
+}
+
+func TestDefaultTablesShip(t *testing.T) {
+	tables := DefaultTables()
+	if len(tables) != 3 {
+		t.Fatalf("shipped %d default tables, want 3", len(tables))
+	}
+	byName := map[string]*Table{}
+	for _, tab := range tables {
+		byName[tab.Name] = tab
+	}
+	for _, name := range []string{"zoot16", "ig48", "igcluster48"} {
+		if byName[name] == nil {
+			t.Errorf("default table %s missing", name)
+		}
+	}
+}
+
+// The shipped tables must reproduce the paper's qualitative crossovers.
+func TestShippedTableCrossovers(t *testing.T) {
+	sel := DefaultSelector()
+
+	// IG bcast: tuned at small sizes (KNEM's kernel-crossing latency
+	// dominates below the paper's ~16 KB), knem in the distance-aware
+	// regime (32 KB – 1 MB) under both bindings.
+	for _, bind := range []string{"contiguous", "crosssocket"} {
+		m := matrixFor(t, "ig", bind, 48)
+		for _, size := range []int64{512, 1024, 2048} {
+			if d, src := sel.SelectExplain(CollBcast, m, size); d.Component != ComponentTuned {
+				t.Errorf("ig/%s bcast %dB: %s (from %s), want tuned", bind, size, d, src)
+			}
+		}
+		for _, size := range []int64{32 << 10, 256 << 10, 1 << 20} {
+			if d, src := sel.SelectExplain(CollBcast, m, size); d.Component != ComponentKNEM {
+				t.Errorf("ig/%s bcast %dB: %s (from %s), want knemcoll", bind, size, d, src)
+			}
+		}
+		// Allgather: tuned below the ~2 KB crossover.
+		for _, size := range []int64{512} {
+			if d, src := sel.SelectExplain(CollAllgather, m, size); d.Component != ComponentTuned {
+				t.Errorf("ig/%s allgather %dB: %s (from %s), want tuned", bind, size, d, src)
+			}
+		}
+	}
+	// Allgather above the crossover under cross-socket binding (the
+	// paper's robustness case) must be distance-aware.
+	mx := matrixFor(t, "ig", "crosssocket", 48)
+	for _, size := range []int64{4 << 10, 64 << 10, 1 << 20} {
+		if d, src := sel.SelectExplain(CollAllgather, mx, size); d.Component != ComponentKNEM {
+			t.Errorf("ig/crosssocket allgather %dB: %s (from %s), want knemcoll", size, d, src)
+		}
+	}
+	// Zoot bcast ≥ 32 KB: the linear topology must beat the hierarchy
+	// (Fig. 8 — the single controller saturates regardless of tree shape).
+	mz := matrixFor(t, "zoot", "contiguous", 16)
+	for _, size := range []int64{32 << 10, 1 << 20, 8 << 20} {
+		d, src := sel.SelectExplain(CollBcast, mz, size)
+		if d.Component != ComponentKNEM || !d.Linear {
+			t.Errorf("zoot bcast %dB: %s (from %s), want knemcoll/linear", size, d, src)
+		}
+		if !strings.HasPrefix(src, "table:zoot16") {
+			t.Errorf("zoot bcast %dB resolved from %s, want the shipped zoot16 table", size, src)
+		}
+	}
+}
+
+func TestSelectorPrecedence(t *testing.T) {
+	m := matrixFor(t, "zoot", "contiguous", 16)
+	fp := FingerprintOf(m)
+
+	exact := &Table{Name: "exact", RuleSets: []RuleSet{{
+		Coll: CollBcast, Binding: "contiguous", Fingerprint: fp,
+		Rules: []Rule{{Decision: Decision{Component: ComponentMPICH}}},
+	}}}
+	classFP := fp
+	classFP.Procs = 8 // same class, different size: no exact match
+	classFP.Hist = append([]int64(nil), fp.Hist...)
+	classOnly := &Table{Name: "class", RuleSets: []RuleSet{{
+		Coll: CollBcast, Binding: "contiguous", Fingerprint: classFP,
+		Rules: []Rule{{Decision: Decision{Component: ComponentTuned}}},
+	}}}
+
+	// Exact fingerprint beats class match, regardless of table order.
+	sel := NewSelector(classOnly, exact)
+	d, src := sel.SelectExplain(CollBcast, m, 1<<20)
+	if d.Component != ComponentMPICH || src != "table:exact/contiguous" {
+		t.Errorf("got %s from %s, want mpich2 from table:exact/contiguous", d, src)
+	}
+
+	// Without the exact table, the class match applies.
+	sel = NewSelector(classOnly)
+	d, src = sel.SelectExplain(CollBcast, m, 1<<20)
+	if d.Component != ComponentTuned || src != "class:class/contiguous" {
+		t.Errorf("got %s from %s, want tuned from class:class/contiguous", d, src)
+	}
+
+	// No table at all: fallback rules.
+	var nilSel *Selector
+	d, src = nilSel.SelectExplain(CollBcast, m, 1<<20)
+	if src != "fallback" {
+		t.Errorf("nil selector source = %s", src)
+	}
+	if d.Component != ComponentKNEM || !d.Linear {
+		t.Errorf("nil selector zoot 1M bcast = %s, want knemcoll/linear fallback", d)
+	}
+
+	// A collective the tables don't cover falls through too.
+	sel = NewSelector(exact)
+	if _, src = sel.SelectExplain(CollAllreduce, m, 1<<20); src != "fallback" {
+		t.Errorf("uncovered collective source = %s", src)
+	}
+}
+
+func TestCompileForAllDecisions(t *testing.T) {
+	m := matrixFor(t, "zoot", "contiguous", 8)
+	for _, coll := range Collectives() {
+		for _, d := range []Decision{
+			{Component: ComponentTuned},
+			{Component: ComponentMPICH},
+			{Component: ComponentKNEM},
+			{Component: ComponentKNEM, Linear: true},
+			{Component: ComponentKNEM, Chunk: 4096},
+		} {
+			s, err := CompileFor(coll, d, m, 0, 16384, 8)
+			if err != nil {
+				t.Errorf("CompileFor(%s, %s): %v", coll, d, err)
+				continue
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("CompileFor(%s, %s) schedule invalid: %v", coll, d, err)
+			}
+		}
+	}
+	if _, err := CompileFor(CollBcast, Decision{Component: "x"}, m, 0, 1024, 0); err == nil {
+		t.Error("CompileFor accepted an unknown component")
+	}
+	if _, err := CompileFor("scan", Decision{Component: ComponentTuned}, m, 0, 1024, 0); err == nil {
+		t.Error("CompileFor accepted an unknown collective")
+	}
+}
