@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepCommandPasses drives the sweep subcommand over a small green
+// grid; a clean grid returns nil (no os.Exit path).
+func TestSweepCommandPasses(t *testing.T) {
+	if err := cmdSweep([]string{
+		"-seed", "1", "-seeds", "1", "-np", "4", "-size", "512",
+		"-cells", "calm,crash", "-colls", "bcast,allreduce",
+		"-topos", "cross", "-v",
+	}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+}
+
+// TestMinimizeCommandNonReproducing: a calm cell cannot fail, so minimize
+// reports non-reproduction and returns nil instead of exiting.
+func TestMinimizeCommandNonReproducing(t *testing.T) {
+	if err := cmdMinimize([]string{
+		"-seed", "1", "-cell", "calm", "-coll", "bcast",
+		"-np", "4", "-size", "512",
+	}); err != nil {
+		t.Fatalf("minimize: %v", err)
+	}
+}
+
+func TestMinimizeCommandRequiresCellAndColl(t *testing.T) {
+	if err := cmdMinimize([]string{"-seed", "1"}); err == nil {
+		t.Fatal("minimize without -cell/-coll should fail")
+	}
+}
+
+func TestCellByName(t *testing.T) {
+	c, err := cellByName("mixed")
+	if err != nil || c.Name != "mixed" {
+		t.Fatalf("cellByName(mixed) = %+v, %v", c, err)
+	}
+	if _, err := cellByName("bogus"); err == nil || !strings.Contains(err.Error(), "unknown cell") {
+		t.Fatalf("cellByName(bogus) = %v, want unknown-cell error", err)
+	}
+}
+
+func TestPickCellsAndSplitList(t *testing.T) {
+	cells, err := pickCells("calm, corrupt")
+	if err != nil || len(cells) != 2 || cells[1].Name != "corrupt" {
+		t.Fatalf("pickCells = %+v, %v", cells, err)
+	}
+	if _, err := pickCells("calm,nope"); err == nil {
+		t.Fatal("pickCells with an unknown name should fail")
+	}
+	if cells, err := pickCells(""); cells != nil || err != nil {
+		t.Fatal("empty list should mean defaults")
+	}
+	got := splitList(" a, ,b ")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("splitList(\"\") should be nil")
+	}
+	if topoOrDefault("") != "cross" || topoOrDefault("zoot") != "zoot" {
+		t.Fatal("topoOrDefault defaults wrong")
+	}
+}

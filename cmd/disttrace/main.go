@@ -277,7 +277,28 @@ func verifyAll(events []trace.Event, m distance.Matrix) bool {
 		fmt.Printf("plan %d: %s", plan, r.String())
 		ok = ok && r.OK()
 	}
+	printRobustness(events)
 	return ok
+}
+
+// printRobustness summarizes the integrity and agreement events in a
+// trace: checksum mismatches caught on the wire (with the re-pull
+// attempt detail) and fault-tolerant agreement decisions.
+func printRobustness(events []trace.Event) {
+	mismatches := trace.Filter(events, trace.KindIntegrity)
+	agrees := trace.Filter(events, trace.KindAgree)
+	if len(mismatches) == 0 && len(agrees) == 0 {
+		return
+	}
+	fmt.Printf("robustness: %d checksum mismatches, %d agreements\n",
+		len(mismatches), len(agrees))
+	for _, e := range mismatches {
+		fmt.Printf("  integrity %s plan %d: rank %d pulling from %d chunk %d (%s)\n",
+			e.Op, e.Plan, e.Rank, e.Src, e.Chunk, e.Det)
+	}
+	for _, e := range agrees {
+		fmt.Printf("  agree: rank %d after %d rounds %s\n", e.Rank, e.Chunk, e.Det)
+	}
 }
 
 // inferBcast recovers the root (the only rank executing no pull) and the

@@ -31,6 +31,7 @@ package distcoll
 import (
 	"distcoll/internal/baseline"
 	"distcoll/internal/binding"
+	"distcoll/internal/chaos"
 	"distcoll/internal/core"
 	"distcoll/internal/distance"
 	"distcoll/internal/exec"
@@ -38,6 +39,7 @@ import (
 	"distcoll/internal/figures"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/imb"
+	"distcoll/internal/integrity"
 	"distcoll/internal/machine"
 	"distcoll/internal/mpi"
 	"distcoll/internal/plancache"
@@ -191,6 +193,37 @@ var (
 	WithOpDeadline      = mpi.WithOpDeadline
 	WithSendTimeout     = mpi.WithSendTimeout
 	WithMailboxCapacity = mpi.WithMailboxCapacity
+)
+
+// Data integrity, consistent failure agreement, and chaos testing
+// (DESIGN.md §10): per-chunk checksums with bounded re-pull on every KNEM
+// transfer plus end-to-end digests (WithIntegrity), the MPIX_Comm_agree
+// analog Comm.Agree that makes every survivor's Shrink derive identical
+// membership, and the deterministic seed-driven soak harness behind
+// cmd/distchaos.
+type (
+	IntegrityConfig  = integrity.Config
+	IntegrityChecker = integrity.Checker
+	IntegrityStats   = integrity.Stats
+	CorruptionError  = mpi.CorruptionError
+	ChaosCell        = chaos.Cell
+	ChaosScenario    = chaos.Scenario
+	ChaosConfig      = chaos.Config
+	ChaosResult      = chaos.Result
+	ChaosSummary     = chaos.Summary
+)
+
+// Integrity/chaos constructors, classifiers, and World options.
+var (
+	WithIntegrity = mpi.WithIntegrity
+	IsCorruption  = mpi.IsCorruption
+	ChaosGrid     = chaos.DefaultGrid
+	ChaosPlanFor  = chaos.PlanFor
+	ChaosRunSeed  = chaos.RunSeed
+	ChaosRunPlan  = chaos.RunPlan
+	ChaosSweep    = chaos.Sweep
+	ChaosMinimize = chaos.Minimize
+	ChaosPayload  = chaos.Payload
 )
 
 // Observability: structured runtime tracing and metrics (DESIGN.md §7).

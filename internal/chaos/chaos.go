@@ -1,0 +1,539 @@
+// Package chaos is the deterministic soak harness of the runtime: it
+// sweeps seed-driven fault plans (transient copy failures, corrupted
+// transfers, delays, rank crashes — alone and combined) across
+// topologies and collectives, runs the self-healing collectives under
+// each plan, and checks the three properties the robustness layer
+// promises:
+//
+//   - Oracle correctness: every resilient operation that completes
+//     delivers byte-identical, byte-correct buffers on every survivor —
+//     with integrity verification on, even under injected corruption.
+//   - Membership agreement: every completing rank reports the SAME final
+//     communicator membership (the Agree/Shrink guarantee).
+//   - Trace invariants: for runs that never shrank or retried, the
+//     executed copy events still satisfy the §IV schedule invariants,
+//     and the metrics registry agrees with the event stream.
+//
+// Everything is a pure function of the scenario seed: a failing seed
+// replays exactly, and Minimize greedily shrinks its fault plan to a
+// minimal plan that still reproduces the violation.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/fault"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/integrity"
+	"distcoll/internal/mpi"
+	"distcoll/internal/trace"
+	"distcoll/internal/trace/check"
+)
+
+// Cell is one point of the fault grid: which fault classes are active
+// and how hard they hit. Crashes counts crash victims to derive from the
+// scenario seed (never the broadcast root, world rank 0).
+type Cell struct {
+	Name          string
+	CopyFailProb  float64
+	MaxTransients int64
+	CorruptProb   float64
+	DelayProb     float64
+	Delay         time.Duration
+	Crashes       int
+}
+
+// DefaultGrid is the standard sweep: each fault class alone, then
+// combined.
+func DefaultGrid() []Cell {
+	return []Cell{
+		{Name: "calm"},
+		{Name: "transient", CopyFailProb: 0.3, MaxTransients: 400},
+		{Name: "corrupt", CorruptProb: 0.3},
+		{Name: "delay", DelayProb: 0.2, Delay: 100 * time.Microsecond},
+		{Name: "crash", Crashes: 1},
+		{Name: "crash2", Crashes: 2},
+		{Name: "mixed", CopyFailProb: 0.15, MaxTransients: 200, CorruptProb: 0.15,
+			DelayProb: 0.1, Delay: 50 * time.Microsecond, Crashes: 1},
+	}
+}
+
+// Scenario fully determines one chaos run.
+type Scenario struct {
+	Seed       int64
+	Ranks      int
+	Topology   string // "cross" | "contiguous" | "zoot"
+	Collective string // "bcast" | "allgather" | "allreduce" | "barrier"
+	Size       int64  // payload (bcast) or per-rank block (allgather/allreduce)
+	Cell       Cell
+	Integrity  bool
+	Repulls    int           // integrity re-pull budget (0 = default)
+	OpDeadline time.Duration // watchdog (0 = 5s)
+}
+
+func (sc Scenario) String() string {
+	integ := "integrity=off"
+	if sc.Integrity {
+		integ = "integrity=on"
+	}
+	return fmt.Sprintf("seed=%d cell=%s coll=%s topo=%s np=%d size=%d %s",
+		sc.Seed, sc.Cell.Name, sc.Collective, sc.Topology, sc.Ranks, sc.Size, integ)
+}
+
+// Violation is one failed check of a chaos run.
+type Violation struct {
+	Kind   string // "oracle" | "membership" | "invariant" | "metrics" | "hang" | "error" | "config"
+	Rank   int    // world rank it was observed on (-1 global)
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] rank %d: %s", v.Kind, v.Rank, v.Detail)
+}
+
+// Result is the outcome of one chaos run.
+type Result struct {
+	Scenario   Scenario
+	Plan       fault.Plan
+	Violations []Violation
+	Completed  int   // ranks whose resilient op completed
+	Excluded   int   // ranks that legitimately could not complete (dead, corrupting, lost root)
+	Group      []int // agreed final membership of the completing ranks
+	Attempts   int   // distinct collective plans executed (retries + 1)
+	Fault      fault.Stats
+	Integrity  integrity.Stats
+	AgreeCalls int64
+	Failed     []int // world ranks dead at the end
+}
+
+// OK reports whether the run passed every check.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Result) violate(kind string, rank int, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Kind: kind, Rank: rank, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Payload is the oracle buffer: a deterministic per-(seed, rank) byte
+// pattern, so any corrupted or misplaced block is detectable.
+func Payload(seed int64, rank int, n int64) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(int64(rank*131) + seed*31 + int64(i)*7 + 13)
+	}
+	return out
+}
+
+// mix64 is a splitmix64 step — the same generator family the fault
+// injector uses, so plans derive deterministically from seeds.
+func mix64(h uint64) uint64 {
+	h += 0x9E3779B97F4A7C15
+	z := h
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// PlanFor derives the scenario's fault plan: the cell's probabilities
+// verbatim, plus Crashes crash victims drawn deterministically from the
+// seed among ranks 1..n-1 (world rank 0 — the broadcast root — always
+// survives, since a dead root is unrecoverable by design).
+func PlanFor(sc Scenario) fault.Plan {
+	c := sc.Cell
+	p := fault.Plan{
+		Seed:          sc.Seed,
+		CopyFailProb:  c.CopyFailProb,
+		MaxTransients: c.MaxTransients,
+		CorruptProb:   c.CorruptProb,
+		DelayProb:     c.DelayProb,
+		Delay:         c.Delay,
+	}
+	if c.Crashes > 0 && sc.Ranks > 1 {
+		p.CrashAtOp = make(map[int]int)
+		h := uint64(sc.Seed)
+		for len(p.CrashAtOp) < c.Crashes && len(p.CrashAtOp) < sc.Ranks-1 {
+			h = mix64(h)
+			victim := 1 + int(h%uint64(sc.Ranks-1))
+			h = mix64(h)
+			if _, dup := p.CrashAtOp[victim]; !dup {
+				p.CrashAtOp[victim] = int(h % 4)
+			}
+		}
+	}
+	return p
+}
+
+// buildBinding resolves the scenario's topology name.
+func buildBinding(sc Scenario) (*hwtopo.Topology, *binding.Binding, error) {
+	switch sc.Topology {
+	case "cross", "crosssocket", "":
+		t := hwtopo.NewIG()
+		b, err := binding.CrossSocket(t, sc.Ranks)
+		return t, b, err
+	case "contiguous":
+		t := hwtopo.NewIG()
+		b, err := binding.Contiguous(t, sc.Ranks)
+		return t, b, err
+	case "zoot":
+		t := hwtopo.NewZoot()
+		b, err := binding.Contiguous(t, sc.Ranks)
+		return t, b, err
+	default:
+		return nil, nil, fmt.Errorf("chaos: unknown topology %q (known: cross, contiguous, zoot)", sc.Topology)
+	}
+}
+
+// rankOut is what one rank reports back from a run.
+type rankOut struct {
+	completed bool
+	group     []int
+	data      []byte
+	err       error
+}
+
+// RunSeed runs the scenario derived from its own seed.
+func RunSeed(sc Scenario) *Result {
+	return RunPlan(sc, PlanFor(sc))
+}
+
+// RunPlan runs the scenario under an explicit fault plan (Minimize uses
+// this to re-run reduced plans) and checks every harness property.
+func RunPlan(sc Scenario, plan fault.Plan) *Result {
+	res := &Result{Scenario: sc, Plan: plan}
+	if sc.Ranks < 2 {
+		res.violate("config", -1, "need at least 2 ranks, got %d", sc.Ranks)
+		return res
+	}
+	if sc.Size <= 0 {
+		sc.Size = 4096
+	}
+	topo, b, err := buildBinding(sc)
+	if err != nil {
+		res.violate("config", -1, "%v", err)
+		return res
+	}
+	deadline := sc.OpDeadline
+	if deadline <= 0 {
+		deadline = 5 * time.Second
+	}
+	ring := trace.NewRing(0)
+	tr := trace.New(ring)
+	opts := []mpi.Option{
+		mpi.WithFault(plan),
+		mpi.WithTracer(tr),
+		mpi.WithOpDeadline(deadline),
+	}
+	if sc.Integrity {
+		opts = append(opts, mpi.WithIntegrity(integrity.Config{Repulls: sc.Repulls}))
+	}
+	w := mpi.NewWorld(b, opts...)
+
+	n := sc.Ranks
+	outs := make([]rankOut, n)
+	var mu sync.Mutex
+	_ = w.Run(func(p *mpi.Proc) error {
+		out := runCollective(sc, p)
+		mu.Lock()
+		outs[p.Rank()] = out
+		mu.Unlock()
+		return nil
+	})
+
+	res.Fault = w.Injector().Stats()
+	if ic := w.Integrity(); ic != nil {
+		res.Integrity = ic.Stats()
+	}
+	res.AgreeCalls = tr.Metrics().Counter("agree.calls").Load()
+	res.Failed = w.Failed()
+	failedSet := make(map[int]bool, len(res.Failed))
+	for _, r := range res.Failed {
+		failedSet[r] = true
+	}
+
+	checkOutcomes(res, sc, outs, failedSet)
+	checkTraces(res, sc, topo, b, ring, tr)
+	return res
+}
+
+// runCollective executes one rank's share of the scenario's collective,
+// resiliently: the built-in self-healing entry points for bcast and
+// allgather, and a shrink-and-retry loop (the same ULFM pattern) for
+// allreduce and barrier.
+func runCollective(sc Scenario, p *mpi.Proc) rankOut {
+	const comp = mpi.KNEMColl
+	n := sc.Ranks
+	switch sc.Collective {
+	case "bcast":
+		want := Payload(sc.Seed, 0, sc.Size)
+		buf := make([]byte, sc.Size)
+		if p.Rank() == 0 {
+			copy(buf, want)
+		}
+		nc, err := p.Comm().BcastResilient(buf, 0, comp)
+		if err != nil {
+			return rankOut{err: err}
+		}
+		return rankOut{completed: true, group: groupOf(nc), data: buf}
+
+	case "allgather":
+		send := Payload(sc.Seed, p.Rank(), sc.Size)
+		recv := make([]byte, int64(n)*sc.Size)
+		nc, out, err := p.Comm().AllgatherResilient(send, recv, comp)
+		if err != nil {
+			return rankOut{err: err}
+		}
+		return rankOut{completed: true, group: groupOf(nc), data: append([]byte(nil), out...)}
+
+	case "allreduce":
+		send := Payload(sc.Seed, p.Rank(), sc.Size)
+		cur := p.Comm()
+		for try := 0; try <= n; try++ {
+			recv := make([]byte, sc.Size)
+			err := cur.Allreduce(send, recv, mpi.OpBXOR, comp)
+			if err == nil {
+				return rankOut{completed: true, group: groupOf(cur), data: recv}
+			}
+			next, stop, rerr := recoverStep(cur, err)
+			if stop {
+				return rankOut{err: rerr}
+			}
+			cur = next
+		}
+		return rankOut{err: fmt.Errorf("chaos: allreduce recovery did not converge")}
+
+	case "barrier":
+		cur := p.Comm()
+		for try := 0; try <= n; try++ {
+			err := cur.Barrier()
+			if err == nil {
+				return rankOut{completed: true, group: groupOf(cur)}
+			}
+			next, stop, rerr := recoverStep(cur, err)
+			if stop {
+				return rankOut{err: rerr}
+			}
+			cur = next
+		}
+		return rankOut{err: fmt.Errorf("chaos: barrier recovery did not converge")}
+
+	default:
+		return rankOut{err: fmt.Errorf("chaos: unknown collective %q", sc.Collective)}
+	}
+}
+
+// recoverStep decides how the harness's own resilient loop reacts to a
+// failed collective: shrink and retry on rank failures and corruption
+// (mirroring the runtime's built-in loops), retry in place on a uniform
+// corruption verdict with no deaths, stop otherwise.
+func recoverStep(cur *mpi.Comm, err error) (next *mpi.Comm, stop bool, rerr error) {
+	if fault.IsCrashed(err) {
+		return nil, true, err
+	}
+	if !mpi.IsRankFailure(err) && !mpi.IsCorruption(err) && !mpi.IsHang(err) {
+		return nil, true, err
+	}
+	nc, serr := cur.Shrink()
+	if serr != nil {
+		return nil, true, serr
+	}
+	return nc, false, nil
+}
+
+// groupOf snapshots a communicator's world-rank membership.
+func groupOf(c *mpi.Comm) []int {
+	g := make([]int, c.Size())
+	for i := range g {
+		g[i] = c.WorldRank(i)
+	}
+	return g
+}
+
+// checkOutcomes verifies the oracle and membership properties over the
+// per-rank outcomes.
+func checkOutcomes(res *Result, sc Scenario, outs []rankOut, failedSet map[int]bool) {
+	var refGroup []int
+	refRank := -1
+	for r, out := range outs {
+		if !out.completed {
+			if expectedExclusion(out.err, r, failedSet) {
+				res.Excluded++
+			} else if mpi.IsHang(out.err) {
+				res.violate("hang", r, "%v", out.err)
+			} else if out.err != nil {
+				res.violate("error", r, "%v", out.err)
+			}
+			continue
+		}
+		res.Completed++
+
+		// Membership agreement: every completing rank must report the
+		// identical final group.
+		if refGroup == nil {
+			refGroup = out.group
+			refRank = r
+			res.Group = out.group
+		} else if !equalInts(refGroup, out.group) {
+			res.violate("membership", r,
+				"final group %v differs from rank %d's %v (split-brain shrink)", out.group, refRank, refGroup)
+		}
+
+		// Oracle: the delivered bytes must match what the survivors'
+		// membership implies.
+		switch sc.Collective {
+		case "bcast":
+			if !bytes.Equal(out.data, Payload(sc.Seed, 0, sc.Size)) {
+				res.violate("oracle", r, "broadcast payload corrupted (%d bytes differ)",
+					countDiff(out.data, Payload(sc.Seed, 0, sc.Size)))
+			}
+		case "allgather":
+			if int64(len(out.data)) != int64(len(out.group))*sc.Size {
+				res.violate("oracle", r, "allgather result is %d bytes, want %d",
+					len(out.data), int64(len(out.group))*sc.Size)
+				continue
+			}
+			for i, wr := range out.group {
+				blk := out.data[int64(i)*sc.Size : int64(i+1)*sc.Size]
+				if !bytes.Equal(blk, Payload(sc.Seed, wr, sc.Size)) {
+					res.violate("oracle", r, "allgather block %d (world rank %d) corrupted", i, wr)
+				}
+			}
+		case "allreduce":
+			want := make([]byte, sc.Size)
+			for _, wr := range out.group {
+				mpi.OpBXOR.Combine(want, Payload(sc.Seed, wr, sc.Size))
+			}
+			if !bytes.Equal(out.data, want) {
+				res.violate("oracle", r, "allreduce result corrupted (%d bytes differ)", countDiff(out.data, want))
+			}
+		}
+	}
+	// Completing ranks must never include a dead one, and the final group
+	// must only contain ranks that were allowed to survive.
+	for _, wr := range res.Group {
+		if failedSet[wr] {
+			res.violate("membership", wr, "final group %v contains failed rank %d", res.Group, wr)
+		}
+	}
+}
+
+// expectedExclusion classifies per-rank errors that are legitimate
+// outcomes, not harness violations: the rank is dead (crashed), the
+// world marked it failed (corrupting peer), or the operation became
+// unrecoverable because the root was lost.
+func expectedExclusion(err error, rank int, failedSet map[int]bool) bool {
+	if err == nil {
+		return false
+	}
+	if fault.IsCrashed(err) {
+		return true
+	}
+	if failedSet[rank] {
+		// Marked failed (e.g. declared corrupting) while still running:
+		// its Shrink correctly refuses, its collectives correctly fail.
+		return true
+	}
+	if mpi.IsCorruption(err) || mpi.IsRankFailure(err) {
+		// Persistent corruption or failure that exhausted recovery —
+		// refusing to deliver is the integrity layer doing its job. The
+		// run simply did not complete on this rank.
+		return true
+	}
+	s := err.Error()
+	return containsAny(s, "cannot recover", "cannot shrink", "nothing to shrink")
+}
+
+// checkTraces runs the structural §IV invariant checks and the metrics
+// cross-check where they are applicable: metrics whenever no events were
+// dropped, structure only for single-attempt runs that never failed over
+// (a shrink or retry legitimately changes the executed schedule).
+func checkTraces(res *Result, sc Scenario, topo *hwtopo.Topology, b *binding.Binding, ring *trace.RingSink, tr *trace.Tracer) {
+	if ring.Dropped() > 0 {
+		return
+	}
+	events := ring.Events()
+	if r := check.VerifyMetrics(tr.Metrics(), events); !r.OK() {
+		for _, v := range r.Violations {
+			res.violate("metrics", -1, "%s", v)
+		}
+	}
+
+	res.Attempts = distinctPlans(events, sc.Collective)
+	if len(res.Failed) > 0 || res.Attempts != 1 || res.Completed == 0 {
+		return
+	}
+	m := distance.NewMatrix(topo, b.Cores())
+	copies := trace.FilterOp(events, trace.KindCopy, sc.Collective)
+	switch sc.Collective {
+	case "bcast":
+		if r := check.VerifyBroadcast(copies, m, 0, sc.Size); !r.OK() {
+			for _, v := range r.Violations {
+				res.violate("invariant", -1, "%s", v)
+			}
+		}
+	case "allgather":
+		if r := check.VerifyAllgather(copies, m, sc.Size); !r.OK() {
+			for _, v := range r.Violations {
+				res.violate("invariant", -1, "%s", v)
+			}
+		}
+	}
+}
+
+// distinctPlans counts the collective's executed plans (1 = no retry).
+func distinctPlans(events []trace.Event, op string) int {
+	ids := make(map[int64]bool)
+	for _, e := range events {
+		if e.Kind == trace.KindOpBegin && e.Op == op {
+			ids[e.Plan] = true
+		}
+	}
+	return len(ids)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func countDiff(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if i < len(b) && a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if len(sub) > 0 && bytes.Contains([]byte(s), []byte(sub)) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedVictims returns a plan's crash victims in deterministic order.
+func sortedVictims(p fault.Plan) []int {
+	out := make([]int, 0, len(p.CrashAtOp))
+	for r := range p.CrashAtOp {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

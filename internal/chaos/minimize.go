@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"time"
+
+	"distcoll/internal/fault"
+)
+
+// Minimize greedily shrinks a failing scenario's fault plan to a minimal
+// plan that still reproduces a violation — the delta-debugging step of
+// the harness. Each reduction removes one fault dimension (zero a
+// probability, drop one crash victim); a reduction is kept only if the
+// reduced plan still fails. The search is deterministic: reductions are
+// tried in a fixed order (victims sorted ascending), so the same failing
+// seed always minimizes to the same plan.
+//
+// Returns the minimized plan, the result of its final failing run, and
+// the number of runs spent. If the original plan no longer reproduces
+// (flaky beyond the harness's determinism — should not happen), ok is
+// false and the inputs are returned unchanged.
+func Minimize(sc Scenario, budget time.Duration) (plan fault.Plan, res *Result, runs int, ok bool) {
+	plan = PlanFor(sc)
+	res = RunPlan(sc, plan)
+	runs = 1
+	if res.OK() {
+		return plan, res, runs, false
+	}
+	deadline := time.Time{}
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+
+	// Try each reduction in order; restart the pass after every success
+	// until a full pass keeps nothing (a local minimum).
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range reductions(plan) {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return plan, res, runs, true
+			}
+			r := RunPlan(sc, cand)
+			runs++
+			if !r.OK() {
+				plan, res = cand, r
+				changed = true
+				break
+			}
+		}
+	}
+	return plan, res, runs, true
+}
+
+// reductions enumerates the single-step simplifications of a plan, in
+// deterministic order.
+func reductions(p fault.Plan) []fault.Plan {
+	var out []fault.Plan
+	if p.CopyFailProb > 0 {
+		q := p
+		q.CopyFailProb, q.MaxTransients = 0, 0
+		out = append(out, clonePlan(q))
+	}
+	if p.CorruptProb > 0 {
+		q := p
+		q.CorruptProb = 0
+		out = append(out, clonePlan(q))
+	}
+	if p.DelayProb > 0 {
+		q := p
+		q.DelayProb, q.Delay = 0, 0
+		out = append(out, clonePlan(q))
+	}
+	for _, victim := range sortedVictims(p) {
+		q := clonePlan(p)
+		delete(q.CrashAtOp, victim)
+		if len(q.CrashAtOp) == 0 {
+			q.CrashAtOp = nil
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// clonePlan deep-copies the plan's map so reductions never alias.
+func clonePlan(p fault.Plan) fault.Plan {
+	if p.CrashAtOp == nil {
+		return p
+	}
+	m := make(map[int]int, len(p.CrashAtOp))
+	for k, v := range p.CrashAtOp {
+		m[k] = v
+	}
+	p.CrashAtOp = m
+	return p
+}

@@ -49,27 +49,14 @@ func (d *Device) CopyFrom(caller int, c knem.Cookie, offset int64, dst []byte) e
 
 // CopyTo applies injected faults around the wrapped push; a corrupted
 // push writes one flipped byte into the region while the caller's source
-// buffer stays intact.
+// buffer stays intact (corruptedCopy copies on corruption), so a retry
+// re-pushes clean data. The corruption decision and its stats counter
+// live in the injector, behind the injector lock, like every other
+// stats-mutation path.
 func (d *Device) CopyTo(caller int, c knem.Cookie, offset int64, src []byte) error {
 	seq, err := d.in.onCopy(caller)
 	if err != nil {
 		return err
 	}
-	in := d.in
-	in.mu.Lock()
-	hit := in.decide(caller, seq, saltCorrupt, in.plan.CorruptProb)
-	if hit {
-		in.stats.Corruptions++
-	}
-	in.mu.Unlock()
-	if hit {
-		cp := make([]byte, len(src))
-		copy(cp, src)
-		if len(cp) > 0 {
-			idx := mix(uint64(in.plan.Seed), uint64(caller), uint64(seq), saltCorruptIdx) % uint64(len(cp))
-			cp[idx] ^= 0xFF
-		}
-		src = cp
-	}
-	return d.inner.CopyTo(caller, c, offset, src)
+	return d.inner.CopyTo(caller, c, offset, d.in.corruptedCopy(caller, seq, src))
 }

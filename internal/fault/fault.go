@@ -198,22 +198,52 @@ func (in *Injector) onCopy(rank int) (int64, error) {
 	return seq, err
 }
 
-// corrupt flips one deterministic byte of data when the corruption draw
-// for (rank, seq) fires.
-func (in *Injector) corrupt(rank int, seq int64, data []byte) {
-	if len(data) == 0 {
-		return
-	}
+// corruptDraw makes the corruption decision for (rank, seq) and bumps the
+// corruption counter when it fires. It is the single stats-mutation path
+// for corruption: every caller goes through here, under the injector
+// lock, so `-race` soak runs stay clean.
+func (in *Injector) corruptDraw(rank int, seq int64) bool {
 	in.mu.Lock()
 	hit := in.decide(rank, seq, saltCorrupt, in.plan.CorruptProb)
 	if hit {
 		in.stats.Corruptions++
 	}
 	in.mu.Unlock()
-	if hit {
-		idx := mix(uint64(in.plan.Seed), uint64(rank), uint64(seq), saltCorruptIdx) % uint64(len(data))
-		data[idx] ^= 0xFF
+	return hit
+}
+
+// corruptIndex picks the deterministic byte to flip for (rank, seq).
+func (in *Injector) corruptIndex(rank int, seq int64, n int) int {
+	return int(mix(uint64(in.plan.Seed), uint64(rank), uint64(seq), saltCorruptIdx) % uint64(n))
+}
+
+// corrupt flips one deterministic byte of data in place when the
+// corruption draw for (rank, seq) fires — the pull path, where data is
+// the private destination buffer the device just filled, so flipping in
+// place taints only this delivery and a re-pull starts from the clean
+// source region.
+func (in *Injector) corrupt(rank int, seq int64, data []byte) {
+	if len(data) == 0 {
+		return
 	}
+	if in.corruptDraw(rank, seq) {
+		data[in.corruptIndex(rank, seq, len(data))] ^= 0xFF
+	}
+}
+
+// corruptedCopy returns data with one deterministic byte flipped when the
+// draw for (rank, seq) fires, and data itself untouched otherwise. The
+// input slice is never mutated: the push path hands the result to the
+// device, so the caller's source buffer stays clean and any retry (or
+// checksum-mismatch re-push) starts from uncorrupted source data.
+func (in *Injector) corruptedCopy(rank int, seq int64, data []byte) []byte {
+	if len(data) == 0 || !in.corruptDraw(rank, seq) {
+		return data
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	cp[in.corruptIndex(rank, seq, len(cp))] ^= 0xFF
+	return cp
 }
 
 // OnSend is consulted by the mailbox transport for each message from src

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"distcoll/internal/knem"
+)
+
+// TestStatsReadableDuringInjection is the regression for the stats race:
+// Stats() used to be readable only between runs because the corruption
+// path mutated counters outside the injector lock. Now every mutation
+// goes through the locked corruptDraw/onCopy paths, so concurrent
+// readers during a `-race` soak are clean and the final counts are
+// consistent with what the workers observed.
+func TestStatsReadableDuringInjection(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9, CopyFailProb: 0.2, CorruptProb: 0.5})
+	dev := in.Wrap(knem.NewDevice())
+	src := bytes.Repeat([]byte{0x3C}, 64)
+	c := dev.Declare(0, src)
+
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader — the soak harness polls stats live
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := in.Stats()
+				if s.Corruptions < 0 || s.Transients < 0 {
+					t.Error("stats went negative under concurrency")
+					return
+				}
+			}
+		}
+	}()
+	var copies int64
+	var mu sync.Mutex
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := make([]byte, 64)
+			n := int64(0)
+			for i := 0; i < iters; i++ {
+				if dev.CopyFrom(r, c, 0, out) == nil {
+					n++
+				}
+				region := make([]byte, 64)
+				c2 := dev.Declare(r, region)
+				if dev.CopyTo(r, c2, 0, src) == nil {
+					n++
+				}
+				_ = dev.Destroy(r, c2)
+			}
+			mu.Lock()
+			copies += n
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	s := in.Stats()
+	if s.Corruptions == 0 {
+		t.Fatal("no corruption at CorruptProb 0.5 over 3200 copies")
+	}
+	if s.Corruptions > copies {
+		t.Fatalf("stats report %d corruptions over %d successful copies", s.Corruptions, copies)
+	}
+	if s.Transients == 0 {
+		t.Fatal("no transient at CopyFailProb 0.2 over 3200 copies")
+	}
+}
+
+// TestCopyToCorruptionRegression is the push-path regression pair: with
+// CorruptProb 1 the declared region differs from the source in exactly
+// one byte while the caller's slice is untouched; with CorruptProb 0 the
+// same push delivers the region byte-identical and counts nothing.
+func TestCopyToCorruptionRegression(t *testing.T) {
+	src := bytes.Repeat([]byte{0x5A}, 96)
+
+	in := NewInjector(Plan{Seed: 21, CorruptProb: 1})
+	dev := in.Wrap(knem.NewDevice())
+	region := make([]byte, 96)
+	c := dev.Declare(0, region)
+	keep := append([]byte(nil), src...)
+	if err := dev.CopyTo(1, c, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, keep) {
+		t.Fatal("CopyTo mutated the caller's source slice")
+	}
+	diff := 0
+	for i := range region {
+		if region[i] != src[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("region differs from source in %d bytes, want exactly 1", diff)
+	}
+	if s := in.Stats(); s.Corruptions != 1 {
+		t.Fatalf("Corruptions = %d, want 1", s.Corruptions)
+	}
+
+	in0 := NewInjector(Plan{Seed: 21})
+	dev0 := in0.Wrap(knem.NewDevice())
+	region0 := make([]byte, 96)
+	c0 := dev0.Declare(0, region0)
+	if err := dev0.CopyTo(1, c0, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(region0, src) {
+		t.Fatal("clean push did not deliver the region byte-identical")
+	}
+	if s := in0.Stats(); s.Corruptions != 0 {
+		t.Fatalf("clean push counted %d corruptions, want 0", s.Corruptions)
+	}
+}

@@ -139,6 +139,22 @@ func (d *Device) CopyTo(caller int, c Cookie, offset int64, src []byte) error {
 	return nil
 }
 
+// SumRegion applies sum to the region bytes [offset, offset+n) and
+// returns its result — the sending-side half of the integrity layer's
+// per-hop checksum. Computing the sum directly over the pinned region
+// models the owner publishing a checksum of its buffer alongside the
+// cookie: the value covers the bytes as the sender holds them, before
+// any (possibly faulty) data path has touched them. The same
+// schedule-dependency ordering that makes the pull itself sound makes
+// this read sound: the source range is stable while it is being pulled.
+func (d *Device) SumRegion(c Cookie, offset, n int64, sum func([]byte) uint32) (uint32, error) {
+	r, err := d.lookup(c, offset, n)
+	if err != nil {
+		return 0, err
+	}
+	return sum(r.buf[offset : offset+n]), nil
+}
+
 func (d *Device) lookup(c Cookie, offset, n int64) (*region, error) {
 	if n < 0 || offset < 0 {
 		return nil, fmt.Errorf("knem: negative range (off=%d, len=%d)", offset, n)

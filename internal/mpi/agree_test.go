@@ -1,0 +1,182 @@
+package mpi
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distcoll/internal/fault"
+)
+
+// waitBlockedIn polls until some rank is blocked in an operation whose
+// description contains substr (the agreement wait), or the deadline ends.
+func waitBlockedIn(t *testing.T, w *World, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(w.BlockedDump(), substr) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("no rank ever blocked in %q; dump: %s", substr, w.BlockedDump())
+}
+
+// TestShrinkAgreesOnDivergentFailureViews is the satellite regression for
+// split-brain shrinks: survivor 0 enters Shrink knowing only that rank 2
+// died; rank 3's death is detected while 0 is already waiting in the
+// agreement. Without agreement, 0 would shrink away {2} and survivor 1
+// (who saw {2,3}) would shrink away {2,3} — two different successor
+// communicators. With Agree, the first survivor's vote is restarted on
+// the membership change and both derive the identical group {0,1}.
+func TestShrinkAgreesOnDivergentFailureViews(t *testing.T) {
+	const n = 4
+	w := faultWorld(t, n, fault.Plan{})
+	var (
+		mu     sync.Mutex
+		groups = map[int][]int{}
+	)
+	entered := make(chan struct{})
+	err := w.Run(func(p *Proc) error {
+		switch p.Rank() {
+		case 2, 3:
+			return nil // play dead; the test marks them failed
+		case 0:
+			w.MarkFailed(2)
+			close(entered)
+			nc, err := p.Comm().Shrink()
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			groups[0] = append([]int(nil), nc.state.group...)
+			mu.Unlock()
+			return nil
+		default: // rank 1
+			<-entered
+			waitBlockedIn(t, w, "agreement")
+			w.MarkFailed(3) // second failure lands mid-agreement
+			nc, err := p.Comm().Shrink()
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			groups[1] = append([]int(nil), nc.state.group...)
+			mu.Unlock()
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatalf("survivors failed: %v", err)
+	}
+	want := []int{0, 1}
+	for r, g := range groups {
+		if len(g) != len(want) || g[0] != want[0] || g[1] != want[1] {
+			t.Errorf("rank %d shrunk to group %v, want %v", r, g, want)
+		}
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+}
+
+// TestAgreeUnanimousWithoutFailures: an agreement with nothing to decide
+// still converges, on the empty set, on every member.
+func TestAgreeUnanimousWithoutFailures(t *testing.T) {
+	const n = 4
+	w := faultWorld(t, n, fault.Plan{})
+	err := w.Run(func(p *Proc) error {
+		agreed, err := p.Comm().Agree()
+		if err != nil {
+			return err
+		}
+		if len(agreed) != 0 {
+			t.Errorf("rank %d agreed on %v, want empty", p.Rank(), agreed)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgreeLateArrivalAdoptsClosedResult: a member the union already
+// declares dead (marked failed but still running — the corrupting-peer
+// case) is not needed for closure; when it arrives late it must adopt
+// the closed verdict rather than reopening the round.
+func TestAgreeLateArrivalAdoptsClosedResult(t *testing.T) {
+	const n = 3
+	w := faultWorld(t, n, fault.Plan{})
+	w.MarkFailed(2)
+	closed := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 2 {
+			defer wg.Done()
+			<-closed // arrive only after 0 and 1 decided
+			agreed, err := p.Comm().Agree()
+			if err != nil {
+				return err
+			}
+			if len(agreed) != 1 || agreed[0] != 2 {
+				t.Errorf("late arrival adopted %v, want [2]", agreed)
+			}
+			return nil
+		}
+		agreed, err := p.Comm().Agree()
+		if err != nil {
+			return err
+		}
+		if len(agreed) != 1 || agreed[0] != 2 {
+			t.Errorf("rank %d agreed on %v, want [2]", p.Rank(), agreed)
+		}
+		if p.Rank() == 0 {
+			close(closed)
+		}
+		return nil
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgreeIdenticalAcrossRepeats: repeated agreement rounds on the same
+// communicator use independent slots and stay consistent.
+func TestAgreeIdenticalAcrossRepeats(t *testing.T) {
+	const n = 4
+	w := faultWorld(t, n, fault.Plan{})
+	w.MarkFailed(3)
+	var (
+		mu      sync.Mutex
+		results [][]int
+	)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 3 {
+			return nil
+		}
+		for round := 0; round < 3; round++ {
+			agreed, err := p.Comm().Agree()
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results = append(results, agreed)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if len(r) != 1 || r[0] != 3 {
+			t.Fatalf("inconsistent agreement result %v, want [3] everywhere", r)
+		}
+	}
+	if len(results) != 9 {
+		t.Fatalf("got %d results, want 9", len(results))
+	}
+}

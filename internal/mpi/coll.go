@@ -9,6 +9,7 @@ import (
 	"distcoll/internal/core"
 	"distcoll/internal/distance"
 	"distcoll/internal/fault"
+	"distcoll/internal/integrity"
 	"distcoll/internal/knem"
 	"distcoll/internal/sched"
 	"distcoll/internal/tune"
@@ -74,6 +75,15 @@ type collPlan struct {
 	world   *World
 	members int
 	leavers atomic.Int32
+
+	// End-to-end digests (set only when integrity verification is on):
+	// the broadcast origin's payload digest, piggybacked to every member
+	// through the shared plan exactly like the payload itself travels the
+	// tree, and the allgather contributors' per-segment digests carried
+	// around the ring. Written once by the plan builder, read-only after.
+	digest    uint32
+	hasDigest bool
+	digests   []uint32
 }
 
 // isDone reports op completion for the pending-op diagnostic.
@@ -177,12 +187,42 @@ func (c *Comm) Bcast(buf []byte, root int, comp Component) error {
 				}
 				return nil
 			}
-			return c.state.newPlan("bcast", s, caller)
+			plan, err := c.state.newPlan("bcast", s, caller)
+			if err != nil {
+				return nil, err
+			}
+			if c.state.world.integ != nil {
+				plan.digest = integrity.Digest(args[args[0].root].buf)
+				plan.hasDigest = true
+			}
+			return plan, nil
 		})
 	if err != nil {
 		return err
 	}
-	return c.runPlan(result.(*collPlan))
+	plan := result.(*collPlan)
+	return c.runPlanVerified(plan, func() error {
+		return c.verifyBcastDigest(plan, buf, root)
+	})
+}
+
+// verifyBcastDigest is the end-to-end integrity check of a broadcast: the
+// origin's payload digest (piggybacked down the tree via the shared plan)
+// must match the delivered buffer on every receiver. It catches whatever
+// the per-hop checksums could not attribute to a single edge.
+func (c *Comm) verifyBcastDigest(plan *collPlan, buf []byte, root int) error {
+	w := c.state.world
+	if w.integ == nil || !plan.hasDigest || c.rank == root {
+		return nil
+	}
+	got := integrity.Digest(buf)
+	if got == plan.digest {
+		return nil
+	}
+	w.integ.E2EFailure()
+	me, origin := c.state.group[c.rank], c.state.group[root]
+	w.tracer.Integrity(plan.op, plan.id, me, origin, -1, -1, plan.digest, got)
+	return &CorruptionError{Src: origin, Dst: me, Chunk: -1, EndToEnd: true}
 }
 
 // allgatherArgs is each member's contribution to an allgather.
@@ -229,12 +269,47 @@ func (c *Comm) Allgather(send, recv []byte, comp Component) error {
 					return nil
 				}
 			}
-			return c.state.newPlan("allgather", s, caller)
+			plan, err := c.state.newPlan("allgather", s, caller)
+			if err != nil {
+				return nil, err
+			}
+			if c.state.world.integ != nil {
+				plan.digests = make([]uint32, len(args))
+				for i := range args {
+					plan.digests[i] = integrity.Digest(args[i].send)
+				}
+			}
+			return plan, nil
 		})
 	if err != nil {
 		return err
 	}
-	return c.runPlan(result.(*collPlan))
+	plan := result.(*collPlan)
+	return c.runPlanVerified(plan, func() error {
+		return c.verifyAllgatherDigests(plan, recv, len(send))
+	})
+}
+
+// verifyAllgatherDigests is the end-to-end integrity check of an
+// allgather: every gathered segment must match its contributor's digest
+// (carried around the ring via the shared plan).
+func (c *Comm) verifyAllgatherDigests(plan *collPlan, recv []byte, block int) error {
+	w := c.state.world
+	if w.integ == nil || plan.digests == nil || block == 0 {
+		return nil
+	}
+	me := c.state.group[c.rank]
+	for r := range plan.digests {
+		got := integrity.Digest(recv[r*block : (r+1)*block])
+		if got == plan.digests[r] {
+			continue
+		}
+		w.integ.E2EFailure()
+		origin := c.state.group[r]
+		w.tracer.Integrity(plan.op, plan.id, me, origin, r, -1, plan.digests[r], got)
+		return &CorruptionError{Src: origin, Dst: me, Chunk: r, EndToEnd: true}
+	}
+	return nil
 }
 
 // buildBcast compiles the broadcast schedule for this communicator's
@@ -297,13 +372,28 @@ func (c *Comm) distanceMatrix() distance.Matrix {
 // member that crashed must NOT join the completion barrier — it is dead;
 // its absence is precisely what tells the survivors to fail over.
 func (c *Comm) runPlan(plan *collPlan) error {
+	return c.runPlanVerified(plan, nil)
+}
+
+// runPlanVerified is runPlan with a post-execution verification hook (the
+// end-to-end digest check). The hook runs after this member's share
+// completed but before the completion rendezvous, and its verdict is
+// deposited INTO the rendezvous: the completion barrier doubles as an
+// agreement on the collective's outcome, so either every member observes
+// the digest failure or none does. Without that, the one rank that
+// detected corruption would retry while the others moved on — a silent
+// divergence of the resilient recovery loops.
+func (c *Comm) runPlanVerified(plan *collPlan, verify func() error) error {
 	finishBracket := c.opBracket(plan)
 	err := c.execute(plan)
 	if fault.IsCrashed(err) {
 		finishBracket(err)
 		return err
 	}
-	if ferr := c.finish(plan); err == nil {
+	if err == nil && verify != nil {
+		err = verify()
+	}
+	if ferr := c.finish(plan, err); err == nil {
 		err = ferr
 	}
 	finishBracket(err)
@@ -318,7 +408,7 @@ func (c *Comm) runReducePlan(plan *collPlan, op ReduceOp) error {
 		finishBracket(err)
 		return err
 	}
-	if ferr := c.finish(plan); err == nil {
+	if ferr := c.finish(plan, err); err == nil {
 		err = ferr
 	}
 	finishBracket(err)
@@ -348,7 +438,7 @@ func (c *Comm) execute(plan *collPlan) error {
 	return c.executeOps(plan, func(o *sched.Op, dst []byte, wr int) error {
 		if o.Mode == sched.ModeKnem {
 			// Receiver-driven single copy through the device.
-			return c.knemPull(plan, wr, plan.cookies[o.Src], o.SrcOff, dst)
+			return c.knemPull(plan, wr, o, dst)
 		}
 		copy(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
 		return nil
@@ -415,8 +505,8 @@ func (c *Comm) opFault(wr int) error {
 	}
 	err := inj.BeforeOp(wr)
 	if err != nil && fault.IsCrashed(err) {
-		c.state.world.MarkFailed(wr)
 		c.state.setBroken()
+		c.state.world.MarkFailed(wr)
 	}
 	return err
 }
@@ -466,9 +556,71 @@ func (c *Comm) awaitDep(plan *collPlan, o *sched.Op, d sched.OpID, wr int) error
 	}
 }
 
-// knemPull performs one kernel-assisted copy with retry-with-backoff on
-// injected transient failures.
-func (c *Comm) knemPull(plan *collPlan, wr int, cookie knem.Cookie, off int64, dst []byte) error {
+// knemPull performs one kernel-assisted copy. Transient injected
+// failures retry inside transportPull; when integrity verification is
+// enabled, the delivered chunk is additionally checked against the
+// sender-side CRC32-Castagnoli over (src, dst, chunk, payload) and
+// re-pulled with backoff on mismatch — a budget deliberately separate
+// from the transient retries (a transient failure means no data arrived;
+// a mismatch means wrong data arrived). A peer whose chunks keep failing
+// the whole re-pull budget is marked corrupting and treated like a
+// failed rank: the survivors agree and rebuild around it.
+func (c *Comm) knemPull(plan *collPlan, wr int, o *sched.Op, dst []byte) error {
+	w := c.state.world
+	cookie, off := plan.cookies[o.Src], o.SrcOff
+	if w.integ == nil {
+		return c.transportPull(plan, wr, cookie, off, dst)
+	}
+	srcW := plan.s.Buffers[o.Src].Rank
+	if srcW >= 0 && srcW < len(c.state.group) {
+		srcW = c.state.group[srcW]
+	}
+	sum := func(b []byte) uint32 { return integrity.Sum(srcW, wr, o.Chunk, b) }
+	// Sending-side checksum, computed over the clean source region before
+	// the (possibly faulty) data path runs.
+	want, serr := w.dev.SumRegion(cookie, off, int64(len(dst)), sum)
+	if serr != nil {
+		// Region already gone (abandonment race): let the plain pull
+		// surface the proper transport error.
+		return c.transportPull(plan, wr, cookie, off, dst)
+	}
+	backoff := w.integ.Backoff()
+	attempts := 0
+	var got uint32
+	for attempt := 0; attempt <= w.integ.Repulls(); attempt++ {
+		if attempt > 0 {
+			w.integ.Repull()
+			w.tracer.IntegrityRepull()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err := c.transportPull(plan, wr, cookie, off, dst); err != nil {
+			return err
+		}
+		attempts++
+		if got = sum(dst); got == want {
+			if attempt > 0 {
+				w.integ.Recovered()
+			}
+			return nil
+		}
+		w.integ.Mismatch()
+		w.tracer.Integrity(plan.op, plan.id, wr, srcW, o.Chunk, attempt, want, got)
+	}
+	// Persistent corruption: mark the peer, fail it world-wide and break
+	// the communicator — the resilient collectives then recover exactly
+	// as they do from a crash. Break before publishing the failure so the
+	// failure-channel wakeup already observes the broken flag.
+	w.integ.MarkCorrupting(srcW)
+	w.tracer.IntegrityFailure()
+	c.state.setBroken()
+	w.MarkFailed(srcW)
+	return &CorruptionError{Src: srcW, Dst: wr, Chunk: o.Chunk, Attempts: attempts}
+}
+
+// transportPull is the raw kernel-assisted copy with retry-with-backoff
+// on injected transient failures.
+func (c *Comm) transportPull(plan *collPlan, wr int, cookie knem.Cookie, off int64, dst []byte) error {
 	mover := c.state.world.mover
 	backoff := copyRetryBase
 	var err error
@@ -485,8 +637,8 @@ func (c *Comm) knemPull(plan *collPlan, wr int, cookie knem.Cookie, off int64, d
 		backoff *= 2
 	}
 	if fault.IsCrashed(err) {
-		c.state.world.MarkFailed(wr)
 		c.state.setBroken()
+		c.state.world.MarkFailed(wr)
 		return err
 	}
 	return fmt.Errorf("mpi: rank %d knem copy failed: %w", wr, err)
@@ -496,7 +648,20 @@ func (c *Comm) knemPull(plan *collPlan, wr int, cookie knem.Cookie, off int64, d
 // buffers) before every member has stopped copying. It is failure-aware —
 // a member that crashed mid-collective never arrives, so the survivors get
 // a RankFailureError here even when their own copies all succeeded.
-func (c *Comm) finish(plan *collPlan) error {
-	_, _, err := c.coordinate(nil, nil)
+//
+// Each member deposits its local outcome (nil, or the execution/digest
+// error it hit), and the rendezvous resolves them to ONE verdict shared
+// by all members: if any member failed, every member returns that error.
+// A collective either completed everywhere or failed everywhere — the
+// uniformity the resilient retry loops rely on.
+func (c *Comm) finish(plan *collPlan, local error) error {
+	_, _, err := c.coordinate(local, func(vals []any) (any, error) {
+		for _, v := range vals {
+			if e, ok := v.(error); ok && e != nil {
+				return nil, e
+			}
+		}
+		return nil, nil
+	})
 	return err
 }

@@ -23,6 +23,13 @@ type commState struct {
 	seqs  []int
 	slots map[int]*collSlot
 
+	// Agreement rounds use their own sequence space and slots: Agree must
+	// run on a broken communicator, below the fail-fast collective path.
+	// Slots are retained (never deleted) so late arrivals adopt the closed
+	// verdict; the count is bounded by the shrink-retry loop.
+	agreeSeqs  []int
+	agreeSlots map[int]*agreeSlot
+
 	// broken is set when a member failure surfaces in an operation on this
 	// communicator; every later collective fails fast with a
 	// RankFailureError (ULFM semantics) until the survivors Shrink.
@@ -48,12 +55,14 @@ type commState struct {
 
 func newCommState(w *World, group []int) *commState {
 	return &commState{
-		world: w,
-		id:    w.ncomm.Add(1),
-		group: group,
-		seqs:  make([]int, len(group)),
-		slots: make(map[int]*collSlot),
-		trees: make(map[int]*core.Tree),
+		world:      w,
+		id:         w.ncomm.Add(1),
+		group:      group,
+		seqs:       make([]int, len(group)),
+		slots:      make(map[int]*collSlot),
+		agreeSeqs:  make([]int, len(group)),
+		agreeSlots: make(map[int]*agreeSlot),
+		trees:      make(map[int]*core.Tree),
 	}
 }
 
@@ -236,6 +245,15 @@ func (c *Comm) awaitSlot(slot *collSlot, seq int, wr int) error {
 				break
 			}
 		}
+		// A broken communicator with members still missing can never
+		// complete either: a member that detected corruption (or any
+		// failure) left the collective without arriving, and every member
+		// yet to arrive will fail fast at the coordinate entry check. The
+		// entry check and arrival share one critical section, so observing
+		// broken with arrivals outstanding is permanent.
+		if !deadWaiting && st.broken && slot.arrived < len(st.group) {
+			deadWaiting = true
+		}
 		if deadWaiting {
 			st.broken = true
 			st.mu.Unlock()
@@ -261,10 +279,15 @@ func (c *Comm) Barrier() error {
 
 // Shrink builds a new communicator over the surviving members of this
 // (typically broken) one — the MPIX_Comm_shrink of the runtime. Every
-// survivor must call Shrink; survivors observing the same failure set
-// rendezvous on the same shared state without communicating through the
-// broken communicator. The group keeps the parent's rank order, and the
-// child's distance matrix is the parent's restricted to the survivors
+// survivor must call Shrink. The survivor set is decided by Agree, never
+// by this member's private failure snapshot: two survivors racing the
+// failure detector can hold different views of who is dead, and shrinking
+// from those views would register two different successor communicators —
+// a split-brain. After agreement, every survivor derives the identical
+// membership and rendezvouses on the same shared state.
+//
+// The group keeps the parent's rank order, and the child's distance
+// matrix is the parent's restricted to the survivors
 // (core.RestrictMatrix), so the first collective on the shrunken
 // communicator rebuilds its distance-aware tree/ring over exactly the
 // surviving processes.
@@ -276,13 +299,16 @@ func (c *Comm) Shrink() (*Comm, error) {
 	if failed[me] {
 		return nil, fmt.Errorf("mpi: rank %d is itself failed; cannot shrink", me)
 	}
-	var aliveIdx, aliveWorld []int
-	for i, wr := range st.group {
-		if !failed[wr] {
-			aliveIdx = append(aliveIdx, i)
-			aliveWorld = append(aliveWorld, wr)
-		}
+	agreed, err := c.agreedSet()
+	if err != nil {
+		return nil, err
 	}
+	if agreed[me] {
+		// The agreement can out-know the local snapshot: e.g. a peer
+		// declared this rank corrupting while it was entering Shrink.
+		return nil, fmt.Errorf("mpi: rank %d is itself failed; cannot shrink", me)
+	}
+	aliveIdx, aliveWorld := aliveMembers(st.group, agreed)
 	if len(aliveWorld) == len(st.group) {
 		return nil, fmt.Errorf("mpi: no failed members in communicator %d; nothing to shrink", st.id)
 	}

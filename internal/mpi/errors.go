@@ -26,6 +26,34 @@ func IsRankFailure(err error) bool {
 	return errors.As(err, &rf)
 }
 
+// CorruptionError reports that data integrity could not be established
+// for a collective: either a per-hop chunk checksum kept failing after
+// the full re-pull budget (the peer is then marked corrupting and
+// treated like a failed rank — survivors agree and shrink around it), or
+// an end-to-end digest check found the delivered payload differs from
+// what the origin sent.
+type CorruptionError struct {
+	Src      int  // world rank the corrupted data came from (-1 unknown)
+	Dst      int  // world rank that detected the corruption
+	Chunk    int  // chunk / ring step index (-1 for end-to-end digests)
+	Attempts int  // pulls performed before giving up (0 for digests)
+	EndToEnd bool // true when an e2e digest, not a per-hop checksum, failed
+}
+
+func (e *CorruptionError) Error() string {
+	if e.EndToEnd {
+		return fmt.Sprintf("mpi: end-to-end digest mismatch at rank %d (origin rank %d): delivered payload corrupted", e.Dst, e.Src)
+	}
+	return fmt.Sprintf("mpi: rank %d delivers corrupted data to rank %d (chunk %d failed checksum after %d pulls); peer marked failed",
+		e.Src, e.Dst, e.Chunk, e.Attempts)
+}
+
+// IsCorruption reports whether err is (or wraps) a data-corruption error.
+func IsCorruption(err error) bool {
+	var ce *CorruptionError
+	return errors.As(err, &ce)
+}
+
 // HangError is the watchdog's verdict: a blocking operation exceeded the
 // world's op deadline with no failure detected. Instead of deadlocking the
 // job it carries a diagnostic dump of every blocked rank (and, for

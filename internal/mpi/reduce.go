@@ -237,7 +237,7 @@ func (c *Comm) executeReduce(plan *collPlan, op ReduceOp) error {
 				scratch = make([]byte, o.Bytes)
 			}
 			tmp := scratch[:o.Bytes]
-			if err := c.knemPull(plan, wr, plan.cookies[o.Src], o.SrcOff, tmp); err != nil {
+			if err := c.knemPull(plan, wr, o, tmp); err != nil {
 				return err
 			}
 			op.Combine(dst, tmp)
@@ -246,7 +246,7 @@ func (c *Comm) executeReduce(plan *collPlan, op ReduceOp) error {
 			op.Combine(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
 			return nil
 		case o.Mode == sched.ModeKnem:
-			return c.knemPull(plan, wr, plan.cookies[o.Src], o.SrcOff, dst)
+			return c.knemPull(plan, wr, o, dst)
 		default:
 			copy(dst, plan.bufs[o.Src][o.SrcOff:o.SrcOff+o.Bytes])
 			return nil

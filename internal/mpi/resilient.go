@@ -24,10 +24,16 @@ func maxRecoveries(c *Comm) int { return c.Size() }
 // recoverable reports whether err means "members died; shrink and retry".
 // A watchdog hang also counts when failures have in fact been detected —
 // the hang may simply have fired on a rank whose failure notification
-// raced the deadline.
+// raced the deadline. Corruption errors are recoverable too: a persistent
+// per-hop checksum failure marks the corrupting peer failed (so the
+// shrink path applies), and an end-to-end digest mismatch with no
+// membership change is retried in place.
 func recoverable(c *Comm, err error) bool {
 	var rf *RankFailureError
 	if errors.As(err, &rf) {
+		return true
+	}
+	if IsCorruption(err) {
 		return true
 	}
 	if IsHang(err) {
@@ -35,6 +41,20 @@ func recoverable(c *Comm, err error) bool {
 		return len(deadIn(failed, c.state.group)) > 0
 	}
 	return false
+}
+
+// retryInPlace reports whether the failed collective should be re-run on
+// the SAME communicator: the error was uniform across members (the finish
+// rendezvous guarantees that) and no member of the group is dead, so
+// there is no one to shrink away — typically an end-to-end digest
+// mismatch, where a retry re-rolls the data path. With any dead member,
+// recovery must shrink instead.
+func retryInPlace(c *Comm, err error) bool {
+	if !IsCorruption(err) {
+		return false
+	}
+	failed, _ := c.state.world.failureWatch()
+	return len(deadIn(failed, c.state.group)) == 0
 }
 
 // BcastResilient broadcasts like Bcast but survives member failures: when
@@ -69,6 +89,9 @@ func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, erro
 		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c) {
 			return cur, err
 		}
+		if retryInPlace(cur, err) {
+			continue
+		}
 		next, serr := cur.Shrink()
 		if serr != nil {
 			return cur, serr
@@ -95,6 +118,9 @@ func (c *Comm) AllgatherResilient(send, recv []byte, comp Component) (*Comm, []b
 		}
 		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c) {
 			return cur, nil, err
+		}
+		if retryInPlace(cur, err) {
+			continue
 		}
 		next, serr := cur.Shrink()
 		if serr != nil {

@@ -32,6 +32,7 @@ import (
 	"distcoll/internal/binding"
 	"distcoll/internal/fault"
 	"distcoll/internal/hwtopo"
+	"distcoll/internal/integrity"
 	"distcoll/internal/knem"
 	"distcoll/internal/plancache"
 	"distcoll/internal/trace"
@@ -52,9 +53,10 @@ const DefaultMailboxCapacity = 64
 type World struct {
 	bind   *binding.Binding
 	dev    *knem.Device
-	mover  knem.Mover      // data path: the device, possibly fault-wrapped
-	inj    *fault.Injector // nil when no fault injection is configured
-	tracer *trace.Tracer   // nil when tracing is disabled
+	mover  knem.Mover         // data path: the device, possibly fault-wrapped
+	inj    *fault.Injector    // nil when no fault injection is configured
+	tracer *trace.Tracer      // nil when tracing is disabled
+	integ  *integrity.Checker // nil when integrity verification is disabled
 	n      int
 
 	// nplan issues world-unique plan ids so trace events from concurrent
@@ -133,6 +135,17 @@ func WithOpDeadline(d time.Duration) Option {
 // mailbox transport are routed through a deterministic fault.Injector.
 func WithFault(plan fault.Plan) Option {
 	return func(w *World) { w.inj = fault.NewInjector(plan) }
+}
+
+// WithIntegrity arms end-to-end data-integrity verification: every KNEM
+// pull is covered by a per-chunk CRC32-Castagnoli computed at the sending
+// side and verified by the receiver (mismatches re-pull with backoff, on
+// a budget separate from the transient-error retries; a peer whose chunks
+// keep failing is marked corrupting and treated like a failed rank), and
+// Bcast/Allgather additionally verify origin digests end to end. The
+// zero Config selects the default re-pull budget and backoff.
+func WithIntegrity(cfg integrity.Config) Option {
+	return func(w *World) { w.integ = integrity.NewChecker(cfg) }
 }
 
 // WithTracer installs a structured-event tracer: collective plans, edge
@@ -219,6 +232,9 @@ func (w *World) Injector() *fault.Injector { return w.inj }
 
 // Tracer returns the installed tracer, or nil when tracing is disabled.
 func (w *World) Tracer() *trace.Tracer { return w.tracer }
+
+// Integrity returns the integrity checker, or nil when disabled.
+func (w *World) Integrity() *integrity.Checker { return w.integ }
 
 // Selector returns the adaptive component's decision engine.
 func (w *World) Selector() *tune.Selector { return w.selector }

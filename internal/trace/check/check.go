@@ -351,6 +351,24 @@ func VerifyMetrics(mx *trace.Metrics, events []trace.Event) *Report {
 		}
 		r.info("class %d: %d bytes over %d copies", d, bytes[d], copies[d])
 	}
+
+	// The robustness counters must agree with the event stream too: every
+	// checksum mismatch emits one KindIntegrity event, every completed
+	// agreement one KindAgree event.
+	mismatchEvents := int64(len(trace.Filter(events, trace.KindIntegrity)))
+	if got := mx.Counter("integrity.mismatches").Load(); got != mismatchEvents {
+		r.violate("integrity.mismatches = %d, traced integrity events count %d", got, mismatchEvents)
+	}
+	agreeEvents := int64(len(trace.Filter(events, trace.KindAgree)))
+	if got := mx.Counter("agree.calls").Load(); got != agreeEvents {
+		r.violate("agree.calls = %d, traced agreement events count %d", got, agreeEvents)
+	}
+	if mismatchEvents > 0 || agreeEvents > 0 {
+		r.info("robustness: %d checksum mismatches (%d re-pulls, %d abandoned), %d agreements over %d rounds",
+			mismatchEvents, mx.Counter("integrity.repulls").Load(),
+			mx.Counter("integrity.failures").Load(), agreeEvents,
+			mx.Counter("agree.rounds").Load())
+	}
 	return r
 }
 

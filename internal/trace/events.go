@@ -14,6 +14,7 @@ package trace
 // one pointer test per event site when tracing is disabled.
 
 import (
+	"fmt"
 	"time"
 )
 
@@ -45,6 +46,16 @@ const (
 	KindPlanCache Kind = "plan_cache"
 	// KindRetry is one retry of a transiently-failed copy.
 	KindRetry Kind = "retry"
+	// KindIntegrity is one per-hop checksum mismatch on a verified pull:
+	// Rank pulled chunk Chunk from Src and the CRC32-Castagnoli did not
+	// match the sender-side value (Det holds attempt and both sums). The
+	// runtime re-pulls with backoff; persistent mismatch marks the peer
+	// corrupting.
+	KindIntegrity Kind = "integrity"
+	// KindAgree is one completed fault-tolerant agreement on a
+	// communicator's failure set (Comm.Agree): Rank decided, after Chunk
+	// merge rounds, on the membership recorded in Det.
+	KindAgree Kind = "agree"
 	// KindFailure is the failure detector marking a rank dead.
 	KindFailure Kind = "failure"
 	// KindWatchdog is a watchdog deadline firing on a blocked rank.
@@ -253,6 +264,52 @@ func (t *Tracer) Retry(op string, rank, attempt int, err error) {
 		e.Err = err.Error()
 	}
 	t.metrics.Counter("retries").Add(1)
+	t.emit(e)
+}
+
+// Integrity records one per-hop checksum mismatch: rank's pull of chunk
+// from src failed verification on the given attempt (0 = first pull).
+// It feeds the integrity.mismatches counter; re-pulls are counted
+// separately by IntegrityRepull.
+func (t *Tracer) Integrity(op string, plan int64, rank, src, chunk, attempt int, want, got uint32) {
+	if t == nil {
+		return
+	}
+	e := blank(KindIntegrity)
+	e.Op, e.Plan, e.Rank, e.Src, e.Chunk = op, plan, rank, src, chunk
+	e.Det = fmt.Sprintf("attempt=%d want=%08x got=%08x", attempt, want, got)
+	t.metrics.Counter("integrity.mismatches").Add(1)
+	t.emit(e)
+}
+
+// IntegrityRepull counts one checksum-mismatch re-pull (no event: the
+// mismatch that caused it is already in the trace).
+func (t *Tracer) IntegrityRepull() {
+	if t == nil {
+		return
+	}
+	t.metrics.Counter("integrity.repulls").Add(1)
+}
+
+// IntegrityFailure counts a transfer abandoned after the full re-pull
+// budget — the peer is being declared corrupting.
+func (t *Tracer) IntegrityFailure() {
+	if t == nil {
+		return
+	}
+	t.metrics.Counter("integrity.failures").Add(1)
+}
+
+// Agree records one completed fault-tolerant agreement: rank decided on
+// the failure set det after rounds merge rounds.
+func (t *Tracer) Agree(rank, rounds int, det string) {
+	if t == nil {
+		return
+	}
+	e := blank(KindAgree)
+	e.Rank, e.Chunk, e.Det = rank, rounds, det
+	t.metrics.Counter("agree.calls").Add(1)
+	t.metrics.Counter("agree.rounds").Add(int64(rounds))
 	t.emit(e)
 }
 
