@@ -254,9 +254,19 @@ func verifyAll(events []trace.Event, m distance.Matrix) bool {
 		}
 		byPlan[e.Plan] = append(byPlan[e.Plan], e)
 	}
+	failed := failedPlans(events)
 	ok := true
 	for _, plan := range order {
 		evs := byPlan[plan]
+		// An interrupted plan (a member failed or crashed mid-operation)
+		// legitimately executed only part of its schedule; the §IV checks
+		// describe completed first-run schedules, and recovery is verified
+		// by its own accounting (printRobustness below, chaos harness).
+		if reason, bad := failed[plan]; bad {
+			fmt.Printf("plan %d (%s): interrupted (%s); %d copies executed, structure not checked\n",
+				plan, evs[0].Op, reason, len(evs))
+			continue
+		}
 		var r *check.Report
 		switch op := evs[0].Op; op {
 		case "bcast":
@@ -281,23 +291,66 @@ func verifyAll(events []trace.Event, m distance.Matrix) bool {
 	return ok
 }
 
-// printRobustness summarizes the integrity and agreement events in a
-// trace: checksum mismatches caught on the wire (with the re-pull
-// attempt detail) and fault-tolerant agreement decisions.
+// failedPlans maps plan IDs to the first error any member's op_end
+// recorded for them — the mark of an interrupted schedule.
+func failedPlans(events []trace.Event) map[int64]string {
+	out := map[int64]string{}
+	for _, e := range trace.Filter(events, trace.KindOpEnd) {
+		if e.Err != "" {
+			if _, seen := out[e.Plan]; !seen {
+				out[e.Plan] = e.Err
+			}
+		}
+	}
+	return out
+}
+
+// printRobustness summarizes the integrity, agreement, and recovery
+// events in a trace: checksum mismatches caught on the wire (with the
+// re-pull attempt detail), fault-tolerant agreement decisions, and every
+// incremental-recovery decision with its byte accounting — how much a
+// delta repair moved versus the full-restart baseline it avoided.
 func printRobustness(events []trace.Event) {
 	mismatches := trace.Filter(events, trace.KindIntegrity)
 	agrees := trace.Filter(events, trace.KindAgree)
-	if len(mismatches) == 0 && len(agrees) == 0 {
+	recoveries := trace.Filter(events, trace.KindRecovery)
+	if len(mismatches) == 0 && len(agrees) == 0 && len(recoveries) == 0 {
 		return
 	}
-	fmt.Printf("robustness: %d checksum mismatches, %d agreements\n",
-		len(mismatches), len(agrees))
+	fmt.Printf("robustness: %d checksum mismatches, %d agreements, %d recoveries\n",
+		len(mismatches), len(agrees), len(recoveries))
 	for _, e := range mismatches {
 		fmt.Printf("  integrity %s plan %d: rank %d pulling from %d chunk %d (%s)\n",
 			e.Op, e.Plan, e.Rank, e.Src, e.Chunk, e.Det)
 	}
 	for _, e := range agrees {
 		fmt.Printf("  agree: rank %d after %d rounds %s\n", e.Rank, e.Chunk, e.Det)
+	}
+	var repairs, restarts, retries, chunks int
+	var moved, saved int64
+	for _, e := range recoveries {
+		moved += e.Bytes
+		switch e.Mode {
+		case "repair":
+			repairs++
+			chunks += e.Chunk
+			var full, sv int64
+			if _, err := fmt.Sscanf(e.Det, "full=%d saved=%d", &full, &sv); err == nil {
+				saved += sv
+			}
+			fmt.Printf("  recovery %s: delta repair, %d missing chunks, %d bytes moved (%s)\n",
+				e.Op, e.Chunk, e.Bytes, e.Det)
+		case "restart":
+			restarts++
+			fmt.Printf("  recovery %s: full restart, %d bytes (%s)\n", e.Op, e.Bytes, e.Det)
+		case "retry":
+			retries++
+			fmt.Printf("  recovery %s: in-place retry\n", e.Op)
+		}
+	}
+	if repairs+restarts+retries > 0 {
+		fmt.Printf("  recovery summary: %d repairs / %d restarts / %d in-place retries, %d chunks re-pulled, %d bytes moved, %d bytes saved\n",
+			repairs, restarts, retries, chunks, moved, saved)
 	}
 }
 

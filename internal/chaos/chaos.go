@@ -27,11 +27,13 @@ import (
 	"time"
 
 	"distcoll/internal/binding"
+	"distcoll/internal/core"
 	"distcoll/internal/distance"
 	"distcoll/internal/fault"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/integrity"
 	"distcoll/internal/mpi"
+	"distcoll/internal/sched"
 	"distcoll/internal/trace"
 	"distcoll/internal/trace/check"
 )
@@ -47,10 +49,17 @@ type Cell struct {
 	DelayProb     float64
 	Delay         time.Duration
 	Crashes       int
+	// CrashOpFrac > 0 places every crash at that fraction of the victim's
+	// per-rank op count instead of a seed-derived early op — e.g. 0.75
+	// kills a victim after three quarters of its chunks were delivered,
+	// the partial-progress shape delta repair exists for.
+	CrashOpFrac float64
 }
 
 // DefaultGrid is the standard sweep: each fault class alone, then
-// combined.
+// combined. The crash-late cells kill victims after ≥ 75% of their
+// chunks landed, so recovery must pay off incrementally (bytes saved
+// versus a full restart) — checkRecovery enforces that.
 func DefaultGrid() []Cell {
 	return []Cell{
 		{Name: "calm"},
@@ -59,6 +68,8 @@ func DefaultGrid() []Cell {
 		{Name: "delay", DelayProb: 0.2, Delay: 100 * time.Microsecond},
 		{Name: "crash", Crashes: 1},
 		{Name: "crash2", Crashes: 2},
+		{Name: "crash-late", Crashes: 1, CrashOpFrac: 0.75},
+		{Name: "crash-late2", Crashes: 2, CrashOpFrac: 0.8},
 		{Name: "mixed", CopyFailProb: 0.15, MaxTransients: 200, CorruptProb: 0.15,
 			DelayProb: 0.1, Delay: 50 * time.Microsecond, Crashes: 1},
 	}
@@ -88,7 +99,7 @@ func (sc Scenario) String() string {
 
 // Violation is one failed check of a chaos run.
 type Violation struct {
-	Kind   string // "oracle" | "membership" | "invariant" | "metrics" | "hang" | "error" | "config"
+	Kind   string // "oracle" | "membership" | "invariant" | "metrics" | "recovery" | "hang" | "error" | "config"
 	Rank   int    // world rank it was observed on (-1 global)
 	Detail string
 }
@@ -163,11 +174,44 @@ func PlanFor(sc Scenario) fault.Plan {
 			victim := 1 + int(h%uint64(sc.Ranks-1))
 			h = mix64(h)
 			if _, dup := p.CrashAtOp[victim]; !dup {
-				p.CrashAtOp[victim] = int(h % 4)
+				if c.CrashOpFrac > 0 {
+					p.CrashAtOp[victim] = lateCrashOp(sc, c.CrashOpFrac)
+				} else {
+					p.CrashAtOp[victim] = int(h % 4)
+				}
 			}
 		}
 	}
 	return p
+}
+
+// rankOps is the number of ops one non-root rank executes in the
+// scenario's collective — bcast executes one pull per pipeline chunk,
+// allgather and allreduce one op per member, barrier one.
+func rankOps(sc Scenario) int {
+	switch sc.Collective {
+	case "bcast":
+		return len(sched.Chunks(sc.Size, core.BroadcastChunk(sc.Size, 2)))
+	case "allgather", "allreduce":
+		return sc.Ranks
+	default:
+		return 1
+	}
+}
+
+// lateCrashOp maps a crash fraction onto the victim's op index: frac
+// 0.75 of a 16-chunk broadcast crashes before the 13th pull, after 12
+// chunks (75%) already landed.
+func lateCrashOp(sc Scenario, frac float64) int {
+	ops := rankOps(sc)
+	op := int(frac * float64(ops))
+	if op >= ops {
+		op = ops - 1
+	}
+	if op < 0 {
+		op = 0
+	}
+	return op
 }
 
 // buildBinding resolves the scenario's topology name.
@@ -259,7 +303,39 @@ func RunPlan(sc Scenario, plan fault.Plan) *Result {
 
 	checkOutcomes(res, sc, outs, failedSet)
 	checkTraces(res, sc, topo, b, ring, tr)
+	checkRecovery(res, sc, tr)
 	return res
+}
+
+// checkRecovery enforces the incremental-recovery payoff: a late crash
+// (≥ 75% of the victim's chunks delivered) in a ledger-backed collective
+// that the survivors completed must recover for strictly fewer payload
+// bytes than a full restart — recovery.bytes_saved must be positive,
+// whether the saving came from a delta repair or from a repair that
+// found nothing missing at all. Early or mid-run crashes are exempt:
+// there a full restart can legitimately be the cheaper plan.
+func checkRecovery(res *Result, sc Scenario, tr *trace.Tracer) {
+	if sc.Cell.CrashOpFrac < 0.75 || res.Fault.Crashes == 0 || res.Completed == 0 {
+		return
+	}
+	switch sc.Collective {
+	case "bcast":
+		// An unpipelined broadcast has a single chunk; "late" does not
+		// exist and a restart moves the same bytes a repair would.
+		if lateCrashOp(sc, sc.Cell.CrashOpFrac) < 1 {
+			return
+		}
+	case "allgather":
+	default:
+		return // allreduce/barrier recover by restart; no ledger to save from
+	}
+	mx := tr.Metrics()
+	if saved := mx.Counter("recovery.bytes_saved").Load(); saved <= 0 {
+		res.violate("recovery", -1,
+			"late crash (frac %.2f) recovered without saving bytes: saved=%d repairs=%d restarts=%d",
+			sc.Cell.CrashOpFrac, saved,
+			mx.Counter("recovery.repairs").Load(), mx.Counter("recovery.restarts").Load())
+	}
 }
 
 // runCollective executes one rank's share of the scenario's collective,

@@ -453,3 +453,53 @@ func TestClonePlanIsolation(t *testing.T) {
 		t.Fatalf("crash-only plan has %d reductions, want 2", len(reds))
 	}
 }
+
+// TestLateCrashRecoversIncrementally: the crash-late cell kills a victim
+// after ≥ 75% of its chunks were delivered; every completing run must
+// save payload bytes against a full restart — the checkRecovery property
+// plus the standard oracle and membership checks, across seeds, ranks,
+// and both ledger-backed collectives.
+func TestLateCrashRecoversIncrementally(t *testing.T) {
+	crashes := int64(0)
+	for _, coll := range []string{"bcast", "allgather"} {
+		for seed := int64(1); seed <= 4; seed++ {
+			res := RunSeed(Scenario{
+				Seed: seed, Ranks: 16, Topology: "zoot", Collective: coll, Size: 256 << 10,
+				Cell:      Cell{Name: "crash-late", Crashes: 1, CrashOpFrac: 0.75},
+				Integrity: true,
+			})
+			// Byte saving is asserted per-run by checkRecovery inside
+			// RunPlan; mustPass surfaces its violations.
+			mustPass(t, res)
+			if res.Completed == 0 {
+				t.Errorf("%s seed %d: no rank completed", coll, seed)
+			}
+			crashes += res.Fault.Crashes
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no late crash ever fired; the cell proved nothing")
+	}
+}
+
+// TestLateCrashOpMapsFractions pins the fraction → op-index mapping the
+// crash-late cells rely on.
+func TestLateCrashOpMapsFractions(t *testing.T) {
+	// 256 KiB broadcast → 16 chunks of 16 KiB.
+	bc := Scenario{Collective: "bcast", Size: 256 << 10, Ranks: 16}
+	if got := lateCrashOp(bc, 0.75); got != 12 {
+		t.Errorf("bcast 256KiB frac 0.75: op %d, want 12", got)
+	}
+	if got := lateCrashOp(bc, 1.0); got != 15 {
+		t.Errorf("bcast 256KiB frac 1.0: op %d, want clamp 15", got)
+	}
+	// Small broadcast: unpipelined, single chunk, op 0 regardless.
+	small := Scenario{Collective: "bcast", Size: 4096, Ranks: 16}
+	if got := lateCrashOp(small, 0.75); got != 0 {
+		t.Errorf("bcast 4KiB frac 0.75: op %d, want 0", got)
+	}
+	ag := Scenario{Collective: "allgather", Size: 8192, Ranks: 8}
+	if got := lateCrashOp(ag, 0.75); got != 6 {
+		t.Errorf("allgather np=8 frac 0.75: op %d, want 6", got)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"distcoll/internal/distance"
+	"distcoll/internal/recovery"
+	"distcoll/internal/sched"
+)
+
+// repairMatrix4 is a 4-rank matrix with ranks {0,1} close, {2,3} close,
+// and the pairs far apart: the repair greedy must prefer intra-pair pulls.
+func repairMatrix4() distance.Matrix {
+	return distance.Matrix{
+		{0, 2, 6, 6},
+		{2, 0, 6, 6},
+		{6, 6, 0, 2},
+		{6, 6, 2, 0},
+	}
+}
+
+func holdsOf(size int64, spans ...[]recovery.Interval) []*recovery.IntervalSet {
+	out := make([]*recovery.IntervalSet, len(spans))
+	for i, sp := range spans {
+		out[i] = recovery.NewSet(sp)
+	}
+	return out
+}
+
+func full(size int64) []recovery.Interval { return []recovery.Interval{{Off: 0, Len: size}} }
+
+func TestCompileBcastRepairOnlyMissingChunks(t *testing.T) {
+	const size = 64 << 10
+	const chunk = 16 << 10
+	m := repairMatrix4()
+	// Rank 0 (root) and rank 2 hold everything; rank 1 misses the last
+	// chunk, rank 3 misses the last two.
+	holds := holdsOf(size,
+		full(size),
+		[]recovery.Interval{{Off: 0, Len: 48 << 10}},
+		full(size),
+		[]recovery.Interval{{Off: 0, Len: 32 << 10}},
+	)
+	s, err := CompileBcastRepair(m, size, chunk, holds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing pairs: rank 1 chunk 3, rank 3 chunks 2 and 3 → 3 ops.
+	if len(s.Ops) != 3 {
+		t.Fatalf("repair has %d ops, want 3: %+v", len(s.Ops), s.Ops)
+	}
+	if got, want := s.TotalCopiedBytes(), int64(3*chunk); got != want {
+		t.Fatalf("repair moves %d bytes, want %d", got, want)
+	}
+	for i := range s.Ops {
+		o := &s.Ops[i]
+		src := s.Buffers[o.Src].Rank
+		switch {
+		case o.Rank == 1:
+			// Rank 1's only in-pair holder is rank 0 (distance 2).
+			if src != 0 {
+				t.Errorf("rank 1 pulls chunk %d from %d, want 0 (min distance)", o.Chunk, src)
+			}
+		case o.Rank == 3:
+			if src != 2 {
+				t.Errorf("rank 3 pulls chunk %d from %d, want 2 (min distance)", o.Chunk, src)
+			}
+		default:
+			t.Errorf("unexpected repair op for rank %d", o.Rank)
+		}
+		if o.SrcOff != o.DstOff {
+			t.Errorf("op %d: src offset %d != dst offset %d", o.ID, o.SrcOff, o.DstOff)
+		}
+	}
+}
+
+// TestCompileBcastRepairPipelinesNewHolders checks the fan-out property:
+// once a needer acquires a chunk it serves it onward, with a dependency on
+// its own acquiring op.
+func TestCompileBcastRepairPipelinesNewHolders(t *testing.T) {
+	const size = 16 << 10
+	m := repairMatrix4()
+	// Only rank 0 holds the payload; 1, 2, 3 miss it entirely.
+	holds := holdsOf(size, full(size), nil, nil, nil)
+	s, err := CompileBcastRepair(m, size, size, holds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ops) != 3 {
+		t.Fatalf("repair has %d ops, want 3", len(s.Ops))
+	}
+	// Greedy order: 1 pulls from 0 (d=2); 3 pulls from 2 only after 2
+	// acquired. Every pull from a buffer acquired in-plan must depend on
+	// the acquiring op.
+	acquiredBy := map[int]sched.OpID{}
+	for i := range s.Ops {
+		o := &s.Ops[i]
+		src := s.Buffers[o.Src].Rank
+		if id, ok := acquiredBy[src]; ok {
+			found := false
+			for _, d := range o.Deps {
+				if d == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("rank %d pulls from in-plan holder %d without depending on its acquisition", o.Rank, src)
+			}
+		}
+		acquiredBy[o.Rank] = o.ID
+	}
+}
+
+func TestCompileBcastRepairNoHolder(t *testing.T) {
+	m := repairMatrix4()
+	holds := holdsOf(1024, nil, nil, nil, nil)
+	if _, err := CompileBcastRepair(m, 1024, 0, holds); err == nil {
+		t.Fatal("expected error when no rank holds a chunk")
+	}
+}
+
+func TestCompileBcastRepairEmptySchedule(t *testing.T) {
+	const size = 4096
+	m := repairMatrix4()
+	holds := holdsOf(size, full(size), full(size), full(size), full(size))
+	s, err := CompileBcastRepair(m, size, 0, holds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ops) != 0 {
+		t.Fatalf("nothing missing but repair has %d ops", len(s.Ops))
+	}
+}
+
+// TestCompileAllgatherRepairServesFromSurvivingHolder is the
+// segment-ownership case: origin 1's block is missing from origin 1's own
+// receive buffer (it had only reached rank 3 via a forwarder that later
+// died), so repair must serve rank 0/2's copies from rank 3 — possession,
+// not provenance — while origin 1 restores its own slot locally.
+func TestCompileAllgatherRepairServesFromSurvivingHolder(t *testing.T) {
+	const block = 4096
+	m := repairMatrix4()
+	holds := [][]bool{
+		{true, false, true, true},
+		{true, false, true, true},
+		{true, false, true, true},
+		{true, true, true, true},
+	}
+	s, err := CompileAllgatherRepair(m, block, holds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localRestores, pulls int
+	for i := range s.Ops {
+		o := &s.Ops[i]
+		if o.Mode == sched.ModeLocal {
+			localRestores++
+			if o.Rank != 1 || s.Buffers[o.Src].Name != "send" {
+				t.Errorf("unexpected local restore: rank %d from %q", o.Rank, s.Buffers[o.Src].Name)
+			}
+			continue
+		}
+		pulls++
+		src := s.Buffers[o.Src].Rank
+		if o.Chunk == 1 {
+			// Origin 1's block: rank 3 is the only pre-plan holder; the
+			// min-distance source for every needer must be 3 or a rank that
+			// acquired the block within the plan — never thin air.
+			if !holds[src][1] && src != 1 {
+				// src must itself appear as an earlier acquirer.
+				found := false
+				for j := 0; j < i; j++ {
+					if s.Ops[j].Rank == src && s.Ops[j].Chunk == 1 {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("rank %d pulls origin-1 block from %d which never held it", o.Rank, src)
+				}
+			}
+		}
+	}
+	if localRestores != 1 {
+		t.Fatalf("local restores = %d, want 1 (origin 1 re-copies its send buffer)", localRestores)
+	}
+	// Missing pairs: (0,1), (1,1), (2,1) → one local + two pulls... rank 3
+	// already holds everything else, ranks 0/2 hold all but origin 1.
+	if pulls != 2 {
+		t.Fatalf("repair pulls = %d, want 2", pulls)
+	}
+	if got, want := s.TotalCopiedBytes(), int64(3*block); got != want {
+		t.Fatalf("repair moves %d bytes, want %d", got, want)
+	}
+}
+
+func TestCompileAllgatherRepairEverythingMissing(t *testing.T) {
+	const block = 1 << 10
+	m := repairMatrix4()
+	holds := [][]bool{
+		{false, false, false, false},
+		{false, false, false, false},
+		{false, false, false, false},
+		{false, false, false, false},
+	}
+	s, err := CompileAllgatherRepair(m, block, holds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every origin: one local restore + 3 pulls → 4 ranks × 4 ops.
+	if len(s.Ops) != 16 {
+		t.Fatalf("repair has %d ops, want 16", len(s.Ops))
+	}
+	if got, want := s.TotalCopiedBytes(), int64(16*block); got != want {
+		t.Fatalf("repair moves %d bytes, want %d", got, want)
+	}
+}
+
+func TestCompileAllgatherRepairShapeErrors(t *testing.T) {
+	m := repairMatrix4()
+	if _, err := CompileAllgatherRepair(m, 1024, [][]bool{{true}}); err == nil {
+		t.Fatal("expected rank-count mismatch error")
+	}
+	bad := [][]bool{{true}, {true}, {true}, {true}}
+	if _, err := CompileAllgatherRepair(m, 1024, bad); err == nil {
+		t.Fatal("expected origin-count mismatch error")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"distcoll/internal/fault"
 	"distcoll/internal/integrity"
 	"distcoll/internal/knem"
+	"distcoll/internal/recovery"
 	"distcoll/internal/sched"
 	"distcoll/internal/tune"
 )
@@ -84,6 +85,14 @@ type collPlan struct {
 	digest    uint32
 	hasDigest bool
 	digests   []uint32
+
+	// onDone[commRank], when non-nil, observes every op that member
+	// performed successfully — after the (possibly integrity-verified)
+	// copy, before the completion signal. It feeds the progress ledgers
+	// behind incremental recovery: what is marked here is exactly what a
+	// later delta repair may serve to other survivors. Written once by the
+	// plan builder, read-only after.
+	onDone []func(o *sched.Op)
 }
 
 // isDone reports op completion for the pending-op diagnostic.
@@ -150,17 +159,33 @@ func (st *commState) newPlan(op string, s *sched.Schedule, caller func(rank int,
 	return plan, nil
 }
 
-// bcastArgs is each member's contribution to a broadcast.
+// bcastArgs is each member's contribution to a broadcast. led is the
+// member's progress ledger (nil outside the resilient wrappers): the plan
+// builder wires it into the plan's completion hooks so every landed chunk
+// is recorded for a possible later delta repair.
 type bcastArgs struct {
 	buf  []byte
 	root int
 	comp Component
+	led  *recovery.ChunkLedger
 }
 
 // Bcast broadcasts the root's buffer to every member. All members must
 // pass equal-length buffers, the same root and the same component.
 func (c *Comm) Bcast(buf []byte, root int, comp Component) error {
-	_, result, err := c.coordinate(bcastArgs{buf: buf, root: root, comp: comp},
+	return c.bcastLedger(buf, root, comp, nil)
+}
+
+// bcastLedger is Bcast with an optional progress ledger (the resilient
+// wrapper's). Per-op chunk marks are only attached for the distance-aware
+// component, whose schedule copies straight between the caller "data"
+// buffers at true payload offsets; the baseline components stage through
+// bounce buffers, so for them (and for any component when integrity is
+// on) the whole buffer is marked held only after the end-to-end digest
+// verifies. A failed digest clears the ledger instead — nothing in the
+// buffer can be trusted.
+func (c *Comm) bcastLedger(buf []byte, root int, comp Component, led *recovery.ChunkLedger) error {
+	_, result, err := c.coordinate(bcastArgs{buf: buf, root: root, comp: comp, led: led},
 		func(vals []any) (any, error) {
 			args := make([]bcastArgs, len(vals))
 			for i, v := range vals {
@@ -195,6 +220,9 @@ func (c *Comm) Bcast(buf []byte, root int, comp Component) error {
 				plan.digest = integrity.Digest(args[args[0].root].buf)
 				plan.hasDigest = true
 			}
+			if args[0].comp == KNEMColl {
+				attachBcastLedgers(plan, args)
+			}
 			return plan, nil
 		})
 	if err != nil {
@@ -202,8 +230,48 @@ func (c *Comm) Bcast(buf []byte, root int, comp Component) error {
 	}
 	plan := result.(*collPlan)
 	return c.runPlanVerified(plan, func() error {
-		return c.verifyBcastDigest(plan, buf, root)
+		return c.ledgerBcastVerify(plan, buf, root, led)
 	})
+}
+
+// ledgerBcastVerify is the post-execution digest check plus its ledger
+// consequences: a verified buffer is fully held (whatever component or
+// path delivered it), a failed one is fully untrusted.
+func (c *Comm) ledgerBcastVerify(plan *collPlan, buf []byte, root int, led *recovery.ChunkLedger) error {
+	err := c.verifyBcastDigest(plan, buf, root)
+	if led == nil {
+		return err
+	}
+	if err != nil {
+		led.Reset()
+	} else if plan.hasDigest {
+		led.MarkAll()
+	}
+	return err
+}
+
+// attachBcastLedgers wires each member's progress ledger into the plan's
+// completion hooks: every pull into the "data" buffer marks its payload
+// span held. Offsets in the distance-aware broadcast schedule are true
+// payload offsets, so the mark is exact; with integrity on, the hook runs
+// only after the per-hop checksum verified, so only verified chunks count
+// as held.
+func attachBcastLedgers(plan *collPlan, args []bcastArgs) {
+	s := plan.s
+	for i := range args {
+		led := args[i].led
+		if led == nil {
+			continue
+		}
+		if plan.onDone == nil {
+			plan.onDone = make([]func(*sched.Op), len(args))
+		}
+		plan.onDone[i] = func(o *sched.Op) {
+			if s.Buffers[o.Dst].Name == "data" {
+				led.MarkHeld(o.DstOff, o.Bytes)
+			}
+		}
+	}
 }
 
 // verifyBcastDigest is the end-to-end integrity check of a broadcast: the
@@ -225,16 +293,27 @@ func (c *Comm) verifyBcastDigest(plan *collPlan, buf []byte, root int) error {
 	return &CorruptionError{Src: origin, Dst: me, Chunk: -1, EndToEnd: true}
 }
 
-// allgatherArgs is each member's contribution to an allgather.
+// allgatherArgs is each member's contribution to an allgather. led is the
+// member's segment ledger (nil outside the resilient wrappers).
 type allgatherArgs struct {
 	send, recv []byte
 	comp       Component
+	led        *recovery.SegLedger
 }
 
 // Allgather gathers every member's send buffer into every member's recv
 // buffer in communicator-rank order. recv must be Size()·len(send) bytes.
 func (c *Comm) Allgather(send, recv []byte, comp Component) error {
-	_, result, err := c.coordinate(allgatherArgs{send: send, recv: recv, comp: comp},
+	return c.allgatherLedger(send, recv, comp, nil)
+}
+
+// allgatherLedger is Allgather with an optional segment ledger, under the
+// same rules as bcastLedger: exact per-segment marks for the
+// distance-aware component (whose ring schedule lands whole blocks at
+// their final recv offsets), whole-result marks after a verified
+// end-to-end digest pass, a full clear after a failed one.
+func (c *Comm) allgatherLedger(send, recv []byte, comp Component, led *recovery.SegLedger) error {
+	_, result, err := c.coordinate(allgatherArgs{send: send, recv: recv, comp: comp, led: led},
 		func(vals []any) (any, error) {
 			args := make([]allgatherArgs, len(vals))
 			for i, v := range vals {
@@ -279,6 +358,9 @@ func (c *Comm) Allgather(send, recv []byte, comp Component) error {
 					plan.digests[i] = integrity.Digest(args[i].send)
 				}
 			}
+			if args[0].comp == KNEMColl {
+				attachAllgatherLedgers(plan, args, c.state.group, block)
+			}
 			return plan, nil
 		})
 	if err != nil {
@@ -286,8 +368,50 @@ func (c *Comm) Allgather(send, recv []byte, comp Component) error {
 	}
 	plan := result.(*collPlan)
 	return c.runPlanVerified(plan, func() error {
-		return c.verifyAllgatherDigests(plan, recv, len(send))
+		return c.ledgerAllgatherVerify(plan, recv, len(send), led)
 	})
+}
+
+// ledgerAllgatherVerify is the allgather digest check plus its ledger
+// consequences (see ledgerBcastVerify).
+func (c *Comm) ledgerAllgatherVerify(plan *collPlan, recv []byte, block int, led *recovery.SegLedger) error {
+	err := c.verifyAllgatherDigests(plan, recv, block)
+	if led == nil {
+		return err
+	}
+	if err != nil {
+		led.Reset()
+	} else if plan.digests != nil {
+		led.MarkHeldAll(c.state.group)
+	}
+	return err
+}
+
+// attachAllgatherLedgers wires each member's segment ledger into the
+// plan's completion hooks: a whole block landing at a block-aligned recv
+// offset marks that origin's segment held. Origins are recorded as WORLD
+// ranks (group translates the layout index), so the marks survive
+// communicator shrinks.
+func attachAllgatherLedgers(plan *collPlan, args []allgatherArgs, group []int, block int64) {
+	s := plan.s
+	owners := append([]int(nil), group...)
+	for i := range args {
+		led := args[i].led
+		if led == nil {
+			continue
+		}
+		if plan.onDone == nil {
+			plan.onDone = make([]func(*sched.Op), len(args))
+		}
+		plan.onDone[i] = func(o *sched.Op) {
+			if s.Buffers[o.Dst].Name != "recv" || o.Bytes != block || o.DstOff%block != 0 {
+				return
+			}
+			if idx := int(o.DstOff / block); idx >= 0 && idx < len(owners) {
+				led.MarkHeld(owners[idx])
+			}
+		}
+	}
 }
 
 // verifyAllgatherDigests is the end-to-end integrity check of an
@@ -488,6 +612,11 @@ func (c *Comm) executeOps(plan *collPlan, perform func(o *sched.Op, dst []byte, 
 				}
 				tr.Copy(plan.op, plan.id, c.rank, src, dstRank, int(o.ID), o.Chunk,
 					o.Bytes, dist, o.Mode.String(), time.Since(t0))
+			}
+			if plan.onDone != nil {
+				if f := plan.onDone[c.rank]; f != nil {
+					f(o)
+				}
 			}
 		}
 		close(plan.done[o.ID])

@@ -3,22 +3,45 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"distcoll/internal/fault"
+	"distcoll/internal/recovery"
 )
 
-// This file implements the self-healing entry points: collectives that,
-// on a member failure, shrink the communicator and re-run the operation
-// over the survivors with a freshly rebuilt distance-aware topology.
-// They are the runtime analog of an ULFM error-handler loop:
+// This file implements the self-healing entry points: collectives that
+// recover from member failures through a bounded escalation ladder
+// (DESIGN.md §11):
 //
-//	for { err := coll(comm); if failure(err) { comm = shrink(comm) } }
+//	in-place retry → delta repair → full restart → fail
 //
-// A crashed caller gets its CrashError back unchanged — a dead rank does
-// not recover; recovery is the survivors' job.
+// An end-to-end digest mismatch with no deaths is retried on the SAME
+// communicator, at most MaxInPlaceRetries times with exponential backoff.
+// A member failure shrinks the communicator (Agree + Shrink) and then
+// recovers INCREMENTALLY: the survivors exchange their chunk progress
+// ledgers and compile a delta repair plan over only the missing (rank,
+// chunk) pairs — falling back to a full restart on the shrunken
+// communicator when the ledger is empty or the machine model prices
+// repair above a fresh run (delta.go makes that choice uniformly at the
+// recovery rendezvous). Every rung is bounded: the retry budget is
+// explicit, and each shrink removes at least one rank, so repair/restart
+// rounds are bounded by the communicator size. A crashed caller gets its
+// CrashError back unchanged — a dead rank does not recover; recovery is
+// the survivors' job.
 
-// maxRecoveries bounds the shrink-and-retry loop: each iteration removes
-// at least one rank, so a communicator of size n can need at most n-1.
+// MaxInPlaceRetries bounds in-place retries of a collective that failed a
+// uniform end-to-end digest check with no member dead: each retry re-rolls
+// the data path, but a mismatch that keeps reproducing is not going to fix
+// itself, and an unbounded loop would spin forever on it.
+const MaxInPlaceRetries = 3
+
+// inPlaceRetryBackoff is the initial delay before an in-place retry,
+// doubling per retry.
+const inPlaceRetryBackoff = 50 * time.Microsecond
+
+// maxRecoveries bounds the shrink-driven recovery rounds: each round
+// removes at least one rank, so a communicator of size n can need at most
+// n-1. In-place retries have their own budget (MaxInPlaceRetries) on top.
 func maxRecoveries(c *Comm) int { return c.Size() }
 
 // recoverable reports whether err means "members died; shrink and retry".
@@ -57,20 +80,55 @@ func retryInPlace(c *Comm, err error) bool {
 	return len(deadIn(failed, c.state.group)) == 0
 }
 
+// retryBudget tracks the in-place rung of the escalation ladder. Every
+// member of the communicator reaches identical decisions because the
+// finish rendezvous made the triggering error uniform.
+type retryBudget struct {
+	used    int
+	max     int
+	backoff time.Duration
+}
+
+func newRetryBudget() *retryBudget {
+	return &retryBudget{max: MaxInPlaceRetries, backoff: inPlaceRetryBackoff}
+}
+
+// spend consumes one in-place retry, sleeping the backoff. It returns an
+// error once the budget is exhausted — the ladder's terminal rung for a
+// persistent mismatch that shrinking cannot help.
+func (b *retryBudget) spend(op string, cause error) error {
+	if b.used >= b.max {
+		return fmt.Errorf("mpi: %s in-place retry budget (%d) exhausted: %w", op, b.max, cause)
+	}
+	b.used++
+	time.Sleep(b.backoff)
+	b.backoff *= 2
+	return nil
+}
+
 // BcastResilient broadcasts like Bcast but survives member failures: when
 // the collective fails because ranks died, every survivor shrinks to the
 // same successor communicator (whose distance-aware tree is rebuilt over
 // the survivors by restriction of the parent's distance matrix) and
-// retries. root is given in c's rank space and must survive — a dead root
-// is unrecoverable for a broadcast. Returns the communicator that finally
-// completed the operation: its rank space is the survivors'. A caller
-// whose own rank crashed gets its CrashError back.
+// recovers incrementally — missing chunks are pulled from the
+// minimum-distance survivors that already hold them, per the exchanged
+// progress ledgers, with a full restart as fallback. root is given in c's
+// rank space and must survive — a dead root is unrecoverable for a
+// broadcast. Returns the communicator that finally completed the
+// operation: its rank space is the survivors'. A caller whose own rank
+// crashed gets its CrashError back.
 func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, error) {
 	if root < 0 || root >= c.Size() {
 		return c, fmt.Errorf("mpi: bcast root %d out of range", root)
 	}
 	rootWorld := c.state.group[root]
+	led := recovery.NewChunkLedger(int64(len(buf)))
+	if c.rank == root {
+		led.MarkAll() // the root's caller buffer is the payload
+	}
 	cur := c
+	budget := newRetryBudget()
+	shrunk := false
 	for try := 0; ; try++ {
 		r := -1
 		for i, wr := range cur.state.group {
@@ -82,14 +140,26 @@ func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, erro
 		if r < 0 {
 			return cur, fmt.Errorf("mpi: broadcast root (world rank %d) failed; cannot recover", rootWorld)
 		}
-		err := cur.Bcast(buf, r, comp)
+		var err error
+		if shrunk {
+			_, err = cur.bcastDelta(buf, r, comp, led)
+			shrunk = false
+		} else {
+			err = cur.bcastLedger(buf, r, comp, led)
+		}
 		if err == nil {
 			return cur, nil
 		}
-		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c) {
+		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c)+MaxInPlaceRetries {
 			return cur, err
 		}
 		if retryInPlace(cur, err) {
+			if berr := budget.spend("bcast", err); berr != nil {
+				return cur, berr
+			}
+			if cur.rank == 0 {
+				cur.state.world.tracer.Recovery("bcast", recoverRetry, 0, 0, 0, 0)
+			}
 			continue
 		}
 		next, serr := cur.Shrink()
@@ -97,6 +167,7 @@ func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, erro
 			return cur, serr
 		}
 		cur = next
+		shrunk = true
 	}
 }
 
@@ -104,22 +175,42 @@ func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, erro
 // recv must be sized for c (c.Size()·len(send) bytes); after a recovery
 // the result occupies the first newComm.Size()·len(send) bytes, in the
 // shrunken communicator's rank order, and is returned as the second
-// result. The final communicator is returned like BcastResilient.
+// result. Recovery is incremental like BcastResilient's: after each
+// shrink the receive buffer is compacted to the survivors' layout, and
+// segments a survivor already holds — whoever forwarded them — are served
+// from that survivor instead of being re-gathered. The final communicator
+// is returned like BcastResilient.
 func (c *Comm) AllgatherResilient(send, recv []byte, comp Component) (*Comm, []byte, error) {
 	if len(recv) != c.Size()*len(send) {
 		return c, nil, fmt.Errorf("mpi: allgather recv buffer is %d bytes, want %d", len(recv), c.Size()*len(send))
 	}
+	led := recovery.NewSegLedger()
 	cur := c
+	budget := newRetryBudget()
+	shrunk := false
+	lastGroup := append([]int(nil), c.state.group...)
 	for try := 0; ; try++ {
 		out := recv[:cur.Size()*len(send)]
-		err := cur.Allgather(send, out, comp)
+		var err error
+		if shrunk {
+			_, err = cur.allgatherDelta(send, out, comp, led)
+			shrunk = false
+		} else {
+			err = cur.allgatherLedger(send, out, comp, led)
+		}
 		if err == nil {
 			return cur, out, nil
 		}
-		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c) {
+		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c)+MaxInPlaceRetries {
 			return cur, nil, err
 		}
 		if retryInPlace(cur, err) {
+			if berr := budget.spend("allgather", err); berr != nil {
+				return cur, nil, berr
+			}
+			if cur.rank == 0 {
+				cur.state.world.tracer.Recovery("allgather", recoverRetry, 0, 0, 0, 0)
+			}
 			continue
 		}
 		next, serr := cur.Shrink()
@@ -127,5 +218,8 @@ func (c *Comm) AllgatherResilient(send, recv []byte, comp Component) (*Comm, []b
 			return cur, nil, serr
 		}
 		cur = next
+		compactRecv(recv, int64(len(send)), lastGroup, cur.state.group, led)
+		lastGroup = append([]int(nil), cur.state.group...)
+		shrunk = true
 	}
 }

@@ -1,0 +1,266 @@
+package recovery
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func spansEqual(a, b []Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntervalSetAddMerges(t *testing.T) {
+	s := &IntervalSet{}
+	s.Add(10, 10) // [10,20)
+	s.Add(30, 10) // [30,40)
+	if got := s.Spans(); !spansEqual(got, []Interval{{10, 10}, {30, 10}}) {
+		t.Fatalf("disjoint spans = %v", got)
+	}
+	s.Add(20, 10) // bridges exactly: [10,40)
+	if got := s.Spans(); !spansEqual(got, []Interval{{10, 30}}) {
+		t.Fatalf("bridged spans = %v", got)
+	}
+	s.Add(5, 100) // swallows everything
+	if got := s.Spans(); !spansEqual(got, []Interval{{5, 100}}) {
+		t.Fatalf("swallowed spans = %v", got)
+	}
+	if s.Total() != 100 {
+		t.Fatalf("Total = %d, want 100", s.Total())
+	}
+}
+
+func TestIntervalSetAddOverlaps(t *testing.T) {
+	s := &IntervalSet{}
+	s.Add(0, 10)
+	s.Add(5, 10) // overlap → [0,15)
+	if got := s.Spans(); !spansEqual(got, []Interval{{0, 15}}) {
+		t.Fatalf("overlap spans = %v", got)
+	}
+	s.Add(0, 0)   // ignored
+	s.Add(20, -5) // ignored
+	if got := s.Spans(); !spansEqual(got, []Interval{{0, 15}}) {
+		t.Fatalf("degenerate adds changed spans: %v", got)
+	}
+}
+
+func TestIntervalSetContains(t *testing.T) {
+	s := NewSet([]Interval{{10, 10}, {30, 10}})
+	cases := []struct {
+		off, n int64
+		want   bool
+	}{
+		{10, 10, true},
+		{12, 5, true},
+		{10, 11, false}, // crosses the gap
+		{25, 2, false},
+		{30, 10, true},
+		{39, 1, true},
+		{39, 2, false},
+		{0, 0, true}, // empty span always held
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.off, c.n); got != c.want {
+			t.Errorf("Contains(%d,%d) = %v, want %v", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestIntervalSetMissing(t *testing.T) {
+	s := NewSet([]Interval{{10, 10}, {30, 10}})
+	if got := s.Missing(50); !spansEqual(got, []Interval{{0, 10}, {20, 10}, {40, 10}}) {
+		t.Fatalf("Missing(50) = %v", got)
+	}
+	if got := s.Missing(15); !spansEqual(got, []Interval{{0, 10}}) {
+		t.Fatalf("Missing(15) = %v", got)
+	}
+	empty := &IntervalSet{}
+	if got := empty.Missing(7); !spansEqual(got, []Interval{{0, 7}}) {
+		t.Fatalf("empty Missing(7) = %v", got)
+	}
+	full := NewSet([]Interval{{0, 7}})
+	if got := full.Missing(7); len(got) != 0 {
+		t.Fatalf("full Missing(7) = %v", got)
+	}
+}
+
+// TestIntervalSetRandomized cross-checks the interval set against a plain
+// byte bitmap under random adds.
+func TestIntervalSetRandomized(t *testing.T) {
+	const size = 512
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		s := &IntervalSet{}
+		ref := make([]bool, size)
+		for i := 0; i < 20; i++ {
+			off := rng.Int63n(size)
+			n := rng.Int63n(size/4) + 1
+			if off+n > size {
+				n = size - off
+			}
+			s.Add(off, n)
+			for k := off; k < off+n; k++ {
+				ref[k] = true
+			}
+		}
+		var total int64
+		for _, b := range ref {
+			if b {
+				total++
+			}
+		}
+		if s.Total() != total {
+			t.Fatalf("trial %d: Total = %d, bitmap says %d (spans %v)", trial, s.Total(), total, s.Spans())
+		}
+		// Spans must be sorted, disjoint, non-adjacent.
+		spans := s.Spans()
+		for i := 1; i < len(spans); i++ {
+			if spans[i].Off <= spans[i-1].End() {
+				t.Fatalf("trial %d: uncoalesced spans %v", trial, spans)
+			}
+		}
+		// Missing + held must tile [0, size).
+		for _, iv := range s.Missing(size) {
+			for k := iv.Off; k < iv.End(); k++ {
+				if ref[k] {
+					t.Fatalf("trial %d: offset %d reported missing but held", trial, k)
+				}
+			}
+		}
+	}
+}
+
+func TestChunkLedger(t *testing.T) {
+	l := NewChunkLedger(100)
+	if l.Size() != 100 || l.HeldBytes() != 0 {
+		t.Fatalf("fresh ledger: size %d held %d", l.Size(), l.HeldBytes())
+	}
+	l.MarkHeld(0, 25)
+	l.MarkHeld(50, 25)
+	if !l.Holds(0, 25) || l.Holds(25, 1) || !l.Holds(60, 10) {
+		t.Fatalf("Holds wrong over %v", l.Spans())
+	}
+	if l.HeldBytes() != 50 {
+		t.Fatalf("HeldBytes = %d, want 50", l.HeldBytes())
+	}
+	l.MarkAll()
+	if !l.Holds(0, 100) {
+		t.Fatalf("MarkAll did not cover payload: %v", l.Spans())
+	}
+	l.Reset()
+	if l.HeldBytes() != 0 {
+		t.Fatalf("Reset left %d bytes", l.HeldBytes())
+	}
+}
+
+func TestSegLedger(t *testing.T) {
+	l := NewSegLedger()
+	l.MarkHeld(3)
+	l.MarkHeld(7)
+	l.MarkHeld(3)
+	if got := l.Origins(); !intsEqual(got, []int{3, 7}) {
+		t.Fatalf("Origins = %v", got)
+	}
+	if !l.Holds(3) || l.Holds(5) {
+		t.Fatalf("Holds wrong")
+	}
+	l.MarkHeldAll([]int{1, 2})
+	if got := l.Origins(); !intsEqual(got, []int{1, 2, 3, 7}) {
+		t.Fatalf("Origins after MarkHeldAll = %v", got)
+	}
+	l.Reset()
+	if got := l.Origins(); len(got) != 0 {
+		t.Fatalf("Origins after Reset = %v", got)
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChunkLedgerConcurrent is the ledger half of the satellite race
+// test: many goroutines mark chunk completions while readers snapshot
+// spans and a resetter simulates recovery-path clears — the exact mix the
+// live runtime produces when a failure lands mid-collective. Run under
+// -race (CI does) this catches any unsynchronized ledger access.
+func TestChunkLedgerConcurrent(t *testing.T) {
+	const (
+		size    = 1 << 20
+		chunk   = 16 << 10
+		writers = 8
+	)
+	l := NewChunkLedger(size)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for off := int64(w) * chunk; off < size; off += writers * chunk {
+				l.MarkHeld(off, chunk)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = l.Spans()
+			_ = l.Holds(0, chunk)
+			_ = l.HeldBytes()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l.Reset()
+	}()
+	wg.Wait()
+	l.MarkAll()
+	if !l.Holds(0, size) {
+		t.Fatalf("ledger unusable after concurrent churn: %v", l.Spans())
+	}
+}
+
+func TestSegLedgerConcurrent(t *testing.T) {
+	l := NewSegLedger()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := 0; o < 64; o++ {
+				l.MarkHeld(o*8 + w)
+				_ = l.Holds(o)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = l.Origins()
+		}
+	}()
+	wg.Wait()
+	if len(l.Origins()) != 64*8 {
+		t.Fatalf("Origins lost marks: %d", len(l.Origins()))
+	}
+}

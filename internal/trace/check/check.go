@@ -369,6 +369,54 @@ func VerifyMetrics(mx *trace.Metrics, events []trace.Event) *Report {
 			mx.Counter("integrity.failures").Load(), agreeEvents,
 			mx.Counter("agree.rounds").Load())
 	}
+
+	// Incremental-recovery accounting: every recovery decision emits one
+	// KindRecovery event tagged with its mode, so the six recovery.*
+	// counters are fully reconstructible from the event stream.
+	var repairs, restarts, retries, chunks, moved, saved int64
+	for _, e := range trace.Filter(events, trace.KindRecovery) {
+		moved += e.Bytes
+		switch e.Mode {
+		case "repair":
+			repairs++
+			chunks += int64(e.Chunk)
+			var full, sv int64
+			if _, err := fmt.Sscanf(e.Det, "full=%d saved=%d", &full, &sv); err != nil {
+				r.violate("recovery event for %s: unparseable detail %q", e.Op, e.Det)
+				continue
+			}
+			saved += sv
+			if e.Bytes+sv != full {
+				r.violate("recovery event for %s: moved %d + saved %d ≠ full baseline %d", e.Op, e.Bytes, sv, full)
+			}
+		case "restart":
+			restarts++
+		case "retry":
+			retries++
+		default:
+			r.violate("recovery event for %s has unknown mode %q", e.Op, e.Mode)
+		}
+	}
+	recoveryCounters := []struct {
+		name string
+		want int64
+	}{
+		{"recovery.repairs", repairs},
+		{"recovery.restarts", restarts},
+		{"recovery.retries", retries},
+		{"recovery.chunks_repulled", chunks},
+		{"recovery.bytes_moved", moved},
+		{"recovery.bytes_saved", saved},
+	}
+	for _, rc := range recoveryCounters {
+		if got := mx.Counter(rc.name).Load(); got != rc.want {
+			r.violate("%s = %d, traced recovery events sum to %d", rc.name, got, rc.want)
+		}
+	}
+	if repairs+restarts+retries > 0 {
+		r.info("recovery: %d delta repairs (%d chunks re-pulled, %d bytes saved), %d restarts, %d in-place retries",
+			repairs, chunks, saved, restarts, retries)
+	}
 	return r
 }
 

@@ -56,6 +56,13 @@ const (
 	// communicator's failure set (Comm.Agree): Rank decided, after Chunk
 	// merge rounds, on the membership recorded in Det.
 	KindAgree Kind = "agree"
+	// KindRecovery is one recovery decision of the resilient collectives:
+	// Mode says which rung of the escalation ladder ran ("retry" in place,
+	// delta "repair", full "restart"), Chunk the missing (rank, chunk)
+	// pairs the ledger exchange found, Bytes the payload bytes the chosen
+	// plan moves, and Det the full-restart cost and the bytes saved
+	// ("full=<n> saved=<n>").
+	KindRecovery Kind = "recovery"
 	// KindFailure is the failure detector marking a rank dead.
 	KindFailure Kind = "failure"
 	// KindWatchdog is a watchdog deadline firing on a blocked rank.
@@ -310,6 +317,36 @@ func (t *Tracer) Agree(rank, rounds int, det string) {
 	e.Rank, e.Chunk, e.Det = rank, rounds, det
 	t.metrics.Counter("agree.calls").Add(1)
 	t.metrics.Counter("agree.rounds").Add(int64(rounds))
+	t.emit(e)
+}
+
+// Recovery records one recovery decision: after a failed collective, the
+// escalation ladder either retried in place (mode "retry"), compiled a
+// delta repair plan over the missing chunks (mode "repair"), or fell back
+// to a full restart (mode "restart"). missing counts the missing (rank,
+// chunk) pairs the merged ledgers reported, moved the payload bytes the
+// chosen plan copies, full what a fresh run would copy, and saved their
+// difference (zero unless a repair was chosen). The decision is made once
+// per recovery (by the rendezvous builder or, for in-place retries, by
+// comm rank 0), so events count decisions, not members.
+func (t *Tracer) Recovery(op, mode string, missing int, moved, full, saved int64) {
+	if t == nil {
+		return
+	}
+	e := blank(KindRecovery)
+	e.Op, e.Mode, e.Chunk, e.Bytes = op, mode, missing, moved
+	e.Det = fmt.Sprintf("full=%d saved=%d", full, saved)
+	switch mode {
+	case "repair":
+		t.metrics.Counter("recovery.repairs").Add(1)
+		t.metrics.Counter("recovery.chunks_repulled").Add(int64(missing))
+		t.metrics.Counter("recovery.bytes_saved").Add(saved)
+	case "restart":
+		t.metrics.Counter("recovery.restarts").Add(1)
+	case "retry":
+		t.metrics.Counter("recovery.retries").Add(1)
+	}
+	t.metrics.Counter("recovery.bytes_moved").Add(moved)
 	t.emit(e)
 }
 
