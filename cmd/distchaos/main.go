@@ -23,11 +23,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"distcoll/internal/chaos"
 )
+
+// stopOnSignal returns a channel that closes on SIGINT/SIGTERM, so the
+// sweep finishes its in-flight run and reports a partial summary
+// instead of dying mid-scenario. A second signal kills the process the
+// default way (the handler is removed after the first).
+func stopOnSignal() <-chan struct{} {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "distchaos: %v: finishing in-flight run, partial summary follows (signal again to kill)\n", s)
+		signal.Stop(sig)
+		close(stop)
+	}()
+	return stop
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -141,6 +160,7 @@ func cmdSweep(args []string) error {
 	if *verbose {
 		cfg.Verbose = os.Stdout
 	}
+	cfg.Stop = stopOnSignal()
 	sum := chaos.Sweep(cfg)
 	fmt.Println(sum)
 	for _, f := range sum.Failing {

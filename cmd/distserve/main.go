@@ -1,0 +1,228 @@
+// Command distserve exercises the service layer (DESIGN.md §12): a
+// multi-tenant daemon hosting many worlds over one shared plan cache,
+// with weighted-fair admission control, brownout degradation and
+// per-tenant circuit breaking.
+//
+// Usage:
+//
+//	distserve demo [flags]   host N tenants, drive load, print counters
+//	distserve soak [flags]   run the isolation-under-chaos soak
+//
+// "demo" runs a fault-free multi-tenant server for a while (or until
+// SIGINT/SIGTERM, which drains in-flight ops first) and prints the
+// per-tenant admission/brownout/breaker/plan-cache counters.
+//
+// "soak" is the isolation proof: a fault-free control phase, then the
+// same load with crash+corrupt faults injected into ONE victim tenant.
+// Bystander tenants must complete every op with verified payloads and
+// keep their p99 within the configured multiple of the control run.
+// Exit status is 1 when the isolation budget is violated, so CI gates
+// on it directly; -json writes the full evidence ledger.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"distcoll/internal/serve"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "demo":
+		err = cmdDemo(os.Args[2:], stopOnSignal())
+	case "soak":
+		err = cmdSoak(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distserve:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  distserve demo [-tenants N] [-np N] [-rate R] [-for DUR] [-size N]
+                 [-coll bcast|allgather|barrier] [-slots N]
+  distserve soak [-tenants N] [-np N] [-rate R] [-for DUR] [-control DUR]
+                 [-size N] [-coll NAME] [-seed N] [-bound X] [-json FILE]`)
+}
+
+// stopOnSignal closes the returned channel on SIGINT/SIGTERM so the demo
+// finishes in-flight ops and prints its counters instead of dying dumb.
+func stopOnSignal() <-chan struct{} {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "distserve: %v: draining in-flight ops (signal again to kill)\n", s)
+		signal.Stop(sig)
+		close(stop)
+	}()
+	return stop
+}
+
+func cmdDemo(args []string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	tenants := fs.Int("tenants", 4, "tenant count")
+	np := fs.Int("np", 4, "ranks per tenant")
+	rate := fs.Float64("rate", 8, "ops/sec per tenant")
+	dur := fs.Duration("for", 5*time.Second, "run length")
+	size := fs.Int64("size", 4096, "payload bytes")
+	coll := fs.String("coll", "bcast", "collective: bcast | allgather | barrier")
+	slots := fs.Int("slots", 0, "global in-flight slots (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.NewServer(serve.Config{GlobalSlots: *slots})
+	defer srv.Close()
+	ts := make([]*serve.Tenant, *tenants)
+	for i := range ts {
+		t, err := srv.CreateTenant(serve.TenantConfig{
+			Name:      fmt.Sprintf("demo-%d", i),
+			Ranks:     *np,
+			Integrity: true,
+		})
+		if err != nil {
+			return err
+		}
+		ts[i] = t
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *dur)
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	period := time.Duration(float64(time.Second) / *rate)
+	var wg sync.WaitGroup
+	for i, t := range ts {
+		wg.Add(1)
+		go func(i int, t *serve.Tenant) {
+			defer wg.Done()
+			for n := int64(0); ctx.Err() == nil; n++ {
+				start := time.Now()
+				_, err := t.Submit(ctx, serve.Request{Kind: *coll, Size: *size, Seed: int64(i)*1_000_000 + n})
+				if err != nil && !serve.IsOverloaded(err) && !serve.IsCircuitOpen(err) && ctx.Err() == nil {
+					fmt.Fprintf(os.Stderr, "distserve: %s: %v\n", t.Name(), err)
+				}
+				if rest := period - time.Since(start); rest > 0 {
+					select {
+					case <-time.After(rest):
+					case <-ctx.Done():
+					}
+				}
+			}
+		}(i, t)
+	}
+	wg.Wait()
+
+	printStats(srv.Stats())
+	return nil
+}
+
+// printStats renders the server's counter snapshot the way the README
+// quick-start shows it.
+func printStats(st serve.Stats) {
+	fmt.Printf("server: admitted=%d shed=%d browned_out=%d circuit_open=%d brownout_level=%d occupancy=%.2f\n",
+		st.Admitted, st.Shed, st.BrownedOut, st.CircuitOpen, st.BrownoutLevel, st.Occupancy)
+	fmt.Printf("plan cache: hits=%d misses=%d resident=%d evictions=%d\n",
+		st.PlanCache.Hits, st.PlanCache.Misses, st.PlanCache.Size, st.PlanCache.Evictions)
+	fmt.Printf("%-12s %9s %6s %8s %8s %10s %6s %6s %9s\n",
+		"tenant", "admitted", "shed", "browned", "circuit", "breaker", "hits", "miss", "resident")
+	for _, t := range st.Tenants {
+		fmt.Printf("%-12s %9d %6d %8d %8d %10s %6d %6d %9d\n",
+			t.Name, t.Admitted, t.Shed, t.BrownedOut, t.CircuitOpen, t.Breaker,
+			t.PlanHits, t.PlanMisses, t.PlanResident)
+	}
+}
+
+func cmdSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	tenants := fs.Int("tenants", 8, "tenant count (tenant 0 is the victim)")
+	np := fs.Int("np", 6, "ranks per tenant")
+	rate := fs.Float64("rate", 4, "ops/sec per tenant")
+	dur := fs.Duration("for", 10*time.Second, "faulted-phase length")
+	control := fs.Duration("control", 0, "control-phase length (0 = half of -for)")
+	size := fs.Int64("size", 4096, "payload bytes")
+	coll := fs.String("coll", "bcast", "collective: bcast | allgather | barrier")
+	seed := fs.Int64("seed", 1, "scenario seed")
+	bound := fs.Float64("bound", 1.5, "bystander p99 budget as a multiple of the control p99")
+	slack := fs.Duration("slack", 25*time.Millisecond, "absolute slack on the p99 budget")
+	jsonPath := fs.String("json", "", "write the evidence ledger (BENCH_serve.json) here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := serve.RunSoak(serve.SoakConfig{
+		Tenants:    *tenants,
+		Ranks:      *np,
+		Rate:       *rate,
+		Duration:   *dur,
+		ControlFor: *control,
+		Size:       *size,
+		Seed:       *seed,
+		Collective: *coll,
+		Integrity:  true,
+		P99Bound:   *bound,
+		Slack:      *slack,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	fmt.Printf("control: ops=%d p50=%v p99=%v\n", res.Control.Ops, res.Control.P50, res.Control.P99)
+	fmt.Printf("faulted: ops=%d p50=%v p99=%v shed=%d circuit=%d victim_errors=%d\n",
+		res.Faulted.Ops, res.Faulted.P50, res.Faulted.P99,
+		res.Faulted.Shed, res.Faulted.Circuit, res.Faulted.VictimErr)
+	for _, v := range res.Violations {
+		fmt.Printf("VIOLATION: %s\n", v)
+	}
+	if *jsonPath != "" {
+		if err := writeLedger(*jsonPath, res); err != nil {
+			return err
+		}
+	}
+	if !res.OK() {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// writeLedger persists the soak's evidence as the BENCH_serve.json
+// ledger CI archives: config, both phases, the budget, any violations,
+// and the faulted server's full counter snapshot.
+func writeLedger(path string, res *serve.SoakResult) error {
+	out := struct {
+		Bench  string            `json:"bench"`
+		Pass   bool              `json:"pass"`
+		Result *serve.SoakResult `json:"result"`
+	}{Bench: "serve.isolation_soak", Pass: res.OK(), Result: res}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"distcoll/internal/serve"
+)
+
+// TestDemoCommand drives the demo subcommand briefly; a clean run
+// returns nil and prints the counter table.
+func TestDemoCommand(t *testing.T) {
+	stop := make(chan struct{})
+	if err := cmdDemo([]string{
+		"-tenants", "2", "-np", "3", "-rate", "20", "-for", "500ms", "-size", "1024",
+	}, stop); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+}
+
+// TestDemoCommandStops: a pre-closed stop channel ends the demo without
+// waiting out -for.
+func TestDemoCommandStops(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	if err := cmdDemo([]string{
+		"-tenants", "2", "-np", "2", "-for", "30s",
+	}, stop); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("stop signal did not cut the demo short")
+	}
+}
+
+// TestSoakCommandWritesLedger runs a tiny green soak and checks the
+// BENCH_serve.json evidence ledger.
+func TestSoakCommandWritesLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := cmdSoak([]string{
+		"-tenants", "3", "-np", "3", "-rate", "10",
+		"-for", "1s", "-control", "500ms", "-size", "1024",
+		"-json", path,
+	}); err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ledger missing: %v", err)
+	}
+	var ledger struct {
+		Bench  string            `json:"bench"`
+		Pass   bool              `json:"pass"`
+		Result *serve.SoakResult `json:"result"`
+	}
+	if err := json.Unmarshal(b, &ledger); err != nil {
+		t.Fatalf("ledger not valid JSON: %v", err)
+	}
+	if ledger.Bench != "serve.isolation_soak" || !ledger.Pass {
+		t.Fatalf("ledger = %+v", ledger)
+	}
+	if ledger.Result == nil || ledger.Result.Faulted.Ops == 0 {
+		t.Fatalf("ledger carries no faulted-phase evidence: %+v", ledger.Result)
+	}
+}
+
+func TestWriteLedgerBadPath(t *testing.T) {
+	res := &serve.SoakResult{}
+	if err := writeLedger(filepath.Join(t.TempDir(), "no", "such", "dir", "x.json"), res); err == nil {
+		t.Fatal("writeLedger into a missing directory should fail")
+	}
+}

@@ -503,3 +503,26 @@ func TestLateCrashOpMapsFractions(t *testing.T) {
 		t.Errorf("allgather np=8 frac 0.75: op %d, want 6", got)
 	}
 }
+
+// TestSweepStopInterrupts: a pre-closed Stop channel halts the sweep
+// before its first run and marks the summary interrupted — the signal
+// path distchaos uses for graceful SIGINT/SIGTERM shutdown.
+func TestSweepStopInterrupts(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	sum := Sweep(Config{
+		Seed:  300,
+		Seeds: 50,
+		Ranks: 4,
+		Stop:  stop,
+	})
+	if !sum.Interrupted {
+		t.Fatal("closed Stop channel did not interrupt the sweep")
+	}
+	if sum.Runs != 0 {
+		t.Fatalf("interrupted-before-start sweep ran %d scenarios", sum.Runs)
+	}
+	if s := sum.String(); !strings.Contains(s, "interrupted") {
+		t.Fatalf("summary does not mention the interrupt: %s", s)
+	}
+}

@@ -20,6 +20,10 @@ type Config struct {
 	Repulls     int           // integrity re-pull budget (0 = default)
 	OpDeadline  time.Duration // per-op watchdog (default 5s)
 	Verbose     io.Writer     // per-run progress lines; nil = silent
+	// Stop, when closed, interrupts the sweep between runs: the run in
+	// flight finishes (a half-executed scenario would report nonsense),
+	// then Sweep returns a partial Summary with Interrupted set.
+	Stop <-chan struct{}
 }
 
 func (cfg *Config) defaults() {
@@ -48,12 +52,15 @@ func (cfg *Config) defaults() {
 
 // Summary aggregates a sweep.
 type Summary struct {
-	Runs      int
-	Passed    int
-	Failing   []*Result // runs with violations
-	TimedOut  bool      // the budget expired before the grid finished
-	Elapsed   time.Duration
-	Completed int // total completing ranks across all runs
+	Runs     int
+	Passed   int
+	Failing  []*Result // runs with violations
+	TimedOut bool      // the budget expired before the grid finished
+	// Interrupted: Config.Stop fired; the summary covers the runs that
+	// finished before the interrupt.
+	Interrupted bool
+	Elapsed     time.Duration
+	Completed   int // total completing ranks across all runs
 }
 
 // OK reports whether the whole sweep passed.
@@ -69,7 +76,23 @@ func (s *Summary) String() string {
 	if s.TimedOut {
 		out += " (budget expired before full grid)"
 	}
+	if s.Interrupted {
+		out += " (interrupted before full grid)"
+	}
 	return out
+}
+
+// stopped reports whether the stop channel has fired.
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Sweep runs the fault grid: every (cell × collective × topology × seed)
@@ -90,6 +113,11 @@ func Sweep(cfg Config) *Summary {
 				for i := 0; i < cfg.Seeds; i++ {
 					if !deadline.IsZero() && time.Now().After(deadline) {
 						sum.TimedOut = true
+						sum.Elapsed = time.Since(start)
+						return sum
+					}
+					if stopped(cfg.Stop) {
+						sum.Interrupted = true
 						sum.Elapsed = time.Since(start)
 						return sum
 					}

@@ -30,6 +30,7 @@ func (c *Comm) adaptiveSchedule(coll tune.Collective, root int, bytes, align int
 	dec := w.selector.Select(coll, m, bytes)
 	key := plancache.Key{
 		Topo:    topo,
+		Tenant:  w.tenant,
 		Coll:    string(coll),
 		Root:    root,
 		Size:    bytes,
@@ -65,7 +66,7 @@ func (st *commState) invalidatePlans() {
 	topo := st.topoHash
 	st.mu.Unlock()
 	if hashed {
-		st.world.plans.InvalidateTopo(topo)
+		st.world.plans.InvalidateTopoOf(topo, st.world.tenant)
 	}
 }
 

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -49,6 +50,17 @@ type agreeSlot struct {
 // communicators — that is its purpose. The returned slice is sorted and
 // identical on every member that participates in the same round.
 func (c *Comm) Agree() ([]int, error) {
+	return c.AgreeContext(context.Background())
+}
+
+// AgreeContext is Agree with a caller-supplied deadline: when ctx
+// expires before the round closes, the caller gets a HangError carrying
+// the blocked-rank dump instead of blocking until the watchdog (or
+// forever, on a world without one). The slot survives the abandonment —
+// a member that gave up has still deposited its arrival and failure
+// view, so the remaining members can close the round without it, and a
+// retry adopts the closed verdict.
+func (c *Comm) AgreeContext(ctx context.Context) ([]int, error) {
 	st := c.state
 	w := st.world
 	me := st.group[c.rank]
@@ -122,13 +134,15 @@ func (c *Comm) Agree() ([]int, error) {
 		case <-failCh:
 		case <-timeoutC:
 			return nil, &HangError{Rank: me, Op: desc, Deadline: w.opDeadline, Dump: w.BlockedDump()}
+		case <-ctx.Done():
+			return nil, &HangError{Rank: me, Op: desc + " (context)", Deadline: w.opDeadline, Dump: w.BlockedDump()}
 		}
 	}
 }
 
 // agreedSet is Agree's result as a set.
-func (c *Comm) agreedSet() (map[int]bool, error) {
-	agreed, err := c.Agree()
+func (c *Comm) agreedSet(ctx context.Context) (map[int]bool, error) {
+	agreed, err := c.AgreeContext(ctx)
 	if err != nil {
 		return nil, err
 	}

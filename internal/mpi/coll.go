@@ -216,7 +216,7 @@ func (c *Comm) bcastLedger(buf []byte, root int, comp Component, led *recovery.C
 			if err != nil {
 				return nil, err
 			}
-			if c.state.world.integ != nil {
+			if c.state.world.e2eEnabled() {
 				plan.digest = integrity.Digest(args[args[0].root].buf)
 				plan.hasDigest = true
 			}
@@ -352,7 +352,7 @@ func (c *Comm) allgatherLedger(send, recv []byte, comp Component, led *recovery.
 			if err != nil {
 				return nil, err
 			}
-			if c.state.world.integ != nil {
+			if c.state.world.e2eEnabled() {
 				plan.digests = make([]uint32, len(args))
 				for i := range args {
 					plan.digests[i] = integrity.Digest(args[i].send)

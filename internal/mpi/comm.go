@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -76,7 +77,7 @@ func (st *commState) setBroken() {
 	hashed, topo := st.topoHashed, st.topoHash
 	st.mu.Unlock()
 	if hashed {
-		st.world.plans.InvalidateTopo(topo)
+		st.world.plans.InvalidateTopoOf(topo, st.world.tenant)
 	}
 }
 
@@ -177,6 +178,15 @@ func (c *Comm) Broken() bool {
 // with the blocked-rank dump. Detection is event-driven (the world's
 // failure channel), never polled.
 func (c *Comm) coordinate(val any, build func(vals []any) (any, error)) ([]any, any, error) {
+	return c.coordinateCtx(context.Background(), val, build)
+}
+
+// coordinateCtx is coordinate with a caller-supplied deadline for the
+// wait phase: a ctx that expires before the rendezvous completes
+// returns a HangError, like the watchdog. The deposited value stays —
+// the remaining members can still close the rendezvous without the
+// abandoning caller.
+func (c *Comm) coordinateCtx(ctx context.Context, val any, build func(vals []any) (any, error)) ([]any, any, error) {
 	st := c.state
 	w := st.world
 	n := len(st.group)
@@ -206,7 +216,7 @@ func (c *Comm) coordinate(val any, build func(vals []any) (any, error)) ([]any, 
 			slot.result, slot.err = build(slot.vals)
 		}
 		close(slot.ready)
-	} else if err := c.awaitSlot(slot, seq, wr); err != nil {
+	} else if err := c.awaitSlot(ctx, slot, seq, wr); err != nil {
 		return nil, nil, err
 	}
 
@@ -221,8 +231,9 @@ func (c *Comm) coordinate(val any, build func(vals []any) (any, error)) ([]any, 
 }
 
 // awaitSlot blocks until the slot's rendezvous completes, a member failure
-// makes completion impossible, or the watchdog deadline expires.
-func (c *Comm) awaitSlot(slot *collSlot, seq int, wr int) error {
+// makes completion impossible, the watchdog deadline expires, or the
+// caller's context is done.
+func (c *Comm) awaitSlot(ctx context.Context, slot *collSlot, seq int, wr int) error {
 	st := c.state
 	w := st.world
 	select {
@@ -266,6 +277,8 @@ func (c *Comm) awaitSlot(slot *collSlot, seq int, wr int) error {
 		case <-failCh:
 		case <-timeoutC:
 			return &HangError{Rank: wr, Op: desc, Deadline: w.opDeadline, Dump: w.BlockedDump()}
+		case <-ctx.Done():
+			return &HangError{Rank: wr, Op: desc + " (context)", Deadline: w.opDeadline, Dump: w.BlockedDump()}
 		}
 	}
 }
@@ -292,6 +305,14 @@ func (c *Comm) Barrier() error {
 // communicator rebuilds its distance-aware tree/ring over exactly the
 // surviving processes.
 func (c *Comm) Shrink() (*Comm, error) {
+	return c.ShrinkContext(context.Background())
+}
+
+// ShrinkContext is Shrink with a caller-supplied deadline on the
+// agreement round — the phase that can wedge when a survivor never
+// calls Shrink. A ctx that expires surfaces as a HangError from the
+// agreement, leaving the communicator state unchanged.
+func (c *Comm) ShrinkContext(ctx context.Context) (*Comm, error) {
 	st := c.state
 	w := st.world
 	me := st.group[c.rank]
@@ -299,7 +320,7 @@ func (c *Comm) Shrink() (*Comm, error) {
 	if failed[me] {
 		return nil, fmt.Errorf("mpi: rank %d is itself failed; cannot shrink", me)
 	}
-	agreed, err := c.agreedSet()
+	agreed, err := c.agreedSet(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 
 	"distcoll/internal/binding"
@@ -52,8 +53,8 @@ type bcastDeltaArgs struct {
 // ledger is empty or the machine model estimates a fresh run cheaper.
 // Returns the mode the rendezvous chose, which is identical on every
 // member.
-func (c *Comm) bcastDelta(buf []byte, root int, comp Component, led *recovery.ChunkLedger) (string, error) {
-	_, result, err := c.coordinate(
+func (c *Comm) bcastDelta(ctx context.Context, buf []byte, root int, comp Component, led *recovery.ChunkLedger) (string, error) {
+	_, result, err := c.coordinateCtx(ctx,
 		bcastDeltaArgs{buf: buf, root: root, comp: comp, spans: led.Spans(), led: led},
 		func(vals []any) (any, error) {
 			args := make([]bcastDeltaArgs, len(vals))
@@ -102,7 +103,7 @@ func (c *Comm) bcastDelta(buf []byte, root int, comp Component, led *recovery.Ch
 			if err != nil {
 				return nil, err
 			}
-			if c.state.world.integ != nil {
+			if c.state.world.e2eEnabled() {
 				plan.digest = integrity.Digest(args[r].buf)
 				plan.hasDigest = true
 			}
@@ -181,8 +182,8 @@ type allgatherDeltaArgs struct {
 // segments that reached them via a now-dead forwarder — and only the
 // missing (rank, origin) pairs move, each from its minimum-distance
 // surviving holder.
-func (c *Comm) allgatherDelta(send, recv []byte, comp Component, led *recovery.SegLedger) (string, error) {
-	_, result, err := c.coordinate(
+func (c *Comm) allgatherDelta(ctx context.Context, send, recv []byte, comp Component, led *recovery.SegLedger) (string, error) {
+	_, result, err := c.coordinateCtx(ctx,
 		allgatherDeltaArgs{send: send, recv: recv, comp: comp, held: led.Origins(), led: led},
 		func(vals []any) (any, error) {
 			args := make([]allgatherDeltaArgs, len(vals))
@@ -245,7 +246,7 @@ func (c *Comm) allgatherDelta(send, recv []byte, comp Component, led *recovery.S
 			if err != nil {
 				return nil, err
 			}
-			if c.state.world.integ != nil {
+			if c.state.world.e2eEnabled() {
 				plan.digests = make([]uint32, n)
 				for i := range args {
 					plan.digests[i] = integrity.Digest(args[i].send)

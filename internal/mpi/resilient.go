@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -118,6 +119,16 @@ func (b *retryBudget) spend(op string, cause error) error {
 // operation: its rank space is the survivors'. A caller whose own rank
 // crashed gets its CrashError back.
 func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, error) {
+	return c.BcastResilientContext(context.Background(), buf, root, comp)
+}
+
+// BcastResilientContext is BcastResilient with a caller-supplied
+// deadline on the recovery machinery: the agreement round inside Shrink
+// and the delta-repair rendezvous — the two phases that block on
+// every survivor showing up and so can wedge indefinitely when one
+// never does — return a HangError once ctx expires. The first-run data
+// path keeps the world watchdog as its hang bound.
+func (c *Comm) BcastResilientContext(ctx context.Context, buf []byte, root int, comp Component) (*Comm, error) {
 	if root < 0 || root >= c.Size() {
 		return c, fmt.Errorf("mpi: bcast root %d out of range", root)
 	}
@@ -142,7 +153,7 @@ func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, erro
 		}
 		var err error
 		if shrunk {
-			_, err = cur.bcastDelta(buf, r, comp, led)
+			_, err = cur.bcastDelta(ctx, buf, r, comp, led)
 			shrunk = false
 		} else {
 			err = cur.bcastLedger(buf, r, comp, led)
@@ -162,7 +173,7 @@ func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, erro
 			}
 			continue
 		}
-		next, serr := cur.Shrink()
+		next, serr := cur.ShrinkContext(ctx)
 		if serr != nil {
 			return cur, serr
 		}
@@ -181,6 +192,12 @@ func (c *Comm) BcastResilient(buf []byte, root int, comp Component) (*Comm, erro
 // from that survivor instead of being re-gathered. The final communicator
 // is returned like BcastResilient.
 func (c *Comm) AllgatherResilient(send, recv []byte, comp Component) (*Comm, []byte, error) {
+	return c.AllgatherResilientContext(context.Background(), send, recv, comp)
+}
+
+// AllgatherResilientContext is AllgatherResilient with a caller-supplied
+// deadline on the recovery machinery, like BcastResilientContext.
+func (c *Comm) AllgatherResilientContext(ctx context.Context, send, recv []byte, comp Component) (*Comm, []byte, error) {
 	if len(recv) != c.Size()*len(send) {
 		return c, nil, fmt.Errorf("mpi: allgather recv buffer is %d bytes, want %d", len(recv), c.Size()*len(send))
 	}
@@ -193,7 +210,7 @@ func (c *Comm) AllgatherResilient(send, recv []byte, comp Component) (*Comm, []b
 		out := recv[:cur.Size()*len(send)]
 		var err error
 		if shrunk {
-			_, err = cur.allgatherDelta(send, out, comp, led)
+			_, err = cur.allgatherDelta(ctx, send, out, comp, led)
 			shrunk = false
 		} else {
 			err = cur.allgatherLedger(send, out, comp, led)
@@ -213,7 +230,7 @@ func (c *Comm) AllgatherResilient(send, recv []byte, comp Component) (*Comm, []b
 			}
 			continue
 		}
-		next, serr := cur.Shrink()
+		next, serr := cur.ShrinkContext(ctx)
 		if serr != nil {
 			return cur, nil, serr
 		}

@@ -69,10 +69,19 @@ type World struct {
 
 	// Adaptive component state: the decision engine picking per-call
 	// algorithms, and the cache of compiled schedules it reuses
-	// (DESIGN.md §8). Always non-nil after NewWorld.
+	// (DESIGN.md §8). Always non-nil after NewWorld. The cache may be
+	// shared across worlds (WithPlanCache); tenant scopes this world's
+	// keys and invalidations so co-resident worlds never drop each
+	// other's plans.
 	selector *tune.Selector
 	plans    *plancache.Cache
 	planCap  int
+	tenant   uint64
+
+	// e2eOff is the brownout gate for end-to-end digests: when set, new
+	// plans skip digest attachment (per-hop checksums stay on). Flipped
+	// at runtime by the serve layer under sustained pressure.
+	e2eOff atomic.Bool
 
 	// mail[src][dst] carries messages; receivers keep per-sender pending
 	// queues for tag matching.
@@ -171,6 +180,26 @@ func WithPlanCacheCapacity(n int) Option {
 	return func(w *World) { w.planCap = n }
 }
 
+// WithPlanCache shares an externally owned (typically sharded) plan
+// cache instead of creating a private one — the serve layer hands every
+// tenant world the daemon's cache. Combine with WithTenant so keys and
+// invalidations stay scoped to this world.
+func WithPlanCache(c *plancache.Cache) Option {
+	return func(w *World) {
+		if c != nil {
+			w.plans = c
+		}
+	}
+}
+
+// WithTenant tags the world's plan-cache keys and invalidations with a
+// tenant id (non-zero). Two worlds with identical process placements
+// hash to the same topology fingerprint; the tenant tag keeps one
+// world's failure-driven invalidation from dropping the other's plans.
+func WithTenant(id uint64) Option {
+	return func(w *World) { w.tenant = id }
+}
+
 // NewWorld creates a world with one process per bound rank.
 func NewWorld(b *binding.Binding, opts ...Option) *World {
 	n := b.NumRanks()
@@ -191,7 +220,9 @@ func NewWorld(b *binding.Binding, opts ...Option) *World {
 	if w.selector == nil {
 		w.selector = tune.DefaultSelector()
 	}
-	w.plans = plancache.New(w.planCap, w.tracer.Metrics())
+	if w.plans == nil {
+		w.plans = plancache.New(w.planCap, w.tracer.Metrics())
+	}
 	w.mover = knem.Mover(w.dev)
 	if w.inj != nil {
 		w.mover = w.inj.Wrap(w.dev)
@@ -242,6 +273,20 @@ func (w *World) Selector() *tune.Selector { return w.selector }
 // PlanCache returns the world's compiled-schedule cache (for stats and
 // tests).
 func (w *World) PlanCache() *plancache.Cache { return w.plans }
+
+// Tenant returns the tenant id tagging this world's plan-cache keys
+// (zero when untagged).
+func (w *World) Tenant() uint64 { return w.tenant }
+
+// SetE2EDigests enables or disables end-to-end digest attachment on new
+// collective plans — the last rung of the serve layer's brownout ladder.
+// Per-hop checksums are unaffected; with digests off, a silent fault is
+// still caught hop by hop, just not re-verified against the origin.
+// A world without WithIntegrity is unaffected either way.
+func (w *World) SetE2EDigests(on bool) { w.e2eOff.Store(!on) }
+
+// e2eEnabled reports whether new plans should carry end-to-end digests.
+func (w *World) e2eEnabled() bool { return w.integ != nil && !w.e2eOff.Load() }
 
 // Run spawns every process, executes main on each, and waits for all.
 // Per-rank errors (and recovered panics) are aggregated with errors.Join,

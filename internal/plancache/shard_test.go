@@ -1,0 +1,200 @@
+package plancache
+
+import (
+	"sync"
+	"testing"
+
+	"distcoll/internal/trace"
+)
+
+func tkey(tenant uint64, i int) Key {
+	k := key(i)
+	k.Tenant = tenant
+	return k
+}
+
+func TestShardedCapacitySplit(t *testing.T) {
+	c := NewSharded(0, 0, nil)
+	if c.Shards() != DefaultShards {
+		t.Errorf("Shards() = %d, want %d", c.Shards(), DefaultShards)
+	}
+	if c.Capacity() != DefaultCapacity {
+		t.Errorf("Capacity() = %d, want %d", c.Capacity(), DefaultCapacity)
+	}
+	total := 0
+	for _, sh := range c.shards {
+		if sh.capacity < 1 {
+			t.Fatalf("shard capacity %d < 1", sh.capacity)
+		}
+		total += sh.capacity
+	}
+	if total != c.Capacity() {
+		t.Errorf("per-shard capacities sum to %d, want %d", total, c.Capacity())
+	}
+	// Shard count never exceeds capacity, and rounds to a power of two.
+	if small := NewSharded(3, 8, nil); small.Shards() > 3 {
+		t.Errorf("NewSharded(3, 8).Shards() = %d, want ≤ 3", small.Shards())
+	}
+	if c := NewSharded(64, 5, nil); c.Shards() != 8 {
+		t.Errorf("NewSharded(64, 5).Shards() = %d, want 8 (next power of two)", c.Shards())
+	}
+}
+
+// TestShardedGlobalBound fills a sharded cache far past capacity and
+// checks the resident total never exceeds the global bound.
+func TestShardedGlobalBound(t *testing.T) {
+	c := NewSharded(16, 4, nil)
+	for i := 0; i < 200; i++ {
+		if _, _, err := c.Get(key(i), plan); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.Size > 16 {
+			t.Fatalf("resident %d exceeds capacity 16 after %d inserts", st.Size, i+1)
+		}
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Error("no evictions despite 200 inserts into capacity 16")
+	}
+}
+
+// TestTenantQuotaEvictsOwnEntriesOnly: a tenant exceeding its quota loses
+// its own oldest plans while a neighbor's entries stay resident.
+func TestTenantQuotaEvictsOwnEntriesOnly(t *testing.T) {
+	c := NewSharded(64, 1, nil) // one shard: quota enforcement is exact
+	c.SetTenantQuota(4)
+	// The bystander tenant caches a handful of plans first.
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Get(tkey(2, i), plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The noisy tenant churns far past its quota.
+	for i := 0; i < 40; i++ {
+		if _, _, err := c.Get(tkey(1, i), plan); err != nil {
+			t.Fatal(err)
+		}
+		if ts := c.TenantStats(1); ts.Resident > 4 {
+			t.Fatalf("noisy tenant holds %d entries, quota 4", ts.Resident)
+		}
+	}
+	if ts := c.TenantStats(2); ts.Resident != 3 {
+		t.Errorf("bystander lost entries to a neighbor's quota churn: resident=%d, want 3", ts.Resident)
+	}
+	for i := 0; i < 3; i++ {
+		if _, hit, _ := c.Get(tkey(2, i), plan); !hit {
+			t.Errorf("bystander entry %d was evicted by the noisy tenant", i)
+		}
+	}
+	if st := c.Stats(); st.QuotaEvicts == 0 {
+		t.Error("no quota evictions recorded")
+	}
+}
+
+// TestTenantScopedInvalidation: invalidating one tenant's topology (or
+// the whole tenant) never touches another tenant's plans for the SAME
+// topology fingerprint — the isolation the serve layer's churn storm
+// relies on.
+func TestTenantScopedInvalidation(t *testing.T) {
+	c := NewSharded(64, 4, nil)
+	for tenant := uint64(1); tenant <= 3; tenant++ {
+		for i := 0; i < 4; i++ {
+			if _, _, err := c.Get(tkey(tenant, i), plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n := c.InvalidateTopoOf(1, 2); n != 4 {
+		t.Fatalf("InvalidateTopoOf removed %d, want 4", n)
+	}
+	if ts := c.TenantStats(2); ts.Resident != 0 {
+		t.Errorf("tenant 2 still holds %d entries after its topo invalidation", ts.Resident)
+	}
+	for _, tenant := range []uint64{1, 3} {
+		if ts := c.TenantStats(tenant); ts.Resident != 4 {
+			t.Errorf("tenant %d lost entries to tenant 2's invalidation: resident=%d, want 4", tenant, ts.Resident)
+		}
+	}
+	if n := c.InvalidateTenant(3); n != 4 {
+		t.Fatalf("InvalidateTenant removed %d, want 4", n)
+	}
+	if ts := c.TenantStats(1); ts.Resident != 4 {
+		t.Errorf("tenant 1 lost entries to tenant 3's free: resident=%d", ts.Resident)
+	}
+}
+
+func TestTenantStatsCounters(t *testing.T) {
+	reg := trace.NewMetrics()
+	c := NewSharded(16, 2, reg)
+	c.Get(tkey(7, 1), plan)
+	c.Get(tkey(7, 1), plan)
+	c.Get(tkey(7, 2), plan)
+	ts := c.TenantStats(7)
+	if ts.Hits != 1 || ts.Misses != 2 || ts.Resident != 2 {
+		t.Errorf("TenantStats = %+v, want hits=1 misses=2 resident=2", ts)
+	}
+	snap := reg.Counters()
+	if snap["plancache.tenant.7.hits"] != 1 || snap["plancache.tenant.7.misses"] != 2 {
+		t.Errorf("mirrored tenant counters = %v", snap)
+	}
+	if ts := c.TenantStats(99); ts.Hits != 0 || ts.Resident != 0 {
+		t.Errorf("unknown tenant stats = %+v, want zeros", ts)
+	}
+}
+
+// TestStatsRaceRegression is the counter-synchronization audit's
+// regression test: Stats, TenantStats and the metrics snapshot are read
+// continuously while gets, invalidations and quota evictions run on
+// every shard. Any unsynchronized counter read trips the race detector.
+func TestStatsRaceRegression(t *testing.T) {
+	reg := trace.NewMetrics()
+	c := NewSharded(32, 4, reg)
+	c.SetTenantQuota(8)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					st := c.Stats()
+					if st.Size < 0 || st.Hits < 0 {
+						t.Error("nonsensical stats snapshot")
+						return
+					}
+					_ = c.TenantStats(1)
+					_ = reg.Counters()
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			tenant := uint64(g%3 + 1)
+			for i := 0; i < 300; i++ {
+				if _, _, err := c.Get(tkey(tenant, i%20), plan); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				switch i % 75 {
+				case 25:
+					c.InvalidateTopoOf(1, tenant)
+				case 50:
+					c.InvalidateTenant(tenant)
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if st := c.Stats(); st.Size > c.Capacity() {
+		t.Errorf("size %d exceeds capacity %d", st.Size, c.Capacity())
+	}
+}

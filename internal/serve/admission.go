@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// The admission gate sits in front of every tenant's runtime: a global
+// in-flight slot pool plus per-tenant in-flight and bytes-in-flight
+// quotas, with a bounded FIFO waiter queue per tenant. An op that fits
+// runs immediately; one that doesn't waits in its tenant's queue; when
+// the queue is full the op is SHED with a typed OverloadError instead of
+// queued unboundedly — backpressure reaches the caller, not the heap.
+// Freed capacity is granted weighted-fairly: among tenants with eligible
+// waiters, the one with the smallest inFlight/weight ratio goes first,
+// so a flood from one tenant cannot starve its neighbors.
+
+// waiter is one queued admission request.
+type waiter struct {
+	bytes     int64
+	ready     chan struct{} // closed on grant
+	cancelled bool          // set when the caller's context expired
+}
+
+// tenantGate is the per-tenant slice of the gate's state, all guarded by
+// the owning gate's mutex.
+type tenantGate struct {
+	id       uint64
+	name     string
+	weight   int
+	maxOps   int
+	maxBytes int64
+	maxQueue int
+	inFlight int
+	bytes    int64
+	queue    []*waiter
+	// lastGrant is the gate's grant sequence number at this tenant's most
+	// recent grant. Ratio ties break toward the least recently granted
+	// tenant — a plain smallest-id tie-break starves the largest id under
+	// sustained contention, because every release resets ratios to zero.
+	lastGrant uint64
+}
+
+// fits reports whether one more op of b bytes fits the tenant's quotas.
+func (tg *tenantGate) fits(b int64) bool {
+	return tg.inFlight < tg.maxOps && tg.bytes+b <= tg.maxBytes
+}
+
+// gate is the admission gate.
+type gate struct {
+	mu          sync.Mutex
+	globalSlots int
+	busy        int
+	tenants     map[uint64]*tenantGate
+	grantSeq    uint64
+	// ewma is the smoothed op latency in seconds, feeding retry-after
+	// hints: a shed caller is told to come back after roughly the time
+	// the queue ahead of it needs to drain.
+	ewma float64
+}
+
+func newGate(globalSlots int) *gate {
+	return &gate{globalSlots: globalSlots, tenants: make(map[uint64]*tenantGate)}
+}
+
+func (g *gate) register(tg *tenantGate) {
+	g.mu.Lock()
+	g.tenants[tg.id] = tg
+	g.mu.Unlock()
+}
+
+// unregister removes a tenant, waking its queued waiters with a shed
+// (their grant can never come) and reclaiming nothing: in-flight ops
+// release through the normal path as they finish.
+func (g *gate) unregister(id uint64) {
+	g.mu.Lock()
+	tg, ok := g.tenants[id]
+	if ok {
+		delete(g.tenants, id)
+	}
+	var queued []*waiter
+	if ok {
+		queued = tg.queue
+		tg.queue = nil
+	}
+	g.mu.Unlock()
+	for _, w := range queued {
+		close(w.ready) // the waiter re-checks and finds its tenant gone
+	}
+}
+
+// retryAfterLocked estimates how long a shed caller should back off:
+// the queue ahead of it times the smoothed op latency, floored at 1ms
+// so a cold gate still hints something useful.
+func (g *gate) retryAfterLocked(tg *tenantGate) time.Duration {
+	perOp := time.Duration(g.ewma * float64(time.Second))
+	if perOp <= 0 {
+		perOp = time.Millisecond
+	}
+	d := time.Duration(len(tg.queue)+1) * perOp
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Admit blocks until the op is granted a slot, the context expires, or
+// the gate sheds it. bytes is the op's payload footprint, counted
+// against the tenant's bytes-in-flight quota.
+func (g *gate) Admit(ctx context.Context, id uint64, bytes int64) error {
+	g.mu.Lock()
+	tg, ok := g.tenants[id]
+	if !ok {
+		g.mu.Unlock()
+		return &OverloadError{Tenant: "?", Reason: "tenant gone", RetryAfter: time.Millisecond}
+	}
+	if bytes > tg.maxBytes {
+		// No amount of queueing makes an over-quota op fit: shed now.
+		err := &OverloadError{Tenant: tg.name, Reason: "request exceeds tenant byte quota", RetryAfter: 0}
+		g.mu.Unlock()
+		return err
+	}
+	if g.busy < g.globalSlots && tg.fits(bytes) && len(tg.queue) == 0 {
+		g.busy++
+		tg.inFlight++
+		tg.bytes += bytes
+		g.grantSeq++
+		tg.lastGrant = g.grantSeq
+		g.mu.Unlock()
+		return nil
+	}
+	if len(tg.queue) >= tg.maxQueue {
+		err := &OverloadError{Tenant: tg.name, Reason: "tenant queue full", RetryAfter: g.retryAfterLocked(tg)}
+		g.mu.Unlock()
+		return err
+	}
+	w := &waiter{bytes: bytes, ready: make(chan struct{})}
+	tg.queue = append(tg.queue, w)
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		// Granted — or the tenant was unregistered; tell them apart.
+		g.mu.Lock()
+		_, alive := g.tenants[id]
+		g.mu.Unlock()
+		if !alive {
+			return &OverloadError{Tenant: tg.name, Reason: "tenant closed", RetryAfter: time.Millisecond}
+		}
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		w.cancelled = true
+		// If the grant raced the cancellation, the slot is already
+		// counted for this waiter: give it back.
+		granted := false
+		select {
+		case <-w.ready:
+			granted = true
+		default:
+		}
+		g.mu.Unlock()
+		if granted {
+			g.Release(id, bytes, 0)
+		}
+		return ctx.Err()
+	}
+}
+
+// Release returns an op's slot and grants freed capacity to the most
+// deserving waiters. dur (when > 0) feeds the latency EWMA behind the
+// retry-after hints. It returns the gate's occupancy after the release,
+// for the brownout ladder.
+func (g *gate) Release(id uint64, bytes int64, dur time.Duration) float64 {
+	g.mu.Lock()
+	if tg, ok := g.tenants[id]; ok {
+		tg.inFlight--
+		tg.bytes -= bytes
+	}
+	g.busy--
+	if dur > 0 {
+		const alpha = 0.2
+		s := dur.Seconds()
+		if g.ewma == 0 {
+			g.ewma = s
+		} else {
+			g.ewma = alpha*s + (1-alpha)*g.ewma
+		}
+	}
+	g.grantLocked()
+	occ := g.occupancyLocked()
+	g.mu.Unlock()
+	return occ
+}
+
+// grantLocked hands free global slots to queued waiters, weighted-
+// fairly: each slot goes to the eligible tenant with the smallest
+// inFlight/weight ratio (fewest slots per unit of entitlement), FIFO
+// within a tenant. Cancelled waiters are dropped in passing.
+func (g *gate) grantLocked() {
+	for g.busy < g.globalSlots {
+		var best *tenantGate
+		var bestRatio float64
+		for _, tg := range g.tenants {
+			// Drop dead waiters at the head so they can't block grants.
+			for len(tg.queue) > 0 && tg.queue[0].cancelled {
+				close(tg.queue[0].ready)
+				tg.queue = tg.queue[1:]
+			}
+			if len(tg.queue) == 0 || !tg.fits(tg.queue[0].bytes) {
+				continue
+			}
+			ratio := float64(tg.inFlight) / float64(tg.weight)
+			better := best == nil || ratio < bestRatio ||
+				(ratio == bestRatio && (tg.lastGrant < best.lastGrant ||
+					(tg.lastGrant == best.lastGrant && tg.id < best.id)))
+			if better {
+				best, bestRatio = tg, ratio
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		g.busy++
+		best.inFlight++
+		best.bytes += w.bytes
+		g.grantSeq++
+		best.lastGrant = g.grantSeq
+		close(w.ready)
+	}
+}
+
+// Occupancy returns busy/globalSlots, the brownout ladder's pressure
+// signal.
+func (g *gate) Occupancy() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.occupancyLocked()
+}
+
+func (g *gate) occupancyLocked() float64 {
+	if g.globalSlots <= 0 {
+		return 0
+	}
+	return float64(g.busy) / float64(g.globalSlots)
+}
+
+// snapshot returns a tenant's in-flight and queued counts for stats.
+func (g *gate) snapshot(id uint64) (inFlight int, bytes int64, queued int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if tg, ok := g.tenants[id]; ok {
+		return tg.inFlight, tg.bytes, len(tg.queue)
+	}
+	return 0, 0, 0
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-tenant circuit breaker. A tenant whose ops keep
+// failing consecutively trips the circuit open; while open, submissions
+// are rejected without touching the admission gate or the runtime, so a
+// down tenant cannot burn shared retry budget. After the cooldown, ONE
+// probe op is admitted (half-open); its outcome decides whether the
+// circuit closes again or re-opens for another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that trip the circuit
+	cooldown  time.Duration // open → half-open delay
+	fails     int           // current consecutive-failure run
+	openAt    time.Time     // when the circuit last opened
+	open      bool
+	probing   bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow decides whether a submission may proceed. When the circuit is
+// open and cooling, it returns false with the remaining cooldown; when
+// the cooldown has elapsed it admits exactly one probe at a time.
+func (b *breaker) allow() (ok bool, retryAfter time.Duration, fails int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true, 0, b.fails
+	}
+	if wait := b.cooldown - time.Since(b.openAt); wait > 0 {
+		return false, wait, b.fails
+	}
+	if b.probing {
+		return false, b.cooldown, b.fails
+	}
+	b.probing = true // half-open: this caller is the probe
+	return true, 0, b.fails
+}
+
+// success records a completed op: the circuit closes and the failure
+// run resets (a successful half-open probe readmits the tenant).
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.open = false
+	b.probing = false
+}
+
+// failure records a failed op and reports whether the circuit just
+// tripped. A failed half-open probe re-opens for a fresh cooldown.
+func (b *breaker) failure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	wasOpen := b.open
+	if b.probing || b.fails >= b.threshold {
+		b.open = true
+		b.openAt = time.Now()
+		b.probing = false
+	}
+	return b.open && !wasOpen
+}
+
+// state renders the breaker for stats: "closed", "open", "half-open".
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed"
+	case time.Since(b.openAt) >= b.cooldown:
+		return "half-open"
+	default:
+		return "open"
+	}
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Brownout levels: what optional work is currently disabled. The ladder
+// degrades cheapest-first — event tracing is diagnostic sugar, e2e
+// digests are a real (if redundant, per-hop checksums remain) safety
+// layer — and recovers in the opposite order.
+const (
+	// BrownoutOff: all optional work enabled.
+	BrownoutOff = 0
+	// BrownoutTracing: event tracing suppressed (metrics keep flowing).
+	BrownoutTracing = 1
+	// BrownoutDigests: tracing suppressed AND end-to-end digests skipped;
+	// per-hop checksums stay on.
+	BrownoutDigests = 2
+)
+
+// brownout turns sustained admission-gate pressure into a degradation
+// level. Evaluation is event-driven — the gate reports its occupancy on
+// every admit and release — with hysteresis: the occupancy must sit
+// above the high-water mark for a full hold period to raise the level
+// one step, and below the low-water mark for a hold period to lower it,
+// so a single burst neither browns the service out nor flaps it.
+type brownout struct {
+	mu        sync.Mutex
+	high, low float64 // occupancy thresholds, 0..1
+	hold      time.Duration
+	level     int
+	highSince time.Time // zero when occupancy last seen below high
+	lowSince  time.Time // zero when occupancy last seen above low
+	apply     func(level int)
+	raised    int64 // level raises, for the serve.brownouts counter
+}
+
+func newBrownout(high, low float64, hold time.Duration, apply func(int)) *brownout {
+	return &brownout{high: high, low: low, hold: hold, apply: apply}
+}
+
+// observe feeds one occupancy sample (in-flight / global slots). It
+// returns the level after evaluation; apply runs outside the lock when
+// the level changed.
+func (b *brownout) observe(occupancy float64) int {
+	now := time.Now()
+	b.mu.Lock()
+	prev := b.level
+	if occupancy >= b.high {
+		b.lowSince = time.Time{}
+		if b.highSince.IsZero() {
+			b.highSince = now
+		} else if now.Sub(b.highSince) >= b.hold && b.level < BrownoutDigests {
+			b.level++
+			b.raised++
+			b.highSince = now // the next step needs its own sustained period
+		}
+	} else {
+		b.highSince = time.Time{}
+		if occupancy <= b.low && b.level > BrownoutOff {
+			if b.lowSince.IsZero() {
+				b.lowSince = now
+			} else if now.Sub(b.lowSince) >= b.hold {
+				b.level--
+				b.lowSince = now
+			}
+		} else if occupancy > b.low {
+			b.lowSince = time.Time{}
+		}
+	}
+	level := b.level
+	apply := b.apply
+	b.mu.Unlock()
+	if level != prev && apply != nil {
+		apply(level)
+	}
+	return level
+}
+
+// Level returns the current brownout level.
+func (b *brownout) Level() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.level
+}
+
+// Raised returns how many times the level was raised.
+func (b *brownout) Raised() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.raised
+}

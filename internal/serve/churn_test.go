@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distcoll/internal/trace"
+)
+
+// TestTenantChurnStorm is the satellite-3 lifecycle soak: 1000 rounds of
+// create → run → (sometimes crash+shrink) → free against one shared
+// server, with leak checks on every shared structure a tenant touches —
+// goroutines, plan-cache entries, admission-gate registrations, trace
+// sinks — plus a long-lived bystander whose cached plans must survive
+// the entire storm (tenant-scoped invalidation, not cache nukes).
+func TestTenantChurnStorm(t *testing.T) {
+	rounds := 1000
+	if testing.Short() {
+		rounds = 100
+	}
+	srv := NewServer(Config{PlanCacheCapacity: 256})
+	defer srv.Close()
+	ctx := context.Background()
+
+	// The bystander outlives all churn; warm its plan cache.
+	by, err := srv.CreateTenant(TenantConfig{Name: "bystander", Ranks: 3, Integrity: true})
+	if err != nil {
+		t.Fatalf("CreateTenant(bystander): %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := by.Submit(ctx, Request{Kind: "bcast", Size: 1024, Seed: int64(i)}); err != nil {
+			t.Fatalf("bystander warmup: %v", err)
+		}
+	}
+	warm := srv.PlanCache().TenantStats(by.ID())
+	if warm.Resident == 0 {
+		t.Fatalf("bystander warmup left no resident plans")
+	}
+
+	baseline := runtime.NumGoroutine()
+	var sinkEvents atomic.Int64
+	churnSink := trace.SinkFunc(func(trace.Event) { sinkEvents.Add(1) })
+
+	var churnIDs []uint64
+	for i := 0; i < rounds; i++ {
+		tc := TenantConfig{Name: fmt.Sprintf("churn-%d", i), Ranks: 3}
+		if i%3 == 0 {
+			tc.Integrity = true
+		}
+		if i%5 == 0 {
+			tc.Trace = churnSink
+		}
+		tn, err := srv.CreateTenant(tc)
+		if err != nil {
+			t.Fatalf("round %d: CreateTenant: %v", i, err)
+		}
+		churnIDs = append(churnIDs, tn.ID())
+
+		if _, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 512, Seed: int64(i)}); err != nil {
+			t.Fatalf("round %d: Submit: %v", i, err)
+		}
+		if i%10 == 0 {
+			// Crash a rank and run again: the op must shrink past it, and
+			// the tenant must still free cleanly afterwards.
+			tn.Kill(1)
+			res, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 512, Seed: int64(i) + 1_000_000})
+			if err != nil {
+				t.Fatalf("round %d: post-crash Submit: %v", i, err)
+			}
+			if res.Completed != 2 || res.Excluded != 1 {
+				t.Fatalf("round %d: post-crash = completed %d excluded %d, want 2/1", i, res.Completed, res.Excluded)
+			}
+		}
+		if err := tn.Free(); err != nil {
+			t.Fatalf("round %d: Free: %v", i, err)
+		}
+	}
+
+	// Leak check 1: only the bystander remains registered.
+	if n := srv.TenantCount(); n != 1 {
+		t.Fatalf("TenantCount after churn = %d, want 1", n)
+	}
+	// Leak check 2: no churned tenant left plan-cache entries behind, and
+	// the cache's global resident count is exactly the bystander's.
+	for _, id := range churnIDs {
+		if ts := srv.PlanCache().TenantStats(id); ts.Resident != 0 {
+			t.Fatalf("tenant %d left %d resident plans after Free", id, ts.Resident)
+		}
+	}
+	cs := srv.PlanCache().Stats()
+	bys := srv.PlanCache().TenantStats(by.ID())
+	if cs.Size != bys.Resident {
+		t.Fatalf("cache holds %d plans but bystander owns %d — orphaned entries", cs.Size, bys.Resident)
+	}
+	// Leak check 3: the bystander's plans were NOT invalidated by any
+	// churned tenant's teardown — a same-shape op is a pure cache hit.
+	before := srv.PlanCache().TenantStats(by.ID())
+	if _, err := by.Submit(ctx, Request{Kind: "bcast", Size: 1024, Seed: 99}); err != nil {
+		t.Fatalf("bystander post-churn Submit: %v", err)
+	}
+	after := srv.PlanCache().TenantStats(by.ID())
+	if after.Hits <= before.Hits {
+		t.Fatalf("bystander plan was evicted by churn: hits %d → %d, misses %d → %d",
+			before.Hits, after.Hits, before.Misses, after.Misses)
+	}
+	// Leak check 4: freed tenants' gate slices are gone.
+	for _, id := range churnIDs {
+		if in, b, q := srv.gate.snapshot(id); in != 0 || b != 0 || q != 0 {
+			t.Fatalf("tenant %d still holds gate state (%d,%d,%d)", id, in, b, q)
+		}
+	}
+	// Leak check 5: trace sinks fall silent once their tenants are freed.
+	quiesced := sinkEvents.Load()
+	time.Sleep(50 * time.Millisecond)
+	if now := sinkEvents.Load(); now != quiesced {
+		t.Fatalf("churned tenants' sinks still emitting after Free (%d → %d)", quiesced, now)
+	}
+	// Leak check 6: goroutines settle back to the baseline (the runtime
+	// needs a moment to retire world procs and watchdogs).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

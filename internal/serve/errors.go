@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// OverloadError is the typed shed signal: the admission gate refused an
+// op because the tenant's bounded queue (or the global slot pool) is
+// full. It carries a retry-after hint derived from the gate's smoothed
+// op latency and the caller's queue position, so clients can back off
+// proportionally instead of hammering.
+type OverloadError struct {
+	Tenant     string
+	Reason     string // "tenant queue full" | "server shutting down" | …
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: tenant %q overloaded (%s), retry after %v",
+		e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// IsOverloaded reports whether err is (or wraps) an OverloadError.
+func IsOverloaded(err error) bool {
+	var oe *OverloadError
+	return errors.As(err, &oe)
+}
+
+// CircuitOpenError rejects an op because the tenant's circuit breaker is
+// open: its recent ops kept failing, and letting more in would burn
+// shared retry budget on a tenant that is already down. RetryAfter says
+// when the breaker will next admit a half-open probe.
+type CircuitOpenError struct {
+	Tenant     string
+	Failures   int
+	RetryAfter time.Duration
+}
+
+func (e *CircuitOpenError) Error() string {
+	return fmt.Sprintf("serve: tenant %q circuit open after %d consecutive failures, retry after %v",
+		e.Tenant, e.Failures, e.RetryAfter)
+}
+
+// IsCircuitOpen reports whether err is (or wraps) a CircuitOpenError.
+func IsCircuitOpen(err error) bool {
+	var ce *CircuitOpenError
+	return errors.As(err, &ce)
+}

@@ -1,0 +1,591 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distcoll/internal/trace"
+)
+
+// --- admission gate ---
+
+func TestGateDirectGrant(t *testing.T) {
+	g := newGate(4)
+	g.register(&tenantGate{id: 1, name: "a", weight: 1, maxOps: 2, maxBytes: 1 << 20, maxQueue: 2})
+	if err := g.Admit(context.Background(), 1, 100); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if in, b, q := g.snapshot(1); in != 1 || b != 100 || q != 0 {
+		t.Fatalf("snapshot = (%d,%d,%d), want (1,100,0)", in, b, q)
+	}
+	g.Release(1, 100, time.Millisecond)
+	if in, _, _ := g.snapshot(1); in != 0 {
+		t.Fatalf("inFlight after release = %d, want 0", in)
+	}
+}
+
+func TestGateShedsWhenQueueFull(t *testing.T) {
+	g := newGate(8)
+	g.register(&tenantGate{id: 1, name: "a", weight: 1, maxOps: 1, maxBytes: 1 << 20, maxQueue: 1})
+	ctx := context.Background()
+	if err := g.Admit(ctx, 1, 1); err != nil { // takes the only slot
+		t.Fatalf("Admit: %v", err)
+	}
+	// Fill the queue with a background waiter.
+	queued := make(chan error, 1)
+	go func() { queued <- g.Admit(ctx, 1, 1) }()
+	waitFor(t, func() bool { _, _, q := g.snapshot(1); return q == 1 })
+
+	err := g.Admit(ctx, 1, 1) // queue full: shed
+	if !IsOverloaded(err) {
+		t.Fatalf("Admit with full queue = %v, want OverloadError", err)
+	}
+	var oe *OverloadError
+	if !asOverload(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("OverloadError without retry-after hint: %+v", oe)
+	}
+
+	g.Release(1, 1, time.Millisecond) // frees the slot; the waiter gets it
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestGateShedsOversizedRequest(t *testing.T) {
+	g := newGate(8)
+	g.register(&tenantGate{id: 1, name: "a", weight: 1, maxOps: 4, maxBytes: 1024, maxQueue: 4})
+	err := g.Admit(context.Background(), 1, 4096)
+	if !IsOverloaded(err) {
+		t.Fatalf("oversized Admit = %v, want immediate OverloadError", err)
+	}
+	if _, _, q := g.snapshot(1); q != 0 {
+		t.Fatalf("oversized request was queued (%d), want shed", q)
+	}
+}
+
+func TestGateWeightedFairGrant(t *testing.T) {
+	// Three free slots, two loaded queues: the batch grant should split
+	// them by weight — tenant 2 (weight 2) gets two slots for tenant 1's
+	// one, because each grant raises the grantee's inFlight/weight ratio
+	// and the next slot goes to whoever is furthest below entitlement.
+	g := newGate(3)
+	light := &tenantGate{id: 1, name: "light", weight: 1, maxOps: 8, maxBytes: 1 << 20, maxQueue: 8}
+	heavy := &tenantGate{id: 2, name: "heavy", weight: 2, maxOps: 8, maxBytes: 1 << 20, maxQueue: 8}
+	g.register(light)
+	g.register(heavy)
+	g.mu.Lock()
+	for i := 0; i < 3; i++ {
+		light.queue = append(light.queue, &waiter{bytes: 1, ready: make(chan struct{})})
+		heavy.queue = append(heavy.queue, &waiter{bytes: 1, ready: make(chan struct{})})
+	}
+	g.grantLocked()
+	lIn, hIn := light.inFlight, heavy.inFlight
+	lQ, hQ := len(light.queue), len(heavy.queue)
+	g.mu.Unlock()
+
+	if lIn != 1 || hIn != 2 {
+		t.Fatalf("grant split = light %d / heavy %d, want 1 / 2", lIn, hIn)
+	}
+	if lQ != 2 || hQ != 1 {
+		t.Fatalf("queues after grant = light %d / heavy %d, want 2 / 1", lQ, hQ)
+	}
+}
+
+func TestGateNoStarvationOnTies(t *testing.T) {
+	// Regression: with one slot and equal-weight tenants, every release
+	// resets the inFlight/weight ratios to a tie; a pure smallest-id
+	// tie-break hands every grant to tenant 1 and starves the rest. The
+	// least-recently-granted tie-break must round-robin instead.
+	g := newGate(1)
+	gates := map[uint64]*tenantGate{}
+	for id := uint64(1); id <= 3; id++ {
+		tg := &tenantGate{id: id, name: fmt.Sprintf("t%d", id), weight: 1, maxOps: 4, maxBytes: 1 << 20, maxQueue: 16}
+		gates[id] = tg
+		g.register(tg)
+	}
+	g.mu.Lock()
+	for _, tg := range gates {
+		for i := 0; i < 4; i++ {
+			tg.queue = append(tg.queue, &waiter{bytes: 1, ready: make(chan struct{})})
+		}
+	}
+	var order []uint64
+	for i := 0; i < 9; i++ {
+		if len(order) > 0 { // previous grantee finishes its op
+			prev := gates[order[len(order)-1]]
+			prev.inFlight--
+			g.busy--
+		}
+		before := map[uint64]int{}
+		for id, tg := range gates {
+			before[id] = len(tg.queue)
+		}
+		g.grantLocked()
+		for id, tg := range gates {
+			if len(tg.queue) < before[id] {
+				order = append(order, id)
+			}
+		}
+	}
+	g.mu.Unlock()
+	if len(order) != 9 {
+		t.Fatalf("granted %d of 9 cycles: %v", len(order), order)
+	}
+	counts := map[uint64]int{}
+	for _, id := range order {
+		counts[id]++
+	}
+	for id := uint64(1); id <= 3; id++ {
+		if counts[id] != 3 {
+			t.Fatalf("unfair grant distribution %v (order %v)", counts, order)
+		}
+	}
+}
+
+func TestGateAdmitContextCancel(t *testing.T) {
+	g := newGate(1)
+	g.register(&tenantGate{id: 1, name: "a", weight: 1, maxOps: 4, maxBytes: 1 << 20, maxQueue: 4})
+	if err := g.Admit(context.Background(), 1, 1); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.Admit(ctx, 1, 1) }()
+	waitFor(t, func() bool { _, _, q := g.snapshot(1); return q == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Admit = %v, want context.Canceled", err)
+	}
+	// The cancelled waiter must not hold the slot once it frees up.
+	g.Release(1, 1, 0)
+	if err := g.Admit(context.Background(), 1, 1); err != nil {
+		t.Fatalf("Admit after cancelled waiter: %v", err)
+	}
+}
+
+func TestGateUnregisterWakesWaiters(t *testing.T) {
+	g := newGate(1)
+	g.register(&tenantGate{id: 1, name: "a", weight: 1, maxOps: 4, maxBytes: 1 << 20, maxQueue: 4})
+	if err := g.Admit(context.Background(), 1, 1); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- g.Admit(context.Background(), 1, 1) }()
+	waitFor(t, func() bool { _, _, q := g.snapshot(1); return q == 1 })
+	g.unregister(1)
+	if err := <-errc; !IsOverloaded(err) {
+		t.Fatalf("waiter after unregister = %v, want OverloadError", err)
+	}
+}
+
+// --- brownout ladder ---
+
+func TestBrownoutLadder(t *testing.T) {
+	var mu sync.Mutex
+	var applied []int
+	b := newBrownout(0.8, 0.3, 5*time.Millisecond, func(l int) {
+		mu.Lock()
+		applied = append(applied, l)
+		mu.Unlock()
+	})
+
+	if got := b.observe(0.9); got != BrownoutOff {
+		t.Fatalf("first high sample raised immediately to %d", got)
+	}
+	// Sustained pressure: one step per hold period, tracing first.
+	waitLevel := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for b.observe(0.9) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("level never reached %d (at %d)", want, b.Level())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitLevel(BrownoutTracing)
+	waitLevel(BrownoutDigests)
+	if b.observe(0.9) != BrownoutDigests {
+		t.Fatalf("level climbed past BrownoutDigests")
+	}
+	if b.Raised() != 2 {
+		t.Fatalf("Raised = %d, want 2", b.Raised())
+	}
+
+	// A dip that doesn't reach the low-water mark must not recover.
+	for i := 0; i < 3; i++ {
+		b.observe(0.5)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if b.Level() != BrownoutDigests {
+		t.Fatalf("mid-band occupancy lowered the level to %d", b.Level())
+	}
+
+	// Sustained drain recovers one step at a time, in reverse.
+	waitDown := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for b.observe(0.1) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("level never fell to %d (at %d)", want, b.Level())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitDown(BrownoutTracing)
+	waitDown(BrownoutOff)
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{1, 2, 1, 0}
+	if len(applied) != len(want) {
+		t.Fatalf("apply calls = %v, want %v", applied, want)
+	}
+	for i := range want {
+		if applied[i] != want[i] {
+			t.Fatalf("apply calls = %v, want %v", applied, want)
+		}
+	}
+}
+
+// --- circuit breaker ---
+
+func TestBreakerTripAndProbe(t *testing.T) {
+	b := newBreaker(3, 20*time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if b.failure() {
+			t.Fatalf("tripped after %d failures, threshold 3", i+1)
+		}
+	}
+	if !b.failure() {
+		t.Fatalf("third failure did not trip")
+	}
+	if ok, wait, _ := b.allow(); ok || wait <= 0 {
+		t.Fatalf("open breaker allowed (ok=%v wait=%v)", ok, wait)
+	}
+	if b.state() != "open" {
+		t.Fatalf("state = %q, want open", b.state())
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	if b.state() != "half-open" {
+		t.Fatalf("state after cooldown = %q, want half-open", b.state())
+	}
+	ok1, _, _ := b.allow()
+	ok2, _, _ := b.allow()
+	if !ok1 || ok2 {
+		t.Fatalf("half-open admitted (%v,%v), want exactly one probe", ok1, ok2)
+	}
+
+	// Failed probe re-opens for a fresh cooldown.
+	b.failure()
+	if ok, _, _ := b.allow(); ok {
+		t.Fatalf("breaker allowed right after failed probe")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if ok, _, _ := b.allow(); !ok {
+		t.Fatalf("no second probe after failed-probe cooldown")
+	}
+	b.success()
+	if b.state() != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", b.state())
+	}
+	if ok, _, _ := b.allow(); !ok {
+		t.Fatalf("closed breaker refused")
+	}
+}
+
+// --- trace gate ---
+
+func TestGateSinkSuppression(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	inner := trace.SinkFunc(func(trace.Event) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	gs := trace.NewGate(inner)
+	gs.Emit(trace.Event{})
+	gs.SetEnabled(false)
+	gs.Emit(trace.Event{})
+	gs.Emit(trace.Event{})
+	gs.SetEnabled(true)
+	gs.Emit(trace.Event{})
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 2 {
+		t.Fatalf("inner sink saw %d events, want 2", n)
+	}
+	if gs.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", gs.Dropped())
+	}
+}
+
+// --- end-to-end Submit ---
+
+func TestSubmitCollectives(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	tn, err := srv.CreateTenant(TenantConfig{Name: "t", Ranks: 4, Integrity: true})
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	ctx := context.Background()
+	for _, req := range []Request{
+		{Kind: "bcast", Size: 2048, Seed: 7},
+		{Kind: "allgather", Size: 512, Seed: 8},
+		{Kind: "barrier"},
+		{Kind: "bcast", Size: 2048, Seed: 9},
+	} {
+		res, err := tn.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("Submit(%s): %v", req.Kind, err)
+		}
+		if res.Completed != 4 || res.Excluded != 0 {
+			t.Fatalf("Submit(%s) = completed %d excluded %d, want 4/0", req.Kind, res.Completed, res.Excluded)
+		}
+		if len(res.Group) != 4 {
+			t.Fatalf("Submit(%s) group = %v", req.Kind, res.Group)
+		}
+	}
+	if _, err := tn.Submit(ctx, Request{Kind: "scan"}); err == nil {
+		t.Fatalf("unknown op kind accepted")
+	}
+
+	st := srv.Stats()
+	if st.Admitted != 4 {
+		t.Fatalf("Stats.Admitted = %d, want 4", st.Admitted)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].Admitted != 4 || st.Tenants[0].Breaker != "closed" {
+		t.Fatalf("tenant snapshot = %+v", st.Tenants)
+	}
+	// The second bcast of the same shape should have hit the shared
+	// plan cache under this tenant's tag.
+	if st.Tenants[0].PlanHits == 0 {
+		t.Fatalf("no per-tenant plan-cache hits recorded: %+v", st.Tenants[0])
+	}
+	if got := srv.Metrics().Counter(fmt.Sprintf("serve.tenant.%d.admitted", tn.ID())).Load(); got != 4 {
+		t.Fatalf("admitted counter = %d, want 4", got)
+	}
+}
+
+func TestSubmitAfterFree(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	tn, err := srv.CreateTenant(TenantConfig{Ranks: 2})
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	if err := tn.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := tn.Free(); err != nil { // idempotent
+		t.Fatalf("second Free: %v", err)
+	}
+	if _, err := tn.Submit(context.Background(), Request{Kind: "barrier"}); err == nil {
+		t.Fatalf("Submit on freed tenant succeeded")
+	}
+	if srv.TenantCount() != 0 {
+		t.Fatalf("TenantCount = %d after Free", srv.TenantCount())
+	}
+}
+
+func TestSubmitShedsUnderOverload(t *testing.T) {
+	// One global slot, one tenant slot, queue depth 1: hold the slot
+	// with a long op and hammer the gate until it sheds.
+	srv := NewServer(Config{GlobalSlots: 1, TenantSlots: 1, QueueDepth: 1})
+	defer srv.Close()
+	tn, err := srv.CreateTenant(TenantConfig{Ranks: 2})
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	ctx := context.Background()
+
+	block := make(chan struct{})
+	first := make(chan error, 1)
+	go func() {
+		// Occupy the only slot via the raw gate (simplest way to make
+		// the server look busy without timing games).
+		err := srv.gate.Admit(ctx, tn.ID(), 1)
+		close(block)
+		first <- err
+	}()
+	<-block
+	if err := <-first; err != nil {
+		t.Fatalf("gate Admit: %v", err)
+	}
+
+	// One submission queues (depth 1)...
+	qctx, qcancel := context.WithCancel(ctx)
+	defer qcancel()
+	queued := make(chan error, 1)
+	go func() {
+		_, err := tn.Submit(qctx, Request{Kind: "barrier"})
+		queued <- err
+	}()
+	waitFor(t, func() bool { _, _, q := srv.gate.snapshot(tn.ID()); return q == 1 })
+
+	// ...and the next is shed with a typed, retry-hinted error.
+	_, err = tn.Submit(ctx, Request{Kind: "barrier"})
+	if !IsOverloaded(err) {
+		t.Fatalf("Submit under overload = %v, want OverloadError", err)
+	}
+	if st := srv.Stats(); st.Shed != 1 || st.Tenants[0].Shed != 1 {
+		t.Fatalf("shed counters = global %d tenant %d, want 1/1", st.Shed, st.Tenants[0].Shed)
+	}
+
+	qcancel()
+	<-queued
+	srv.gate.Release(tn.ID(), 1, 0)
+}
+
+func TestSubmitCircuitBreaks(t *testing.T) {
+	srv := NewServer(Config{BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond, OpDeadline: 300 * time.Millisecond})
+	defer srv.Close()
+	tn, err := srv.CreateTenant(TenantConfig{Ranks: 3})
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 256, Seed: 1}); err != nil {
+		t.Fatalf("warmup Submit: %v", err)
+	}
+
+	// Kill the whole world: every op now completes on no rank.
+	for r := 0; r < 3; r++ {
+		tn.Kill(r)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 256, Seed: int64(10 + i)}); err == nil {
+			t.Fatalf("Submit %d on dead world succeeded", i)
+		} else if IsCircuitOpen(err) {
+			t.Fatalf("circuit opened after %d failures, threshold 2", i)
+		}
+	}
+	_, err = tn.Submit(ctx, Request{Kind: "bcast", Size: 256, Seed: 20})
+	if !IsCircuitOpen(err) {
+		t.Fatalf("Submit after threshold = %v, want CircuitOpenError", err)
+	}
+	var ce *CircuitOpenError
+	if !asCircuit(err, &ce) || ce.RetryAfter <= 0 || ce.Failures < 2 {
+		t.Fatalf("CircuitOpenError = %+v", ce)
+	}
+	st := srv.Stats()
+	if st.CircuitOpen == 0 || st.Tenants[0].CircuitOpen == 0 {
+		t.Fatalf("circuit_open counters not exported: %+v", st)
+	}
+	if got := srv.Metrics().Counter("serve.circuit_trips").Load(); got != 1 {
+		t.Fatalf("serve.circuit_trips = %d, want 1", got)
+	}
+
+	// After the cooldown exactly one probe goes through (and fails,
+	// re-opening the circuit).
+	time.Sleep(60 * time.Millisecond)
+	if st := tn.brk.state(); st != "half-open" {
+		t.Fatalf("breaker state = %q, want half-open", st)
+	}
+	if _, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 256, Seed: 30}); IsCircuitOpen(err) {
+		t.Fatalf("half-open probe was rejected: %v", err)
+	}
+	if _, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 256, Seed: 31}); !IsCircuitOpen(err) {
+		t.Fatalf("post-probe Submit = %v, want CircuitOpenError (probe failed)", err)
+	}
+}
+
+func TestBrownoutDisablesOptionalWork(t *testing.T) {
+	// Drive the ladder directly through the server's apply hook and
+	// check the tenant-side effects: the trace gate closes first, the
+	// e2e digest gate second, and both recover in reverse.
+	var mu sync.Mutex
+	events := 0
+	sink := trace.SinkFunc(func(trace.Event) { mu.Lock(); events++; mu.Unlock() })
+	srv := NewServer(Config{})
+	defer srv.Close()
+	tn, err := srv.CreateTenant(TenantConfig{Ranks: 2, Integrity: true, Trace: sink})
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+
+	srv.applyBrownout(BrownoutTracing)
+	if tn.gateSink.Enabled() {
+		t.Fatalf("trace gate still open at BrownoutTracing")
+	}
+	if _, err := tn.Submit(context.Background(), Request{Kind: "bcast", Size: 128, Seed: 3}); err != nil {
+		t.Fatalf("Submit under brownout: %v", err)
+	}
+	if d := tn.gateSink.Dropped(); d == 0 {
+		t.Fatalf("no events dropped while tracing browned out")
+	}
+
+	srv.applyBrownout(BrownoutDigests)
+	if _, err := tn.Submit(context.Background(), Request{Kind: "bcast", Size: 128, Seed: 4}); err != nil {
+		t.Fatalf("Submit at BrownoutDigests: %v", err)
+	}
+
+	srv.applyBrownout(BrownoutOff)
+	if !tn.gateSink.Enabled() {
+		t.Fatalf("trace gate still closed after recovery")
+	}
+	if _, err := tn.Submit(context.Background(), Request{Kind: "bcast", Size: 128, Seed: 5}); err != nil {
+		t.Fatalf("Submit after recovery: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events == 0 {
+		t.Fatalf("no events reached the sink after recovery")
+	}
+	if got := srv.Metrics().Counter("serve.brownout.transitions").Load(); got != 3 {
+		t.Fatalf("brownout transitions = %d, want 3", got)
+	}
+}
+
+// --- quantile helper ---
+
+func TestQuantile(t *testing.T) {
+	var s []time.Duration
+	for i := 1; i <= 100; i++ {
+		s = append(s, time.Duration(i))
+	}
+	if q := quantile(s, 0.99); q != 99 {
+		t.Fatalf("p99 = %d, want 99", q)
+	}
+	if q := quantile(s, 0.5); q != 50 {
+		t.Fatalf("p50 = %d, want 50", q)
+	}
+	if q := quantile(nil, 0.99); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+// --- helpers ---
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func asOverload(err error, out **OverloadError) bool {
+	oe, ok := err.(*OverloadError)
+	if ok {
+		*out = oe
+	}
+	return ok
+}
+
+func asCircuit(err error, out **CircuitOpenError) bool {
+	ce, ok := err.(*CircuitOpenError)
+	if ok {
+		*out = ce
+	}
+	return ok
+}

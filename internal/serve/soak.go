@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"distcoll/internal/chaos"
+)
+
+// This file is the isolation proof: a soak that reuses the chaos
+// harness as a traffic generator. N tenants each drive M ops/sec of
+// oracle-verified collectives; crash/corrupt faults are injected into
+// ONE victim tenant; and the soak asserts a latency/error budget on the
+// BYSTANDER tenants — zero errors, p99 within a configured bound of a
+// fault-free control run. The p99s are computed exactly from raw
+// latency samples (the trace histograms' ×2 buckets are too coarse for
+// a 1.5× ratio assertion).
+
+// SoakConfig drives one isolation soak.
+type SoakConfig struct {
+	Tenants    int           // total tenants, victim included (default 8)
+	Ranks      int           // ranks per tenant (default 6)
+	Rate       float64       // target ops/sec per tenant (default 4)
+	Duration   time.Duration // faulted-phase length (default 10s)
+	ControlFor time.Duration // control-phase length (default Duration/2, capped at 30s)
+	Size       int64         // payload bytes (default 4096)
+	Seed       int64         // scenario seed (default 1)
+	Collective string        // traffic op kind (default "bcast")
+	Victim     chaos.Cell    // fault cell injected into tenant 1 (default "mixed"-style crash+corrupt)
+	Integrity  bool          // arm integrity on every tenant (default on via NewSoak defaults)
+	P99Bound   float64       // bystander p99 ≤ Bound × control p99 + Slack (default 1.5)
+	Slack      time.Duration // absolute slack on the p99 bound (default 5ms)
+	Server     Config        // server knobs for both phases
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 8
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 6
+	}
+	if c.Rate <= 0 {
+		c.Rate = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.ControlFor <= 0 {
+		c.ControlFor = c.Duration / 2
+		if c.ControlFor > 30*time.Second {
+			c.ControlFor = 30 * time.Second
+		}
+	}
+	if c.Size <= 0 {
+		c.Size = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Collective == "" {
+		c.Collective = "bcast"
+	}
+	if c.Victim.Name == "" {
+		c.Victim = chaos.Cell{
+			Name: "crash+corrupt", Crashes: 1, CrashOpFrac: 0.5,
+			CorruptProb: 0.2,
+		}
+	}
+	if c.P99Bound <= 0 {
+		c.P99Bound = 1.5
+	}
+	if c.Slack <= 0 {
+		c.Slack = 5 * time.Millisecond
+	}
+	return c
+}
+
+// PhaseStats aggregates one phase (control or faulted) of the soak.
+type PhaseStats struct {
+	Ops       int           // completed ops across all tenants
+	Errors    int           // real op failures (sheds are counted separately)
+	Shed      int           // ops shed by the admission gate
+	Circuit   int           // ops rejected by circuit breakers
+	VictimErr int           // errors on the victim tenant (faulted phase)
+	P99       time.Duration // bystander exact p99
+	P50       time.Duration // bystander exact median
+	Max       time.Duration
+}
+
+// SoakResult is the soak's verdict and evidence.
+type SoakResult struct {
+	Config     SoakConfig
+	Control    PhaseStats
+	Faulted    PhaseStats
+	Bound      time.Duration // the p99 budget the faulted phase had to meet
+	Violations []string
+	Counters   map[string]int64 // the faulted server's full counter snapshot
+}
+
+// OK reports whether the isolation budget held.
+func (r *SoakResult) OK() bool { return len(r.Violations) == 0 }
+
+func (r *SoakResult) String() string {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("soak %s: control p99=%v; bystanders p99=%v (budget %v) errors=%d shed=%d; victim errors=%d",
+		verdict, r.Control.P99, r.Faulted.P99, r.Bound, r.Faulted.Errors, r.Faulted.Shed, r.Faulted.VictimErr)
+}
+
+// quantile computes the exact q-quantile of samples (nearest-rank).
+func quantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// tenantLoad is what one tenant's driver loop reports.
+type tenantLoad struct {
+	latencies []time.Duration
+	errors    int
+	shed      int
+	circuit   int
+}
+
+// drive submits ops at the configured rate until the deadline, sleeping
+// out each period remainder so the offered load is rate-shaped, not
+// closed-loop. Every op uses a fresh deterministic seed.
+func drive(ctx context.Context, t *Tenant, cfg SoakConfig, seedBase int64) tenantLoad {
+	var out tenantLoad
+	period := time.Duration(float64(time.Second) / cfg.Rate)
+	for i := int64(0); ctx.Err() == nil; i++ {
+		start := time.Now()
+		res, err := t.Submit(ctx, Request{Kind: cfg.Collective, Size: cfg.Size, Seed: seedBase + i})
+		switch {
+		case err == nil:
+			out.latencies = append(out.latencies, res.Latency)
+		case IsOverloaded(err):
+			out.shed++
+		case IsCircuitOpen(err):
+			out.circuit++
+		case ctx.Err() != nil:
+			// The phase deadline cut the op off mid-flight; not a tenant
+			// failure.
+		default:
+			out.errors++
+		}
+		if rest := period - time.Since(start); rest > 0 {
+			select {
+			case <-time.After(rest):
+			case <-ctx.Done():
+			}
+		}
+	}
+	return out
+}
+
+// runPhase builds a fresh server with cfg.Tenants tenants (tenant index
+// 0 is the victim when victimized), drives them concurrently for d, and
+// aggregates bystander samples.
+func runPhase(cfg SoakConfig, d time.Duration, victimized bool) (PhaseStats, map[string]int64, error) {
+	srv := NewServer(cfg.Server)
+	defer srv.Close()
+	tenants := make([]*Tenant, cfg.Tenants)
+	for i := range tenants {
+		tc := TenantConfig{
+			Name:      fmt.Sprintf("soak-%d", i),
+			Ranks:     cfg.Ranks,
+			Integrity: cfg.Integrity,
+		}
+		if victimized && i == 0 {
+			plan := chaos.PlanFor(chaos.Scenario{
+				Seed: cfg.Seed, Ranks: cfg.Ranks, Collective: cfg.Collective,
+				Size: cfg.Size, Cell: cfg.Victim,
+			})
+			tc.Fault = &plan
+		}
+		t, err := srv.CreateTenant(tc)
+		if err != nil {
+			return PhaseStats{}, nil, err
+		}
+		tenants[i] = t
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	loads := make([]tenantLoad, cfg.Tenants)
+	var wg sync.WaitGroup
+	for i, t := range tenants {
+		wg.Add(1)
+		go func(i int, t *Tenant) {
+			defer wg.Done()
+			loads[i] = drive(ctx, t, cfg, cfg.Seed*1_000_000+int64(i)*10_000)
+		}(i, t)
+	}
+	wg.Wait()
+
+	var st PhaseStats
+	var bystander []time.Duration
+	for i, l := range loads {
+		st.Ops += len(l.latencies)
+		st.Shed += l.shed
+		st.Circuit += l.circuit
+		if victimized && i == 0 {
+			st.VictimErr += l.errors
+			continue
+		}
+		st.Errors += l.errors
+		bystander = append(bystander, l.latencies...)
+	}
+	st.P99 = quantile(bystander, 0.99)
+	st.P50 = quantile(bystander, 0.50)
+	st.Max = quantile(bystander, 1.0)
+	counters := srv.Metrics().Counters()
+	return st, counters, nil
+}
+
+// RunSoak runs the control phase (all tenants fault-free) and the
+// faulted phase (tenant 0 victimized), then applies the isolation
+// budget: bystanders must complete with ZERO errors, and their exact
+// p99 must stay within P99Bound × control-p99 + Slack.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SoakResult{Config: cfg}
+
+	control, _, err := runPhase(cfg, cfg.ControlFor, false)
+	if err != nil {
+		return nil, fmt.Errorf("serve: soak control phase: %w", err)
+	}
+	res.Control = control
+
+	faulted, counters, err := runPhase(cfg, cfg.Duration, true)
+	if err != nil {
+		return nil, fmt.Errorf("serve: soak faulted phase: %w", err)
+	}
+	res.Faulted = faulted
+	res.Counters = counters
+
+	applyBudget(res)
+	return res, nil
+}
+
+// applyBudget evaluates the isolation budget over a result's two phases,
+// recording every violation.
+func applyBudget(res *SoakResult) {
+	cfg := res.Config
+	res.Bound = time.Duration(cfg.P99Bound*float64(res.Control.P99)) + cfg.Slack
+	if res.Faulted.Errors > 0 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("bystander tenants saw %d op errors, want 0", res.Faulted.Errors))
+	}
+	if res.Control.Errors > 0 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("control run saw %d op errors, want 0", res.Control.Errors))
+	}
+	if res.Control.Ops == 0 || res.Faulted.Ops == 0 {
+		res.Violations = append(res.Violations, "a soak phase completed zero ops")
+	}
+	if res.Faulted.P99 > res.Bound {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("bystander p99 %v exceeds budget %v (%.1f× control %v + %v slack)",
+				res.Faulted.P99, res.Bound, cfg.P99Bound, res.Control.P99, cfg.Slack))
+	}
+}

@@ -6,7 +6,48 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
+
+// SinkFunc adapts a plain function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// GateSink wraps a sink behind an atomic enable switch. The serve
+// layer's brownout ladder flips it to suppress event traffic under
+// sustained pressure without tearing the tracer out of the hot path:
+// emits while gated are dropped (and counted), metrics keep flowing
+// because they live in the Tracer's registry, not in sinks.
+type GateSink struct {
+	inner   Sink
+	off     atomic.Bool
+	dropped atomic.Int64
+}
+
+// NewGate wraps inner; the gate starts enabled.
+func NewGate(inner Sink) *GateSink {
+	return &GateSink{inner: inner}
+}
+
+// SetEnabled opens (true) or closes (false) the gate.
+func (g *GateSink) SetEnabled(on bool) { g.off.Store(!on) }
+
+// Enabled reports whether events currently pass through.
+func (g *GateSink) Enabled() bool { return !g.off.Load() }
+
+// Dropped returns how many events the closed gate discarded.
+func (g *GateSink) Dropped() int64 { return g.dropped.Load() }
+
+// Emit implements Sink.
+func (g *GateSink) Emit(e Event) {
+	if g.off.Load() {
+		g.dropped.Add(1)
+		return
+	}
+	g.inner.Emit(e)
+}
 
 // RingSink keeps the last capacity events in memory — the test and
 // analyzer sink. Overwrites are silent: the ring is a flight recorder,
