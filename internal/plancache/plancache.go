@@ -424,9 +424,19 @@ func (c *Cache) InvalidateTopoOf(topo, tenant uint64) int {
 }
 
 // InvalidateTenant removes every plan a tenant holds — the tenant-free
-// hook; a freed tenant leaves nothing resident.
+// hook; a freed tenant leaves nothing resident. The tenant's counter
+// block and its mirrored plancache.tenant.<id>.* trace counters go
+// with it: tenant ids only grow, so keeping them would leak the maps
+// without bound under churn in a long-running daemon.
 func (c *Cache) InvalidateTenant(tenant uint64) int {
-	return c.Invalidate(func(k Key) bool { return k.Tenant == tenant })
+	n := c.Invalidate(func(k Key) bool { return k.Tenant == tenant })
+	c.tmu.Lock()
+	delete(c.tenants, tenant)
+	c.tmu.Unlock()
+	if c.metrics != nil {
+		c.metrics.RemovePrefix(fmt.Sprintf("plancache.tenant.%d.", tenant))
+	}
+	return n
 }
 
 // Stats returns a snapshot of the counters. All counters are atomics and

@@ -141,6 +141,36 @@ func TestTenantStatsCounters(t *testing.T) {
 	}
 }
 
+// TestInvalidateTenantDropsCounters: freeing a tenant removes its
+// counter block and mirrored trace counters, not just its entries —
+// otherwise tenant churn (ids are monotone) grows both maps forever.
+func TestInvalidateTenantDropsCounters(t *testing.T) {
+	reg := trace.NewMetrics()
+	c := NewSharded(16, 2, reg)
+	c.Get(tkey(7, 1), plan)
+	c.Get(tkey(7, 1), plan)
+	c.Get(tkey(70, 1), plan) // id-70 counters must survive tenant 7's free
+	c.InvalidateTenant(7)
+	if ts := c.TenantStats(7); ts.Hits != 0 || ts.Misses != 0 || ts.Resident != 0 {
+		t.Errorf("freed tenant stats = %+v, want zeros", ts)
+	}
+	snap := reg.Counters()
+	for _, name := range []string{"plancache.tenant.7.hits", "plancache.tenant.7.misses"} {
+		if _, ok := snap[name]; ok {
+			t.Errorf("counter %q survived InvalidateTenant", name)
+		}
+	}
+	if snap["plancache.tenant.70.misses"] != 1 {
+		t.Errorf("neighbor tenant's counters disturbed: %v", snap)
+	}
+	c.tmu.Lock()
+	blocks := len(c.tenants)
+	c.tmu.Unlock()
+	if blocks != 1 {
+		t.Errorf("%d tenant counter blocks remain, want 1 (tenant 70)", blocks)
+	}
+}
+
 // TestStatsRaceRegression is the counter-synchronization audit's
 // regression test: Stats, TenantStats and the metrics snapshot are read
 // continuously while gets, invalidations and quota evictions run on

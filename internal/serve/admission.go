@@ -18,9 +18,14 @@ import (
 
 // waiter is one queued admission request.
 type waiter struct {
-	bytes     int64
-	ready     chan struct{} // closed on grant
-	cancelled bool          // set when the caller's context expired
+	bytes int64
+	// ready is closed to wake the waiter — on a grant, on a cancelled-
+	// waiter drop, or on tenant unregistration. granted (written under
+	// the gate mutex before the close) is what distinguishes them: only
+	// a granted waiter holds a global slot it must use or give back.
+	ready     chan struct{}
+	granted   bool
+	cancelled bool // set when the caller's context expired
 }
 
 // tenantGate is the per-tenant slice of the gate's state, all guarded by
@@ -86,7 +91,7 @@ func (g *gate) unregister(id uint64) {
 	}
 	g.mu.Unlock()
 	for _, w := range queued {
-		close(w.ready) // the waiter re-checks and finds its tenant gone
+		close(w.ready) // granted stays false: the waiter sheds, holding no slot
 	}
 }
 
@@ -141,11 +146,15 @@ func (g *gate) Admit(ctx context.Context, id uint64, bytes int64) error {
 
 	select {
 	case <-w.ready:
-		// Granted — or the tenant was unregistered; tell them apart.
+		// Woken by a grant or by tenant unregistration; w.granted (not
+		// tenant-map liveness — the tenant may legitimately unregister
+		// AFTER granting us) says which. An ungranted wake holds no
+		// slot, a granted one proceeds and releases through the normal
+		// path even if its tenant is already gone.
 		g.mu.Lock()
-		_, alive := g.tenants[id]
+		granted := w.granted
 		g.mu.Unlock()
-		if !alive {
+		if !granted {
 			return &OverloadError{Tenant: tg.name, Reason: "tenant closed", RetryAfter: time.Millisecond}
 		}
 		return nil
@@ -153,13 +162,10 @@ func (g *gate) Admit(ctx context.Context, id uint64, bytes int64) error {
 		g.mu.Lock()
 		w.cancelled = true
 		// If the grant raced the cancellation, the slot is already
-		// counted for this waiter: give it back.
-		granted := false
-		select {
-		case <-w.ready:
-			granted = true
-		default:
-		}
+		// counted for this waiter: give it back. An unregister close is
+		// NOT a grant — keying on the channel here would decrement busy
+		// with no matching increment.
+		granted := w.granted
 		g.mu.Unlock()
 		if granted {
 			g.Release(id, bytes, 0)
@@ -229,6 +235,7 @@ func (g *gate) grantLocked() {
 		best.bytes += w.bytes
 		g.grantSeq++
 		best.lastGrant = g.grantSeq
+		w.granted = true
 		close(w.ready)
 	}
 }

@@ -28,20 +28,34 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 // allow decides whether a submission may proceed. When the circuit is
 // open and cooling, it returns false with the remaining cooldown; when
 // the cooldown has elapsed it admits exactly one probe at a time.
-func (b *breaker) allow() (ok bool, retryAfter time.Duration, fails int) {
+// probe=true tells the caller it holds the half-open probe slot, which
+// it must settle — success()/failure() once the op ran, abortProbe() if
+// it never did.
+func (b *breaker) allow() (ok, probe bool, retryAfter time.Duration, fails int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.open {
-		return true, 0, b.fails
+		return true, false, 0, b.fails
 	}
 	if wait := b.cooldown - time.Since(b.openAt); wait > 0 {
-		return false, wait, b.fails
+		return false, false, wait, b.fails
 	}
 	if b.probing {
-		return false, b.cooldown, b.fails
+		return false, false, b.cooldown, b.fails
 	}
 	b.probing = true // half-open: this caller is the probe
-	return true, 0, b.fails
+	return true, true, 0, b.fails
+}
+
+// abortProbe returns a half-open probe slot whose op never ran (the
+// admission gate shed or cancelled it before dispatch). The circuit
+// stays open — an admission failure says nothing about tenant health —
+// but the slot frees so a later allow() can grant a fresh probe instead
+// of wedging the tenant permanently circuit-open.
+func (b *breaker) abortProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
 }
 
 // success records a completed op: the circuit closes and the failure

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -119,7 +120,19 @@ func TestTenantChurnStorm(t *testing.T) {
 	if now := sinkEvents.Load(); now != quiesced {
 		t.Fatalf("churned tenants' sinks still emitting after Free (%d → %d)", quiesced, now)
 	}
-	// Leak check 6: goroutines settle back to the baseline (the runtime
+	// Leak check 6: churned tenants' per-tenant counters were removed
+	// from the metrics registry — with monotone tenant ids the registry
+	// would otherwise grow by a few entries per churn round forever.
+	// Only the bystander's per-tenant counters may remain.
+	for name := range srv.Metrics().Counters() {
+		for _, prefix := range []string{"serve.tenant.", "plancache.tenant."} {
+			if strings.HasPrefix(name, prefix) &&
+				!strings.HasPrefix(strings.TrimPrefix(name, prefix), fmt.Sprintf("%d.", by.ID())) {
+				t.Fatalf("counter %q survived its tenant's Free", name)
+			}
+		}
+	}
+	// Leak check 7: goroutines settle back to the baseline (the runtime
 	// needs a moment to retire world procs and watchdogs).
 	deadline := time.Now().Add(10 * time.Second)
 	for {

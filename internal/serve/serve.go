@@ -284,11 +284,19 @@ func (s *Server) CreateTenant(tc TenantConfig) (*Tenant, error) {
 		id: id, name: tc.Name, weight: tc.Weight,
 		maxOps: s.cfg.TenantSlots, maxBytes: s.cfg.TenantBytes, maxQueue: s.cfg.QueueDepth,
 	})
+	go func() { t.runDone <- t.world.Run(t.procLoop) }()
+
 	s.mu.Lock()
+	if s.closed {
+		// Close() ran between the early check and registration: its
+		// tenant snapshot cannot have seen this tenant, so nothing else
+		// will ever free it — tear it down here.
+		s.mu.Unlock()
+		t.Free()
+		return nil, ErrServerClosed
+	}
 	s.tenants[id] = t
 	s.mu.Unlock()
-
-	go func() { t.runDone <- t.world.Run(t.procLoop) }()
 	return t, nil
 }
 
@@ -370,7 +378,8 @@ func (t *Tenant) Submit(ctx context.Context, req Request) (Result, error) {
 		return Result{}, fmt.Errorf("serve: unknown op kind %q", req.Kind)
 	}
 	s := t.srv
-	if ok, wait, fails := t.brk.allow(); !ok {
+	ok, probe, wait, fails := t.brk.allow()
+	if !ok {
 		t.cCircuit.Add(1)
 		s.metrics.Counter("serve.circuit_open").Add(1)
 		return Result{}, &CircuitOpenError{Tenant: t.name, Failures: fails, RetryAfter: wait}
@@ -382,7 +391,12 @@ func (t *Tenant) Submit(ctx context.Context, req Request) (Result, error) {
 			s.metrics.Counter("serve.shed").Add(1)
 		}
 		// An admission failure is load, not tenant health: the breaker
-		// only watches op outcomes.
+		// only watches op outcomes — but a half-open probe that never
+		// dispatched must give its slot back, or no probe ever settles
+		// and the circuit wedges open.
+		if probe {
+			t.brk.abortProbe()
+		}
 		return Result{}, err
 	}
 	t.cAdmitted.Add(1)
@@ -622,6 +636,9 @@ func (t *Tenant) Free() error {
 	s := t.srv
 	s.gate.unregister(t.id)
 	s.plans.InvalidateTenant(t.id)
+	// Tenant ids are monotone, so per-tenant counters left behind would
+	// grow the registry without bound under churn.
+	s.metrics.RemovePrefix(fmt.Sprintf("serve.tenant.%d.", t.id))
 	s.mu.Lock()
 	delete(s.tenants, t.id)
 	s.mu.Unlock()

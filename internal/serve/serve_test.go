@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -179,6 +180,97 @@ func TestGateUnregisterWakesWaiters(t *testing.T) {
 	if err := <-errc; !IsOverloaded(err) {
 		t.Fatalf("waiter after unregister = %v, want OverloadError", err)
 	}
+	// The shed waiter held no slot: the pool must not have shrunk.
+	g.mu.Lock()
+	busy := g.busy
+	g.mu.Unlock()
+	if busy != 1 {
+		t.Fatalf("gate busy = %d after unregister woke the waiter, want 1 (the original op)", busy)
+	}
+}
+
+func TestGateGrantedWaiterSurvivesUnregister(t *testing.T) {
+	// Regression: a waiter granted by grantLocked whose tenant was
+	// unregistered before it woke used to read the closed channel as
+	// "tenant closed" and return the error WITHOUT releasing,
+	// permanently leaking a global slot.
+	g := newGate(1)
+	tg := &tenantGate{id: 1, name: "a", weight: 1, maxOps: 4, maxBytes: 1 << 20, maxQueue: 4}
+	g.register(tg)
+	if err := g.Admit(context.Background(), 1, 1); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- g.Admit(context.Background(), 1, 1) }()
+	waitFor(t, func() bool { _, _, q := g.snapshot(1); return q == 1 })
+
+	// Finish the running op, grant the waiter and unregister the tenant
+	// in ONE critical section, so the waiter provably wakes after its
+	// tenant is gone.
+	g.mu.Lock()
+	tg.inFlight--
+	tg.bytes--
+	g.busy--
+	g.grantLocked()
+	delete(g.tenants, 1)
+	g.mu.Unlock()
+
+	if err := <-errc; err != nil {
+		t.Fatalf("granted waiter = %v, want nil (the slot is counted to it)", err)
+	}
+	g.Release(1, 1, 0)
+	g.mu.Lock()
+	busy := g.busy
+	g.mu.Unlock()
+	if busy != 0 {
+		t.Fatalf("gate busy = %d after release, want 0 — the grant leaked a slot", busy)
+	}
+}
+
+func TestGateAccountingUnderCancelChurn(t *testing.T) {
+	// Regression: ambiguous waiter wake-ups (grant vs unregister) could
+	// leak a slot (granted waiter sees its tenant gone) or mint one
+	// (cancelled waiter mistakes an unregister close for a grant and
+	// double-releases). Hammer admissions with expiring contexts against
+	// tenant unregistration and check the pool nets back to exactly its
+	// configured capacity.
+	g := newGate(2)
+	rounds := 150
+	if testing.Short() {
+		rounds = 30
+	}
+	for round := 0; round < rounds; round++ {
+		id := uint64(round + 1)
+		g.register(&tenantGate{id: id, name: "x", weight: 1, maxOps: 2, maxBytes: 1 << 20, maxQueue: 8})
+		var wg sync.WaitGroup
+		for i := 0; i < 6; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%3)*100*time.Microsecond)
+				defer cancel()
+				if err := g.Admit(ctx, id, 1); err == nil {
+					g.Release(id, 1, 0)
+				}
+			}(i)
+		}
+		time.Sleep(200 * time.Microsecond)
+		g.unregister(id)
+		wg.Wait()
+	}
+	g.mu.Lock()
+	busy := g.busy
+	g.mu.Unlock()
+	if busy != 0 {
+		t.Fatalf("gate busy = %d after churn, want 0", busy)
+	}
+	// Both global slots must still be grantable.
+	g.register(&tenantGate{id: 9999, name: "z", weight: 1, maxOps: 4, maxBytes: 1 << 20, maxQueue: 4})
+	for i := 0; i < 2; i++ {
+		if err := g.Admit(context.Background(), 9999, 1); err != nil {
+			t.Fatalf("Admit %d after churn = %v — a global slot leaked", i, err)
+		}
+	}
 }
 
 // --- brownout ladder ---
@@ -263,7 +355,7 @@ func TestBreakerTripAndProbe(t *testing.T) {
 	if !b.failure() {
 		t.Fatalf("third failure did not trip")
 	}
-	if ok, wait, _ := b.allow(); ok || wait <= 0 {
+	if ok, _, wait, _ := b.allow(); ok || wait <= 0 {
 		t.Fatalf("open breaker allowed (ok=%v wait=%v)", ok, wait)
 	}
 	if b.state() != "open" {
@@ -274,27 +366,48 @@ func TestBreakerTripAndProbe(t *testing.T) {
 	if b.state() != "half-open" {
 		t.Fatalf("state after cooldown = %q, want half-open", b.state())
 	}
-	ok1, _, _ := b.allow()
-	ok2, _, _ := b.allow()
-	if !ok1 || ok2 {
-		t.Fatalf("half-open admitted (%v,%v), want exactly one probe", ok1, ok2)
+	ok1, probe1, _, _ := b.allow()
+	ok2, _, _, _ := b.allow()
+	if !ok1 || !probe1 || ok2 {
+		t.Fatalf("half-open admitted (%v/%v,%v), want exactly one probe", ok1, probe1, ok2)
 	}
 
 	// Failed probe re-opens for a fresh cooldown.
 	b.failure()
-	if ok, _, _ := b.allow(); ok {
+	if ok, _, _, _ := b.allow(); ok {
 		t.Fatalf("breaker allowed right after failed probe")
 	}
 	time.Sleep(25 * time.Millisecond)
-	if ok, _, _ := b.allow(); !ok {
+	if ok, probe, _, _ := b.allow(); !ok || !probe {
 		t.Fatalf("no second probe after failed-probe cooldown")
 	}
 	b.success()
 	if b.state() != "closed" {
 		t.Fatalf("state after successful probe = %q, want closed", b.state())
 	}
-	if ok, _, _ := b.allow(); !ok {
-		t.Fatalf("closed breaker refused")
+	if ok, probe, _, _ := b.allow(); !ok || probe {
+		t.Fatalf("closed breaker refused (or handed out a probe)")
+	}
+}
+
+func TestBreakerAbortProbe(t *testing.T) {
+	b := newBreaker(2, 10*time.Millisecond)
+	b.failure()
+	b.failure() // trips
+	time.Sleep(15 * time.Millisecond)
+	ok, probe, _, _ := b.allow()
+	if !ok || !probe {
+		t.Fatalf("half-open allow = (%v,%v), want probe granted", ok, probe)
+	}
+	// The probe's op never ran (e.g. shed at admission): aborting must
+	// free the slot without closing the circuit.
+	b.abortProbe()
+	if b.state() != "half-open" {
+		t.Fatalf("state after abortProbe = %q, want half-open", b.state())
+	}
+	ok, probe, _, _ = b.allow()
+	if !ok || !probe {
+		t.Fatalf("allow after abortProbe = (%v,%v), want a fresh probe", ok, probe)
 	}
 }
 
@@ -391,6 +504,58 @@ func TestSubmitAfterFree(t *testing.T) {
 	}
 	if srv.TenantCount() != 0 {
 		t.Fatalf("TenantCount = %d after Free", srv.TenantCount())
+	}
+}
+
+func TestCreateTenantCloseRace(t *testing.T) {
+	// Regression: CreateTenant re-acquired s.mu to register without
+	// re-checking s.closed, so a Close() that snapshotted s.tenants in
+	// the window never freed the new tenant — leaking its world
+	// goroutines, gate slice and plan-cache entries on a closed server.
+	iters := 15
+	if testing.Short() {
+		iters = 5
+	}
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < iters; i++ {
+		srv := NewServer(Config{})
+		start := make(chan struct{})
+		tenants := make([]*Tenant, 3)
+		errs := make([]error, 3)
+		var wg sync.WaitGroup
+		for j := range tenants {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				<-start
+				tenants[j], errs[j] = srv.CreateTenant(TenantConfig{Ranks: 2})
+			}(j)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); <-start; srv.Close() }()
+		close(start)
+		wg.Wait()
+		if n := srv.TenantCount(); n != 0 {
+			t.Fatalf("iter %d: %d tenants registered on a closed server", i, n)
+		}
+		for j := range tenants {
+			if errs[j] != nil {
+				continue
+			}
+			// Created before the close won the race: Close freed it.
+			if _, err := tenants[j].Submit(context.Background(), Request{Kind: "barrier"}); err == nil {
+				t.Fatalf("iter %d: tenant %d still usable after Close", i, j)
+			}
+		}
+	}
+	// Every tenant's world goroutines must retire, whichever side of the
+	// race it landed on.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -493,6 +658,37 @@ func TestSubmitCircuitBreaks(t *testing.T) {
 	}
 	if _, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 256, Seed: 31}); !IsCircuitOpen(err) {
 		t.Fatalf("post-probe Submit = %v, want CircuitOpenError (probe failed)", err)
+	}
+}
+
+func TestShedProbeDoesNotWedgeBreaker(t *testing.T) {
+	// Regression: a half-open probe admitted by the breaker but then
+	// shed by the admission gate used to leave probing=true forever —
+	// no probe could ever settle, so the tenant stayed circuit-open
+	// with no recovery path.
+	srv := NewServer(Config{TenantBytes: 1024, BreakerThreshold: 2, BreakerCooldown: 10 * time.Millisecond})
+	defer srv.Close()
+	tn, err := srv.CreateTenant(TenantConfig{Ranks: 2})
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	ctx := context.Background()
+	tn.brk.failure()
+	tn.brk.failure() // circuit opens
+	time.Sleep(15 * time.Millisecond)
+
+	// The probe is granted but its request exceeds the byte quota: the
+	// gate sheds it before any op outcome can settle the probe.
+	if _, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 4096, Seed: 1}); !IsOverloaded(err) {
+		t.Fatalf("oversized probe = %v, want OverloadError", err)
+	}
+	// The probe slot must have been returned: this Submit is the real
+	// probe, runs on the healthy world, and closes the circuit.
+	if _, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 256, Seed: 2}); err != nil {
+		t.Fatalf("Submit after shed probe = %v, want the probe to run and close the circuit", err)
+	}
+	if st := tn.brk.state(); st != "closed" {
+		t.Fatalf("breaker state = %q, want closed", st)
 	}
 }
 

@@ -204,6 +204,33 @@ func TestMetricsRegistry(t *testing.T) {
 	}
 }
 
+// TestMetricsRemovePrefix: the tenant-teardown hook drops exactly the
+// prefixed counters and histograms; a removed name recreates at zero.
+func TestMetricsRemovePrefix(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("serve.tenant.1.admitted").Add(3)
+	m.Counter("serve.tenant.10.admitted").Add(5)
+	m.Counter("serve.admitted").Add(7)
+	m.Histogram("serve.tenant.1.latency").Observe(1)
+	m.RemovePrefix("serve.tenant.1.")
+	snap := m.Counters()
+	if _, ok := snap["serve.tenant.1.admitted"]; ok {
+		t.Fatalf("counter survived RemovePrefix: %v", snap)
+	}
+	// "serve.tenant.1." must not swallow tenant 10's counters.
+	if snap["serve.tenant.10.admitted"] != 5 || snap["serve.admitted"] != 7 {
+		t.Fatalf("unrelated counters disturbed: %v", snap)
+	}
+	if m.Histogram("serve.tenant.1.latency").Count() != 0 {
+		t.Fatalf("histogram survived RemovePrefix")
+	}
+	if m.Counter("serve.tenant.1.admitted").Load() != 0 {
+		t.Fatalf("recreated counter kept its old value")
+	}
+	var nilM *Metrics
+	nilM.RemovePrefix("x") // nil registry is a no-op, not a panic
+}
+
 // TestTracerConcurrentEmit: many goroutines emitting into one tracer and
 // ring must not race (run under -race) and must account every event.
 func TestTracerConcurrentEmit(t *testing.T) {

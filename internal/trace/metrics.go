@@ -70,6 +70,30 @@ func (m *Metrics) Counter(name string) *Counter {
 	return c
 }
 
+// RemovePrefix drops every counter and histogram whose name starts with
+// prefix — the tenant-teardown hook: per-tenant metrics (tenant ids only
+// grow) would otherwise accumulate without bound in a long-running
+// daemon with tenant churn. Holders of a removed *Counter keep a
+// working but orphaned counter; a later Counter(name) call for the same
+// name starts fresh at zero.
+func (m *Metrics) RemovePrefix(prefix string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name := range m.counters {
+		if strings.HasPrefix(name, prefix) {
+			delete(m.counters, name)
+		}
+	}
+	for name := range m.hists {
+		if strings.HasPrefix(name, prefix) {
+			delete(m.hists, name)
+		}
+	}
+}
+
 // DistClass returns the per-distance-class counter "<base>.dist.<d>"
 // ("<base>.dist.unknown" for d < 0) — the communication-locality
 // accounting the paper's evaluation is built on.
