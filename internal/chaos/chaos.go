@@ -54,6 +54,13 @@ type Cell struct {
 	// kills a victim after three quarters of its chunks were delivered,
 	// the partial-progress shape delta repair exists for.
 	CrashOpFrac float64
+	// LeaderCrash draws crash victims from the elected inter-node leaders
+	// of the scenario's hierarchical broadcast tree (never the root):
+	// killing the one rank that bridges its machine's subtree forces a
+	// re-election on the shrunken communicator. On single-machine
+	// topologies, where no leaders exist, victims fall back to the
+	// ordinary pool.
+	LeaderCrash bool
 }
 
 // DefaultGrid is the standard sweep: each fault class alone, then
@@ -70,6 +77,8 @@ func DefaultGrid() []Cell {
 		{Name: "crash2", Crashes: 2},
 		{Name: "crash-late", Crashes: 1, CrashOpFrac: 0.75},
 		{Name: "crash-late2", Crashes: 2, CrashOpFrac: 0.8},
+		{Name: "leader-crash", Crashes: 1, LeaderCrash: true},
+		{Name: "leader-crash-late", Crashes: 1, LeaderCrash: true, CrashOpFrac: 0.8},
 		{Name: "mixed", CopyFailProb: 0.15, MaxTransients: 200, CorruptProb: 0.15,
 			DelayProb: 0.1, Delay: 50 * time.Microsecond, Crashes: 1},
 	}
@@ -155,7 +164,8 @@ func mix64(h uint64) uint64 {
 // PlanFor derives the scenario's fault plan: the cell's probabilities
 // verbatim, plus Crashes crash victims drawn deterministically from the
 // seed among ranks 1..n-1 (world rank 0 — the broadcast root — always
-// survives, since a dead root is unrecoverable by design).
+// survives, since a dead root is unrecoverable by design). LeaderCrash
+// cells narrow the victim pool to the elected inter-node leaders.
 func PlanFor(sc Scenario) fault.Plan {
 	c := sc.Cell
 	p := fault.Plan{
@@ -167,11 +177,20 @@ func PlanFor(sc Scenario) fault.Plan {
 		Delay:         c.Delay,
 	}
 	if c.Crashes > 0 && sc.Ranks > 1 {
+		pool := make([]int, 0, sc.Ranks-1)
+		if c.LeaderCrash {
+			pool = LeaderPool(sc)
+		}
+		if len(pool) == 0 {
+			for r := 1; r < sc.Ranks; r++ {
+				pool = append(pool, r)
+			}
+		}
 		p.CrashAtOp = make(map[int]int)
 		h := uint64(sc.Seed)
-		for len(p.CrashAtOp) < c.Crashes && len(p.CrashAtOp) < sc.Ranks-1 {
+		for len(p.CrashAtOp) < c.Crashes && len(p.CrashAtOp) < len(pool) {
 			h = mix64(h)
-			victim := 1 + int(h%uint64(sc.Ranks-1))
+			victim := pool[int(h%uint64(len(pool)))]
 			h = mix64(h)
 			if _, dup := p.CrashAtOp[victim]; !dup {
 				if c.CrashOpFrac > 0 {
@@ -183,6 +202,33 @@ func PlanFor(sc Scenario) fault.Plan {
 		}
 	}
 	return p
+}
+
+// LeaderPool returns the crash-eligible elected leaders of the
+// scenario's hierarchical broadcast tree: the inter-node leaders under
+// the scenario's topology and binding, minus the root (world rank 0).
+// Empty on single-machine topologies and on any resolution error — the
+// caller falls back to the ordinary victim pool.
+func LeaderPool(sc Scenario) []int {
+	topo, b, err := buildBinding(sc)
+	if err != nil {
+		return nil
+	}
+	cv, err := distance.NewClustered(topo, b.Cores())
+	if err != nil || len(cv.Machines()) <= 1 {
+		return nil
+	}
+	tree, err := core.BuildBroadcastTreeHier(cv, 0, core.TreeOptions{})
+	if err != nil {
+		return nil
+	}
+	var pool []int
+	for _, l := range core.TreeLeaders(tree, cv) {
+		if l != 0 {
+			pool = append(pool, l)
+		}
+	}
+	return pool
 }
 
 // rankOps is the number of ops one non-root rank executes in the
@@ -229,8 +275,16 @@ func buildBinding(sc Scenario) (*hwtopo.Topology, *binding.Binding, error) {
 		t := hwtopo.NewZoot()
 		b, err := binding.Contiguous(t, sc.Ranks)
 		return t, b, err
+	case "igcluster":
+		t := hwtopo.NewIGCluster()
+		b, err := binding.Contiguous(t, sc.Ranks)
+		return t, b, err
+	case "igrack":
+		t := hwtopo.NewIGRack()
+		b, err := binding.Contiguous(t, sc.Ranks)
+		return t, b, err
 	default:
-		return nil, nil, fmt.Errorf("chaos: unknown topology %q (known: cross, contiguous, zoot)", sc.Topology)
+		return nil, nil, fmt.Errorf("chaos: unknown topology %q (known: cross, contiguous, zoot, igcluster, igrack)", sc.Topology)
 	}
 }
 

@@ -30,7 +30,7 @@ type clusterNode struct {
 // maximal sub-clusters whose internal distances stay below the level that
 // separates them. levels lists the distinct distances in increasing
 // order.
-func buildClusterTree(m distance.Matrix, members []int, levels []int) *clusterNode {
+func buildClusterTree(m distance.View, members []int, levels []int) *clusterNode {
 	node := &clusterNode{members: members}
 	if len(members) <= 1 || len(levels) <= 1 {
 		// All members within the finest remaining level: a flat cluster.
@@ -70,7 +70,7 @@ func buildClusterTree(m distance.Matrix, members []int, levels []int) *clusterNo
 	return node
 }
 
-func distinctLevels(m distance.Matrix, levels Levels) []int {
+func distinctLevels(m distance.View, levels Levels) []int {
 	if levels == nil {
 		levels = IdentityLevels
 	}
@@ -166,7 +166,7 @@ func leaderOf(members []int, root int) int {
 // the root, otherwise the deepest (ties to the smallest entry rank) —
 // keeps its entry, and every other sub-cluster hangs its entry directly
 // under the champion's, in ascending entry order.
-func attachTree(t *Tree, m distance.Matrix, node *clusterNode, root int) (entry, depth int) {
+func attachTree(t *Tree, m distance.View, node *clusterNode, root int) (entry, depth int) {
 	if len(node.children) == 0 {
 		leader := leaderOf(node.members, root)
 		for _, x := range node.members {

@@ -1,0 +1,260 @@
+package core_test
+
+// Oracle-equivalence property tests for the sparse hierarchical builders:
+// on randomized cluster topologies and placements the two-phase
+// construction over the sparse distance.Clustered view must reproduce the
+// flat fast builders over the materialized matrix exactly — parent for
+// parent, successor for successor — and therefore inherit their proven
+// optimality (MST weight by the Prim oracle, minimum depth among MSTs by
+// the Prüfer brute force, minimum Hamiltonian cycle weight).
+
+import (
+	"math/rand"
+	"testing"
+
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+)
+
+// randClusterView draws a random cluster topology (optionally with a rack
+// tier) and a random distinct-core placement of n ≤ 64 ranks over it.
+func randClusterView(t *testing.T, r *rand.Rand) *distance.Clustered {
+	t.Helper()
+	node := hwtopo.IGLiteSpec()
+	node.Name = "tiny"
+	node.SocketsPerBoard = 1 + r.Intn(2)
+	node.CoresPerDie = 2 + r.Intn(2)
+	spec := hwtopo.ClusterSpec{
+		Name:           "randcluster",
+		NodesPerSwitch: 1 + r.Intn(3),
+		Node:           node,
+	}
+	if r.Intn(2) == 0 {
+		spec.Racks = 1 + r.Intn(3)
+		spec.SwitchesPerRack = 1 + r.Intn(2)
+	} else {
+		spec.Switches = 1 + r.Intn(3)
+	}
+	topo, err := hwtopo.BuildCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := topo.NumCores()
+	max := total
+	if max > 64 {
+		max = 64
+	}
+	n := 2 + r.Intn(max-1)
+	cores := r.Perm(total)[:n]
+	cv, err := distance.NewClustered(topo, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cv
+}
+
+// TestHierTreeOracleEquivalence: the sparse two-phase tree equals the flat
+// fast tree over the flattened matrix parent-for-parent, carries the MST
+// weight (Prim oracle), and at brute-forceable sizes the minimum depth
+// among minimum-weight spanning trees (Prüfer enumeration).
+func TestHierTreeOracleEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 150; iter++ {
+		cv := randClusterView(t, r)
+		n := cv.Size()
+		m := distance.Materialize(cv)
+		root := r.Intn(n)
+		hier, err := core.BuildBroadcastTreeHier(cv, root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := core.BuildBroadcastTreeFast(m, root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if hier.Parent[v] != fast.Parent[v] {
+				t.Fatalf("iter %d n=%d root=%d: parent of %d: hier %d, fast %d\n%v",
+					iter, n, root, v, hier.Parent[v], fast.Parent[v], m)
+			}
+		}
+		if got, want := hier.TotalWeight(), primWeight(m); got != want {
+			t.Fatalf("iter %d n=%d root=%d: weight %d, MST weight %d\n%v", iter, n, root, got, want, m)
+		}
+		if n <= 7 {
+			bestW, bestD := minWeightMinDepth(m, root)
+			if got := hier.TotalWeight(); got != bestW {
+				t.Fatalf("iter %d n=%d root=%d: weight %d, brute-force MST %d\n%v", iter, n, root, got, bestW, m)
+			}
+			if got := hier.Depth(); got != bestD {
+				t.Fatalf("iter %d n=%d root=%d: depth %d, min depth among MSTs %d\n%v", iter, n, root, got, bestD, m)
+			}
+		}
+	}
+}
+
+// TestHierRingOracleEquivalence: the sparse hierarchical ring equals the
+// flat fast ring successor-for-successor, and at brute-forceable sizes its
+// cycle weight is the minimum Hamiltonian cycle weight.
+func TestHierRingOracleEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 150; iter++ {
+		cv := randClusterView(t, r)
+		n := cv.Size()
+		m := distance.Materialize(cv)
+		hier, err := core.BuildAllgatherRingHier(cv, core.RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := core.BuildAllgatherRingFast(m, core.RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if hier.Right[v] != fast.Right[v] {
+				t.Fatalf("iter %d n=%d: successor of %d: hier %d, fast %d\n%v",
+					iter, n, v, hier.Right[v], fast.Right[v], m)
+			}
+		}
+		if n <= 8 {
+			got := 0
+			for v := 0; v < n; v++ {
+				got += m.At(v, hier.Right[v])
+			}
+			if best := minHamiltonianCycle(m); got != best {
+				t.Fatalf("iter %d n=%d: ring weight %d, min Hamiltonian cycle %d\n%v", iter, n, got, best, m)
+			}
+		}
+	}
+}
+
+// minHamiltonianCycle brute-forces the minimum cycle weight over all
+// (n-1)! tours.
+func minHamiltonianCycle(m distance.Matrix) int {
+	n := m.Size()
+	perm := make([]int, n-1)
+	for i := range perm {
+		perm[i] = i + 1
+	}
+	best := 1 << 30
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(perm) {
+			w := m.At(0, perm[0])
+			for j := 0; j+1 < len(perm); j++ {
+				w += m.At(perm[j], perm[j+1])
+			}
+			w += m.At(perm[len(perm)-1], 0)
+			if w < best {
+				best = w
+			}
+			return
+		}
+		for j := i; j < len(perm); j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestHierOnDenseView: handed a dense matrix instead of a clustered view,
+// the hierarchical builders fall back to the pairwise decomposition and
+// still match the flat fast builders on arbitrary random ultrametrics.
+func TestHierOnDenseView(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + r.Intn(9)
+		m := randUltra(r, n, 4, 3)
+		root := r.Intn(n)
+		hier, err := core.BuildBroadcastTreeHier(m, root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := core.BuildBroadcastTreeFast(m, root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if hier.Parent[v] != fast.Parent[v] {
+				t.Fatalf("iter %d n=%d root=%d: parent of %d: hier %d, fast %d\n%v",
+					iter, n, root, v, hier.Parent[v], fast.Parent[v], m)
+			}
+		}
+		hr, err := core.BuildAllgatherRingHier(m, core.RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := core.BuildAllgatherRingFast(m, core.RingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if hr.Right[v] != fr.Right[v] {
+				t.Fatalf("iter %d n=%d: successor of %d: hier %d, fast %d\n%v",
+					iter, n, v, hr.Right[v], fr.Right[v], m)
+			}
+		}
+	}
+}
+
+// TestTreeLeadersProperty: every machine with members elects exactly one
+// leader, the root is always a leader, every non-leader hangs under a
+// same-machine parent, and single-machine placements have no leaders.
+func TestTreeLeadersProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	multi := 0
+	for iter := 0; iter < 150; iter++ {
+		cv := randClusterView(t, r)
+		n := cv.Size()
+		root := r.Intn(n)
+		tree, err := core.BuildBroadcastTreeHier(cv, root, core.TreeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaders := core.TreeLeaders(tree, cv)
+		machines := cv.Machines()
+		if len(machines) <= 1 {
+			if leaders != nil {
+				t.Fatalf("iter %d: single machine elected leaders %v", iter, leaders)
+			}
+			continue
+		}
+		multi++
+		perMachine := make(map[int]int)
+		for _, l := range leaders {
+			perMachine[cv.MachineIndex(l)]++
+		}
+		if len(perMachine) != len(machines) {
+			t.Fatalf("iter %d: %d machines, %d elected leaders %v", iter, len(machines), len(perMachine), leaders)
+		}
+		for mi, c := range perMachine {
+			if c != 1 {
+				t.Fatalf("iter %d: machine %d elected %d leaders %v", iter, mi, c, leaders)
+			}
+		}
+		isLeader := make(map[int]bool, len(leaders))
+		rootSeen := false
+		for _, l := range leaders {
+			isLeader[l] = true
+			rootSeen = rootSeen || l == root
+		}
+		if !rootSeen {
+			t.Fatalf("iter %d: root %d not among leaders %v", iter, root, leaders)
+		}
+		for v := 0; v < n; v++ {
+			if isLeader[v] || v == root {
+				continue
+			}
+			if p := tree.Parent[v]; cv.MachineIndex(p) != cv.MachineIndex(v) {
+				t.Fatalf("iter %d: non-leader %d has cross-machine parent %d", iter, v, p)
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-machine placements drawn; generator broken")
+	}
+}

@@ -1,0 +1,181 @@
+package distance
+
+import (
+	"fmt"
+
+	"distcoll/internal/hwtopo"
+)
+
+// View is read-only access to a process-distance relation. Matrix is the
+// dense implementation; Clustered the sparse one. Consumers that only
+// probe pairwise distances (tree construction, fingerprinting, trace
+// tagging) should accept a View so cluster-scale callers never have to
+// materialize the O(n²) rank-pair matrix.
+type View interface {
+	// Size returns the number of processes.
+	Size() int
+	// At returns the distance between processes i and j.
+	At(i, j int) int
+}
+
+var (
+	_ View = Matrix(nil)
+	_ View = (*Clustered)(nil)
+)
+
+// Clustered is a sparse cluster-level distance view: O(n) state — one
+// core binding plus machine/switch/rack coordinates per rank — instead of
+// the O(n²) dense matrix. At answers inter-node queries from the cached
+// network coordinates in O(1) and intra-node queries from the hardware
+// tree. The view also exposes the network grouping (Machines, and the
+// per-rank coordinate accessors) so hierarchical construction can
+// decompose the rank set without any pairwise scan.
+type Clustered struct {
+	topo  *hwtopo.Topology
+	cores []int // logical core index per rank
+	obj   []*hwtopo.Object
+	mach  []int // machine index per rank
+	sw    []int // switch index per rank (-1 without switches)
+	rack  []int // rack index per rank (-1 without racks)
+}
+
+// NewClustered builds the sparse distance view for processes bound to the
+// given logical core indices of t. It is the sparse analogue of NewMatrix
+// and costs O(n) time and space.
+func NewClustered(t *hwtopo.Topology, coreOf []int) (*Clustered, error) {
+	cv := &Clustered{
+		topo:  t,
+		cores: append([]int(nil), coreOf...),
+		obj:   make([]*hwtopo.Object, len(coreOf)),
+		mach:  make([]int, len(coreOf)),
+		sw:    make([]int, len(coreOf)),
+		rack:  make([]int, len(coreOf)),
+	}
+	for i, c := range coreOf {
+		obj := t.Core(c)
+		if obj == nil {
+			return nil, fmt.Errorf("distance: rank %d bound to core %d of %d", i, c, t.NumCores())
+		}
+		cv.obj[i] = obj
+		m := hwtopo.MachineOf(obj)
+		if m == nil {
+			return nil, fmt.Errorf("distance: core %d has no machine ancestor", c)
+		}
+		cv.mach[i] = m.Index
+		cv.sw[i], cv.rack[i] = -1, -1
+		if sw := hwtopo.SwitchOf(obj); sw != nil {
+			cv.sw[i] = sw.Index
+		}
+		if rk := hwtopo.RackOf(obj); rk != nil {
+			cv.rack[i] = rk.Index
+		}
+	}
+	return cv, nil
+}
+
+// Size returns the number of processes.
+func (cv *Clustered) Size() int { return len(cv.cores) }
+
+// At returns the distance between processes i and j. Inter-node answers
+// come from the cached network coordinates; intra-node answers from the
+// hardware tree (O(tree depth), no matrix involved).
+func (cv *Clustered) At(i, j int) int {
+	if i == j {
+		return SameCore
+	}
+	if cv.mach[i] != cv.mach[j] {
+		switch {
+		case cv.sw[i] == cv.sw[j]:
+			return SameSwitch
+		case cv.rack[i] == cv.rack[j]:
+			return CrossSwitch
+		default:
+			return CrossRack
+		}
+	}
+	return BetweenCores(cv.obj[i], cv.obj[j])
+}
+
+// Topology returns the hardware topology the view was built over.
+func (cv *Clustered) Topology() *hwtopo.Topology { return cv.topo }
+
+// Cores returns the logical core binding per rank. The returned slice is
+// the view's own state; callers must not mutate it.
+func (cv *Clustered) Cores() []int { return cv.cores }
+
+// MachineIndex returns the machine coordinate of rank i. Ranks with equal
+// coordinates are on the same node.
+func (cv *Clustered) MachineIndex(i int) int { return cv.mach[i] }
+
+// SwitchIndex returns the switch coordinate of rank i (-1 on topologies
+// without switches).
+func (cv *Clustered) SwitchIndex(i int) int { return cv.sw[i] }
+
+// RackIndex returns the rack coordinate of rank i (-1 on topologies
+// without racks).
+func (cv *Clustered) RackIndex(i int) int { return cv.rack[i] }
+
+// Machines groups ranks by node, in increasing order of each group's
+// smallest rank, with ranks ascending inside every group. Cost O(n).
+func (cv *Clustered) Machines() [][]int {
+	return groupBy(nil, len(cv.cores), cv.mach)
+}
+
+// groupBy partitions members (all of 0..n-1 when members is nil) by
+// their key, preserving member order inside groups and ordering groups by
+// first member.
+func groupBy(members []int, n int, key []int) [][]int {
+	if members == nil {
+		members = make([]int, n)
+		for i := range members {
+			members[i] = i
+		}
+	}
+	idx := make(map[int]int, 8)
+	var groups [][]int
+	for _, r := range members {
+		g, ok := idx[key[r]]
+		if !ok {
+			g = len(groups)
+			idx[key[r]] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], r)
+	}
+	return groups
+}
+
+// Restrict returns the sparse view of the surviving ranks, renumbered
+// 0..len(ranks)-1 in the given order. It is the sparse analogue of
+// core.RestrictMatrix, used when a communicator shrinks.
+func (cv *Clustered) Restrict(ranks []int) (*Clustered, error) {
+	cores := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(cv.cores) {
+			return nil, fmt.Errorf("distance: restrict rank %d of %d", r, len(cv.cores))
+		}
+		cores[i] = cv.cores[r]
+	}
+	return NewClustered(cv.topo, cores)
+}
+
+// Materialize flattens a view into a dense Matrix. O(n²) — for small-n
+// fallbacks and oracle tests only; cluster-scale paths must stay on the
+// view.
+func Materialize(v View) Matrix {
+	if m, ok := v.(Matrix); ok {
+		return m
+	}
+	n := v.Size()
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := v.At(i, j)
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}

@@ -14,12 +14,15 @@
 //	5  different socket and controller, same board
 //	6  different boards
 //	7  different machines, same network switch
-//	8  different network switches
+//	8  different network switches, same rack
+//	9  different racks
 //
 // The paper caps the intra-node scale at 6 and notes that "at the
 // inter-node level, the distance can take into account network adapters,
 // links, and even switches and routers, by a simple and natural
-// extension" — values 7 and 8 are that extension (§VI future work).
+// extension" — values 7–9 are that extension (§VI future work). On
+// topologies without rack objects every switch pair counts as same-rack,
+// so the scale degrades to the original 0–8 values.
 package distance
 
 import (
@@ -41,11 +44,12 @@ const (
 	// Inter-node levels (§VI extension).
 	SameSwitch  = 7
 	CrossSwitch = 8
+	CrossRack   = 9
 
 	// MaxIntraNode is the largest intra-node distance (the paper's cap).
 	MaxIntraNode = CrossBoard
 	// Max is the largest distance including the network extension.
-	Max = CrossSwitch
+	Max = CrossRack
 )
 
 // BetweenCores returns the distance between two cores of one topology.
@@ -57,7 +61,10 @@ func BetweenCores(a, b *hwtopo.Object) int {
 		if hwtopo.SameSwitch(a, b) {
 			return SameSwitch
 		}
-		return CrossSwitch
+		if hwtopo.SameRack(a, b) {
+			return CrossSwitch
+		}
+		return CrossRack
 	}
 	if hwtopo.SharedCache(a, b) != nil {
 		return SharedCache

@@ -201,7 +201,9 @@ func ByName(name string) (*Topology, error) {
 		return NewIG(), nil
 	case "igcluster":
 		return NewIGCluster(), nil
+	case "igrack":
+		return NewIGRack(), nil
 	default:
-		return nil, fmt.Errorf("hwtopo: unknown machine %q (known: zoot, ig, igcluster)", name)
+		return nil, fmt.Errorf("hwtopo: unknown machine %q (known: zoot, ig, igcluster, igrack)", name)
 	}
 }

@@ -7,16 +7,22 @@ import "fmt"
 // global process placement, taking into account a simplified view of the
 // network infrastructure". A cluster is a containment tree above machines:
 //
-//	Cluster → Switch × S → Machine × M → (the usual node tree)
+//	Cluster → [Rack × R] → Switch × S → Machine × M → (the usual node tree)
 //
 // which extends the distance scale: same switch, different machines → 7;
-// different switches → 8 (package distance).
+// different switches, same rack → 8; different racks → 9 (package
+// distance). The rack tier is optional: without it every switch hangs
+// directly off the cluster root and the scale stops at 8.
 
 // ClusterSpec parameterizes a multi-node cluster built from identical
-// nodes.
+// nodes. With Racks > 0 the tree gains a rack tier holding
+// SwitchesPerRack switches each and the Switches field is ignored;
+// with Racks == 0 the legacy flat shape (Switches off the root) is built.
 type ClusterSpec struct {
 	Name            string
-	Switches        int
+	Racks           int // 0 → no rack tier
+	SwitchesPerRack int // switches per rack when Racks > 0
+	Switches        int // total switches when Racks == 0
 	NodesPerSwitch  int
 	TrunkedSwitches bool // reserved: switches share one trunk either way
 	Node            Spec // per-node hardware (OSNumbering applies per node)
@@ -25,20 +31,27 @@ type ClusterSpec struct {
 // BuildCluster constructs a cluster topology. Core OS indices are made
 // globally unique by offsetting each node's indices.
 func BuildCluster(spec ClusterSpec) (*Topology, error) {
-	if spec.Switches <= 0 || spec.NodesPerSwitch <= 0 {
+	if spec.NodesPerSwitch <= 0 {
+		return nil, fmt.Errorf("hwtopo: invalid cluster spec %+v", spec)
+	}
+	if spec.Racks > 0 {
+		if spec.SwitchesPerRack <= 0 {
+			return nil, fmt.Errorf("hwtopo: invalid cluster spec %+v", spec)
+		}
+	} else if spec.Switches <= 0 {
 		return nil, fmt.Errorf("hwtopo: invalid cluster spec %+v", spec)
 	}
 	root := &Object{Kind: KindCluster}
 	nodeIdx := 0
-	for sw := 0; sw < spec.Switches; sw++ {
+	addSwitch := func(parent *Object) error {
 		swObj := &Object{Kind: KindSwitch}
-		root.Children = append(root.Children, swObj)
+		parent.Children = append(parent.Children, swObj)
 		for nd := 0; nd < spec.NodesPerSwitch; nd++ {
 			nodeSpec := spec.Node
 			nodeSpec.Name = fmt.Sprintf("%s-node%d", spec.Name, nodeIdx)
 			node, err := Build(nodeSpec)
 			if err != nil {
-				return nil, fmt.Errorf("hwtopo: building cluster node %d: %w", nodeIdx, err)
+				return fmt.Errorf("hwtopo: building cluster node %d: %w", nodeIdx, err)
 			}
 			// Offset OS ids to keep them globally unique.
 			base := nodeIdx * node.NumCores()
@@ -47,6 +60,24 @@ func BuildCluster(spec ClusterSpec) (*Topology, error) {
 			}
 			swObj.Children = append(swObj.Children, node.Root)
 			nodeIdx++
+		}
+		return nil
+	}
+	if spec.Racks > 0 {
+		for rk := 0; rk < spec.Racks; rk++ {
+			rackObj := &Object{Kind: KindRack}
+			root.Children = append(root.Children, rackObj)
+			for sw := 0; sw < spec.SwitchesPerRack; sw++ {
+				if err := addSwitch(rackObj); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		for sw := 0; sw < spec.Switches; sw++ {
+			if err := addSwitch(root); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return Finalize(spec.Name, root)
@@ -61,23 +92,47 @@ func NewIGCluster() *Topology {
 		Name:           "igcluster",
 		Switches:       2,
 		NodesPerSwitch: 2,
-		Node: Spec{
-			Name:             "iglite",
-			Boards:           1,
-			SocketsPerBoard:  2,
-			DiesPerSocket:    1,
-			CoresPerDie:      6,
-			SharedCacheLevel: 3,
-			SharedCacheSize:  5 << 20,
-			PrivateL2:        512 << 10,
-			PrivateL1:        64 << 10,
-			NUMAPerSocket:    true,
-			MemPerNUMA:       16 << 30,
-			OSNumbering:      OSPhysical,
-		},
+		Node:           IGLiteSpec(),
 	})
 	if err != nil {
 		panic("hwtopo: igcluster spec invalid: " + err.Error())
+	}
+	return t
+}
+
+// IGLiteSpec is the per-node hardware of the cluster evaluation
+// platforms: one board, 2 sockets × 6 cores, NUMA per socket (12 cores).
+func IGLiteSpec() Spec {
+	return Spec{
+		Name:             "iglite",
+		Boards:           1,
+		SocketsPerBoard:  2,
+		DiesPerSocket:    1,
+		CoresPerDie:      6,
+		SharedCacheLevel: 3,
+		SharedCacheSize:  5 << 20,
+		PrivateL2:        512 << 10,
+		PrivateL1:        64 << 10,
+		NUMAPerSocket:    true,
+		MemPerNUMA:       16 << 30,
+		OSNumbering:      OSPhysical,
+	}
+}
+
+// NewIGRack builds the rack-tier evaluation platform: 2 racks × 2
+// switches × 2 IG-lite nodes (96 cores), exhibiting every distance class
+// of the extended scale — same switch (7), cross switch in a rack (8)
+// and cross rack (9).
+func NewIGRack() *Topology {
+	t, err := BuildCluster(ClusterSpec{
+		Name:            "igrack",
+		Racks:           2,
+		SwitchesPerRack: 2,
+		NodesPerSwitch:  2,
+		Node:            IGLiteSpec(),
+	})
+	if err != nil {
+		panic("hwtopo: igrack spec invalid: " + err.Error())
 	}
 	return t
 }
@@ -99,6 +154,17 @@ func SameSwitch(a, b *Object) bool {
 	return sa != nil && sa == sb
 }
 
+// SameRack reports whether two cores' switches sit in the same rack
+// (true on topologies without rack objects, where every switch pair
+// counts as same-rack and the distance scale stops at CrossSwitch).
+func SameRack(a, b *Object) bool {
+	ra, rb := a.AncestorOfKind(KindRack), b.AncestorOfKind(KindRack)
+	if ra == nil && rb == nil {
+		return CommonAncestor(a, b) != nil
+	}
+	return ra != nil && ra == rb
+}
+
 // MachineOf returns the machine containing a core (nil only for malformed
 // trees).
 func MachineOf(c *Object) *Object { return c.AncestorOfKind(KindMachine) }
@@ -106,3 +172,7 @@ func MachineOf(c *Object) *Object { return c.AncestorOfKind(KindMachine) }
 // SwitchOf returns the switch above a core's machine, or nil on
 // single-node topologies.
 func SwitchOf(c *Object) *Object { return c.AncestorOfKind(KindSwitch) }
+
+// RackOf returns the rack above a core's switch, or nil on topologies
+// without a rack tier.
+func RackOf(c *Object) *Object { return c.AncestorOfKind(KindRack) }

@@ -1,0 +1,60 @@
+package hwtopo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTopologyJSONRoundTrip exercises the wire format over the full
+// network-tier vocabulary (Cluster/Rack/Switch above the node tree): any
+// accepted topology must serialize back to a byte-identical document on a
+// second pass, and the network predicates must agree with the containment
+// tree the document describes.
+func FuzzTopologyJSONRoundTrip(f *testing.F) {
+	for _, topo := range []*Topology{NewZoot(), NewIGCluster(), NewIGRack()} {
+		var b strings.Builder
+		if err := topo.WriteJSON(&b); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.String())
+	}
+	// Hand-rolled rack documents, valid and malformed: a rack with no
+	// switch tier, a switch nested inside a machine, an unknown kind.
+	f.Add(`{"name":"r","root":{"kind":"Cluster","children":[{"kind":"Rack","children":[{"kind":"Switch","children":[{"kind":"Machine","memory_controller":true,"children":[{"kind":"Socket","children":[{"kind":"Core"}]}]}]}]}]}}`)
+	f.Add(`{"name":"r","root":{"kind":"Rack","children":[{"kind":"Machine","memory_controller":true,"children":[{"kind":"Core"}]}]}}`)
+	f.Add(`{"name":"r","root":{"kind":"Machine","memory_controller":true,"children":[{"kind":"Switch"},{"kind":"Core"}]}}`)
+	f.Add(`{"name":"r","root":{"kind":"Pylon"}}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		topo, err := ReadJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var first strings.Builder
+		if err := topo.WriteJSON(&first); err != nil {
+			t.Fatalf("serializing accepted topology: %v", err)
+		}
+		again, err := ReadJSON(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("re-reading own serialization: %v", err)
+		}
+		var second strings.Builder
+		if err := again.WriteJSON(&second); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("round trip not stable:\n%s\n%s", first.String(), second.String())
+		}
+		// Predicate consistency on every adjacent core pair: sharing a
+		// machine implies sharing its switch, and sharing an actual switch
+		// object implies sharing its rack (containment is nested).
+		for i := 0; i+1 < topo.NumCores(); i++ {
+			a, b := topo.Core(i), topo.Core(i+1)
+			if SameMachine(a, b) && !SameSwitch(a, b) {
+				t.Fatalf("cores %d,%d share a machine but not a switch", i, i+1)
+			}
+			if sa := SwitchOf(a); sa != nil && sa == SwitchOf(b) && !SameRack(a, b) {
+				t.Fatalf("cores %d,%d share a switch but not a rack", i, i+1)
+			}
+		}
+	})
+}

@@ -30,6 +30,7 @@ const (
 	// Cluster-level objects (the §VI multi-node extension).
 	KindCluster
 	KindSwitch
+	KindRack
 )
 
 var kindNames = map[Kind]string{
@@ -42,6 +43,7 @@ var kindNames = map[Kind]string{
 	KindCore:     "Core",
 	KindCluster:  "Cluster",
 	KindSwitch:   "Switch",
+	KindRack:     "Rack",
 }
 
 // String returns the human-readable name of the kind.

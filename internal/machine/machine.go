@@ -53,10 +53,12 @@ type Params struct {
 	// Network resources for multi-node cluster topologies (the §VI
 	// extension). Zero values are fine for single-node machines; a
 	// cluster topology requires NICBandwidth and SwitchBandwidth (and
-	// TrunkBandwidth with more than one switch).
+	// TrunkBandwidth with more than one switch, SpineBandwidth with more
+	// than one rack).
 	NICBandwidth     float64 // per node network adapter
 	SwitchBandwidth  float64 // per switch backplane
-	TrunkBandwidth   float64 // inter-switch trunk
+	TrunkBandwidth   float64 // per-rack inter-switch trunk
+	SpineBandwidth   float64 // cluster spine between racks
 	NetworkOpLatency float64 // added start latency for inter-node ops
 
 	// CacheModel enables cache-residency tracking for reads: a segment
@@ -119,6 +121,16 @@ func ClusterParams(node Params) Params {
 	return node
 }
 
+// RackParams extends cluster parameters with the rack tier: per-rack
+// trunks as before, plus a cluster spine between racks that is thinner
+// per flow than the rack-local interconnect — the resource the two-phase
+// leader trees exist to keep quiet.
+func RackParams(node Params) Params {
+	p := ClusterParams(node)
+	p.SpineBandwidth = 6e9
+	return p
+}
+
 // ParamsFor returns the calibrated parameter set for a known machine name.
 func ParamsFor(name string) (Params, error) {
 	switch name {
@@ -128,6 +140,8 @@ func ParamsFor(name string) (Params, error) {
 		return IGParams(), nil
 	case "igcluster":
 		return ClusterParams(IGParams()), nil
+	case "igrack":
+		return RackParams(IGParams()), nil
 	default:
 		return Params{}, fmt.Errorf("machine: no calibrated parameters for %q", name)
 	}
@@ -155,6 +169,7 @@ type Session struct {
 	boardIdx   []int
 	machineIdx []int
 	switchIdx  []int
+	rackIdx    []int
 	umaRank    []bool // rank's controller is a machine-level northbridge
 
 	// Resources.
@@ -163,7 +178,8 @@ type Session struct {
 	bridgeRes []des.ResourceID // per machine; -1 if single-board
 	nicRes    []des.ResourceID // per machine; empty on single-node
 	switchRes []des.ResourceID // per switch
-	trunkRes  des.ResourceID   // -1 if at most one switch
+	trunkRes  []des.ResourceID // per rack; empty if at most one switch
+	spineRes  des.ResourceID   // -1 if at most one rack
 	engineRes []des.ResourceID // per rank
 	cacheRes  map[*hwtopo.Object]des.ResourceID
 
@@ -185,7 +201,7 @@ func NewSession(bind *binding.Binding, params Params, s *sched.Schedule) (*Sessi
 		plat:     des.NewPlatform(),
 		s:        s,
 		bind:     bind,
-		trunkRes: -1,
+		spineRes: -1,
 		cacheRes: make(map[*hwtopo.Object]des.ResourceID),
 		touched:  make(map[segKey][]*hwtopo.Object),
 	}
@@ -238,7 +254,22 @@ func NewSession(bind *binding.Binding, params Params, s *sched.Schedule) (*Sessi
 			if params.TrunkBandwidth <= 0 {
 				return nil, fmt.Errorf("machine: multi-switch topology %q needs TrunkBandwidth", topo.Name)
 			}
-			sess.trunkRes = sess.plat.AddResource("trunk", params.TrunkBandwidth)
+			// One trunk per rack; topologies without rack objects are a
+			// single implicit rack sharing one trunk (the pre-rack model).
+			nRacks := len(topo.ObjectsOfKind(hwtopo.KindRack))
+			if nRacks == 0 {
+				nRacks = 1
+			}
+			sess.trunkRes = make([]des.ResourceID, nRacks)
+			for i := range sess.trunkRes {
+				sess.trunkRes[i] = sess.plat.AddResource(fmt.Sprintf("trunk%d", i), params.TrunkBandwidth)
+			}
+			if nRacks > 1 {
+				if params.SpineBandwidth <= 0 {
+					return nil, fmt.Errorf("machine: multi-rack topology %q needs SpineBandwidth", topo.Name)
+				}
+				sess.spineRes = sess.plat.AddResource("spine", params.SpineBandwidth)
+			}
 		}
 	}
 
@@ -249,6 +280,7 @@ func NewSession(bind *binding.Binding, params Params, s *sched.Schedule) (*Sessi
 	sess.boardIdx = make([]int, n)
 	sess.machineIdx = make([]int, n)
 	sess.switchIdx = make([]int, n)
+	sess.rackIdx = make([]int, n)
 	sess.umaRank = make([]bool, n)
 	sess.engineRes = make([]des.ResourceID, n)
 	for r := 0; r < n; r++ {
@@ -275,6 +307,9 @@ func NewSession(bind *binding.Binding, params Params, s *sched.Schedule) (*Sessi
 		}
 		if sw := hwtopo.SwitchOf(core); sw != nil {
 			sess.switchIdx[r] = sw.Index
+		}
+		if rk := hwtopo.RackOf(core); rk != nil {
+			sess.rackIdx[r] = rk.Index
 		}
 		sess.engineRes[r] = sess.plat.AddResource(fmt.Sprintf("core%d", core.Index), params.CoreCopyBW)
 	}
@@ -398,7 +433,15 @@ func (m *Session) addPath(demand map[des.ResourceID]float64, exec, memRank int, 
 		} else {
 			demand[m.switchRes[m.switchIdx[exec]]] += weight
 			demand[m.switchRes[m.switchIdx[memRank]]] += weight
-			demand[m.trunkRes] += weight
+			if m.rackIdx[exec] == m.rackIdx[memRank] {
+				demand[m.trunkRes[m.rackIdx[exec]]] += weight
+			} else {
+				// Cross-rack: up one rack's trunk, across the spine, down
+				// the other rack's trunk.
+				demand[m.trunkRes[m.rackIdx[exec]]] += weight
+				demand[m.trunkRes[m.rackIdx[memRank]]] += weight
+				demand[m.spineRes] += weight
+			}
 		}
 		return
 	}

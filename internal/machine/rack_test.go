@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/core"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/sched"
+)
+
+// testRackCluster builds the 4-rack DES model: 4 racks × 2 switches × 2
+// nodes × 8 cores = 128 ranks, exhibiting every network tier including
+// the cross-rack spine.
+func testRackCluster(t *testing.T) *hwtopo.Topology {
+	t.Helper()
+	c, err := hwtopo.BuildCluster(hwtopo.ClusterSpec{
+		Name: "mc-rack", Racks: 4, SwitchesPerRack: 2, NodesPerSwitch: 2,
+		Node: hwtopo.Spec{
+			Name: "node", Boards: 1, SocketsPerBoard: 2, DiesPerSocket: 1, CoresPerDie: 4,
+			SharedCacheLevel: 3, SharedCacheSize: 4 << 20, NUMAPerSocket: true,
+			MemPerNUMA: 8 << 30, OSNumbering: hwtopo.OSPhysical,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRackSessionRequiresSpineParams(t *testing.T) {
+	c := testRackCluster(t)
+	b, err := binding.Contiguous(c, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ClusterParams(IGParams()) // no spine number
+	if _, err := NewSession(b, p, sched.New(128)); err == nil {
+		t.Fatal("multi-rack session without spine bandwidth accepted")
+	}
+	if _, err := NewSession(b, RackParams(IGParams()), sched.New(128)); err != nil {
+		t.Fatalf("rack session rejected: %v", err)
+	}
+}
+
+// TestCrossRackTransferChargesSpine: a cross-rack pull traverses both rack
+// trunks plus the spine, so it can never be faster than the cross-switch
+// pull inside one rack, and contention on the spine serializes cross-rack
+// flows that cross-switch flows in distinct racks do not feel.
+func TestCrossRackTransferChargesSpine(t *testing.T) {
+	c := testRackCluster(t)
+	b, err := binding.Contiguous(c, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RackParams(IGParams())
+	const bytes = 8 << 20
+	// Rank layout (contiguous, 8 per node): ranks 0-15 switch 0, 16-31
+	// switch 1 (same rack), 32-63 rack 1.
+	sameSwitch := simulate(t, b, p, pullSchedule(128, 0, 8, bytes))
+	crossSwitch := simulate(t, b, p, pullSchedule(128, 0, 16, bytes))
+	crossRack := simulate(t, b, p, pullSchedule(128, 0, 32, bytes))
+	if crossRack < crossSwitch {
+		t.Errorf("cross-rack pull %.4gs faster than cross-switch %.4gs", crossRack, crossSwitch)
+	}
+	if crossSwitch < sameSwitch {
+		t.Errorf("cross-switch pull %.4gs faster than same-switch %.4gs", crossSwitch, sameSwitch)
+	}
+}
+
+// TestTwoPhaseBeatsFlatTreeOnRacks is the DES half of the scale gate: on
+// the 4-rack model the hierarchical two-phase broadcast must beat the
+// distance-unaware flat (linear) tree, which crosses the spine once per
+// remote rank instead of once per rack.
+func TestTwoPhaseBeatsFlatTreeOnRacks(t *testing.T) {
+	c := testRackCluster(t)
+	n := c.NumCores()
+	b, err := binding.Contiguous(c, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RackParams(IGParams())
+	cv, err := distance.NewClustered(c, b.Cores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 1 << 20
+
+	hier, err := core.BuildBroadcastTreeHier(cv, 0, core.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := core.CompileBroadcast(hier, bytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := core.NewLinearTree(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := core.CompileBroadcast(flat, bytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hierTime := simulate(t, b, p, hs)
+	flatTime := simulate(t, b, p, fs)
+	if hierTime >= flatTime {
+		t.Fatalf("two-phase broadcast %.4gs not faster than flat tree %.4gs", hierTime, flatTime)
+	}
+	// The win must be structural (fewer spine crossings), not a rounding
+	// artifact: demand at least 2×.
+	if flatTime < 2*hierTime {
+		t.Errorf("two-phase %.4gs vs flat %.4gs: expected ≥ 2× separation", hierTime, flatTime)
+	}
+	t.Logf("two-phase %.4gs, flat %.4gs (%.1fx)", hierTime, flatTime, flatTime/hierTime)
+}

@@ -23,11 +23,11 @@ func (c *Comm) adaptiveSchedule(coll tune.Collective, root int, bytes, align int
 	w := st.world
 
 	st.mu.Lock()
-	m := st.matrixLocked()
+	v := st.viewLocked()
 	topo := st.topoHashLocked()
 	st.mu.Unlock()
 
-	dec := w.selector.Select(coll, m, bytes)
+	dec := w.selector.Select(coll, v, bytes)
 	key := plancache.Key{
 		Topo:    topo,
 		Tenant:  w.tenant,
@@ -38,17 +38,24 @@ func (c *Comm) adaptiveSchedule(coll tune.Collective, root int, bytes, align int
 		Variant: dec.CacheKey(),
 	}
 	s, hit, err := w.plans.Get(key, func() (*sched.Schedule, error) {
-		return tune.CompileFor(coll, dec, m, root, bytes, align)
+		return tune.CompileFor(coll, dec, v, root, bytes, align)
 	})
 	w.tracer.PlanCache(string(coll), bytes, dec.String(), hit)
 	return s, err
 }
 
 // topoHashLocked returns the cached fingerprint of the communicator's
-// distance matrix, computing it on first use. Callers hold st.mu.
+// distance topology, computing it on first use. Clustered communicators
+// hash the (topology name, per-rank core) placement in O(n) — the cores
+// fully determine every pairwise distance — so cluster-scale plan-cache
+// keys never need the dense matrix. Callers hold st.mu.
 func (st *commState) topoHashLocked() uint64 {
 	if !st.topoHashed {
-		st.topoHash = plancache.TopoHash(st.matrixLocked())
+		if cv := st.clusteredLocked(); cv != nil {
+			st.topoHash = plancache.TopoHashCores(cv.Topology().Name, cv.Cores())
+		} else {
+			st.topoHash = plancache.TopoHash(st.matrixLocked())
+		}
 		st.topoHashed = true
 	}
 	return st.topoHash
@@ -83,6 +90,8 @@ func (c *Comm) Free() {
 	st.invalidatePlans()
 	st.mu.Lock()
 	st.matrix = nil
+	st.clustered = nil
+	st.clusterKnown = false
 	st.topoHashed = false
 	st.trees = make(map[int]*core.Tree)
 	st.ring = nil

@@ -8,6 +8,7 @@ import (
 
 	"distcoll/internal/core"
 	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
 )
 
 // commState is the shared (cross-process) state of one communicator.
@@ -43,10 +44,18 @@ type commState struct {
 	// constructions for tests. A shrunken communicator inherits its matrix
 	// by restriction of the parent's (core.RestrictMatrix) instead of
 	// re-measuring.
-	matrix distance.Matrix
-	trees  map[int]*core.Tree
-	ring   *core.Ring
-	builds int
+	//
+	// On multi-machine topologies the communicator additionally carries a
+	// sparse clustered view (distance.Clustered); tree/ring construction
+	// and plan-cache hashing then run over the view, so a cluster-scale
+	// communicator never materializes its O(n²) matrix unless a dense-only
+	// consumer (trace distance tags, repair compilation) asks for it.
+	matrix       distance.Matrix
+	clustered    *distance.Clustered
+	clusterKnown bool
+	trees        map[int]*core.Tree
+	ring         *core.Ring
+	builds       int
 
 	// topoHash fingerprints the matrix for plan-cache keys (computed
 	// lazily; topoHashed marks validity so hash 0 stays unambiguous).
@@ -95,15 +104,55 @@ func (st *commState) matrixLocked() distance.Matrix {
 	return st.matrix
 }
 
+// clusteredLocked returns the communicator's sparse clustered view, or nil
+// when the placement fits a single machine (the dense matrix is the right
+// representation there, and the greedy builders keep the byte-exact plans
+// the shipped goldens pin down). Built once per communicator. Callers hold
+// st.mu.
+func (st *commState) clusteredLocked() *distance.Clustered {
+	if !st.clusterKnown {
+		st.clusterKnown = true
+		w := st.world
+		if len(w.Topology().ObjectsOfKind(hwtopo.KindMachine)) > 1 {
+			cores := make([]int, len(st.group))
+			for i, wr := range st.group {
+				cores[i] = w.bind.CoreOf(wr)
+			}
+			if cv, err := distance.NewClustered(w.Topology(), cores); err == nil && len(cv.Machines()) > 1 {
+				st.clustered = cv
+			}
+		}
+	}
+	return st.clustered
+}
+
+// viewLocked returns the distance view collective construction should run
+// over: the sparse clustered view on multi-machine placements, the dense
+// matrix otherwise. Callers hold st.mu.
+func (st *commState) viewLocked() distance.View {
+	if cv := st.clusteredLocked(); cv != nil {
+		return cv
+	}
+	return st.matrixLocked()
+}
+
 // distanceTree returns the cached distance-aware tree rooted at root,
-// building it on first use.
+// building it on first use. Multi-machine communicators build through the
+// sparse hierarchical constructor (provably the same tree, o(n²) work);
+// single-machine ones keep the greedy reference builder.
 func (st *commState) distanceTree(root int) (*core.Tree, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if t, ok := st.trees[root]; ok {
 		return t, nil
 	}
-	t, err := core.BuildBroadcastTree(st.matrixLocked(), root, core.TreeOptions{})
+	var t *core.Tree
+	var err error
+	if cv := st.clusteredLocked(); cv != nil {
+		t, err = core.BuildBroadcastTreeHier(cv, root, core.TreeOptions{})
+	} else {
+		t, err = core.BuildBroadcastTree(st.matrixLocked(), root, core.TreeOptions{})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -112,14 +161,22 @@ func (st *commState) distanceTree(root int) (*core.Tree, error) {
 	return t, nil
 }
 
-// distanceRing returns the cached distance-aware ring.
+// distanceRing returns the cached distance-aware ring, hierarchical on
+// multi-machine communicators (same level structure; orientation may
+// differ from the greedy's, which check.VerifyAllgather accepts).
 func (st *commState) distanceRing() (*core.Ring, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.ring != nil {
 		return st.ring, nil
 	}
-	r, err := core.BuildAllgatherRing(st.matrixLocked(), core.RingOptions{})
+	var r *core.Ring
+	var err error
+	if cv := st.clusteredLocked(); cv != nil {
+		r, err = core.BuildAllgatherRingHier(cv, core.RingOptions{})
+	} else {
+		r, err = core.BuildAllgatherRing(st.matrixLocked(), core.RingOptions{})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -338,14 +395,27 @@ func (c *Comm) ShrinkContext(ctx context.Context) (*Comm, error) {
 	// from the world cache before deriving the child.
 	st.invalidatePlans()
 
-	// Restrict the parent's distance matrix to the survivors: recovery
-	// re-derives the child topology instead of re-measuring it.
+	// Restrict the parent's distance topology to the survivors: recovery
+	// re-derives the child instead of re-measuring it. A clustered parent
+	// restricts its sparse view (O(k)); a dense parent restricts its
+	// matrix. Neither path forces the other representation into existence.
 	st.mu.Lock()
-	parent := st.matrixLocked()
+	parentCv := st.clusteredLocked()
+	var parent distance.Matrix
+	if parentCv == nil {
+		parent = st.matrixLocked()
+	}
 	st.mu.Unlock()
-	sub, err := core.RestrictMatrix(parent, aliveIdx)
-	if err != nil {
-		return nil, err
+	var sub distance.Matrix
+	var subCv *distance.Clustered
+	var err2 error
+	if parentCv != nil {
+		subCv, err2 = parentCv.Restrict(aliveIdx)
+	} else {
+		sub, err2 = core.RestrictMatrix(parent, aliveIdx)
+	}
+	if err2 != nil {
+		return nil, err2
 	}
 
 	key := fmt.Sprintf("%d|%v", st.id, aliveWorld)
@@ -354,6 +424,14 @@ func (c *Comm) ShrinkContext(ctx context.Context) (*Comm, error) {
 	if !ok {
 		ns = newCommState(w, aliveWorld)
 		ns.matrix = sub
+		if parentCv != nil {
+			// Survivors collapsed onto one machine go dense, like a
+			// fresh communicator with that placement would.
+			ns.clusterKnown = true
+			if len(subCv.Machines()) > 1 {
+				ns.clustered = subCv
+			}
+		}
 		w.shrunk[key] = ns
 	}
 	w.smu.Unlock()

@@ -141,6 +141,43 @@ func TestTracedRunMatchesGoldenSchedule(t *testing.T) {
 	}
 }
 
+// TestTracedClusterRunMatchesGoldenSchedule is the cluster-scale twin of
+// TestTracedRunMatchesGoldenSchedule: a live hierarchical broadcast on
+// the rack-tier platform — two-phase tree built sparsely from the
+// clustered view inside the communicator — must execute byte-identically
+// to the committed igrack golden.
+func TestTracedClusterRunMatchesGoldenSchedule(t *testing.T) {
+	const size = 256 << 10
+	topo := hwtopo.NewIGRack()
+	// The golden's 8-rank placement spanning every network tier: nodes 0
+	// and 1 under switch 0, nodes 2/3 under switch 1, nodes 4/5 in rack 1.
+	b, err := binding.User(topo, []int{0, 1, 12, 13, 24, 36, 48, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := trace.NewRing(trace.DefaultRingCapacity)
+	w := NewWorld(b, WithTracer(trace.New(ring)))
+	err = w.Run(func(p *Proc) error {
+		buf := make([]byte, size)
+		return p.Comm().Bcast(buf, 0, KNEMColl)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := trace.Canonical(trace.FilterOp(ring.Events(), trace.KindCopy, "bcast"))
+	got, err := trace.MarshalJSONL(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "trace", "testdata", "igrack8.bcast.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("live canonical cluster trace (%d events) differs from golden igrack8.bcast.trace.jsonl", len(live))
+	}
+}
+
 // TestTracingDisabledByDefault: a world without WithTracer runs with a nil
 // tracer end to end — the zero-cost path.
 func TestTracingDisabledByDefault(t *testing.T) {

@@ -502,3 +502,29 @@ func TopoHash(m distance.Matrix) uint64 {
 	}
 	return h.Sum64()
 }
+
+// TopoHashCores fingerprints a placement for Key.Topo without touching
+// any pairwise distance: FNV-1a over the topology name and the per-rank
+// core bindings, which fully determine the distance relation. This is
+// the O(n) cluster-scale analogue of TopoHash; the two hash different
+// byte streams, so a communicator must use one or the other
+// consistently (internal/mpi picks by view kind and keeps it for the
+// communicator's lifetime).
+func TopoHashCores(topoName string, coreOf []int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(topoName))
+	h.Write([]byte{0})
+	var buf [4]byte
+	enc := func(v int) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:])
+	}
+	enc(len(coreOf))
+	for _, c := range coreOf {
+		enc(c)
+	}
+	return h.Sum64()
+}

@@ -76,6 +76,38 @@ func TestGoldenTraces(t *testing.T) {
 	}
 }
 
+// hierGoldenCores is the 8-rank igrack placement of the hierarchical
+// golden: two ranks on node 0, two on node 1 (same switch), one each on
+// nodes 2 and 3 (other switch, same rack), one each on nodes 4 and 5
+// (the remote rack) — every tier of the extended distance scale appears
+// on some tree edge.
+func hierGoldenCores() []int { return []int{0, 1, 12, 13, 24, 36, 48, 60} }
+
+// TestGoldenTraceHier: the two-phase broadcast schedule on the rack-tier
+// platform, built sparsely from the clustered view, is pinned byte for
+// byte like the single-node goldens.
+func TestGoldenTraceHier(t *testing.T) {
+	const size = 256 << 10
+	topo := hwtopo.NewIGRack()
+	b, err := binding.User(topo, hierGoldenCores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := distance.NewClustered(topo, b.Cores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.BuildBroadcastTreeHier(cv, 0, core.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := core.CompileBroadcast(tree, size, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "igrack8.bcast.trace.jsonl", ScheduleEvents("bcast", bs, distance.Materialize(cv)))
+}
+
 func compareGolden(t *testing.T, name string, events []Event) {
 	t.Helper()
 	got, err := MarshalJSONL(events)
@@ -108,8 +140,8 @@ func TestGoldenTracesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(matches) != 4 {
-		t.Fatalf("found %d golden traces, want 4 (%v)", len(matches), matches)
+	if len(matches) != 5 {
+		t.Fatalf("found %d golden traces, want 5 (%v)", len(matches), matches)
 	}
 	for _, path := range matches {
 		f, err := os.Open(path)

@@ -48,7 +48,13 @@ const calibrateMargin = 1e-3
 // candidates returns the decision candidates for a collective, in
 // preference order (earlier wins a near-tie). The knem tree collectives
 // carry the Fig. 8 hierarchical/linear split and a fixed-chunk pipeline
-// variant; ring collectives have a single distance-aware shape.
+// variant; ring collectives have a single distance-aware shape. On
+// multi-node topologies (clustered) the two-phase variants precede the
+// flat knem shapes: the two-phase broadcast tree is provably identical
+// to the flat distance-aware tree, so the simulated makespans tie
+// exactly and preference order resolves the tie toward the construction
+// that stays O(n) at cluster scale — which is how hier-vs-flat decision
+// rows enter the shipped tables.
 //
 // MPICH2 (nemesis double copy) is deliberately not a candidate: it runs
 // the same rank-based algorithms as tuned over a strictly slower
@@ -57,9 +63,19 @@ const calibrateMargin = 1e-3
 // 8 MB × 48 ranks), which would dominate `disttune generate` and the CI
 // drift check. Tables may still *name* mpich2 (CompileFor supports it);
 // the calibrator just never needs to.
-func candidates(coll Collective) []Decision {
+func candidates(coll Collective, clustered bool) []Decision {
 	switch coll {
 	case CollBcast, CollReduce:
+		if clustered {
+			return []Decision{
+				{Component: ComponentTuned},
+				{Component: ComponentKNEM, TwoPhase: true},
+				{Component: ComponentKNEM},
+				{Component: ComponentKNEM, TwoPhase: true, Chunk: 64 << 10},
+				{Component: ComponentKNEM, Chunk: 64 << 10},
+				{Component: ComponentKNEM, Linear: true},
+			}
+		}
 		return []Decision{
 			{Component: ComponentTuned},
 			{Component: ComponentKNEM},
@@ -67,6 +83,13 @@ func candidates(coll Collective) []Decision {
 			{Component: ComponentKNEM, Linear: true},
 		}
 	default:
+		if clustered {
+			return []Decision{
+				{Component: ComponentTuned},
+				{Component: ComponentKNEM, TwoPhase: true},
+				{Component: ComponentKNEM},
+			}
+		}
 		return []Decision{
 			{Component: ComponentTuned},
 			{Component: ComponentKNEM},
@@ -159,7 +182,7 @@ func Calibrate(cfg CalibrateConfig) (*Table, error) {
 // the new decision won, so a lookup at any swept size reproduces the
 // winner exactly.
 func calibrateOne(coll Collective, b *binding.Binding, m distance.Matrix, params machine.Params, sizes []int64) ([]Rule, error) {
-	cands := candidates(coll)
+	cands := candidates(coll, m.MaxValue() > distance.MaxIntraNode)
 	grid, err := simulateGrid(coll, cands, b, m, params, sizes)
 	if err != nil {
 		return nil, err
@@ -273,10 +296,16 @@ func machineConfig(name string) (CalibrateConfig, error) {
 		// crosssocket is meaningless across machines.
 		return CalibrateConfig{Name: "igcluster48", Machine: "igcluster", Procs: 48,
 			Bindings: []string{"contiguous"}}, nil
+	case "igrack":
+		// The full 96-rank rack platform: 2 racks × 2 switches × 2 nodes,
+		// the smallest communicator exercising every network tier
+		// including the cross-rack spine.
+		return CalibrateConfig{Name: "igrack96", Machine: "igrack", Procs: 96,
+			Bindings: []string{"contiguous"}}, nil
 	default:
 		return CalibrateConfig{}, fmt.Errorf("tune: no default calibration for machine %q", name)
 	}
 }
 
 // DefaultMachines lists the machines with shipped default tables.
-func DefaultMachines() []string { return []string{"zoot", "ig", "igcluster"} }
+func DefaultMachines() []string { return []string{"zoot", "ig", "igcluster", "igrack"} }

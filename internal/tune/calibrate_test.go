@@ -61,7 +61,7 @@ func TestCalibratedRulesAreOptimalAtSweptPoints(t *testing.T) {
 				t.Fatalf("%s/%s: no rule covers swept size %d", rs.Coll, rs.Binding, size)
 			}
 			best, chosenTime := -1.0, -1.0
-			for _, d := range candidates(rs.Coll) {
+			for _, d := range candidates(rs.Coll, m.MaxValue() > distance.MaxIntraNode) {
 				s, err := CompileFor(rs.Coll, d, m, 0, size, reduceAlign)
 				if err != nil {
 					t.Fatal(err)
@@ -98,7 +98,7 @@ func TestCalibrateErrors(t *testing.T) {
 	if _, err := CalibrateMachine("nope", nil); err == nil {
 		t.Error("CalibrateMachine accepted an unknown machine")
 	}
-	if got := DefaultMachines(); len(got) != 3 {
+	if got := DefaultMachines(); len(got) != 4 {
 		t.Errorf("DefaultMachines() = %v", got)
 	}
 }

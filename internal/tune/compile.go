@@ -10,22 +10,28 @@ import (
 )
 
 // CompileFor compiles the schedule a decision names, over the given
-// distance matrix. It is the single mapping from decisions to compiled
+// distance view. It is the single mapping from decisions to compiled
 // programs, shared by the offline calibrator (which simulates the result)
 // and the mpi Adaptive component (which executes it through the plan
 // cache), so a calibrated table always describes exactly what the runtime
 // will run.
 //
+// Two-phase decisions stay on the view (sparse hierarchical
+// construction, no dense matrix ever built); the other knemcoll shapes
+// route through the greedy reference builders, materializing the matrix
+// when handed a sparse view — acceptable because flat decisions are only
+// selected at sizes where the dense path is affordable.
+//
 // bytes is the full message for bcast/reduce/allreduce and the per-rank
 // block for allgather; align is the reduction element size (allreduce
 // only; ≤1 means byte-wise).
-func CompileFor(coll Collective, d Decision, m distance.Matrix, root int, bytes, align int64) (*sched.Schedule, error) {
-	n := m.Size()
+func CompileFor(coll Collective, d Decision, v distance.View, root int, bytes, align int64) (*sched.Schedule, error) {
+	n := v.Size()
 	switch coll {
 	case CollBcast:
 		switch d.Component {
 		case ComponentKNEM:
-			tree, err := knemTree(d, m, root)
+			tree, err := knemTree(d, v, root)
 			if err != nil {
 				return nil, err
 			}
@@ -40,7 +46,7 @@ func CompileFor(coll Collective, d Decision, m distance.Matrix, root int, bytes,
 	case CollAllgather:
 		switch d.Component {
 		case ComponentKNEM:
-			ring, err := core.BuildAllgatherRing(m, core.RingOptions{})
+			ring, err := knemRing(d, v)
 			if err != nil {
 				return nil, err
 			}
@@ -53,7 +59,7 @@ func CompileFor(coll Collective, d Decision, m distance.Matrix, root int, bytes,
 	case CollReduce:
 		switch d.Component {
 		case ComponentKNEM:
-			tree, err := knemTree(d, m, root)
+			tree, err := knemTree(d, v, root)
 			if err != nil {
 				return nil, err
 			}
@@ -66,7 +72,7 @@ func CompileFor(coll Collective, d Decision, m distance.Matrix, root int, bytes,
 	case CollAllreduce:
 		switch d.Component {
 		case ComponentKNEM:
-			ring, err := core.BuildAllgatherRing(m, core.RingOptions{})
+			ring, err := knemRing(d, v)
 			if err != nil {
 				return nil, err
 			}
@@ -81,11 +87,26 @@ func CompileFor(coll Collective, d Decision, m distance.Matrix, root int, bytes,
 }
 
 // knemTree builds the broadcast/reduce tree a knemcoll decision names:
-// the distance-aware hierarchy, or the linear topology (root fans out to
-// every rank directly) when the decision collapses the distance structure.
-func knemTree(d Decision, m distance.Matrix, root int) (*core.Tree, error) {
-	if d.Linear {
-		return core.NewLinearTree(m.Size(), root)
+// the sparse two-phase hierarchy, the linear topology (root fans out to
+// every rank directly) when the decision collapses the distance
+// structure, or the greedy distance-aware reference otherwise.
+func knemTree(d Decision, v distance.View, root int) (*core.Tree, error) {
+	switch {
+	case d.Linear:
+		return core.NewLinearTree(v.Size(), root)
+	case d.TwoPhase:
+		return core.BuildBroadcastTreeHier(v, root, core.TreeOptions{})
+	default:
+		return core.BuildBroadcastTree(distance.Materialize(v), root, core.TreeOptions{})
 	}
-	return core.BuildBroadcastTree(m, root, core.TreeOptions{})
+}
+
+// knemRing builds the allgather/allreduce ring a knemcoll decision
+// names: the sparse hierarchical layout for two-phase decisions, the
+// greedy reference otherwise.
+func knemRing(d Decision, v distance.View) (*core.Ring, error) {
+	if d.TwoPhase {
+		return core.BuildAllgatherRingHier(v, core.RingOptions{})
+	}
+	return core.BuildAllgatherRing(distance.Materialize(v), core.RingOptions{})
 }

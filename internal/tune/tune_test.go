@@ -234,14 +234,14 @@ func TestMarshalParseRoundtrip(t *testing.T) {
 
 func TestDefaultTablesShip(t *testing.T) {
 	tables := DefaultTables()
-	if len(tables) != 3 {
-		t.Fatalf("shipped %d default tables, want 3", len(tables))
+	if len(tables) != 4 {
+		t.Fatalf("shipped %d default tables, want 4", len(tables))
 	}
 	byName := map[string]*Table{}
 	for _, tab := range tables {
 		byName[tab.Name] = tab
 	}
-	for _, name := range []string{"zoot16", "ig48", "igcluster48"} {
+	for _, name := range []string{"zoot16", "ig48", "igcluster48", "igrack96"} {
 		if byName[name] == nil {
 			t.Errorf("default table %s missing", name)
 		}
