@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// runLedger implements `distbench ledger`: it merges the per-job
+// BENCH_*.json artifacts a CI run produces (go test -json streams from
+// the gate jobs, single-document ledgers from the soak and autotune
+// jobs) into one canonical BENCH_all.json, so a run's evidence is a
+// single downloadable file rather than a pile of per-job artifacts.
+func runLedger(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ledger", flag.ContinueOnError)
+	outFile := fs.String("o", "BENCH_all.json", "merged ledger output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		matches, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+		files = matches
+	}
+	// Never ingest the output of a previous merge.
+	kept := files[:0]
+	for _, f := range files {
+		if filepath.Base(f) != filepath.Base(*outFile) {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+	if len(files) == 0 {
+		return fmt.Errorf("ledger: no BENCH_*.json inputs found")
+	}
+	sort.Strings(files)
+
+	ledger := map[string]any{"sources": []any{}}
+	sources := make([]any, 0, len(files))
+	failed := 0
+	for _, path := range files {
+		src, err := ledgerSource(path)
+		if err != nil {
+			return fmt.Errorf("ledger: %s: %w", path, err)
+		}
+		if n, ok := src["failed"].(int); ok {
+			failed += n
+		}
+		sources = append(sources, src)
+	}
+	ledger["sources"] = sources
+	ledger["failed"] = failed
+
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "merged %d ledger(s) into %s (%d bytes, %d failed tests)\n",
+		len(files), *outFile, len(data), failed)
+	if failed > 0 {
+		return fmt.Errorf("ledger: %d failed test(s) recorded in the inputs", failed)
+	}
+	return nil
+}
+
+// ledgerSource classifies one input file. A single JSON document is
+// embedded verbatim under "doc"; a `go test -json` stream (JSONL of
+// test2json events) is summarized into per-package verdicts and
+// pass/fail counts — the raw stream stays in the per-job artifact.
+func ledgerSource(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	src := map[string]any{"file": filepath.Base(path)}
+
+	var doc any
+	if err := json.Unmarshal(data, &doc); err == nil {
+		src["format"] = "json"
+		src["doc"] = doc
+		return src, nil
+	}
+
+	// test2json stream: one event object per line.
+	type testEvent struct {
+		Action  string  `json:"Action"`
+		Package string  `json:"Package"`
+		Test    string  `json:"Test"`
+		Elapsed float64 `json:"Elapsed"`
+	}
+	packages := map[string]string{}
+	passed, failed := 0, 0
+	elapsed := 0.0
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var e testEvent
+		if err := json.Unmarshal([]byte(raw), &e); err != nil {
+			return nil, fmt.Errorf("line %d: not a JSON document and not a test2json stream: %w", line, err)
+		}
+		switch e.Action {
+		case "pass", "fail":
+			if e.Test == "" {
+				packages[e.Package] = e.Action
+				elapsed += e.Elapsed
+			} else if e.Action == "pass" {
+				passed++
+			} else {
+				failed++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	src["format"] = "test2json"
+	src["packages"] = packages
+	src["passed"] = passed
+	src["failed"] = failed
+	src["elapsed_sec"] = elapsed
+	return src, nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedgerMergesStreamsAndDocs(t *testing.T) {
+	dir := t.TempDir()
+	// A test2json stream with two passing tests and a package verdict.
+	writeFile(t, filepath.Join(dir, "BENCH_hier.json"),
+		`{"Action":"pass","Package":"distcoll/internal/core","Test":"TestA"}
+{"Action":"pass","Package":"distcoll/internal/core","Test":"TestB","Elapsed":0.5}
+{"Action":"pass","Package":"distcoll/internal/core","Elapsed":1.25}
+`)
+	// A single-document ledger (the soak/autotune shape).
+	writeFile(t, filepath.Join(dir, "BENCH_serve.json"),
+		`{"tenants":8,"violations":0}`)
+
+	out := filepath.Join(dir, "BENCH_all.json")
+	var sb strings.Builder
+	err := runLedger([]string{"-o", out,
+		filepath.Join(dir, "BENCH_hier.json"), filepath.Join(dir, "BENCH_serve.json")}, &sb)
+	if err != nil {
+		t.Fatalf("runLedger: %v (output %q)", err, sb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ledger struct {
+		Failed  int `json:"failed"`
+		Sources []struct {
+			File     string            `json:"file"`
+			Format   string            `json:"format"`
+			Passed   int               `json:"passed"`
+			Packages map[string]string `json:"packages"`
+			Doc      map[string]any    `json:"doc"`
+		} `json:"sources"`
+	}
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		t.Fatal(err)
+	}
+	if ledger.Failed != 0 || len(ledger.Sources) != 2 {
+		t.Fatalf("ledger header: %+v", ledger)
+	}
+	// Inputs are sorted by name: hier stream first, serve doc second.
+	hier, serve := ledger.Sources[0], ledger.Sources[1]
+	if hier.Format != "test2json" || hier.Passed != 2 ||
+		hier.Packages["distcoll/internal/core"] != "pass" {
+		t.Fatalf("stream summary: %+v", hier)
+	}
+	if serve.Format != "json" || serve.Doc["tenants"].(float64) != 8 {
+		t.Fatalf("doc embed: %+v", serve)
+	}
+}
+
+func TestLedgerFailsOnFailedTests(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "BENCH_bad.json"),
+		`{"Action":"fail","Package":"p","Test":"TestBroken"}
+{"Action":"fail","Package":"p","Elapsed":1}
+`)
+	out := filepath.Join(dir, "BENCH_all.json")
+	var sb strings.Builder
+	err := runLedger([]string{"-o", out, filepath.Join(dir, "BENCH_bad.json")}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "1 failed test") {
+		t.Fatalf("want failed-test error, got %v", err)
+	}
+	// The merged ledger is still written so the evidence survives.
+	if _, statErr := os.Stat(out); statErr != nil {
+		t.Fatalf("ledger not written on failure: %v", statErr)
+	}
+}
+
+func TestLedgerRejectsGarbageAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if err := runLedger([]string{"-o", filepath.Join(dir, "BENCH_all.json"),
+		filepath.Join(dir, "BENCH_all.json")}, &strings.Builder{}); err == nil {
+		t.Fatal("self-input only (filtered to nothing) succeeded")
+	}
+	writeFile(t, filepath.Join(dir, "BENCH_garbage.json"), "not json at all\n")
+	err := runLedger([]string{"-o", filepath.Join(dir, "BENCH_all.json"),
+		filepath.Join(dir, "BENCH_garbage.json")}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}

@@ -8,6 +8,11 @@
 //	distbench -fig 7 -csv       # CSV instead of a table
 //	distbench -fig 6 -sizes 1024,65536,8388608
 //	distbench -explain bcast -machine ig -binding crosssocket -component tuned -size 1048576
+//	distbench ledger [-o BENCH_all.json] [BENCH_*.json ...]
+//
+// ledger merges the per-job BENCH_*.json CI artifacts (go test -json
+// streams and single-document ledgers) into one BENCH_all.json and
+// exits 1 if any merged stream recorded a failed test.
 package main
 
 import (
@@ -23,6 +28,14 @@ import (
 )
 
 func main() {
+	// The ledger subcommand has its own flag set; intercept it before the
+	// figure flags parse.
+	if len(os.Args) > 1 && os.Args[1] == "ledger" {
+		if err := runLedger(os.Args[2:], os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	fig := flag.String("fig", "", "figure id to reproduce: 2, 6, 7, 8, chunk, ordering, allreduce, cluster, alltoall, adaptive-bcast, adaptive-allgather")
 	all := flag.Bool("all", false, "reproduce every paper figure (2, 6, 7, 8)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")

@@ -8,12 +8,20 @@
 //	disttune generate [-machine zoot|ig|igcluster|all] [-sizes 1024,65536] [-o dir]
 //	disttune dump <table.json ...>
 //	disttune diff [-machine ...] [-sizes ...] <dir>
+//	disttune fit [-sizes ...] [-min-samples n] [-name x] [-o out.json] [-check golden.json] [-diff] <trace.jsonl ...>
 //
 // generate writes one canonical-JSON table per machine into -o (default
 // internal/tune/tables). dump prints a table's rules in human-readable
 // form. diff regenerates in memory and compares byte-for-byte against the
 // files in <dir>, exiting 1 on any difference — the CI gate that keeps
 // the shipped tables in lock-step with the calibrator.
+//
+// fit is the offline face of the online autotuner (DESIGN.md §14): it
+// replays JSONL traces into the streaming estimator, fits the per-class
+// Hockney model, and prints the learned decision table. -o writes the
+// canonical learned JSON, -check byte-compares it against a committed
+// golden (the CI stability gate), and -diff shows where the learned
+// decisions depart from the shipped selector's.
 package main
 
 import (
@@ -25,7 +33,9 @@ import (
 	"strconv"
 	"strings"
 
+	"distcoll/internal/autotune"
 	"distcoll/internal/imb"
+	"distcoll/internal/trace"
 	"distcoll/internal/tune"
 )
 
@@ -38,7 +48,7 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: disttune generate|dump|diff [flags]")
+		return fmt.Errorf("usage: disttune generate|dump|diff|fit [flags]")
 	}
 	switch args[0] {
 	case "generate":
@@ -47,8 +57,10 @@ func run(args []string, out *os.File) error {
 		return runDump(args[1:], out)
 	case "diff":
 		return runDiff(args[1:], out)
+	case "fit":
+		return runFit(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want generate, dump or diff)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want generate, dump, diff or fit)", args[0])
 	}
 }
 
@@ -225,4 +237,115 @@ func runDiff(args []string, out *os.File) error {
 		return fmt.Errorf("%d table(s) drifted", drift)
 	}
 	return nil
+}
+
+func runFit(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	sizesFlag := fs.String("sizes", "", "comma-separated message sizes (default: standard IMB sweep)")
+	minSamples := fs.Int("min-samples", 1, "minimum accepted copy samples for a fit")
+	nameFlag := fs.String("name", "", "name of the learned document (default <machine><np>-replay)")
+	outFile := fs.String("o", "", "write canonical learned JSON to this file")
+	checkFile := fs.String("check", "", "byte-compare the learned JSON against this golden file (CI drift gate)")
+	diffFlag := fs.Bool("diff", false, "diff learned decisions against the shipped selector")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: disttune fit [flags] <trace.jsonl ...>")
+	}
+	sizes, err := sizeList(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	var events []trace.Event
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		evs, err := trace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		events = append(events, evs...)
+	}
+	res, err := autotune.FitTrace(events, autotune.ReplayConfig{
+		Name:       *nameFlag,
+		Sizes:      sizes,
+		MinSamples: *minSamples,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "fit %s: machine=%s bind=%s np=%d (%d copy samples, %d collectives)\n",
+		res.Learned.Name, res.Machine, res.Binding, res.Procs, res.Samples, len(res.Colls))
+	fmt.Fprint(out, res.Model)
+	if res.Learned.Table != nil {
+		dumpTable(out, res.Learned.Table)
+	}
+
+	data, err := autotune.MarshalLearned(res.Learned)
+	if err != nil {
+		return err
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d bytes)\n", *outFile, len(data))
+	}
+	if *diffFlag {
+		fitDiff(out, res, sizes)
+	}
+	if *checkFile != "" {
+		golden, err := os.ReadFile(*checkFile)
+		if err != nil {
+			return fmt.Errorf("DRIFT %s: %w", *checkFile, err)
+		}
+		if !bytes.Equal(golden, data) {
+			return fmt.Errorf("DRIFT %s: committed learned state differs from fit output (regenerate with `disttune fit -o`)", *checkFile)
+		}
+		fmt.Fprintf(out, "ok    %s\n", *checkFile)
+	}
+	return nil
+}
+
+// fitDiff compares the learned decisions with what the shipped selector
+// would pick at every (collective, size) the fit covered.
+func fitDiff(out *os.File, res *autotune.FitResult, sizes []int64) {
+	if res.Learned.Table == nil {
+		fmt.Fprintln(out, "no learned decisions to diff")
+		return
+	}
+	if len(sizes) == 0 {
+		sizes = imb.StandardSizes()
+	}
+	shipped := tune.DefaultSelector()
+	differs := 0
+	for _, rs := range res.Learned.Table.RuleSets {
+		for _, size := range sizes {
+			var l tune.Decision
+			ok := false
+			for _, r := range rs.Rules {
+				if r.Covers(size) {
+					l, ok = r.Decision, true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			s, prov := shipped.ExplainFP(rs.Coll, rs.Fingerprint, size)
+			mark := ""
+			if l != s {
+				mark = "  DIFFERS"
+				differs++
+			}
+			fmt.Fprintf(out, "%-10s %8s  learned=%-28s shipped=%-28s (%s)%s\n",
+				rs.Coll, imb.FormatSize(size), l, s, prov, mark)
+		}
+	}
+	fmt.Fprintf(out, "%d decision(s) differ from the shipped tables\n", differs)
 }

@@ -82,3 +82,59 @@ func TestCLIErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestFitGoldenTrace(t *testing.T) {
+	trace := "../../internal/autotune/testdata/zoot16.fit.trace.jsonl"
+	golden := "../../internal/autotune/testdata/zoot16.learned.json"
+	const sizes = "1024,16384,262144"
+
+	// Plain fit: header, fitted classes, decided table.
+	out, err := capture(t, "fit", "-sizes", sizes, trace)
+	if err != nil {
+		t.Fatalf("fit: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"fit zoot16-replay: machine=zoot bind=contiguous np=16",
+		"d1: α=", "table zoot16-replay: machine=learned",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fit output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -o writes a document that -check then accepts; the committed
+	// golden must also pass (the CI drift gate's exact invocation).
+	learned := filepath.Join(t.TempDir(), "learned.json")
+	if out, err = capture(t, "fit", "-sizes", sizes, "-o", learned, "-diff", trace); err != nil {
+		t.Fatalf("fit -o: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "decision(s) differ from the shipped tables") {
+		t.Errorf("fit -diff output missing summary:\n%s", out)
+	}
+	for _, g := range []string{learned, golden} {
+		out, err = capture(t, "fit", "-sizes", sizes, "-check", g, trace)
+		if err != nil || !strings.Contains(out, "ok    "+g) {
+			t.Errorf("fit -check %s: err=%v out=%q", g, err, out)
+		}
+	}
+
+	// A drifted golden must fail the check.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, "fit", "-sizes", sizes, "-check", bad, trace); err == nil || !strings.Contains(err.Error(), "DRIFT") {
+		t.Errorf("fit -check on drifted golden: %v, want DRIFT error", err)
+	}
+
+	// Error paths: no args, unreadable trace, trace without meta.
+	for _, args := range [][]string{
+		{"fit"},
+		{"fit", "/nonexistent/trace.jsonl"},
+		{"fit", "../../internal/trace/testdata/zoot16.bcast.trace.jsonl"},
+	} {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -29,6 +29,7 @@
 package distcoll
 
 import (
+	"distcoll/internal/autotune"
 	"distcoll/internal/baseline"
 	"distcoll/internal/binding"
 	"distcoll/internal/chaos"
@@ -278,9 +279,14 @@ type (
 	TuneDecision    = tune.Decision
 	TuneTable       = tune.Table
 	TuneSelector    = tune.Selector
+	TuneOverlay     = tune.Overlay
 	TuneFingerprint = tune.Fingerprint
 	PlanCache       = plancache.Cache
 	PlanCacheStats  = plancache.Stats
+	// AutotuneConfig configures the online autotuner (DESIGN.md §14);
+	// Autotuner is the measured-feedback model-fitting engine itself.
+	AutotuneConfig = autotune.Config
+	Autotuner      = autotune.Tuner
 )
 
 // Selection-engine constructors, calibration, and the World options wiring
@@ -296,6 +302,7 @@ var (
 	PlanTopoHash          = plancache.TopoHash
 	WithSelector          = mpi.WithSelector
 	WithPlanCacheCapacity = mpi.WithPlanCacheCapacity
+	WithAutotune          = mpi.WithAutotune
 )
 
 // NewWorld creates a mini-MPI job over a binding. Options configure the

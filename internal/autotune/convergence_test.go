@@ -1,0 +1,262 @@
+package autotune
+
+import (
+	"fmt"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/machine"
+	"distcoll/internal/trace"
+	"distcoll/internal/tune"
+)
+
+// The acceptance gate of DESIGN.md §14: start a 96-rank igrack world with
+// a deliberately WRONG decision table — one whose fingerprint matches
+// this topology only at the machine-class tier and maps every size to the
+// linear tree, the worst clustered choice — and drive a DES-simulated
+// workload sweep through the tuner. The learned decisions must converge
+// to the per-cell upper envelope (within envelopeFactor of the best
+// candidate's simulated makespan at every sweep point), while a frozen
+// control (the same wrong table, no tuner) stays off the envelope; once
+// converged, further rounds must publish zero revisions.
+const envelopeFactor = 1.002
+
+// convCell is one workload sweep point.
+type convCell struct {
+	coll tune.Collective
+	size int64
+}
+
+// convHarness drives synthetic trace events from DES results into a
+// tuner, standing in for the live runtime's tracer.
+type convHarness struct {
+	t      *testing.T
+	bind   *binding.Binding
+	params machine.Params
+	view   distance.View
+	nplan  int64
+	// price memoizes ground-truth simulated makespans per (coll, size,
+	// decision variant).
+	price map[string]float64
+}
+
+func (h *convHarness) align(coll tune.Collective) int64 {
+	if coll == tune.CollAllreduce {
+		return tune.ReduceAlign
+	}
+	return 0
+}
+
+// truePrice simulates one decision on the calibrated machine model — the
+// ground truth the fitted model is supposed to approximate.
+func (h *convHarness) truePrice(coll tune.Collective, d tune.Decision, size int64) float64 {
+	key := fmt.Sprintf("%s/%d/%s", coll, size, d)
+	if p, ok := h.price[key]; ok {
+		return p
+	}
+	s, err := tune.CompileFor(coll, d, h.view, 0, size, h.align(coll))
+	if err != nil {
+		h.t.Fatalf("compile %s/%s at %d: %v", coll, d, size, err)
+	}
+	res, err := machine.Simulate(h.bind, h.params, s)
+	if err != nil {
+		h.t.Fatalf("simulate %s/%s at %d: %v", coll, d, size, err)
+	}
+	h.price[key] = res.Makespan
+	return res.Makespan
+}
+
+// envelope returns the best simulated makespan over the candidate space.
+func (h *convHarness) envelope(c convCell) float64 {
+	best := 0.0
+	for i, cand := range tune.Candidates(c.coll, true) {
+		p := h.truePrice(c.coll, cand, c.size)
+		if i == 0 || p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+// run executes one collective under the current decision and feeds the
+// tuner the trace events the live runtime would emit, in the live
+// order: plan_cache with the decision, per-op copies with distance
+// class and simulated duration, plan_reap (the last member leaving the
+// executor reaps before anyone closes their op bracket), then op_end
+// with the simulated makespan.
+func (h *convHarness) run(tuner *Tuner, c convCell) {
+	dec := tuner.Overlay().Select(c.coll, h.view, c.size)
+	s, err := tune.CompileFor(c.coll, dec, h.view, 0, c.size, h.align(c.coll))
+	if err != nil {
+		h.t.Fatalf("compile %s/%s at %d: %v", c.coll, dec, c.size, err)
+	}
+	res, err := machine.Simulate(h.bind, h.params, s)
+	if err != nil {
+		h.t.Fatalf("simulate %s/%s at %d: %v", c.coll, dec, c.size, err)
+	}
+	h.nplan++
+	plan := h.nplan
+	tuner.Emit(trace.Event{Kind: trace.KindPlanCache, Op: string(c.coll), Plan: plan,
+		Bytes: c.size, Det: dec.String(), Mode: "miss"})
+	for i := range s.Ops {
+		op := &s.Ops[i]
+		if op.Bytes <= 0 {
+			continue
+		}
+		src := s.Buffers[op.Src].Rank
+		dst := s.Buffers[op.Dst].Rank
+		dur := int64((res.OpFinish[i] - res.OpStart[i]) * 1e9)
+		tuner.Emit(trace.Event{Kind: trace.KindCopy, Op: string(c.coll), Plan: plan,
+			Rank: op.Rank, Src: src, Dst: dst, Bytes: op.Bytes,
+			Dist: h.view.At(src, dst), Mode: "knem", Dur: dur})
+	}
+	tuner.Emit(trace.Event{Kind: trace.KindPlanReap, Op: string(c.coll), Plan: plan})
+	tuner.Emit(trace.Event{Kind: trace.KindOpEnd, Op: string(c.coll), Plan: plan,
+		Dur: int64(res.Makespan * 1e9)})
+}
+
+// wrongTable builds a decision table whose fingerprint fails Equal
+// against fp (so the exact tier never hits) but keeps MaxDist/SingleMC
+// (so the machine-class tier serves it), and whose every rule is the
+// linear tree — the pathological choice at cluster scale.
+func wrongTable(fp tune.Fingerprint, colls []tune.Collective) *tune.Table {
+	bad := fp
+	bad.Hist = append([]int64(nil), fp.Hist...)
+	bad.Hist[0]++ // breaks Equal, preserves SameClass
+	t := &tune.Table{Name: "wrong96", Machine: "igrack", Procs: fp.Procs}
+	for _, coll := range colls {
+		t.RuleSets = append(t.RuleSets, tune.RuleSet{
+			Coll:        coll,
+			Binding:     "contiguous",
+			Fingerprint: bad,
+			Rules: []tune.Rule{{
+				Decision: tune.Decision{Component: tune.ComponentKNEM, Linear: true},
+			}},
+		})
+	}
+	return t
+}
+
+func TestConvergenceOnIgrack96(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES convergence sweep is slow")
+	}
+	topo, err := hwtopo.ByName("igrack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind, err := binding.ByName(topo, "contiguous", 96, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := machine.ParamsFor("igrack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := distance.NewClustered(topo, bind.Cores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := tune.FingerprintOf(view)
+	if fp.MaxDist <= distance.MaxIntraNode {
+		t.Fatalf("igrack96 should be clustered, got maxdist %d", fp.MaxDist)
+	}
+
+	colls := []tune.Collective{tune.CollBcast, tune.CollReduce}
+	sizes := []int64{4 << 10, 64 << 10, 1 << 20}
+	var cells []convCell
+	for _, coll := range colls {
+		for _, size := range sizes {
+			cells = append(cells, convCell{coll: coll, size: size})
+		}
+	}
+
+	wrong := wrongTable(fp, colls)
+	base := tune.NewSelector(wrong)
+
+	// The frozen control: the wrong table without a tuner must be off the
+	// envelope somewhere (otherwise this test gates nothing).
+	h := &convHarness{t: t, bind: bind, params: params, view: view, price: map[string]float64{}}
+	controlOff := 0
+	for _, c := range cells {
+		dec, prov := base.SelectExplain(c.coll, view, c.size)
+		if prov != "class:wrong96/contiguous" {
+			t.Fatalf("wrong table not served via class tier: %s/%d came from %q", c.coll, c.size, prov)
+		}
+		if h.truePrice(c.coll, dec, c.size) > envelopeFactor*h.envelope(c) {
+			controlOff++
+		}
+	}
+	if controlOff == 0 {
+		t.Fatal("frozen control is already on the envelope everywhere; the wrong table is not wrong enough")
+	}
+
+	tuner := NewTuner(base, view, Config{
+		MinSamples: 1,
+		Hysteresis: 1e-9, // deterministic measurements: any strict win flips
+		Window:     512,
+		Explore:    -1, // exhaustive: measure every candidate
+	})
+
+	// Drive sweep rounds until two consecutive quiet recalibrations.
+	// Exhaustive exploration is bounded by the candidate count, so the
+	// round budget is |candidates| + slack.
+	quiet, rounds := 0, 0
+	for quiet < 2 {
+		rounds++
+		if rounds > 12 {
+			t.Fatalf("no convergence after %d rounds", rounds-1)
+		}
+		for _, c := range cells {
+			h.run(tuner, c)
+		}
+		if revs := tuner.Recalibrate(); len(revs) == 0 {
+			quiet++
+		} else {
+			quiet = 0
+		}
+	}
+
+	// Gate 1: every sweep point on the envelope.
+	for _, c := range cells {
+		dec, prov := tuner.Overlay().SelectExplain(c.coll, view, c.size)
+		got := h.truePrice(c.coll, dec, c.size)
+		env := h.envelope(c)
+		if got > envelopeFactor*env {
+			t.Errorf("%s at %d: learned %s (%s) costs %.6gs, envelope %.6gs (factor %.4f)",
+				c.coll, c.size, dec, prov, got, env, got/env)
+		}
+		if prov != "learned" {
+			t.Errorf("%s at %d: decision came from %q, want learned tier", c.coll, c.size, prov)
+		}
+	}
+
+	// Gate 2: zero flips and zero revisions after convergence.
+	flips, revs := tuner.Flips(), tuner.Revisions()
+	for round := 0; round < 2; round++ {
+		for _, c := range cells {
+			h.run(tuner, c)
+		}
+		if r := tuner.Recalibrate(); len(r) != 0 {
+			t.Fatalf("post-convergence recalibration published %d revisions: %v", len(r), r)
+		}
+	}
+	if tuner.Flips() != flips || tuner.Revisions() != revs {
+		t.Fatalf("post-convergence counters moved: flips %d→%d, revisions %d→%d",
+			flips, tuner.Flips(), revs, tuner.Revisions())
+	}
+
+	// The model must have fitted something plausible for the classes the
+	// workload exercised.
+	m := tuner.Model()
+	if m == nil || len(m.Classes) == 0 {
+		t.Fatal("no model fitted after convergence")
+	}
+	for class, f := range m.Classes {
+		if f.Alpha < 0 || f.SecPerByte < 0 {
+			t.Fatalf("class %d fitted negative parameters: %+v", class, f)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package autotune
+
+import "sort"
+
+// Bucket maps a byte count to its power-of-two size bucket: bucket b
+// covers [2^b, 2^(b+1)). Bytes ≤ 0 map to bucket 0.
+func Bucket(bytes int64) int {
+	b := 0
+	for v := bytes; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// BucketMin returns the smallest byte count in bucket b.
+func BucketMin(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return 1 << uint(b)
+}
+
+// BucketMax returns the exclusive upper bound of bucket b (0 = unbounded
+// when the shift would overflow).
+func BucketMax(b int) int64 {
+	if b < 0 {
+		b = 0
+	}
+	if b >= 62 {
+		return 0
+	}
+	return 1 << uint(b+1)
+}
+
+// cellKey identifies one streaming-estimator cell: copies of one
+// distance class in one size bucket.
+type cellKey struct {
+	class  int
+	bucket int
+}
+
+// cell is a bounded ring of recent per-copy durations plus the byte sum
+// needed to place the aggregated point at the cell's mean size.
+type cell struct {
+	secs  []float64 // ring storage
+	next  int       // next write position
+	full  bool      // ring has wrapped
+	bytes int64     // sum of sizes of the samples currently in the ring
+	sizes []int64   // ring of sizes matching secs
+	total int       // lifetime sample count
+}
+
+func (c *cell) observe(bytes int64, sec float64, window int) {
+	if len(c.secs) < window {
+		c.secs = append(c.secs, sec)
+		c.sizes = append(c.sizes, bytes)
+		c.bytes += bytes
+	} else {
+		c.bytes += bytes - c.sizes[c.next]
+		c.secs[c.next] = sec
+		c.sizes[c.next] = bytes
+		c.next = (c.next + 1) % window
+		c.full = true
+	}
+	c.total++
+}
+
+// point aggregates the ring into one fit point: median duration at the
+// mean size.
+func (c *cell) point() Point {
+	n := len(c.secs)
+	if n == 0 {
+		return Point{}
+	}
+	return Point{
+		Bytes:   c.bytes / int64(n),
+		Seconds: median(c.secs),
+		Weight:  n,
+	}
+}
+
+// Collector aggregates per-copy timing samples into per-(distance class,
+// size bucket) cells. It is not self-synchronizing — the Tuner serializes
+// access under its own lock; standalone users (trace replay) are
+// single-goroutine.
+type Collector struct {
+	window int
+	cells  map[cellKey]*cell
+	total  int64
+}
+
+// NewCollector creates a collector whose cells keep the most recent
+// window samples (minimum 1).
+func NewCollector(window int) *Collector {
+	if window < 1 {
+		window = 1
+	}
+	return &Collector{window: window, cells: make(map[cellKey]*cell)}
+}
+
+// Observe records one copy: bytes moved across an edge of the given
+// distance class in sec seconds. Non-positive sizes or durations and
+// out-of-range classes are dropped — they carry no model information.
+func (c *Collector) Observe(class int, bytes int64, sec float64) {
+	if class < 0 || bytes <= 0 || sec <= 0 {
+		return
+	}
+	k := cellKey{class: class, bucket: Bucket(bytes)}
+	ce := c.cells[k]
+	if ce == nil {
+		ce = &cell{}
+		c.cells[k] = ce
+	}
+	ce.observe(bytes, sec, c.window)
+	c.total++
+}
+
+// Samples returns the lifetime number of accepted samples.
+func (c *Collector) Samples() int64 { return c.total }
+
+// ClassSamples returns the lifetime accepted samples per distance class.
+func (c *Collector) ClassSamples() map[int]int64 {
+	out := make(map[int]int64)
+	for k, ce := range c.cells {
+		out[k.class] += int64(ce.total)
+	}
+	return out
+}
+
+// Points renders the current cells as fit points per distance class,
+// sorted by size within each class.
+func (c *Collector) Points() map[int][]Point {
+	out := make(map[int][]Point)
+	for k, ce := range c.cells {
+		if len(ce.secs) == 0 {
+			continue
+		}
+		out[k.class] = append(out[k.class], ce.point())
+	}
+	for class := range out {
+		pts := out[class]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Bytes < pts[j].Bytes })
+		out[class] = pts
+	}
+	return out
+}
+
+// Fit fits the model to the collector's current points.
+func (c *Collector) Fit() *Model { return FitClasses(c.Points()) }

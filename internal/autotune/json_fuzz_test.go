@@ -1,0 +1,86 @@
+package autotune
+
+import (
+	"bytes"
+	"testing"
+
+	"distcoll/internal/tune"
+)
+
+// FuzzLearnedJSONRoundTrip mirrors the hwtopo JSON fuzz: any learned
+// document ParseLearned accepts must marshal canonically, re-parse, and
+// marshal again to byte-identical output — the property the `disttune
+// fit -check` drift gate rests on.
+func FuzzLearnedJSONRoundTrip(f *testing.F) {
+	// Seed with real documents produced by the marshaller itself.
+	full := &Learned{
+		Name: "zoot16-replay", Machine: "zoot", Binding: "contiguous",
+		Procs: 16, Samples: 480,
+		Classes: []ClassParam{
+			{Dist: 1, Alpha: 1.5e-6, SecPerByte: 2.1e-10, Samples: 120},
+			{Dist: 4, Alpha: 3.2e-6, SecPerByte: 9.7e-10, Samples: 360},
+		},
+		Table: &tune.Table{
+			Name: "zoot16-replay", Machine: "learned", Procs: 16,
+			RuleSets: []tune.RuleSet{{
+				Coll: tune.CollBcast, Binding: "learned",
+				Fingerprint: tune.Fingerprint{
+					Procs: 16, MaxDist: 4, SingleMC: true,
+					Hist:    []int64{16, 0, 24, 0, 80},
+					AdjHist: []int64{0, 0, 8, 0, 7},
+				},
+				Rules: []tune.Rule{
+					{MinBytes: 0, MaxBytes: 65536, Decision: tune.Decision{Component: tune.ComponentTuned}},
+					{MinBytes: 65536, Decision: tune.Decision{Component: tune.ComponentKNEM, Linear: true}},
+				},
+			}},
+		},
+	}
+	minimal := &Learned{Name: "bare", Machine: "ig", Procs: 48, Samples: 1}
+	for _, l := range []*Learned{full, minimal} {
+		data, err := MarshalLearned(l)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	// Malformed documents the validator must reject or the parser must
+	// survive: unsorted classes, out-of-range distance, negative alpha,
+	// wrong types, truncation.
+	f.Add(`{"name":"x","machine":"m","procs":4,"samples":1,"classes":[{"dist":5},{"dist":2}]}`)
+	f.Add(`{"name":"x","machine":"m","procs":4,"samples":1,"classes":[{"dist":99,"alpha":1}]}`)
+	f.Add(`{"name":"x","machine":"m","procs":4,"samples":1,"classes":[{"dist":1,"alpha":-2e-6}]}`)
+	f.Add(`{"name":"x","procs":-1,"samples":0,"classes":[]}`)
+	f.Add(`{"name":"x","procs":1,"samples":1,"classes":[{"dist":"far"}]}`)
+	f.Add(`{"name":"x","table":{"name":"t","rule_sets":[{"coll":"bcast","rules":[]}]}}`)
+	f.Add(`{"name":`)
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := ParseLearned([]byte(src))
+		if err != nil {
+			return
+		}
+		first, err := MarshalLearned(l)
+		if err != nil {
+			t.Fatalf("marshalling accepted document: %v", err)
+		}
+		again, err := ParseLearned(first)
+		if err != nil {
+			t.Fatalf("re-parsing own canonical output: %v\n%s", err, first)
+		}
+		second, err := MarshalLearned(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round trip not stable:\n%s\n%s", first, second)
+		}
+		// The rebuilt model must agree with the persisted parameters.
+		m := again.ModelOf()
+		for _, c := range again.Classes {
+			fit, ok := m.Fit(c.Dist)
+			if !ok || fit.Alpha != c.Alpha || fit.SecPerByte != c.SecPerByte {
+				t.Fatalf("ModelOf lost class %d: %+v vs %+v", c.Dist, fit, c)
+			}
+		}
+	})
+}

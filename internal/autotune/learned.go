@@ -1,0 +1,123 @@
+package autotune
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"distcoll/internal/distance"
+	"distcoll/internal/tune"
+)
+
+// Learned is the persistence form of a fitted autotuning state: the
+// per-class Hockney parameters plus the decision table the overlay
+// learned under them. It is what `disttune fit` emits and what a later
+// session (or a drift check) parses back.
+type Learned struct {
+	// Name labels the document ("zoot16-replay").
+	Name string `json:"name"`
+	// Machine and Procs echo the trace the fit came from.
+	Machine string `json:"machine"`
+	Binding string `json:"binding,omitempty"`
+	Procs   int    `json:"procs"`
+	// Samples is the number of copy samples behind the fit.
+	Samples int64 `json:"samples"`
+	// Classes are the fitted parameters, sorted by distance class.
+	Classes []ClassParam `json:"classes"`
+	// Table is the learned decision table (tune.Table JSON), omitted
+	// when nothing was decided.
+	Table *tune.Table `json:"table,omitempty"`
+}
+
+// ClassParam is one fitted distance class in the persistence form.
+type ClassParam struct {
+	Dist       int     `json:"dist"`
+	Alpha      float64 `json:"alpha"`
+	SecPerByte float64 `json:"sec_per_byte"`
+	Samples    int     `json:"samples"`
+}
+
+// ClassParams renders a model in persistence order.
+func ClassParams(m *Model) []ClassParam {
+	if m == nil {
+		return nil
+	}
+	out := make([]ClassParam, 0, len(m.Classes))
+	for c, f := range m.Classes {
+		out = append(out, ClassParam{Dist: c, Alpha: f.Alpha, SecPerByte: f.SecPerByte, Samples: f.Samples})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out
+}
+
+// ModelOf rebuilds a Model from persisted class parameters.
+func (l *Learned) ModelOf() *Model {
+	m := &Model{Classes: make(map[int]ClassFit, len(l.Classes))}
+	for _, c := range l.Classes {
+		m.Classes[c.Dist] = ClassFit{Alpha: c.Alpha, SecPerByte: c.SecPerByte, Samples: c.Samples}
+	}
+	return m
+}
+
+// MarshalLearned renders the document as canonical JSON: classes sorted
+// by distance, table rule sets in (collective, binding) order, two-space
+// indent, trailing newline — byte-stable for a given document, so CI can
+// diff a regenerated fit against a committed one.
+func MarshalLearned(l *Learned) ([]byte, error) {
+	c := *l
+	c.Classes = append([]ClassParam(nil), l.Classes...)
+	sort.Slice(c.Classes, func(i, j int) bool { return c.Classes[i].Dist < c.Classes[j].Dist })
+	data, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseLearned parses and validates a learned-state document.
+func ParseLearned(data []byte) (*Learned, error) {
+	var l Learned
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("autotune: parse learned: %w", err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// Validate checks the document's invariants: classes in range, sorted
+// and unique, parameters non-negative and finite, sample counts
+// non-negative, and an embedded table that passes tune validation.
+func (l *Learned) Validate() error {
+	if l.Procs < 0 {
+		return fmt.Errorf("autotune: learned %q: negative procs %d", l.Name, l.Procs)
+	}
+	if l.Samples < 0 {
+		return fmt.Errorf("autotune: learned %q: negative samples %d", l.Name, l.Samples)
+	}
+	prev := -1
+	for _, c := range l.Classes {
+		if c.Dist < 0 || c.Dist > distance.Max {
+			return fmt.Errorf("autotune: learned %q: class %d out of range", l.Name, c.Dist)
+		}
+		if c.Dist <= prev {
+			return fmt.Errorf("autotune: learned %q: classes not sorted/unique at %d", l.Name, c.Dist)
+		}
+		prev = c.Dist
+		if !(c.Alpha >= 0) || !(c.SecPerByte >= 0) {
+			// The negations also catch NaN.
+			return fmt.Errorf("autotune: learned %q: class %d has invalid parameters (α=%v, β=%v)",
+				l.Name, c.Dist, c.Alpha, c.SecPerByte)
+		}
+		if c.Samples < 0 {
+			return fmt.Errorf("autotune: learned %q: class %d has negative samples", l.Name, c.Dist)
+		}
+	}
+	if l.Table != nil {
+		if err := l.Table.Validate(); err != nil {
+			return fmt.Errorf("autotune: learned %q: %w", l.Name, err)
+		}
+	}
+	return nil
+}

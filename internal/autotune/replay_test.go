@@ -1,0 +1,187 @@
+package autotune
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/distance"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/machine"
+	"distcoll/internal/trace"
+	"distcoll/internal/tune"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fit testdata")
+
+// fitSizes is the sweep the golden fit is decided over. The CI drift
+// gate replays the same trace through `disttune fit -sizes` with this
+// exact list, so changing it means regenerating the goldens AND the CI
+// invocation.
+var fitSizes = []int64{1 << 10, 16 << 10, 256 << 10}
+
+// genFitTrace deterministically synthesizes the golden autotune trace:
+// a zoot16 adaptive run in which every candidate of every (collective,
+// size) cell was executed once, with per-copy durations and op
+// makespans taken from the calibrated DES — the same simulator the
+// convergence test treats as ground truth. The DES is deterministic, so
+// the trace (and everything fitted from it) is byte-stable.
+func genFitTrace(t *testing.T) []trace.Event {
+	t.Helper()
+	topo, err := hwtopo.ByName("zoot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind, err := binding.ByName(topo, "contiguous", 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := machine.ParamsFor("zoot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := distance.NewMatrix(topo, bind.Cores())
+
+	events := []trace.Event{{Kind: trace.KindMeta, Det: "machine=zoot bind=contiguous np=16"}}
+	var plan int64
+	for _, coll := range []tune.Collective{tune.CollBcast, tune.CollAllgather} {
+		for _, size := range fitSizes {
+			for _, dec := range tune.Candidates(coll, false) {
+				s, err := tune.CompileFor(coll, dec, view, 0, size, 0)
+				if err != nil {
+					t.Fatalf("compile %s/%s at %d: %v", coll, dec, size, err)
+				}
+				res, err := machine.Simulate(bind, params, s)
+				if err != nil {
+					t.Fatalf("simulate %s/%s at %d: %v", coll, dec, size, err)
+				}
+				plan++
+				events = append(events, trace.Event{Kind: trace.KindPlanCache, Op: string(coll),
+					Plan: plan, Bytes: size, Det: dec.String(), Mode: "miss"})
+				for i := range s.Ops {
+					op := &s.Ops[i]
+					if op.Bytes <= 0 {
+						continue
+					}
+					src, dst := s.Buffers[op.Src].Rank, s.Buffers[op.Dst].Rank
+					events = append(events, trace.Event{Kind: trace.KindCopy, Op: string(coll),
+						Plan: plan, Rank: op.Rank, Src: src, Dst: dst, Bytes: op.Bytes,
+						Dist: view.At(src, dst), Mode: "knem",
+						Dur: int64((res.OpFinish[i] - res.OpStart[i]) * 1e9)})
+				}
+				// Live order: the reaper fires when the last member leaves
+				// the executor, before any member's op_end closes its bracket.
+				events = append(events, trace.Event{Kind: trace.KindPlanReap, Op: string(coll), Plan: plan})
+				events = append(events, trace.Event{Kind: trace.KindOpEnd, Op: string(coll),
+					Plan: plan, Dur: int64(res.Makespan * 1e9)})
+			}
+		}
+	}
+	return events
+}
+
+// TestFitTraceGolden is the fit stability gate: replaying the committed
+// golden trace must reproduce the committed learned document byte for
+// byte. CI runs the same comparison through `disttune fit -check`.
+// Regenerate both files with:
+//
+//	go test ./internal/autotune -run TestFitTraceGolden -update
+func TestFitTraceGolden(t *testing.T) {
+	tracePath := filepath.Join("testdata", "zoot16.fit.trace.jsonl")
+	learnedPath := filepath.Join("testdata", "zoot16.learned.json")
+
+	if *update {
+		data, err := trace.MarshalJSONL(genFitTrace(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The committed trace must itself match the generator (the DES and
+	// the constructions moved → regenerate deliberately).
+	wantTrace, err := trace.MarshalJSONL(genFitTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTrace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(gotTrace, wantTrace) {
+		t.Fatalf("%s drifted from the deterministic generator (regenerate with -update)", tracePath)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FitTrace(events, ReplayConfig{Sizes: fitSizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine != "zoot" || res.Procs != 16 || res.Samples == 0 {
+		t.Fatalf("fit header: %+v", res)
+	}
+	if res.Learned.Table == nil {
+		t.Fatal("fit decided nothing")
+	}
+	data, err := MarshalLearned(res.Learned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(learnedPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(learnedPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(golden, data) {
+		t.Fatalf("learned document drifted from %s (regenerate with -update):\n%s", learnedPath, data)
+	}
+
+	// The document must survive its own parser (same path CI's -check
+	// takes) and carry a table that validates.
+	parsed, err := ParseLearned(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != "zoot16-replay" || len(parsed.Classes) == 0 {
+		t.Fatalf("parsed learned header: %+v", parsed)
+	}
+}
+
+// TestFitTraceErrors pins the replay error contract: no meta record, or
+// a trace too thin for the sample gate, must refuse to fit.
+func TestFitTraceErrors(t *testing.T) {
+	if _, err := FitTrace([]trace.Event{{Kind: trace.KindCopy, Dist: 1, Bytes: 64, Dur: 1000}}, ReplayConfig{}); err == nil {
+		t.Fatal("fit without meta record succeeded")
+	}
+	meta := trace.Event{Kind: trace.KindMeta, Det: "machine=zoot bind=contiguous np=16"}
+	if _, err := FitTrace([]trace.Event{meta}, ReplayConfig{}); err == nil {
+		t.Fatal("fit with zero samples succeeded")
+	}
+	events := []trace.Event{meta, {Kind: trace.KindCopy, Op: "bcast", Dist: 1, Bytes: 64, Dur: 1000}}
+	if _, err := FitTrace(events, ReplayConfig{MinSamples: 5}); err == nil {
+		t.Fatal("fit below MinSamples succeeded")
+	}
+	if _, err := FitTrace(events, ReplayConfig{Sizes: []int64{1024}}); err != nil {
+		t.Fatalf("minimal fit failed: %v", err)
+	}
+}

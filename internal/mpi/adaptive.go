@@ -15,10 +15,22 @@ import (
 // (topology, message size), then fetches the compiled schedule from the
 // world's plan cache — compiling through tune.CompileFor only on a miss.
 
+// adecision carries the selector's choice out of adaptiveSchedule to the
+// plan builder: the plan_cache trace event is emitted only once the plan
+// id exists (after newPlan), so a later op_end with the same plan id
+// carries the measured cost of exactly this decision — the correlation
+// the online autotuner feeds on.
+type adecision struct {
+	coll  tune.Collective
+	bytes int64
+	dec   tune.Decision
+	hit   bool
+}
+
 // adaptiveSchedule resolves one collective call through the selector and
 // plan cache. bytes is the full message (bcast/reduce/allreduce) or the
 // per-rank block (allgather); align the reduction element size.
-func (c *Comm) adaptiveSchedule(coll tune.Collective, root int, bytes, align int64) (*sched.Schedule, error) {
+func (c *Comm) adaptiveSchedule(coll tune.Collective, root int, bytes, align int64) (*sched.Schedule, *adecision, error) {
 	st := c.state
 	w := st.world
 
@@ -40,8 +52,10 @@ func (c *Comm) adaptiveSchedule(coll tune.Collective, root int, bytes, align int
 	s, hit, err := w.plans.Get(key, func() (*sched.Schedule, error) {
 		return tune.CompileFor(coll, dec, v, root, bytes, align)
 	})
-	w.tracer.PlanCache(string(coll), bytes, dec.String(), hit)
-	return s, err
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, &adecision{coll: coll, bytes: bytes, dec: dec, hit: hit}, nil
 }
 
 // topoHashLocked returns the cached fingerprint of the communicator's

@@ -1,0 +1,249 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"distcoll/internal/autotune"
+	"distcoll/internal/trace"
+	"distcoll/internal/tune"
+)
+
+// autotuneWorld builds a zoot world with the tuner armed but fully
+// manual: no automatic recalibration, no exploration — revisions happen
+// only when a test injects measurements and calls Recalibrate.
+func autotuneWorld(t *testing.T, n int) *World {
+	t.Helper()
+	return zootWorld(t, n, WithAutotune(autotune.Config{
+		MinSamples: 1,
+		Hysteresis: 1e-9,
+		Window:     64,
+		Explore:    1e-12, // suppress model-guided exploration entirely
+	}))
+}
+
+// runColl primes the plan cache with one adaptive collective.
+func runColl(t *testing.T, w *World, coll tune.Collective, size int) {
+	t.Helper()
+	n := w.Size()
+	err := w.Run(func(p *Proc) error {
+		comm := p.Comm()
+		switch coll {
+		case tune.CollBcast:
+			buf := make([]byte, size)
+			if p.Rank() == 0 {
+				copy(buf, pattern(0, size))
+			}
+			if err := comm.Bcast(buf, 0, Adaptive); err != nil {
+				return err
+			}
+			if !bytes.Equal(buf, pattern(0, size)) {
+				return fmt.Errorf("rank %d: bcast payload wrong", p.Rank())
+			}
+		case tune.CollAllgather:
+			recv := make([]byte, n*size)
+			if err := comm.Allgather(pattern(p.Rank(), size), recv, Adaptive); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unsupported test collective %s", coll)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutotuneWorldWiring checks the WithAutotune plumbing: the world
+// selects through the tuner's overlay, a tracer exists (created for the
+// tuner), and live collectives feed the tuner's estimator through it.
+func TestAutotuneWorldWiring(t *testing.T) {
+	w := autotuneWorld(t, 8)
+	tuner := w.Autotuner()
+	if tuner == nil {
+		t.Fatal("Autotuner() is nil after WithAutotune")
+	}
+	if w.Tracer() == nil {
+		t.Fatal("WithAutotune did not create a tracer")
+	}
+	if _, ok := w.Selector().(*tune.Overlay); !ok {
+		t.Fatalf("world selector is %T, want *tune.Overlay", w.Selector())
+	}
+	runColl(t, w, tune.CollBcast, 64<<10)
+	if tuner.Samples() == 0 {
+		t.Fatal("live copies did not reach the tuner's estimator")
+	}
+	if got := w.Tracer().Metrics().Counter("autotune.recalibrations").Load(); got != 0 {
+		t.Fatalf("unexpected recalibrations: %d", got)
+	}
+}
+
+// TestAutotuneLiveExploration runs real collectives — no injected
+// events — and requires a recalibration to publish an exploration
+// revision from the measurements the live wiring collected. This is
+// the regression gate for event ordering: the runtime emits plan_reap
+// before the per-rank op_end events (the reaper fires when the last
+// member leaves the executor), so a tuner that retires the plan
+// correlation at reap records zero measurements and never revises.
+func TestAutotuneLiveExploration(t *testing.T) {
+	w := zootWorld(t, 8, WithAutotune(autotune.Config{
+		MinSamples: 1,
+		Hysteresis: 1e-9,
+		Explore:    -1, // no budget filter: always probe an unmeasured candidate
+	}))
+	tuner := w.Autotuner()
+	runColl(t, w, tune.CollBcast, 4096)
+	revs := tuner.Recalibrate()
+	if len(revs) == 0 {
+		t.Fatalf("live bcast traffic produced no revisions (samples=%d): "+
+			"plan_cache/op_end correlation is not surviving the live event order",
+			tuner.Samples())
+	}
+	for _, rev := range revs {
+		if !rev.Explore {
+			t.Fatalf("expected an exploration revision, got %+v", rev)
+		}
+	}
+	if dec, prov := tuner.Overlay().ExplainFP(tune.CollBcast, tuner.Fingerprint(), 4096); prov != "learned" {
+		t.Fatalf("post-revision lookup resolves %s from %q, want learned", dec, prov)
+	}
+}
+
+// TestAutotuneStickyUnderExactTable pins two churn guards on a
+// fingerprint the shipped zoot16 table matches exactly. The exact tier
+// outranks learned by design, so a learned rule published here never
+// executes: (1) exploration must be suppressed — a probe in a shadowed
+// cell can never be measured, and model-fit jitter would ping-pong the
+// rule between unmeasured candidates on every recalibration; (2) an
+// exploitation flip backed by measured evidence still publishes, but
+// exactly once — the incumbent keeps resolving to the exact table, so
+// a tuner comparing only against the effective incumbent would
+// republish the identical revision (and re-invalidate the plan cache)
+// forever.
+func TestAutotuneStickyUnderExactTable(t *testing.T) {
+	w := zootWorld(t, 16, WithAutotune(autotune.Config{
+		MinSamples: 1,
+		Hysteresis: 1e-9,
+		Explore:    -1,
+	}))
+	tuner := w.Autotuner()
+	incumbent, prov := tuner.Overlay().ExplainFP(tune.CollBcast, tuner.Fingerprint(), 4096)
+	if !strings.HasPrefix(prov, "table:") {
+		t.Fatalf("zoot16 fingerprint resolves from %q, want the exact table tier", prov)
+	}
+
+	runColl(t, w, tune.CollBcast, 4096)
+	if revs := tuner.Recalibrate(); len(revs) != 0 {
+		t.Fatalf("exploration revised an exact-table cell (probe can never be measured): %v", revs)
+	}
+
+	// Measured evidence of a faster challenger still flips the cell.
+	challenger := tune.Decision{Component: tune.ComponentTuned}
+	if incumbent == challenger {
+		challenger = tune.Decision{Component: tune.ComponentKNEM}
+	}
+	for i := 0; i < 4; i++ {
+		plan := int64(1_000_000 + i)
+		tuner.Emit(trace.Event{Kind: trace.KindPlanCache, Op: "bcast", Plan: plan,
+			Bytes: 4096, Det: challenger.String(), Mode: "miss"})
+		tuner.Emit(trace.Event{Kind: trace.KindPlanReap, Op: "bcast", Plan: plan})
+		tuner.Emit(trace.Event{Kind: trace.KindOpEnd, Op: "bcast", Plan: plan, Dur: 50})
+	}
+	revs := tuner.Recalibrate()
+	if len(revs) != 1 || revs[0].New != challenger || revs[0].Explore {
+		t.Fatalf("measured challenger under exact table: got %v, want one exploitation flip to %s",
+			revs, challenger)
+	}
+
+	runColl(t, w, tune.CollBcast, 4096) // replan + remeasure after invalidation
+	if again := tuner.Recalibrate(); len(again) != 0 {
+		t.Fatalf("recalibration republished %d revision(s) already in the learned tier: %v",
+			len(again), again)
+	}
+}
+
+// TestAutotuneScopedInvalidation is the counter-asserted invalidation
+// gate: a published revision must drop exactly this tenant's plans for
+// that collective in the revised size range — other collectives and
+// other size buckets stay resident.
+func TestAutotuneScopedInvalidation(t *testing.T) {
+	w := autotuneWorld(t, 8)
+	tuner := w.Autotuner()
+
+	const sizeA = 4096      // bcast, the bucket the revision will target
+	const sizeB = 256 << 10 // bcast, a different bucket — must survive
+	const sizeC = 1024      // allgather — must survive
+	runColl(t, w, tune.CollBcast, sizeA)
+	runColl(t, w, tune.CollBcast, sizeB)
+	runColl(t, w, tune.CollAllgather, sizeC)
+
+	before := w.PlanCache().Stats()
+	if before.Size != 3 {
+		t.Fatalf("expected 3 resident plans after priming, got %d", before.Size)
+	}
+
+	// Inject a fake measured win for a candidate that is not the current
+	// decision in (bcast, bucket(sizeA)): a few plan_cache/op_end pairs
+	// claiming the challenger finished in 50ns — far below any real
+	// measured duration. Exploitation then flips that one cell; every
+	// other cell has only its incumbent measured and exploration is
+	// suppressed, so nothing else revises.
+	incumbent, _ := tuner.Overlay().ExplainFP(tune.CollBcast, tuner.Fingerprint(), sizeA)
+	challenger := tune.Decision{Component: tune.ComponentTuned}
+	if incumbent == challenger {
+		challenger = tune.Decision{Component: tune.ComponentKNEM}
+	}
+	for i := 0; i < 4; i++ {
+		plan := int64(1_000_000 + i)
+		tuner.Emit(trace.Event{Kind: trace.KindPlanCache, Op: "bcast", Plan: plan,
+			Bytes: sizeA, Det: challenger.String(), Mode: "miss"})
+		// Live order: plan_reap lands before op_end (the reaper runs when
+		// the last member leaves the executor, each member's op bracket
+		// closes after) — the correlation must survive the reap.
+		tuner.Emit(trace.Event{Kind: trace.KindPlanReap, Op: "bcast", Plan: plan})
+		tuner.Emit(trace.Event{Kind: trace.KindOpEnd, Op: "bcast", Plan: plan, Dur: 50})
+	}
+
+	revs := tuner.Recalibrate()
+	if len(revs) != 1 {
+		t.Fatalf("expected exactly 1 revision, got %d: %v", len(revs), revs)
+	}
+	rev := revs[0]
+	if rev.Coll != tune.CollBcast || rev.New != challenger {
+		t.Fatalf("unexpected revision %+v", rev)
+	}
+	if sizeA < rev.MinBytes || (rev.MaxBytes != 0 && sizeA >= rev.MaxBytes) {
+		t.Fatalf("revision range [%d,%d) does not cover size %d", rev.MinBytes, rev.MaxBytes, sizeA)
+	}
+	if sizeB >= rev.MinBytes && (rev.MaxBytes == 0 || sizeB < rev.MaxBytes) {
+		t.Fatalf("revision range [%d,%d) leaked onto size %d", rev.MinBytes, rev.MaxBytes, sizeB)
+	}
+
+	after := w.PlanCache().Stats()
+	if got := after.Invalidations - before.Invalidations; got != 1 {
+		t.Fatalf("revision invalidated %d plans, want exactly 1 (its own cell)", got)
+	}
+	if after.Size != 2 {
+		t.Fatalf("resident plans after revision: %d, want 2 (unaffected entries retained)", after.Size)
+	}
+
+	// The unaffected entries must still serve hits.
+	runColl(t, w, tune.CollBcast, sizeB)
+	runColl(t, w, tune.CollAllgather, sizeC)
+	final := w.PlanCache().Stats()
+	if got := final.Hits - after.Hits; got != 2 {
+		t.Fatalf("unaffected plans re-ran with %d hits, want 2", got)
+	}
+	if final.Misses != after.Misses {
+		t.Fatalf("unaffected plans missed (%d→%d): invalidation was not scoped",
+			after.Misses, final.Misses)
+	}
+
+	// The revised cell now selects the learned decision.
+	if dec, prov := tuner.Overlay().ExplainFP(tune.CollBcast, tuner.Fingerprint(), sizeA); dec != challenger || prov != "learned" {
+		t.Fatalf("revised cell selects %s from %q, want %s from learned", dec, prov, challenger)
+	}
+}

@@ -95,6 +95,17 @@ type collPlan struct {
 	onDone []func(o *sched.Op)
 }
 
+// notePlanCache emits the Adaptive component's plan_cache event for this
+// plan, tying the selector's decision to the plan id so the trace carries
+// the decision → measured-duration correlation. A nil ad (any fixed
+// component) is a no-op.
+func (p *collPlan) notePlanCache(ad *adecision) {
+	if ad == nil {
+		return
+	}
+	p.world.tracer.PlanCache(string(ad.coll), p.id, ad.bytes, ad.dec.String(), ad.hit)
+}
+
 // isDone reports op completion for the pending-op diagnostic.
 func (p *collPlan) isDone(id sched.OpID) bool {
 	select {
@@ -202,7 +213,7 @@ func (c *Comm) bcastLedger(buf []byte, root int, comp Component, led *recovery.C
 			if size == 0 {
 				return c.state.emptyPlan("bcast", len(args)), nil
 			}
-			s, err := c.buildBcast(size, args[0].root, args[0].comp)
+			s, ad, err := c.buildBcast(size, args[0].root, args[0].comp)
 			if err != nil {
 				return nil, err
 			}
@@ -216,6 +227,7 @@ func (c *Comm) bcastLedger(buf []byte, root int, comp Component, led *recovery.C
 			if err != nil {
 				return nil, err
 			}
+			plan.notePlanCache(ad)
 			if c.state.world.e2eEnabled() {
 				plan.digest = integrity.Digest(args[args[0].root].buf)
 				plan.hasDigest = true
@@ -334,7 +346,7 @@ func (c *Comm) allgatherLedger(send, recv []byte, comp Component, led *recovery.
 			if block == 0 {
 				return c.state.emptyPlan("allgather", len(args)), nil
 			}
-			s, err := c.buildAllgather(block, args[0].comp)
+			s, ad, err := c.buildAllgather(block, args[0].comp)
 			if err != nil {
 				return nil, err
 			}
@@ -352,6 +364,7 @@ func (c *Comm) allgatherLedger(send, recv []byte, comp Component, led *recovery.
 			if err != nil {
 				return nil, err
 			}
+			plan.notePlanCache(ad)
 			if c.state.world.e2eEnabled() {
 				plan.digests = make([]uint32, len(args))
 				for i := range args {
@@ -439,49 +452,53 @@ func (c *Comm) verifyAllgatherDigests(plan *collPlan, recv []byte, block int) er
 // buildBcast compiles the broadcast schedule for this communicator's
 // members: the distance-aware component consults the runtime placement of
 // exactly the member processes, so the topology adapts to communicator
-// composition (the paper's dynamic-communicator argument).
-func (c *Comm) buildBcast(size int64, root int, comp Component) (*sched.Schedule, error) {
+// composition (the paper's dynamic-communicator argument). The *adecision
+// result is non-nil only for the Adaptive component: the selector's
+// choice, which the plan builder ties to the plan id in the trace.
+func (c *Comm) buildBcast(size int64, root int, comp Component) (s *sched.Schedule, ad *adecision, err error) {
 	n := c.Size()
 	switch comp {
 	case KNEMColl:
 		tree, err := c.state.distanceTree(root)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return core.CompileBroadcast(tree, size, 0)
+		s, err = core.CompileBroadcast(tree, size, 0)
 	case Tuned:
 		alg, seg := baseline.TunedBcastDecision(n, size)
-		return baseline.CompileBcast(alg, n, root, size, seg, baseline.SMKnemBTL())
+		s, err = baseline.CompileBcast(alg, n, root, size, seg, baseline.SMKnemBTL())
 	case MPICH2:
 		alg, seg := baseline.MPICHBcastDecision(n, size)
-		return baseline.CompileBcast(alg, n, root, size, seg, baseline.NemesisSM())
+		s, err = baseline.CompileBcast(alg, n, root, size, seg, baseline.NemesisSM())
 	case Adaptive:
 		return c.adaptiveSchedule(tune.CollBcast, root, size, 0)
 	default:
-		return nil, fmt.Errorf("mpi: unknown component %v", comp)
+		return nil, nil, fmt.Errorf("mpi: unknown component %v", comp)
 	}
+	return s, nil, err
 }
 
-func (c *Comm) buildAllgather(block int64, comp Component) (*sched.Schedule, error) {
+func (c *Comm) buildAllgather(block int64, comp Component) (s *sched.Schedule, ad *adecision, err error) {
 	n := c.Size()
 	switch comp {
 	case KNEMColl:
 		ring, err := c.state.distanceRing()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return core.CompileAllgather(ring, block)
+		s, err = core.CompileAllgather(ring, block)
 	case Tuned:
 		alg := baseline.TunedAllgatherDecision(n, block)
-		return baseline.CompileAllgather(alg, n, block, baseline.SMKnemBTL())
+		s, err = baseline.CompileAllgather(alg, n, block, baseline.SMKnemBTL())
 	case MPICH2:
 		alg := baseline.TunedAllgatherDecision(n, block)
-		return baseline.CompileAllgather(alg, n, block, baseline.NemesisSM())
+		s, err = baseline.CompileAllgather(alg, n, block, baseline.NemesisSM())
 	case Adaptive:
 		return c.adaptiveSchedule(tune.CollAllgather, 0, block, 0)
 	default:
-		return nil, fmt.Errorf("mpi: unknown component %v", comp)
+		return nil, nil, fmt.Errorf("mpi: unknown component %v", comp)
 	}
+	return s, nil, err
 }
 
 // distanceMatrix returns the member-to-member process distances from the

@@ -73,7 +73,7 @@ func (c *Comm) bcastDelta(ctx context.Context, buf []byte, root int, comp Compon
 			if size == 0 {
 				return &deltaOutcome{plan: c.state.emptyPlan("bcast", len(args)), mode: recoverRestart}, nil
 			}
-			full, err := c.buildBcast(size, r, args[0].comp)
+			full, _, err := c.buildBcast(size, r, args[0].comp)
 			if err != nil {
 				return nil, err
 			}
@@ -206,7 +206,7 @@ func (c *Comm) allgatherDelta(ctx context.Context, send, recv []byte, comp Compo
 			if block == 0 {
 				return &deltaOutcome{plan: c.state.emptyPlan("allgather", n), mode: recoverRestart}, nil
 			}
-			full, err := c.buildAllgather(block, args[0].comp)
+			full, _, err := c.buildAllgather(block, args[0].comp)
 			if err != nil {
 				return nil, err
 			}

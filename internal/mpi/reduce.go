@@ -98,7 +98,7 @@ func (c *Comm) Reduce(send, recv []byte, root int, op ReduceOp, comp Component) 
 			if size == 0 {
 				return c.state.emptyPlan("reduce", len(args)), nil
 			}
-			s, err := c.buildReduce(size, rt, args[0].comp)
+			s, ad, err := c.buildReduce(size, rt, args[0].comp)
 			if err != nil {
 				return nil, err
 			}
@@ -112,7 +112,12 @@ func (c *Comm) Reduce(send, recv []byte, root int, op ReduceOp, comp Component) 
 					return nil
 				}
 			}
-			return c.state.newPlan("reduce", s, caller)
+			plan, err := c.state.newPlan("reduce", s, caller)
+			if err != nil {
+				return nil, err
+			}
+			plan.notePlanCache(ad)
+			return plan, nil
 		})
 	if err != nil {
 		return err
@@ -161,7 +166,7 @@ func (c *Comm) Allreduce(send, recv []byte, op ReduceOp, comp Component) error {
 			if size == 0 {
 				return c.state.emptyPlan("allreduce", len(args)), nil
 			}
-			s, err := c.buildAllreduce(size, args[0].elem, args[0].comp)
+			s, ad, err := c.buildAllreduce(size, args[0].elem, args[0].comp)
 			if err != nil {
 				return nil, err
 			}
@@ -175,7 +180,12 @@ func (c *Comm) Allreduce(send, recv []byte, op ReduceOp, comp Component) error {
 					return nil
 				}
 			}
-			return c.state.newPlan("allreduce", s, caller)
+			plan, err := c.state.newPlan("allreduce", s, caller)
+			if err != nil {
+				return nil, err
+			}
+			plan.notePlanCache(ad)
+			return plan, nil
 		})
 	if err != nil {
 		return err
@@ -183,44 +193,46 @@ func (c *Comm) Allreduce(send, recv []byte, op ReduceOp, comp Component) error {
 	return c.runReducePlan(result.(*collPlan), op)
 }
 
-func (c *Comm) buildReduce(size int64, root int, comp Component) (*sched.Schedule, error) {
+func (c *Comm) buildReduce(size int64, root int, comp Component) (s *sched.Schedule, ad *adecision, err error) {
 	n := c.Size()
 	switch comp {
 	case KNEMColl:
 		tree, err := c.state.distanceTree(root)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return core.CompileReduce(tree, size, 0)
+		s, err = core.CompileReduce(tree, size, 0)
 	case Tuned:
-		return baseline.CompileReduce(n, root, size, baseline.TunedReduceDecision(n, size), baseline.SMKnemBTL())
+		s, err = baseline.CompileReduce(n, root, size, baseline.TunedReduceDecision(n, size), baseline.SMKnemBTL())
 	case MPICH2:
-		return baseline.CompileReduce(n, root, size, baseline.TunedReduceDecision(n, size), baseline.NemesisSM())
+		s, err = baseline.CompileReduce(n, root, size, baseline.TunedReduceDecision(n, size), baseline.NemesisSM())
 	case Adaptive:
 		return c.adaptiveSchedule(tune.CollReduce, root, size, 0)
 	default:
-		return nil, fmt.Errorf("mpi: unknown component %v", comp)
+		return nil, nil, fmt.Errorf("mpi: unknown component %v", comp)
 	}
+	return s, nil, err
 }
 
-func (c *Comm) buildAllreduce(size, align int64, comp Component) (*sched.Schedule, error) {
+func (c *Comm) buildAllreduce(size, align int64, comp Component) (s *sched.Schedule, ad *adecision, err error) {
 	n := c.Size()
 	switch comp {
 	case KNEMColl:
 		ring, err := c.state.distanceRing()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return core.CompileAllreduce(ring, size, align)
+		s, err = core.CompileAllreduce(ring, size, align)
 	case Tuned:
-		return baseline.CompileAllreduce(baseline.TunedAllreduceDecision(n, size), n, size, align, baseline.SMKnemBTL())
+		s, err = baseline.CompileAllreduce(baseline.TunedAllreduceDecision(n, size), n, size, align, baseline.SMKnemBTL())
 	case MPICH2:
-		return baseline.CompileAllreduce(baseline.TunedAllreduceDecision(n, size), n, size, align, baseline.NemesisSM())
+		s, err = baseline.CompileAllreduce(baseline.TunedAllreduceDecision(n, size), n, size, align, baseline.NemesisSM())
 	case Adaptive:
 		return c.adaptiveSchedule(tune.CollAllreduce, 0, size, align)
 	default:
-		return nil, fmt.Errorf("mpi: unknown component %v", comp)
+		return nil, nil, fmt.Errorf("mpi: unknown component %v", comp)
 	}
+	return s, nil, err
 }
 
 // executeReduce runs this member's share of a plan that may contain

@@ -29,7 +29,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distcoll/internal/autotune"
 	"distcoll/internal/binding"
+	"distcoll/internal/distance"
 	"distcoll/internal/fault"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/integrity"
@@ -72,11 +74,18 @@ type World struct {
 	// (DESIGN.md §8). Always non-nil after NewWorld. The cache may be
 	// shared across worlds (WithPlanCache); tenant scopes this world's
 	// keys and invalidations so co-resident worlds never drop each
-	// other's plans.
-	selector *tune.Selector
+	// other's plans. With WithAutotune the selector is the tuner's
+	// overlay; otherwise the static *tune.Selector.
+	selector tune.Decider
 	plans    *plancache.Cache
 	planCap  int
 	tenant   uint64
+
+	// Online autotuning (DESIGN.md §14): when configured, the tuner sits
+	// as a trace sink behind the world's tracer, and its revisions
+	// invalidate exactly the affected plan-cache entries.
+	autoCfg *autotune.Config
+	tuner   *autotune.Tuner
 
 	// e2eOff is the brownout gate for end-to-end digests: when set, new
 	// plans skip digest attachment (per-hop checksums stay on). Flipped
@@ -169,9 +178,23 @@ func WithTracer(t *trace.Tracer) Option {
 // WithSelector installs a decision selector for the Adaptive component
 // (e.g. one built from freshly calibrated tables). Without this option
 // the world uses tune.DefaultSelector() — the shipped default tables plus
-// the paper's fallback crossover rules.
+// the paper's fallback crossover rules. With WithAutotune the selector
+// becomes the base of the tuner's overlay.
 func WithSelector(s *tune.Selector) Option {
 	return func(w *World) { w.selector = s }
+}
+
+// WithAutotune arms the online autotuning subsystem: an autotune.Tuner
+// is attached as a trace sink (creating a tracer if none was installed),
+// the Adaptive component selects through the tuner's overlay instead of
+// the static selector, and every published decision revision invalidates
+// exactly the plan-cache entries it affects — this tenant's entries for
+// that collective in the revised size range; everything else stays
+// cached. The tuner learns the world communicator's topology; fitted
+// parameters and flip counters are mirrored into the tracer's metrics
+// under "autotune.".
+func WithAutotune(cfg autotune.Config) Option {
+	return func(w *World) { w.autoCfg = &cfg }
 }
 
 // WithPlanCacheCapacity bounds the world's compiled-schedule cache (the
@@ -220,6 +243,27 @@ func NewWorld(b *binding.Binding, opts ...Option) *World {
 	if w.selector == nil {
 		w.selector = tune.DefaultSelector()
 	}
+	if w.autoCfg != nil {
+		base, _ := w.selector.(*tune.Selector)
+		t := autotune.NewTuner(base, bindingView(b), *w.autoCfg)
+		w.tuner = t
+		w.selector = t.Overlay()
+		if w.tracer == nil {
+			w.tracer = trace.New(t)
+		} else {
+			w.tracer.AddSink(t)
+		}
+		t.MirrorMetrics(w.tracer.Metrics(), "autotune.")
+		t.OnRevise(func(revs []autotune.Revision) {
+			for _, rev := range revs {
+				rev := rev
+				w.plans.Invalidate(func(k plancache.Key) bool {
+					return k.Tenant == w.tenant && k.Coll == string(rev.Coll) &&
+						k.Size >= rev.MinBytes && (rev.MaxBytes == 0 || k.Size < rev.MaxBytes)
+				})
+			}
+		})
+	}
 	if w.plans == nil {
 		w.plans = plancache.New(w.planCap, w.tracer.Metrics())
 	}
@@ -267,8 +311,25 @@ func (w *World) Tracer() *trace.Tracer { return w.tracer }
 // Integrity returns the integrity checker, or nil when disabled.
 func (w *World) Integrity() *integrity.Checker { return w.integ }
 
-// Selector returns the adaptive component's decision engine.
-func (w *World) Selector() *tune.Selector { return w.selector }
+// Selector returns the adaptive component's decision engine: the static
+// selector, or the autotuner's overlay when WithAutotune is armed.
+func (w *World) Selector() tune.Decider { return w.selector }
+
+// Autotuner returns the online tuner, or nil when WithAutotune was not
+// configured.
+func (w *World) Autotuner() *autotune.Tuner { return w.tuner }
+
+// bindingView builds the distance view of the full binding, mirroring
+// the world communicator's choice: the sparse clustered view on
+// multi-machine placements, the dense matrix otherwise.
+func bindingView(b *binding.Binding) distance.View {
+	if len(b.Topology().ObjectsOfKind(hwtopo.KindMachine)) > 1 {
+		if cv, err := distance.NewClustered(b.Topology(), b.Cores()); err == nil && len(cv.Machines()) > 1 {
+			return cv
+		}
+	}
+	return distance.NewMatrix(b.Topology(), b.Cores())
+}
 
 // PlanCache returns the world's compiled-schedule cache (for stats and
 // tests).

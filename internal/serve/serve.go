@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"distcoll/internal/autotune"
 	"distcoll/internal/binding"
 	"distcoll/internal/chaos"
 	"distcoll/internal/fault"
@@ -169,6 +170,12 @@ type TenantConfig struct {
 	Fault     *fault.Plan // optional fault injection (the chaos victim)
 	Integrity bool        // arm per-hop checksums + e2e digests
 	Trace     trace.Sink  // optional event sink, wrapped in a brownout gate
+	// Autotune arms per-tenant online autotuning: the tenant's world runs
+	// an autotune.Tuner whose fitted parameters and decision-flip
+	// counters are mirrored into the server's metrics registry under
+	// serve.tenant.<id>.autotune. (removed with the tenant's other
+	// metrics on Free).
+	Autotune *autotune.Config
 }
 
 // Tenant is one hosted job: a long-lived world whose per-rank processes
@@ -277,7 +284,15 @@ func (s *Server) CreateTenant(tc TenantConfig) (*Tenant, error) {
 		t.gateSink = trace.NewGate(tc.Trace)
 		opts = append(opts, mpi.WithTracer(trace.New(t.gateSink)))
 	}
+	if tc.Autotune != nil {
+		opts = append(opts, mpi.WithAutotune(*tc.Autotune))
+	}
 	t.world = mpi.NewWorld(b, opts...)
+	if at := t.world.Autotuner(); at != nil {
+		// Re-target the tuner's mirror at the server registry so the
+		// daemon exposes every tenant's fit and flips side by side.
+		at.MirrorMetrics(s.metrics, fmt.Sprintf("serve.tenant.%d.autotune.", id))
+	}
 	t.applyBrownout(s.brown.Level())
 
 	s.gate.register(&tenantGate{

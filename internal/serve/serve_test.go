@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"distcoll/internal/autotune"
 	"distcoll/internal/trace"
 )
 
@@ -784,4 +786,64 @@ func asCircuit(err error, out **CircuitOpenError) bool {
 		*out = ce
 	}
 	return ok
+}
+
+func TestTenantAutotuneMetrics(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	tn, err := srv.CreateTenant(TenantConfig{Name: "at", Ranks: 4,
+		Autotune: &autotune.Config{MinSamples: 1, Hysteresis: 1e-9, Explore: 1e-12}})
+	if err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	at := tn.World().Autotuner()
+	if at == nil {
+		t.Fatal("tenant world has no autotuner despite TenantConfig.Autotune")
+	}
+	ctx := context.Background()
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := tn.Submit(ctx, Request{Kind: "bcast", Size: 4096, Seed: seed}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if at.Samples() == 0 {
+		t.Fatal("tenant traffic did not reach the tuner's estimator")
+	}
+	at.Recalibrate()
+
+	// Fitted parameters and counters mirror under the tenant prefix in
+	// the SERVER registry (not just the tenant world's own tracer).
+	prefix := fmt.Sprintf("serve.tenant.%d.autotune.", tn.ID())
+	if got := srv.Metrics().Gauge(prefix + "samples").Load(); got <= 0 {
+		t.Fatalf("%ssamples gauge = %v, want > 0", prefix, got)
+	}
+	found := false
+	for name := range srv.Metrics().Gauges() {
+		if strings.HasPrefix(name, prefix+"fit.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no %sfit.* gauges mirrored after recalibration", prefix)
+	}
+	if got := srv.Metrics().Counter(prefix + "recalibrations").Load(); got != 1 {
+		t.Fatalf("%srecalibrations = %d, want 1", prefix, got)
+	}
+
+	// Free removes the tenant's autotune block with the rest of its
+	// metrics — churn must not grow the registry.
+	if err := tn.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	for name := range srv.Metrics().Gauges() {
+		if strings.HasPrefix(name, prefix) {
+			t.Fatalf("gauge %s survived Free", name)
+		}
+	}
+	for name := range srv.Metrics().Counters() {
+		if strings.HasPrefix(name, prefix) {
+			t.Fatalf("counter %s survived Free", name)
+		}
+	}
 }

@@ -111,6 +111,18 @@ func New(sinks ...Sink) *Tracer {
 	return &Tracer{sinks: sinks, metrics: NewMetrics(), start: time.Now()}
 }
 
+// AddSink appends a sink to the tracer. Construction-time only: the sink
+// list is read without synchronization on every emit, so AddSink must
+// happen before any goroutine can emit (mpi.NewWorld uses it to attach
+// the autotuner before the world's ranks exist). A nil tracer ignores
+// the call.
+func (t *Tracer) AddSink(s Sink) {
+	if t == nil || s == nil {
+		return
+	}
+	t.sinks = append(t.sinks, s)
+}
+
 // Enabled reports whether events are being recorded.
 func (t *Tracer) Enabled() bool { return t != nil }
 
@@ -221,15 +233,19 @@ func (t *Tracer) PlanReap(plan int64, cookies int) {
 
 // PlanCache records one adaptive plan-cache lookup: which decision the
 // selector made for the collective at this size, and whether the compiled
-// schedule came from the cache. Hit/miss/eviction *counters* live with the
-// cache itself (plancache.New wires them into this tracer's registry), so
-// this event only adds the per-lookup trace record.
-func (t *Tracer) PlanCache(op string, bytes int64, decision string, hit bool) {
+// schedule came from the cache. plan ties the lookup to the plan the
+// decision compiled into, so a later op_end with the same plan id carries
+// the measured cost of exactly this decision — the correlation the online
+// autotuner's measured-decision store is built on. Hit/miss/eviction
+// *counters* live with the cache itself (plancache.New wires them into
+// this tracer's registry), so this event only adds the per-lookup trace
+// record.
+func (t *Tracer) PlanCache(op string, plan int64, bytes int64, decision string, hit bool) {
 	if t == nil {
 		return
 	}
 	e := blank(KindPlanCache)
-	e.Op, e.Bytes, e.Det = op, bytes, decision
+	e.Op, e.Plan, e.Bytes, e.Det = op, plan, bytes, decision
 	if hit {
 		e.Mode = "hit"
 	} else {

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketEdges pins the exponential bucket layout: base
+// 1µs, growth 2, 32 buckets, bucket i holding (base·2^(i-1), base·2^i]
+// with bucket 0 absorbing everything at or below base. The autotuner's
+// latency summaries depend on these edges staying put, so a layout
+// change must be deliberate.
+func TestHistogramBucketEdges(t *testing.T) {
+	if histBase != 1e-6 || histGrowth != 2.0 || histBuckets != 32 {
+		t.Fatalf("histogram layout changed: base=%g growth=%g buckets=%d", histBase, histGrowth, histBuckets)
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},            // degenerate zero-duration sample
+		{5e-7, 0},         // below base
+		{1e-6, 0},         // exactly base: closed upper edge of bucket 0
+		{1.0000001e-6, 1}, // just above base
+		{2e-6, 1},         // exactly base·2: closed upper edge of bucket 1
+		{2.0000001e-6, 2},
+		{1e-3, 10}, // 1ms ∈ (0.512ms, 1.024ms] = bucket 10
+		{1.5e-3, 11},
+		{1.0, 20},  // 1s ∈ (0.524s, 1.049s] = bucket 20
+		{4000, 31}, // beyond the top edge: clamps into the last bucket
+	}
+	for _, c := range cases {
+		h := newHistogram()
+		h.Observe(c.v)
+		got := -1
+		for i, n := range h.buckets {
+			if n == 1 {
+				got = i
+				break
+			}
+		}
+		if got != c.want {
+			t.Errorf("Observe(%g) landed in bucket %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantile pins the interpolation contract: linear within
+// the target bucket, clamped to the observed [min, max].
+func TestHistogramQuantile(t *testing.T) {
+	// Empty histogram: zero.
+	h := newHistogram()
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %g", got)
+	}
+
+	// A single sample reports the sample itself at every quantile —
+	// clamping, not the bucket's upper bound.
+	h = newHistogram()
+	h.Observe(3e-6)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 3e-6 {
+			t.Errorf("single-sample Quantile(%g) = %g, want the sample 3e-6", q, got)
+		}
+	}
+
+	// Four samples in one bucket (2µs, 4µs]: the q-quantile interpolates
+	// at rank ceil(4q)/4 of the bucket span before clamping.
+	h = newHistogram()
+	for _, v := range []float64{2.5e-6, 3e-6, 3.5e-6, 4e-6} {
+		h.Observe(v)
+	}
+	// q=0.5 → rank 2 of 4 → halfway: 2µs + 0.5·2µs = 3µs.
+	if got := h.Quantile(0.5); math.Abs(got-3e-6) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %g, want 3e-6", got)
+	}
+	// q=1 → bucket top 4µs, inside [min, max].
+	if got := h.Quantile(1); math.Abs(got-4e-6) > 1e-12 {
+		t.Errorf("Quantile(1) = %g, want 4e-6", got)
+	}
+	// q→0 clamps up to the observed min.
+	if got := h.Quantile(0.01); got != 2.5e-6 {
+		t.Errorf("Quantile(0.01) = %g, want min 2.5e-6", got)
+	}
+
+	// Samples across buckets: the quantile walks cumulative counts.
+	h = newHistogram()
+	for i := 0; i < 90; i++ {
+		h.Observe(1.5e-6) // bucket 1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100e-6) // bucket 7
+	}
+	// p50 sits in bucket 1; p99 must land in the tail bucket.
+	if got := h.Quantile(0.5); got > 2e-6 {
+		t.Errorf("Quantile(0.5) = %g, want within bucket 1", got)
+	}
+	if got := h.Quantile(0.99); got < 64e-6 || got > 100e-6 {
+		t.Errorf("Quantile(0.99) = %g, want in the tail bucket clamped to max", got)
+	}
+}
+
+// TestHistogramConcurrentObserve drives concurrent writers (run under
+// -race in CI) and checks Observe-vs-Count consistency: every observed
+// sample is counted exactly once, bucket totals equal the count, and
+// the summary stays coherent.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	m := NewMetrics()
+	const writers = 8
+	const perWriter = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := m.Histogram("latency.concurrent")
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(w*perWriter+i+1) * 1e-7)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	h := m.Histogram("latency.concurrent")
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", got, writers*perWriter)
+	}
+	h.mu.Lock()
+	var inBuckets int64
+	for _, n := range h.buckets {
+		inBuckets += n
+	}
+	h.mu.Unlock()
+	if inBuckets != writers*perWriter {
+		t.Fatalf("bucket totals = %d, want %d", inBuckets, writers*perWriter)
+	}
+	count, mean, min, max := h.Summary()
+	if count != writers*perWriter {
+		t.Fatalf("Summary count = %d", count)
+	}
+	if min != 1e-7 || math.Abs(max-float64(writers*perWriter)*1e-7) > 1e-12 {
+		t.Fatalf("Summary min/max = %g/%g", min, max)
+	}
+	wantMean := (1 + float64(writers*perWriter)) / 2 * 1e-7
+	if math.Abs(mean-wantMean)/wantMean > 1e-9 {
+		t.Fatalf("Summary mean = %g, want %g", mean, wantMean)
+	}
+	if q := h.Quantile(0.5); q < min || q > max {
+		t.Fatalf("Quantile(0.5) = %g outside [%g, %g]", q, min, max)
+	}
+}

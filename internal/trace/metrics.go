@@ -16,6 +16,7 @@ import (
 type Metrics struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -23,6 +24,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -70,12 +72,72 @@ func (m *Metrics) Counter(name string) *Counter {
 	return c
 }
 
-// RemovePrefix drops every counter and histogram whose name starts with
-// prefix — the tenant-teardown hook: per-tenant metrics (tenant ids only
-// grow) would otherwise accumulate without bound in a long-running
-// daemon with tenant churn. Holders of a removed *Counter keep a
-// working but orphaned counter; a later Counter(name) call for the same
-// name starts fresh at zero.
+// Gauge is a settable float64 — the registry's export surface for values
+// that are levels rather than counts (the autotuner's fitted α/β
+// parameters per distance class). Set/Load are a single atomic
+// load/store of the float's bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Load returns the current value (0 on a nil gauge).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil gauge whose Set/Load are no-ops.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	g, ok := m.gauges[name]
+	m.mu.RUnlock()
+	if ok {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok = m.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	m.gauges[name] = g
+	return g
+}
+
+// Gauges returns a snapshot of every gauge value by name.
+func (m *Metrics) Gauges() map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]float64, len(m.gauges))
+	for name, g := range m.gauges {
+		out[name] = g.Load()
+	}
+	return out
+}
+
+// RemovePrefix drops every counter, gauge and histogram whose name
+// starts with prefix — the tenant-teardown hook: per-tenant metrics
+// (tenant ids only grow) would otherwise accumulate without bound in a
+// long-running daemon with tenant churn. Holders of a removed *Counter
+// keep a working but orphaned counter; a later Counter(name) call for
+// the same name starts fresh at zero.
 func (m *Metrics) RemovePrefix(prefix string) {
 	if m == nil {
 		return
@@ -85,6 +147,11 @@ func (m *Metrics) RemovePrefix(prefix string) {
 	for name := range m.counters {
 		if strings.HasPrefix(name, prefix) {
 			delete(m.counters, name)
+		}
+	}
+	for name := range m.gauges {
+		if strings.HasPrefix(name, prefix) {
+			delete(m.gauges, name)
 		}
 	}
 	for name := range m.hists {
@@ -204,8 +271,12 @@ func (h *Histogram) Summary() (count int64, mean, min, max float64) {
 	return h.count, h.sum / float64(h.count), h.min, h.max
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) from the
-// bucket layout, or 0 when empty.
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket layout,
+// or 0 when empty. Within the bucket holding the target rank the
+// estimate interpolates linearly between the bucket's edges (samples
+// assumed uniform inside a bucket), and the result is clamped to the
+// observed [min, max] — so a single-sample histogram reports the sample
+// itself, not its bucket's upper bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -216,15 +287,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return 0
 	}
 	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
 	var seen int64
-	bound := h.base
-	for i, n := range h.buckets {
-		seen += n
-		if seen >= target {
-			_ = i
-			return bound
+	lo, hi := 0.0, h.base
+	for _, n := range h.buckets {
+		if n > 0 && seen+n >= target {
+			frac := float64(target-seen) / float64(n)
+			v := lo + (hi-lo)*frac
+			return math.Min(math.Max(v, h.min), h.max)
 		}
-		bound *= h.growth
+		seen += n
+		lo, hi = hi, hi*h.growth
 	}
 	return h.max
 }
@@ -258,6 +333,15 @@ func (m *Metrics) String() string {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Fprintf(&b, "%-24s %d\n", n, counters[n])
+	}
+	gauges := m.Gauges()
+	gnames := make([]string, 0, len(gauges))
+	for n := range gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		fmt.Fprintf(&b, "%-24s %g\n", n, gauges[n])
 	}
 	m.mu.RLock()
 	hnames := make([]string, 0, len(m.hists))

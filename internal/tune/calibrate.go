@@ -97,10 +97,23 @@ func candidates(coll Collective, clustered bool) []Decision {
 	}
 }
 
+// Candidates returns a copy of the decision candidates the calibrator
+// sweeps for a collective — the decision space the online autotuner
+// re-prices against its fitted model. clustered selects the multi-node
+// candidate set (two-phase shapes included).
+func Candidates(coll Collective, clustered bool) []Decision {
+	return append([]Decision(nil), candidates(coll, clustered)...)
+}
+
 // reduceAlign is the element size calibration assumes for allreduce ring
 // splits (float64, the common case; alignment only shifts block
 // boundaries by a few bytes).
 const reduceAlign = 8
+
+// ReduceAlign is reduceAlign for callers outside the package (the online
+// autotuner prices allreduce candidates with the same element size the
+// offline calibrator assumed).
+const ReduceAlign = reduceAlign
 
 // Calibrate sweeps the simulator across (binding, collective, size),
 // simulating every candidate decision at each point, and returns the

@@ -1,0 +1,204 @@
+package tune
+
+import (
+	"reflect"
+	"testing"
+)
+
+// overlayFixture builds a zoot16 fingerprint plus an exact and a
+// class-only table, mirroring TestSelectorPrecedence, so the ladder
+// tests can compose selectors tier by tier.
+func overlayFixture(t *testing.T) (Fingerprint, *Table, *Table) {
+	t.Helper()
+	m := matrixFor(t, "zoot", "contiguous", 16)
+	fp := FingerprintOf(m)
+	exact := &Table{Name: "exact", RuleSets: []RuleSet{{
+		Coll: CollBcast, Binding: "contiguous", Fingerprint: fp,
+		Rules: []Rule{{Decision: Decision{Component: ComponentMPICH}}},
+	}}}
+	classFP := fp
+	classFP.Procs = 8 // same class, different size: class tier only
+	classFP.Hist = append([]int64(nil), fp.Hist...)
+	classOnly := &Table{Name: "class", RuleSets: []RuleSet{{
+		Coll: CollBcast, Binding: "contiguous", Fingerprint: classFP,
+		Rules: []Rule{{Decision: Decision{Component: ComponentTuned}}},
+	}}}
+	return fp, exact, classOnly
+}
+
+// TestOverlayFallbackLadder drives the four-tier lookup
+// (exact → learned → class → fallback) with the learned tier absent,
+// fully populated, and partially populated (a gap in the middle),
+// against bases that do and do not carry exact/class tables.
+func TestOverlayFallbackLadder(t *testing.T) {
+	fp, exact, classOnly := overlayFixture(t)
+	learnedDec := Decision{Component: ComponentKNEM, Chunk: 65536}
+
+	// Learned rules covering [0,64K) and [1M,∞) — a gap in the middle.
+	partial := []Rule{
+		{MinBytes: 0, MaxBytes: 64 << 10, Decision: learnedDec},
+		{MinBytes: 1 << 20, MaxBytes: 0, Decision: learnedDec},
+	}
+	full := []Rule{{Decision: learnedDec}}
+
+	cases := []struct {
+		name     string
+		base     *Selector
+		learned  []Rule
+		bytes    int64
+		want     string
+		wantProv string
+	}{
+		// Exact table present: learned never overrides it.
+		{"exact-beats-learned", NewSelector(exact, classOnly), full, 1 << 20,
+			ComponentMPICH, "table:exact/contiguous"},
+		// No exact match: learned beats the class tier.
+		{"learned-beats-class", NewSelector(classOnly), full, 1 << 20,
+			ComponentKNEM, "learned"},
+		// Learned tier absent entirely: class tier serves.
+		{"absent-class", NewSelector(classOnly), nil, 1 << 20,
+			ComponentTuned, "class:class/contiguous"},
+		// Learned tier absent, no class match either: crossover fallback.
+		{"absent-fallback", nil, nil, 1 << 20,
+			ComponentKNEM, "fallback"},
+		// Partially populated: covered size uses the learned rule...
+		{"partial-covered-low", NewSelector(classOnly), partial, 4 << 10,
+			ComponentKNEM, "learned"},
+		{"partial-covered-high", NewSelector(classOnly), partial, 2 << 20,
+			ComponentKNEM, "learned"},
+		// ...the gap falls through to the class tier...
+		{"partial-gap-class", NewSelector(classOnly), partial, 256 << 10,
+			ComponentTuned, "class:class/contiguous"},
+		// ...and to the fallback when there is no class match.
+		{"partial-gap-fallback", nil, partial, 256 << 10,
+			ComponentKNEM, "fallback"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := NewOverlay(c.base)
+			for _, r := range c.learned {
+				if err := o.SetLearned(CollBcast, fp, r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d, prov := o.ExplainFP(CollBcast, fp, c.bytes)
+			if d.Component != c.want || prov != c.wantProv {
+				t.Fatalf("got %s from %q, want component %s from %q", d, prov, c.want, c.wantProv)
+			}
+		})
+	}
+}
+
+// TestOverlayLearnedIsolation checks that learned rules never leak
+// across fingerprints or collectives.
+func TestOverlayLearnedIsolation(t *testing.T) {
+	fp, _, classOnly := overlayFixture(t)
+	o := NewOverlay(NewSelector(classOnly))
+	if err := o.SetLearned(CollBcast, fp, Rule{Decision: Decision{Component: ComponentKNEM}}); err != nil {
+		t.Fatal(err)
+	}
+	// A different fingerprint (one proc fewer) must not see the rule.
+	other := fp
+	other.Procs--
+	other.Hist = append([]int64(nil), fp.Hist...)
+	if _, ok := o.Learned(CollBcast, other, 1024); ok {
+		t.Fatal("learned rule leaked onto a different fingerprint")
+	}
+	// A different collective must not see it either.
+	if _, ok := o.Learned(CollReduce, fp, 1024); ok {
+		t.Fatal("learned rule leaked onto a different collective")
+	}
+}
+
+// TestOverlaySpliceRule pins the clip/drop semantics of learned-rule
+// replacement: a new rule displaces exactly the overlapped span.
+func TestOverlaySpliceRule(t *testing.T) {
+	fp, _, _ := overlayFixture(t)
+	a := Decision{Component: ComponentMPICH}
+	b := Decision{Component: ComponentKNEM}
+	c := Decision{Component: ComponentKNEM, Linear: true}
+
+	o := NewOverlay(nil)
+	must := func(r Rule) {
+		t.Helper()
+		if err := o.SetLearned(CollBcast, fp, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One unbounded rule, then punch a bounded window into its middle:
+	// the original is split around the window.
+	must(Rule{MinBytes: 0, MaxBytes: 0, Decision: a})
+	must(Rule{MinBytes: 1 << 10, MaxBytes: 1 << 20, Decision: b})
+	want := []Rule{
+		{MinBytes: 0, MaxBytes: 1 << 10, Decision: a},
+		{MinBytes: 1 << 10, MaxBytes: 1 << 20, Decision: b},
+		{MinBytes: 1 << 20, MaxBytes: 0, Decision: a},
+	}
+	if got := o.LearnedRules(CollBcast, fp); !reflect.DeepEqual(got, want) {
+		t.Fatalf("split: got %+v, want %+v", got, want)
+	}
+	// A rule fully covering an existing one drops it and clips neighbors.
+	must(Rule{MinBytes: 512, MaxBytes: 2 << 20, Decision: c})
+	want = []Rule{
+		{MinBytes: 0, MaxBytes: 512, Decision: a},
+		{MinBytes: 512, MaxBytes: 2 << 20, Decision: c},
+		{MinBytes: 2 << 20, MaxBytes: 0, Decision: a},
+	}
+	if got := o.LearnedRules(CollBcast, fp); !reflect.DeepEqual(got, want) {
+		t.Fatalf("drop: got %+v, want %+v", got, want)
+	}
+
+	// Invalid rules are rejected and change nothing.
+	if err := o.SetLearned(CollBcast, fp, Rule{Decision: Decision{Component: "bogus"}}); err == nil {
+		t.Fatal("invalid decision accepted")
+	}
+	if err := o.SetLearned(CollBcast, fp, Rule{MinBytes: 100, MaxBytes: 50, Decision: a}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if got := o.LearnedRules(CollBcast, fp); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rejected rules mutated state: %+v", got)
+	}
+}
+
+// TestOverlayLearnedTable checks the export path: gappy rules close
+// into a contiguous cover that passes table validation, equal-decision
+// neighbors coalesce, and an empty tier exports nil.
+func TestOverlayLearnedTable(t *testing.T) {
+	fp, _, _ := overlayFixture(t)
+	o := NewOverlay(nil)
+	if o.LearnedTable("empty") != nil {
+		t.Fatal("empty overlay exported a table")
+	}
+	k := Decision{Component: ComponentKNEM}
+	lin := Decision{Component: ComponentKNEM, Linear: true}
+	for _, r := range []Rule{
+		{MinBytes: 1 << 10, MaxBytes: 64 << 10, Decision: k},
+		{MinBytes: 256 << 10, MaxBytes: 512 << 10, Decision: k}, // gap before, same decision
+		{MinBytes: 1 << 20, MaxBytes: 4 << 20, Decision: lin},   // gap before, new decision
+	} {
+		if err := o.SetLearned(CollBcast, fp, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab := o.LearnedTable("zoot16-learned")
+	if tab == nil {
+		t.Fatal("nil learned table")
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatalf("exported table invalid: %v", err)
+	}
+	if len(tab.RuleSets) != 1 {
+		t.Fatalf("rule sets = %d, want 1", len(tab.RuleSets))
+	}
+	rs := tab.RuleSets[0]
+	if rs.Binding != "learned" || !rs.Fingerprint.Equal(fp) {
+		t.Fatalf("rule set header %+v", rs)
+	}
+	want := []Rule{
+		{MinBytes: 0, MaxBytes: 512 << 10, Decision: k},
+		{MinBytes: 512 << 10, MaxBytes: 0, Decision: lin},
+	}
+	if !reflect.DeepEqual(rs.Rules, want) {
+		t.Fatalf("closed rules %+v, want %+v", rs.Rules, want)
+	}
+}

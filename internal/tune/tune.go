@@ -384,43 +384,67 @@ func (s *Selector) Select(coll Collective, m distance.View, bytes int64) Decisio
 // "class:<name>/<binding>" for a machine-class match, "fallback" for the
 // built-in crossover rules.
 func (s *Selector) SelectExplain(coll Collective, m distance.View, bytes int64) (Decision, string) {
-	fp := FingerprintOf(m)
-	// Tier 1: exact fingerprint (same size, same distance histogram).
-	if s != nil {
-		for _, t := range s.tables {
-			for i := range t.RuleSets {
-				rs := &t.RuleSets[i]
-				if rs.Coll != coll || !rs.Fingerprint.Equal(fp) {
-					continue
-				}
-				if d, ok := rs.decide(bytes); ok {
-					return d, fmt.Sprintf("table:%s/%s", t.Name, rs.Binding)
-				}
-			}
-		}
-		// Tier 2: machine class (same reach and controller structure); among
-		// class matches prefer the closest communicator size.
-		var best *RuleSet
-		var bestTable *Table
-		for _, t := range s.tables {
-			for i := range t.RuleSets {
-				rs := &t.RuleSets[i]
-				if rs.Coll != coll || !rs.Fingerprint.SameClass(fp) {
-					continue
-				}
-				if best == nil || absInt(rs.Fingerprint.Procs-fp.Procs) < absInt(best.Fingerprint.Procs-fp.Procs) {
-					best, bestTable = rs, t
-				}
-			}
-		}
-		if best != nil {
-			if d, ok := best.decide(bytes); ok {
-				return d, fmt.Sprintf("class:%s/%s", bestTable.Name, best.Binding)
-			}
-		}
+	return s.ExplainFP(coll, FingerprintOf(m), bytes)
+}
+
+// ExplainFP is SelectExplain for a pre-computed fingerprint (tooling
+// that diffs decisions across selectors already holds one).
+func (s *Selector) ExplainFP(coll Collective, fp Fingerprint, bytes int64) (Decision, string) {
+	if d, prov, ok := s.selectExact(coll, fp, bytes); ok {
+		return d, prov
+	}
+	if d, prov, ok := s.selectClass(coll, fp, bytes); ok {
+		return d, prov
 	}
 	// Tier 3: the paper's published crossovers.
 	return Fallback(coll, fp, bytes), "fallback"
+}
+
+// selectExact is tier 1: an exact fingerprint hit (same size, same pair
+// and adjacent-rank distance histograms) in the table list.
+func (s *Selector) selectExact(coll Collective, fp Fingerprint, bytes int64) (Decision, string, bool) {
+	if s == nil {
+		return Decision{}, "", false
+	}
+	for _, t := range s.tables {
+		for i := range t.RuleSets {
+			rs := &t.RuleSets[i]
+			if rs.Coll != coll || !rs.Fingerprint.Equal(fp) {
+				continue
+			}
+			if d, ok := rs.decide(bytes); ok {
+				return d, fmt.Sprintf("table:%s/%s", t.Name, rs.Binding), true
+			}
+		}
+	}
+	return Decision{}, "", false
+}
+
+// selectClass is tier 2: a machine-class match (same reach and controller
+// structure); among class matches the closest communicator size wins.
+func (s *Selector) selectClass(coll Collective, fp Fingerprint, bytes int64) (Decision, string, bool) {
+	if s == nil {
+		return Decision{}, "", false
+	}
+	var best *RuleSet
+	var bestTable *Table
+	for _, t := range s.tables {
+		for i := range t.RuleSets {
+			rs := &t.RuleSets[i]
+			if rs.Coll != coll || !rs.Fingerprint.SameClass(fp) {
+				continue
+			}
+			if best == nil || absInt(rs.Fingerprint.Procs-fp.Procs) < absInt(best.Fingerprint.Procs-fp.Procs) {
+				best, bestTable = rs, t
+			}
+		}
+	}
+	if best != nil {
+		if d, ok := best.decide(bytes); ok {
+			return d, fmt.Sprintf("class:%s/%s", bestTable.Name, best.Binding), true
+		}
+	}
+	return Decision{}, "", false
 }
 
 func absInt(x int) int {
