@@ -12,6 +12,7 @@
 //	disttrace run [flags]        run traced collectives, verify, export
 //	disttrace verify FILE        verify a captured JSONL trace
 //	disttrace chrome FILE OUT    convert a JSONL trace to Chrome format
+//	disttrace health [flags] FILE  replay a trace through the gray-failure scorer
 //
 // "run" executes the collectives in-process on a simulated machine,
 // verifies every invariant plus the metrics registry's per-distance-class
@@ -27,6 +28,7 @@ import (
 
 	"distcoll/internal/binding"
 	"distcoll/internal/distance"
+	"distcoll/internal/health"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/mpi"
 	"distcoll/internal/trace"
@@ -46,6 +48,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "chrome":
 		err = cmdChrome(os.Args[2:])
+	case "health":
+		err = cmdHealth(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -60,7 +64,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   disttrace run [-machine zoot] [-bind contiguous] [-np 16] [-size 262144] [-block 4096] [-root 0] [-ops bcast,allgather] [-o trace.jsonl] [-chrome out.json]
   disttrace verify FILE
-  disttrace chrome FILE OUT`)
+  disttrace chrome FILE OUT
+  disttrace health [-window 16] [-min-samples 8] [-demote-ratio 4] [-strikes 2] FILE`)
 }
 
 // cmdRun executes traced collectives on a simulated machine and verifies
@@ -189,6 +194,46 @@ func cmdVerify(args []string) error {
 	if !verifyAll(events, m) {
 		return fmt.Errorf("invariant violations found")
 	}
+	return nil
+}
+
+// cmdHealth replays a captured JSONL trace through the gray-failure
+// scorer offline: the same copy timings the online scorer would see in
+// a live world, fed in trace order, then the scorer's state rendered as
+// a report — which edges scored, their ratios against the class
+// baselines, and what would have been demoted, probed, or escalated.
+func cmdHealth(args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	window := fs.Int("window", 16, "per-edge sample window")
+	minSamples := fs.Int("min-samples", 8, "samples before an edge is judged")
+	demoteRatio := fs.Float64("demote-ratio", 4, "demote at ratio × class baseline")
+	strikes := fs.Int("strikes", 2, "consecutive failing scans before demotion")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	s := health.NewScorer(health.Config{
+		Window:      *window,
+		MinSamples:  *minSamples,
+		DemoteRatio: *demoteRatio,
+		Strikes:     *strikes,
+	})
+	for _, e := range events {
+		s.Emit(e)
+	}
+	fmt.Print(s.Report().String())
 	return nil
 }
 

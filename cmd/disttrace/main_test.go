@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -154,5 +155,58 @@ func TestInferBcast(t *testing.T) {
 	}
 	if _, _, err := inferBcast([]trace.Event{pull(9, 0, 64)}, 4); err == nil {
 		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+// TestHealthReplayFlagsSlowEdge: the health subcommand replays a
+// synthetic trace whose relay edge is persistently slow against healthy
+// same-class peers and reports the demotion the online scorer would
+// have fired.
+func TestHealthReplayFlagsSlowEdge(t *testing.T) {
+	var events []trace.Event
+	copyEv := func(src, dst int, durUs int64) trace.Event {
+		return trace.Event{Kind: trace.KindCopy, Op: "bcast", Src: src, Dst: dst,
+			Bytes: 1024, Dist: 3, Dur: durUs * 1000, Mode: "knem"}
+	}
+	for round := 0; round < 16; round++ {
+		events = append(events,
+			copyEv(0, 4, 500), // the gray-failed relay edge
+			copyEv(0, 8, 10),
+			copyEv(0, 12, 10),
+			trace.Event{Kind: trace.KindOpEnd, Op: "bcast"})
+	}
+	data, err := trace.MarshalJSONL(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gray.jsonl")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := cmdHealth([]string{"-window", "8", "-min-samples", "4",
+		"-demote-ratio", "3", "-strikes", "2", path})
+	w.Close()
+	os.Stdout = old
+	var out strings.Builder
+	if _, err := io.Copy(&out, r); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("health: %v", runErr)
+	}
+	got := out.String()
+	t.Log(got)
+	if !strings.Contains(got, "demoted=1") {
+		t.Errorf("report does not show the demotion:\n%s", got)
+	}
+	if !strings.Contains(got, "edge 0-4") || !strings.Contains(got, "demoted (") {
+		t.Errorf("report does not score edge 0-4 as demoted:\n%s", got)
 	}
 }

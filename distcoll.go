@@ -38,6 +38,7 @@ import (
 	"distcoll/internal/exec"
 	"distcoll/internal/fault"
 	"distcoll/internal/figures"
+	"distcoll/internal/health"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/imb"
 	"distcoll/internal/integrity"
@@ -287,6 +288,13 @@ type (
 	// Autotuner is the measured-feedback model-fitting engine itself.
 	AutotuneConfig = autotune.Config
 	Autotuner      = autotune.Tuner
+	// HealthConfig configures gray-failure detection (DESIGN.md §15);
+	// HealthScorer is the online straggler scorer whose demotion
+	// snapshots overlay the distance view, and HealthReport its
+	// rendered state (the disttrace health CLI output).
+	HealthConfig = health.Config
+	HealthScorer = health.Scorer
+	HealthReport = health.Report
 )
 
 // Selection-engine constructors, calibration, and the World options wiring
@@ -303,6 +311,7 @@ var (
 	WithSelector          = mpi.WithSelector
 	WithPlanCacheCapacity = mpi.WithPlanCacheCapacity
 	WithAutotune          = mpi.WithAutotune
+	WithHealth            = mpi.WithHealth
 )
 
 // NewWorld creates a mini-MPI job over a binding. Options configure the

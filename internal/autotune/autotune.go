@@ -98,28 +98,11 @@ type qcell struct {
 	bucket int
 }
 
-// mwin is a bounded ring of measured per-rank collective durations for
-// one decision variant in one cell.
-type mwin struct {
-	secs []float64
-	next int
-	tot  int
-}
-
-func (w *mwin) observe(sec float64, window int) {
-	if len(w.secs) < window {
-		w.secs = append(w.secs, sec)
-	} else {
-		w.secs[w.next] = sec
-		w.next = (w.next + 1) % window
-	}
-	w.tot++
-}
-
-// qstate is the per-cell measured-decision store.
+// qstate is the per-cell measured-decision store. Each variant's
+// measured durations live in a Window (the shared estimator ring).
 type qstate struct {
 	lastBytes int64 // most recent exact size seen in this bucket
-	measured  map[string]*mwin
+	measured  map[string]*Window
 }
 
 // Tuner is the online autotuning subsystem: a trace.Sink that feeds copy
@@ -270,16 +253,16 @@ func (t *Tuner) Emit(e trace.Event) {
 			k := qcell{coll: pp.coll, bucket: Bucket(pp.bytes)}
 			cs := t.cells[k]
 			if cs == nil {
-				cs = &qstate{measured: make(map[string]*mwin)}
+				cs = &qstate{measured: make(map[string]*Window)}
 				t.cells[k] = cs
 			}
 			cs.lastBytes = pp.bytes
 			w := cs.measured[pp.variant]
 			if w == nil {
-				w = &mwin{}
+				w = &Window{}
 				cs.measured[pp.variant] = w
 			}
-			w.observe(float64(e.Dur)/1e9, t.cfg.Window)
+			w.Observe(0, float64(e.Dur)/1e9, t.cfg.Window)
 			t.opEnds++
 			if t.cfg.Interval > 0 && t.opEnds >= t.cfg.Interval && !t.recalibating {
 				recal = true
@@ -320,8 +303,8 @@ func (t *Tuner) Recalibrate() []Revision {
 	for k, cs := range t.cells {
 		s := cellSnap{key: k, bytes: cs.lastBytes, med: make(map[string]float64, len(cs.measured))}
 		for variant, w := range cs.measured {
-			if len(w.secs) > 0 {
-				s.med[variant] = median(w.secs)
+			if w.Len() > 0 {
+				s.med[variant] = w.Median()
 			}
 		}
 		snaps = append(snaps, s)

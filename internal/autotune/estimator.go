@@ -39,42 +39,71 @@ type cellKey struct {
 	bucket int
 }
 
-// cell is a bounded ring of recent per-copy durations plus the byte sum
-// needed to place the aggregated point at the cell's mean size.
-type cell struct {
+// Window is a bounded ring of recent timing samples — the reusable
+// streaming-estimator primitive. The Collector keys one Window per
+// (distance class, size bucket); the gray-failure scorer in
+// internal/health keys the same type per (src, dst) endpoint pair. It is
+// not self-synchronizing — callers serialize access under their own lock.
+type Window struct {
 	secs  []float64 // ring storage
 	next  int       // next write position
-	full  bool      // ring has wrapped
 	bytes int64     // sum of sizes of the samples currently in the ring
 	sizes []int64   // ring of sizes matching secs
 	total int       // lifetime sample count
 }
 
-func (c *cell) observe(bytes int64, sec float64, window int) {
-	if len(c.secs) < window {
-		c.secs = append(c.secs, sec)
-		c.sizes = append(c.sizes, bytes)
-		c.bytes += bytes
-	} else {
-		c.bytes += bytes - c.sizes[c.next]
-		c.secs[c.next] = sec
-		c.sizes[c.next] = bytes
-		c.next = (c.next + 1) % window
-		c.full = true
+// Observe appends one sample of bytes moved in sec seconds, evicting the
+// oldest sample once the ring holds window entries (minimum 1).
+func (w *Window) Observe(bytes int64, sec float64, window int) {
+	if window < 1 {
+		window = 1
 	}
-	c.total++
+	if len(w.secs) < window {
+		w.secs = append(w.secs, sec)
+		w.sizes = append(w.sizes, bytes)
+		w.bytes += bytes
+	} else {
+		w.bytes += bytes - w.sizes[w.next]
+		w.secs[w.next] = sec
+		w.sizes[w.next] = bytes
+		w.next = (w.next + 1) % window
+	}
+	w.total++
 }
 
-// point aggregates the ring into one fit point: median duration at the
+// Median returns the median duration of the samples currently in the
+// ring (0 when empty).
+func (w *Window) Median() float64 {
+	if len(w.secs) == 0 {
+		return 0
+	}
+	return median(w.secs)
+}
+
+// Len returns the number of samples currently in the ring.
+func (w *Window) Len() int { return len(w.secs) }
+
+// Total returns the lifetime sample count, including evicted samples.
+func (w *Window) Total() int { return w.total }
+
+// Reset discards all samples but keeps the lifetime count.
+func (w *Window) Reset() {
+	w.secs = w.secs[:0]
+	w.sizes = w.sizes[:0]
+	w.bytes = 0
+	w.next = 0
+}
+
+// Point aggregates the ring into one fit point: median duration at the
 // mean size.
-func (c *cell) point() Point {
-	n := len(c.secs)
+func (w *Window) Point() Point {
+	n := len(w.secs)
 	if n == 0 {
 		return Point{}
 	}
 	return Point{
-		Bytes:   c.bytes / int64(n),
-		Seconds: median(c.secs),
+		Bytes:   w.bytes / int64(n),
+		Seconds: median(w.secs),
 		Weight:  n,
 	}
 }
@@ -85,7 +114,7 @@ func (c *cell) point() Point {
 // single-goroutine.
 type Collector struct {
 	window int
-	cells  map[cellKey]*cell
+	cells  map[cellKey]*Window
 	total  int64
 }
 
@@ -95,7 +124,7 @@ func NewCollector(window int) *Collector {
 	if window < 1 {
 		window = 1
 	}
-	return &Collector{window: window, cells: make(map[cellKey]*cell)}
+	return &Collector{window: window, cells: make(map[cellKey]*Window)}
 }
 
 // Observe records one copy: bytes moved across an edge of the given
@@ -108,10 +137,10 @@ func (c *Collector) Observe(class int, bytes int64, sec float64) {
 	k := cellKey{class: class, bucket: Bucket(bytes)}
 	ce := c.cells[k]
 	if ce == nil {
-		ce = &cell{}
+		ce = &Window{}
 		c.cells[k] = ce
 	}
-	ce.observe(bytes, sec, c.window)
+	ce.Observe(bytes, sec, c.window)
 	c.total++
 }
 
@@ -122,7 +151,7 @@ func (c *Collector) Samples() int64 { return c.total }
 func (c *Collector) ClassSamples() map[int]int64 {
 	out := make(map[int]int64)
 	for k, ce := range c.cells {
-		out[k.class] += int64(ce.total)
+		out[k.class] += int64(ce.Total())
 	}
 	return out
 }
@@ -132,10 +161,10 @@ func (c *Collector) ClassSamples() map[int]int64 {
 func (c *Collector) Points() map[int][]Point {
 	out := make(map[int][]Point)
 	for k, ce := range c.cells {
-		if len(ce.secs) == 0 {
+		if ce.Len() == 0 {
 			continue
 		}
-		out[k.class] = append(out[k.class], ce.point())
+		out[k.class] = append(out[k.class], ce.Point())
 	}
 	for class := range out {
 		pts := out[class]

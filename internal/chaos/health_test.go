@@ -1,0 +1,43 @@
+package chaos
+
+import "testing"
+
+// TestSlowLinkCell is the tentpole acceptance cell: sustained directed
+// degradation on a relay edge is detected, demoted within a bounded
+// number of collectives, the replanned steady state completes in at most
+// half the frozen control's time, and clearing the fault reinstates the
+// edge through the probation probe.
+func TestSlowLinkCell(t *testing.T) {
+	rep := RunSlowLink(SlowLinkCell())
+	t.Log(rep)
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+	}
+}
+
+// TestSlowLeaderCell: a relay rank whose every serving link is slow
+// converges to a wholesale rank demotion and stops serving traffic.
+func TestSlowLeaderCell(t *testing.T) {
+	rep := RunSlowLeader(SlowLeaderCell())
+	t.Log(rep)
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+	}
+}
+
+// TestFlapCell: a flapping link converges to stable demotion — the
+// revision count over the whole run stays under the cap instead of
+// thrashing plans twice per flap.
+func TestFlapCell(t *testing.T) {
+	rep := RunFlap(FlapCell())
+	t.Log(rep)
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"time"
+
 	"distcoll/internal/knem"
 )
 
@@ -23,6 +25,27 @@ func (in *Injector) Wrap(m knem.Mover) *Device {
 // Inner returns the wrapped transport.
 func (d *Device) Inner() knem.Mover { return d.inner }
 
+// regionOwner resolves a cookie to its declaring rank when the wrapped
+// transport can (knem.Device and anything else exposing Owner).
+type regionOwner interface {
+	Owner(knem.Cookie) (int, bool)
+}
+
+// linkStall resolves the slow-link stall for a copy between the calling
+// rank and the owner of region c. The stall sits inside the caller's
+// timed copy window, so gray-failed links show up in trace durations.
+func (d *Device) linkStall(caller int, c knem.Cookie) time.Duration {
+	ro, ok := d.inner.(regionOwner)
+	if !ok {
+		return 0
+	}
+	owner, ok := ro.Owner(c)
+	if !ok || owner == caller {
+		return 0
+	}
+	return d.in.slowLink(owner, caller)
+}
+
 // Declare passes through to the wrapped device.
 func (d *Device) Declare(owner int, buf []byte) knem.Cookie {
 	return d.inner.Declare(owner, buf)
@@ -39,6 +62,9 @@ func (d *Device) CopyFrom(caller int, c knem.Cookie, offset int64, dst []byte) e
 	seq, err := d.in.onCopy(caller)
 	if err != nil {
 		return err
+	}
+	if d.in.slowLinks.Load() {
+		d.in.sleep(d.linkStall(caller, c))
 	}
 	if err := d.inner.CopyFrom(caller, c, offset, dst); err != nil {
 		return err
@@ -57,6 +83,9 @@ func (d *Device) CopyTo(caller int, c knem.Cookie, offset int64, src []byte) err
 	seq, err := d.in.onCopy(caller)
 	if err != nil {
 		return err
+	}
+	if d.in.slowLinks.Load() {
+		d.in.sleep(d.linkStall(caller, c))
 	}
 	return d.inner.CopyTo(caller, c, offset, d.in.corruptedCopy(caller, seq, src))
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,6 +56,17 @@ type Plan struct {
 	// SlowRanks stalls every operation of the given ranks by the given
 	// duration (a straggler, not a failure).
 	SlowRanks map[int]time.Duration
+
+	// SlowLinks stalls every copy that crosses the directed link
+	// {src, dst} by the given duration — a gray-failed link: bytes still
+	// move, so the watchdog stays quiet, but the link's effective
+	// distance has changed. src is the region owner (the source of a
+	// pull, the sink of a push), dst the calling rank. Unlike SlowRanks
+	// (which stalls before an operation starts), the stall sits inside
+	// the timed copy window, so it is visible to trace copy durations —
+	// and therefore to the gray-failure scorer. Mutable at runtime via
+	// SetSlowLink for flap scenarios.
+	SlowLinks map[[2]int]time.Duration
 }
 
 // TransientError is a retryable injected copy failure.
@@ -98,6 +110,7 @@ type Stats struct {
 	Delays      int64 // delayed copies or messages
 	Drops       int64 // dropped mailbox messages
 	Crashes     int64 // rank crashes
+	SlowCopies  int64 // copies stalled by a slow link
 }
 
 // Injector makes fault decisions for one world. It is safe for concurrent
@@ -111,16 +124,84 @@ type Injector struct {
 	sendSeq map[[2]int]int64 // per-(src,dst) message index
 	crashed map[int]bool     // sticky crash state
 	stats   Stats
+	abort   <-chan struct{} // closes to cut injected sleeps short
+
+	// slowLinks is the lock-free "any slow links?" hint consulted on the
+	// copy hot path before taking the injector lock.
+	slowLinks atomic.Bool
 }
 
-// NewInjector builds an injector for the plan.
+// NewInjector builds an injector for the plan. SlowLinks is deep-copied
+// so runtime SetSlowLink mutations never race the caller's map.
 func NewInjector(p Plan) *Injector {
-	return &Injector{
+	if p.SlowLinks != nil {
+		links := make(map[[2]int]time.Duration, len(p.SlowLinks))
+		for k, v := range p.SlowLinks {
+			links[k] = v
+		}
+		p.SlowLinks = links
+	}
+	in := &Injector{
 		plan:    p,
 		copySeq: make(map[int]int64),
 		opSeq:   make(map[int]int),
 		sendSeq: make(map[[2]int]int64),
 		crashed: make(map[int]bool),
+	}
+	in.slowLinks.Store(len(p.SlowLinks) > 0)
+	return in
+}
+
+// SetAbort installs a channel whose close cuts every injected sleep
+// (stragglers, delays, slow links) short — the runtime wires its
+// shutdown signal here so a world being torn down never waits out an
+// injected stall. Call before the world starts running.
+func (in *Injector) SetAbort(ch <-chan struct{}) { in.abort = ch }
+
+// SetSlowLink stalls (or, with d ≤ 0, stops stalling) copies crossing
+// the directed link {src, dst}. Safe to call while the world runs —
+// this is the flap lever for gray-failure scenarios.
+func (in *Injector) SetSlowLink(src, dst int, d time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.plan.SlowLinks == nil {
+		in.plan.SlowLinks = make(map[[2]int]time.Duration)
+	}
+	if d <= 0 {
+		delete(in.plan.SlowLinks, [2]int{src, dst})
+	} else {
+		in.plan.SlowLinks[[2]int{src, dst}] = d
+	}
+	in.slowLinks.Store(len(in.plan.SlowLinks) > 0)
+}
+
+// slowLink returns the stall for the directed link {src, dst}, counting
+// it when it fires.
+func (in *Injector) slowLink(src, dst int) time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	d := in.plan.SlowLinks[[2]int{src, dst}]
+	if d > 0 {
+		in.stats.SlowCopies++
+	}
+	return d
+}
+
+// sleep blocks for d or until the abort channel closes, whichever comes
+// first. Injected stalls must never outlive the world they stall.
+func (in *Injector) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if in.abort == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-in.abort:
 	}
 }
 
@@ -162,9 +243,7 @@ func (in *Injector) BeforeOp(rank int) error {
 	}
 	slow := in.plan.SlowRanks[rank]
 	in.mu.Unlock()
-	if slow > 0 {
-		time.Sleep(slow)
-	}
+	in.sleep(slow)
 	return nil
 }
 
@@ -192,9 +271,7 @@ func (in *Injector) onCopy(rank int) (int64, error) {
 		err = &TransientError{Rank: rank, Op: seq}
 	}
 	in.mu.Unlock()
-	if delay > 0 {
-		time.Sleep(delay)
-	}
+	in.sleep(delay)
 	return seq, err
 }
 

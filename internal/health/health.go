@@ -1,0 +1,873 @@
+// Package health implements online gray-failure detection and
+// self-healing (DESIGN.md §15).
+//
+// A gray-failed link moves bytes — so the watchdog stays quiet — but
+// moves them slowly: its *effective* process distance has changed at
+// runtime. The Scorer subscribes to the trace stream as a sink, keys the
+// autotune estimator windows per (src, dst) endpoint pair instead of per
+// distance class, and compares each edge's median copy time against the
+// median across its distance-class peers. An edge that persistently
+// exceeds DemoteRatio× its class baseline (minimum-sample gate plus a
+// consecutive-strike hysteresis, the same discipline as tune.Overlay) is
+// demoted: the published Snapshot raises its effective distance class to
+// DemoteTo, and the demotion View overlay makes every existing
+// greedy/hierarchical builder route around it with zero changes to their
+// algorithms. A probation clock later lifts the demotion for one probe
+// window; sustained recovery reinstates the edge, a relapse re-demotes
+// it with doubled probation so a flapping link converges to stable
+// demotion instead of plan-thrash.
+//
+// Edges are keyed by the (src, dst) ranks carried on copy events, which
+// are world ranks for world-communicator traffic. Post-Shrink
+// sub-communicators renumber ranks, so samples from shrunken comms are
+// attributed best-effort; by then the hard-failure ladder (Agree/Shrink)
+// has already taken over.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"distcoll/internal/autotune"
+	"distcoll/internal/distance"
+	"distcoll/internal/trace"
+)
+
+// Config tunes the gray-failure scorer. Zero values select defaults.
+type Config struct {
+	// Window bounds each per-edge, per-size-bucket sample ring
+	// (default 16).
+	Window int
+	// MinSamples is the minimum ring occupancy before an edge bucket is
+	// judged against its class baseline (default 8).
+	MinSamples int
+	// DemoteRatio demotes an edge whose median exceeds ratio × the
+	// class-baseline median (default 4).
+	DemoteRatio float64
+	// ReinstateRatio ends a probe successfully when the probed edge's
+	// worst ratio is ≤ this (default 1.5). Ratios between ReinstateRatio
+	// and DemoteRatio keep the probe open — the hysteresis band.
+	ReinstateRatio float64
+	// Strikes is the number of consecutive failing scans before a
+	// demotion fires (default 2).
+	Strikes int
+	// DemoteTo is the distance class demoted edges are raised to
+	// (default distance.CrossSwitch). Edges already at or above it are
+	// never demoted.
+	DemoteTo int
+	// Interval scans for demotions every Interval op_end events
+	// (default 1).
+	Interval int
+	// ProbationOps is the number of op_end events a fresh demotion
+	// waits before its first probe (default 256). Doubled on every
+	// relapse, capped at ProbationMax (default 8192).
+	ProbationOps int
+	ProbationMax int
+	// RankFraction and RankMinEdges control rank-level demotion: a rank
+	// with ≥ RankMinEdges demoted edges (default 2) covering ≥
+	// RankFraction (default 0.6) of one DIRECTIONAL side of its traffic
+	// — the edges it predominantly serves, or the edges it
+	// predominantly pulls — is demoted wholesale. Directional
+	// consistency localizes the failure: a slow sender degrades every
+	// link it serves and a slow receiver every link it pulls, while a
+	// healthy neighbor of a sick rank collects at most one shared
+	// demoted edge per side. At most one rank is demoted per scan, the
+	// strongest candidate first; absorption then erases the shared
+	// evidence before the next scan can cascade onto its neighbors.
+	RankFraction float64
+	RankMinEdges int
+	// EscalateRatio hands a demoted rank to the hard-failure ladder
+	// (OnDead → MarkFailed → Agree/Shrink) when its worst ratio at
+	// demotion time is ≥ this. 0 disables escalation.
+	EscalateRatio float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.DemoteRatio <= 0 {
+		c.DemoteRatio = 4
+	}
+	if c.ReinstateRatio <= 0 {
+		c.ReinstateRatio = 1.5
+	}
+	if c.Strikes <= 0 {
+		c.Strikes = 2
+	}
+	if c.DemoteTo <= 0 {
+		c.DemoteTo = distance.CrossSwitch
+	}
+	if c.Interval <= 0 {
+		c.Interval = 1
+	}
+	if c.ProbationOps <= 0 {
+		c.ProbationOps = 256
+	}
+	if c.ProbationMax <= 0 {
+		c.ProbationMax = 8192
+	}
+	if c.RankFraction <= 0 {
+		c.RankFraction = 0.6
+	}
+	if c.RankMinEdges <= 0 {
+		c.RankMinEdges = 2
+	}
+	return c
+}
+
+// Revision describes one topology-affecting health transition. Exactly
+// one of Edge/Rank is meaningful: Rank is -1 for edge transitions, and
+// Edge is {-1, -1} for rank transitions.
+type Revision struct {
+	Rev    int64
+	Action string // "demote", "probe", "redemote", "rank-demote", "rank-probe", "rank-redemote"
+	Edge   [2]int
+	Rank   int
+}
+
+func (r Revision) String() string {
+	if r.Rank >= 0 {
+		return fmt.Sprintf("rev %d: %s rank %d", r.Rev, r.Action, r.Rank)
+	}
+	return fmt.Sprintf("rev %d: %s edge %d-%d", r.Rev, r.Action, r.Edge[0], r.Edge[1])
+}
+
+// edgeState tracks one undirected endpoint pair.
+type edgeState struct {
+	class   int // distance class of the underlying edge
+	wins    map[int]*autotune.Window
+	strikes int
+	demoted bool
+	probing bool
+	// srcN counts samples sourced by the lower/higher endpoint. Rank
+	// attribution blames the predominant SOURCE — the endpoint serving
+	// the slow copies — so a sick server's shared edges do not push its
+	// healthy clients over the rank-demotion threshold.
+	srcN [2]int
+	// probation is the current probation length in op_end events;
+	// monotone non-decreasing per edge so flapping converges.
+	probation int64
+	probeAt   int64
+	worst     float64 // ratio that triggered the current demotion
+}
+
+// rankState tracks wholesale rank demotion; same ladder as edges.
+type rankState struct {
+	demoted   bool
+	probing   bool
+	probation int64
+	probeAt   int64
+	worst     float64
+}
+
+// Scorer is the gray-failure detector: a trace.Sink that maintains
+// per-edge timing windows, demotes persistently slow edges and ranks,
+// and publishes immutable demotion Snapshots consumed by WrapView.
+type Scorer struct {
+	cfg Config
+
+	mu        sync.Mutex
+	edges     map[[2]int]*edgeState
+	ranks     map[int]*rankState
+	clock     int64 // op_end events seen
+	rev       int64
+	snap      *Snapshot
+	samples   int64
+	escalated map[int]bool
+
+	demotions, reinstates, probes, relapses int64
+	rankDemotions                           int64
+	escalations                             int64
+
+	onRevise []func(Revision)
+	onDead   []func(int)
+	metrics  *trace.Metrics
+	prefix   string
+}
+
+// NewScorer creates a scorer with cfg (zero values → defaults).
+func NewScorer(cfg Config) *Scorer {
+	s := &Scorer{
+		cfg:       cfg.withDefaults(),
+		edges:     make(map[[2]int]*edgeState),
+		ranks:     make(map[int]*rankState),
+		escalated: make(map[int]bool),
+	}
+	s.snap = emptySnapshot(s.cfg.DemoteTo)
+	return s
+}
+
+// Config returns the effective (default-filled) configuration.
+func (s *Scorer) Config() Config { return s.cfg }
+
+// OnRevise registers a callback fired (outside the scorer lock) for
+// every topology-affecting transition. Register before attaching the
+// scorer as a sink.
+func (s *Scorer) OnRevise(fn func(Revision)) {
+	s.onRevise = append(s.onRevise, fn)
+}
+
+// OnDead registers a callback fired when a demoted rank crosses
+// EscalateRatio — the hand-off to the hard-failure ladder. Register
+// before attaching the scorer as a sink.
+func (s *Scorer) OnDead(fn func(rank int)) {
+	s.onDead = append(s.onDead, fn)
+}
+
+// MirrorMetrics mirrors scorer counters into a metrics registry under
+// prefix (e.g. "health."). Call before attaching the scorer as a sink.
+func (s *Scorer) MirrorMetrics(m *trace.Metrics, prefix string) {
+	s.metrics = m
+	s.prefix = prefix
+}
+
+// servers reports which endpoints predominantly source this edge's
+// traffic — the blamed side for rank-level attribution. With no
+// majority (mixed-direction traffic, or no samples yet) both are
+// blamed, restoring undirected attribution.
+func (es *edgeState) servers() (lo, hi bool) {
+	if es.srcN[0] > es.srcN[1] {
+		return true, false
+	}
+	if es.srcN[1] > es.srcN[0] {
+		return false, true
+	}
+	return true, true
+}
+
+func normEdge(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Emit implements trace.Sink: copy events feed the per-edge windows,
+// op_end events advance the probation clock and trigger scans.
+func (s *Scorer) Emit(e trace.Event) {
+	switch e.Kind {
+	case trace.KindCopy:
+		s.observe(e)
+	case trace.KindOpEnd:
+		s.tick()
+	}
+}
+
+func (s *Scorer) observe(e trace.Event) {
+	if e.Bytes <= 0 || e.Dur <= 0 || e.Dist <= 0 || e.Src < 0 || e.Dst < 0 || e.Src == e.Dst {
+		return
+	}
+	k := normEdge(e.Src, e.Dst)
+	sec := float64(e.Dur) / 1e9
+	s.mu.Lock()
+	es := s.edges[k]
+	if es == nil {
+		es = &edgeState{class: e.Dist, wins: make(map[int]*autotune.Window)}
+		s.edges[k] = es
+	}
+	b := autotune.Bucket(e.Bytes)
+	w := es.wins[b]
+	if w == nil {
+		w = &autotune.Window{}
+		es.wins[b] = w
+	}
+	w.Observe(e.Bytes, sec, s.cfg.Window)
+	if e.Src == k[0] {
+		es.srcN[0]++
+	} else {
+		es.srcN[1]++
+	}
+	s.samples++
+	s.mu.Unlock()
+}
+
+func (s *Scorer) tick() {
+	var fired []Revision
+	var dead []int
+	s.mu.Lock()
+	s.clock++
+	fired = s.probeStartsLocked(fired)
+	if s.clock%int64(s.cfg.Interval) == 0 {
+		fired, dead = s.scanLocked(fired, dead)
+	}
+	s.mirrorLocked()
+	s.mu.Unlock()
+	for _, r := range fired {
+		for _, fn := range s.onRevise {
+			fn(r)
+		}
+	}
+	for _, r := range dead {
+		for _, fn := range s.onDead {
+			fn(r)
+		}
+	}
+}
+
+// probeStartsLocked lifts demotions whose probation expired: the edge
+// (or rank) re-enters the view at its true distance for one probe
+// window, measured from freshly reset sample rings.
+func (s *Scorer) probeStartsLocked(fired []Revision) []Revision {
+	for _, k := range s.sortedEdgesLocked() {
+		es := s.edges[k]
+		if es.demoted && !es.probing && s.clock >= es.probeAt {
+			es.probing = true
+			es.srcN = [2]int{}
+			for _, w := range es.wins {
+				w.Reset()
+			}
+			s.probes++
+			s.rev++
+			s.rebuildLocked()
+			fired = append(fired, Revision{Rev: s.rev, Action: "probe", Edge: k, Rank: -1})
+		}
+	}
+	for _, r := range s.sortedRanksLocked() {
+		rs := s.ranks[r]
+		if rs.demoted && !rs.probing && s.clock >= rs.probeAt {
+			rs.probing = true
+			for k, es := range s.edges {
+				if k[0] == r || k[1] == r {
+					es.srcN = [2]int{}
+					for _, w := range es.wins {
+						w.Reset()
+					}
+				}
+			}
+			s.probes++
+			s.rev++
+			s.rebuildLocked()
+			fired = append(fired, Revision{Rev: s.rev, Action: "rank-probe", Edge: [2]int{-1, -1}, Rank: r})
+		}
+	}
+	return fired
+}
+
+// baselines computes, per (class, bucket), the median of per-edge
+// medians across currently trusted edges (not demoted, not probing) with
+// at least MinSamples. Median-of-medians keeps a single slow edge from
+// poisoning its own baseline: it contributes one vote, not its sample
+// mass. The count is the number of contributing edges.
+type baseKey struct{ class, bucket int }
+
+type baseline struct {
+	med float64
+	n   int
+}
+
+func (s *Scorer) baselinesLocked() map[baseKey]baseline {
+	meds := make(map[baseKey][]float64)
+	for _, es := range s.edges {
+		if es.demoted || es.probing {
+			continue
+		}
+		for b, w := range es.wins {
+			if w.Len() >= s.cfg.MinSamples {
+				k := baseKey{es.class, b}
+				meds[k] = append(meds[k], w.Median())
+			}
+		}
+	}
+	out := make(map[baseKey]baseline, len(meds))
+	for k, v := range meds {
+		out[k] = baseline{med: median(v), n: len(v)}
+	}
+	return out
+}
+
+// worstRatioLocked returns the edge's worst bucket ratio against the
+// class baselines, and whether any bucket had enough data to judge. A
+// baseline needs ≥ 2 contributing peer edges — with a single edge in a
+// class the edge is its own baseline and cannot be judged.
+func (s *Scorer) worstRatioLocked(es *edgeState, base map[baseKey]baseline) (float64, bool) {
+	worst, ok := 0.0, false
+	for b, w := range es.wins {
+		if w.Len() < s.cfg.MinSamples {
+			continue
+		}
+		bl := base[baseKey{es.class, b}]
+		if bl.n < 2 || bl.med <= 0 {
+			continue
+		}
+		if r := w.Median() / bl.med; r > worst {
+			worst, ok = r, true
+		}
+	}
+	return worst, ok
+}
+
+func (s *Scorer) sortedEdgesLocked() [][2]int {
+	keys := make([][2]int, 0, len(s.edges))
+	for k := range s.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+func (s *Scorer) sortedRanksLocked() []int {
+	keys := make([]int, 0, len(s.ranks))
+	for r := range s.ranks {
+		keys = append(keys, r)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func (s *Scorer) scanLocked(fired []Revision, dead []int) ([]Revision, []int) {
+	base := s.baselinesLocked()
+	for _, k := range s.sortedEdgesLocked() {
+		es := s.edges[k]
+		if es.class >= s.cfg.DemoteTo {
+			continue // already at or above the demotion class
+		}
+		if s.rankDownLocked(k[0]) || s.rankDownLocked(k[1]) {
+			// The rank demotion dominates: the view already prices every
+			// pair through the rank at DemoteTo, no traffic flows, and
+			// whatever samples remain predate the demotion.
+			continue
+		}
+		ratio, ok := s.worstRatioLocked(es, base)
+		if !ok {
+			continue
+		}
+		switch {
+		case es.probing:
+			// Probe verdict. Between the two thresholds the probe stays
+			// open and the window keeps rolling.
+			if ratio <= s.cfg.ReinstateRatio {
+				es.demoted, es.probing, es.strikes, es.worst = false, false, 0, 0
+				s.reinstates++
+			} else if ratio >= s.cfg.DemoteRatio {
+				es.probing = false
+				es.worst = ratio
+				es.probation = minInt64(es.probation*2, int64(s.cfg.ProbationMax))
+				es.probeAt = s.clock + es.probation
+				s.relapses++
+				s.rev++
+				s.rebuildLocked()
+				fired = append(fired, Revision{Rev: s.rev, Action: "redemote", Edge: k, Rank: -1})
+			}
+		case !es.demoted:
+			if ratio >= s.cfg.DemoteRatio {
+				es.strikes++
+				if es.strikes >= s.cfg.Strikes {
+					es.demoted = true
+					es.worst = ratio
+					if es.probation == 0 {
+						es.probation = int64(s.cfg.ProbationOps)
+					} else {
+						// Re-demotion of a previously demoted edge —
+						// whether via relapse or via a reinstatement
+						// that didn't stick — climbs the same monotone
+						// ladder, so a flapping link converges to long
+						// probations instead of plan-thrash.
+						es.probation = minInt64(es.probation*2, int64(s.cfg.ProbationMax))
+					}
+					es.probeAt = s.clock + es.probation
+					s.demotions++
+					s.rev++
+					s.rebuildLocked()
+					fired = append(fired, Revision{Rev: s.rev, Action: "demote", Edge: k, Rank: -1})
+				}
+			} else {
+				es.strikes = 0
+			}
+		}
+	}
+	fired, dead = s.scanRanksLocked(fired, dead, base)
+	return fired, dead
+}
+
+// rankDownLocked reports whether rank r is currently demoted and not
+// under an open probe.
+func (s *Scorer) rankDownLocked(r int) bool {
+	rs := s.ranks[r]
+	return rs != nil && rs.demoted && !rs.probing
+}
+
+// scanRanksLocked promotes edge-level evidence to rank level: a rank
+// most of whose serving edges are individually demoted is demoted
+// wholesale (its per-edge states are absorbed), and — when
+// EscalateRatio is set — handed to the hard-failure ladder.
+//
+// At most ONE rank is demoted per scan — the candidate with the
+// highest demoted fraction. A demoted edge counts toward BOTH its
+// endpoints' tallies, so demoting every rank over threshold in one
+// pass cascades: when rank r's serving links all stall, the shared
+// edges push r's neighbors over threshold too, and a single gray rank
+// takes healthy ranks down with it. Demoting only the worst candidate
+// lets the absorption below erase the shared evidence first; if a
+// neighbor is independently sick, the very next scan still gets it.
+func (s *Scorer) scanRanksLocked(fired []Revision, dead []int, base map[baseKey]baseline) ([]Revision, []int) {
+	// Two directional tallies per rank: edges it predominantly SERVES
+	// (sources the copies) and edges it predominantly PULLS (receives
+	// them). A sick rank leaves a consistent signature on one side —
+	// every serving link of a slow sender, every pull of a slow
+	// receiver — while a healthy neighbor of a sick rank collects at
+	// most one shared demoted edge per side and stays under
+	// RankMinEdges. Ties in direction (mixed traffic, no samples)
+	// count the edge on both sides of both endpoints.
+	const srv, cli = 0, 1
+	demotedBy := make(map[int]*[2]int)
+	totalBy := make(map[int]*[2]int)
+	worstBy := make(map[int]float64)
+	tally := func(m map[int]*[2]int, r, side int) *[2]int {
+		t := m[r]
+		if t == nil {
+			t = &[2]int{}
+			m[r] = t
+		}
+		t[side]++
+		return t
+	}
+	for k, es := range s.edges {
+		hasData := false
+		for _, w := range es.wins {
+			if w.Len() >= s.cfg.MinSamples || es.demoted {
+				hasData = true
+				break
+			}
+		}
+		if !hasData {
+			continue
+		}
+		lo, hi := es.servers()
+		side := func(i int) int {
+			if (i == 0 && lo) || (i == 1 && hi) {
+				return srv
+			}
+			return cli
+		}
+		for i, r := range k {
+			sides := []int{side(i)}
+			if lo && hi { // no directional majority: both sides
+				sides = []int{srv, cli}
+			}
+			for _, sd := range sides {
+				tally(totalBy, r, sd)
+				if es.demoted && !es.probing {
+					tally(demotedBy, r, sd)
+					if es.worst > worstBy[r] {
+						worstBy[r] = es.worst
+					}
+				}
+			}
+		}
+	}
+	ranks := make([]int, 0, len(demotedBy))
+	for r := range demotedBy {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	best, bestFrac, bestDem := -1, 0.0, 0
+	for _, r := range ranks {
+		rs := s.ranks[r]
+		if rs != nil && (rs.demoted || rs.probing) {
+			continue
+		}
+		for sd := srv; sd <= cli; sd++ {
+			dem := demotedBy[r][sd]
+			if dem < s.cfg.RankMinEdges {
+				continue
+			}
+			frac := float64(dem) / float64(totalBy[r][sd])
+			if frac < s.cfg.RankFraction {
+				continue
+			}
+			// Highest qualifying fraction wins; ties go to more demoted
+			// edges, then to the lower rank (the iteration order).
+			if frac > bestFrac || (frac == bestFrac && dem > bestDem) {
+				best, bestFrac, bestDem = r, frac, dem
+			}
+		}
+	}
+	if r := best; r >= 0 {
+		rs := s.ranks[r]
+		if rs == nil {
+			rs = &rankState{}
+			s.ranks[r] = rs
+		}
+		action := "rank-demote"
+		if rs.probation > 0 {
+			action = "rank-redemote"
+			rs.probation = minInt64(rs.probation*2, int64(s.cfg.ProbationMax))
+			s.relapses++
+		} else {
+			rs.probation = int64(s.cfg.ProbationOps)
+			s.rankDemotions++
+		}
+		rs.demoted, rs.probing = true, false
+		rs.worst = worstBy[r]
+		rs.probeAt = s.clock + rs.probation
+		// The rank state absorbs its edges' demotions so a rank probe
+		// measures the whole rank afresh. Their windows reset too: once
+		// the rank is demoted no traffic flows through these edges, so
+		// any retained samples are permanently stale evidence that would
+		// re-demote the edges — and leak strikes onto their OTHER
+		// endpoints' rank tallies — forever.
+		for k, es := range s.edges {
+			if k[0] == r || k[1] == r {
+				es.demoted, es.probing, es.strikes = false, false, 0
+				es.srcN = [2]int{}
+				for _, w := range es.wins {
+					w.Reset()
+				}
+			}
+		}
+		s.rev++
+		s.rebuildLocked()
+		fired = append(fired, Revision{Rev: s.rev, Action: action, Edge: [2]int{-1, -1}, Rank: r})
+		if s.cfg.EscalateRatio > 0 && rs.worst >= s.cfg.EscalateRatio && !s.escalated[r] {
+			s.escalated[r] = true
+			s.escalations++
+			dead = append(dead, r)
+		}
+	}
+	// Rank probe verdicts: judged over every measured edge of the rank.
+	for _, r := range s.sortedRanksLocked() {
+		rs := s.ranks[r]
+		if !rs.probing {
+			continue
+		}
+		worst, ok := 0.0, false
+		for k, es := range s.edges {
+			if k[0] != r && k[1] != r {
+				continue
+			}
+			if ratio, has := s.worstRatioLocked(es, base); has {
+				ok = true
+				if ratio > worst {
+					worst = ratio
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		if worst <= s.cfg.ReinstateRatio {
+			rs.demoted, rs.probing, rs.worst = false, false, 0
+			s.reinstates++
+		} else if worst >= s.cfg.DemoteRatio {
+			rs.probing = false
+			rs.worst = worst
+			rs.probation = minInt64(rs.probation*2, int64(s.cfg.ProbationMax))
+			rs.probeAt = s.clock + rs.probation
+			s.relapses++
+			s.rev++
+			s.rebuildLocked()
+			fired = append(fired, Revision{Rev: s.rev, Action: "rank-redemote", Edge: [2]int{-1, -1}, Rank: r})
+		}
+	}
+	return fired, dead
+}
+
+func (s *Scorer) mirrorLocked() {
+	if s.metrics == nil {
+		return
+	}
+	lag := func(name string, v int64) {
+		c := s.metrics.Counter(s.prefix + name)
+		c.Add(v - c.Load())
+	}
+	lag("demoted", s.demotions)
+	lag("reinstated", s.reinstates)
+	lag("probes", s.probes)
+	lag("relapses", s.relapses)
+	lag("rank_demoted", s.rankDemotions)
+	lag("escalated", s.escalations)
+	lag("revisions", s.rev)
+	s.metrics.Gauge(s.prefix + "demoted_edges").Set(float64(len(s.snap.edges)))
+	s.metrics.Gauge(s.prefix + "demoted_ranks").Set(float64(len(s.snap.ranks)))
+}
+
+// Snapshot returns the current immutable demotion snapshot (never nil).
+func (s *Scorer) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// Revision returns the current revision counter; it advances on every
+// topology-affecting transition.
+func (s *Scorer) Revision() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rev
+}
+
+// Samples returns the lifetime accepted copy-sample count.
+func (s *Scorer) Samples() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// Clock returns the op_end count seen so far — the probation time base.
+func (s *Scorer) Clock() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
+}
+
+// Demotions, Reinstates, Probes and Relapses return lifetime transition
+// counts.
+func (s *Scorer) Demotions() int64  { s.mu.Lock(); defer s.mu.Unlock(); return s.demotions }
+func (s *Scorer) Reinstates() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.reinstates }
+func (s *Scorer) Probes() int64     { s.mu.Lock(); defer s.mu.Unlock(); return s.probes }
+func (s *Scorer) Relapses() int64   { s.mu.Lock(); defer s.mu.Unlock(); return s.relapses }
+
+// DemotedEdges returns the currently demoted edges (sorted, excluding
+// edges mid-probe).
+func (s *Scorer) DemotedEdges() [][2]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap.Edges()
+}
+
+// DemotedRanks returns the currently demoted ranks (sorted).
+func (s *Scorer) DemotedRanks() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap.Ranks()
+}
+
+func (s *Scorer) rebuildLocked() {
+	edges := make(map[[2]int]bool)
+	for k, es := range s.edges {
+		if es.demoted && !es.probing {
+			edges[k] = true
+		}
+	}
+	ranks := make(map[int]bool)
+	for r, rs := range s.ranks {
+		if rs.demoted && !rs.probing {
+			ranks[r] = true
+		}
+	}
+	s.snap = newSnapshot(s.rev, s.cfg.DemoteTo, edges, ranks)
+}
+
+// EdgeScore is one row of the health report.
+type EdgeScore struct {
+	Edge    [2]int
+	Class   int
+	Samples int
+	Median  float64 // seconds, worst bucket
+	Ratio   float64 // vs class baseline (0 when unjudgeable)
+	State   string  // "ok", "suspect", "demoted", "probing"
+}
+
+// Report summarizes scorer state for the disttrace health CLI.
+type Report struct {
+	Clock     int64
+	Samples   int64
+	Edges     []EdgeScore
+	Ranks     []int // demoted ranks
+	Demoted   int64
+	Reinstate int64
+	Probes    int64
+	Relapses  int64
+	Escalated int64
+	Revisions int64
+}
+
+// Report renders the current scorer state, edges sorted worst-first.
+func (s *Scorer) Report() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := s.baselinesLocked()
+	rep := Report{
+		Clock:     s.clock,
+		Samples:   s.samples,
+		Ranks:     s.snap.Ranks(),
+		Demoted:   s.demotions,
+		Reinstate: s.reinstates,
+		Probes:    s.probes,
+		Relapses:  s.relapses,
+		Escalated: s.escalations,
+		Revisions: s.rev,
+	}
+	for _, k := range s.sortedEdgesLocked() {
+		es := s.edges[k]
+		sc := EdgeScore{Edge: k, Class: es.class}
+		var worstMed float64
+		for _, w := range es.wins {
+			sc.Samples += w.Len()
+			if m := w.Median(); m > worstMed {
+				worstMed = m
+			}
+		}
+		sc.Median = worstMed
+		if r, ok := s.worstRatioLocked(es, base); ok {
+			sc.Ratio = r
+		}
+		switch {
+		case es.probing:
+			sc.State = "probing"
+		case es.demoted:
+			sc.State = "demoted"
+			sc.Ratio = es.worst
+		case sc.Ratio >= s.cfg.DemoteRatio:
+			sc.State = "suspect"
+		default:
+			sc.State = "ok"
+		}
+		rep.Edges = append(rep.Edges, sc)
+	}
+	sort.SliceStable(rep.Edges, func(i, j int) bool { return rep.Edges[i].Ratio > rep.Edges[j].Ratio })
+	return rep
+}
+
+// String renders the report as the disttrace health summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health: %d ops, %d copy samples, %d edges scored\n",
+		r.Clock, r.Samples, len(r.Edges))
+	fmt.Fprintf(&b, "events: demoted=%d probes=%d reinstated=%d relapses=%d escalated=%d revisions=%d\n",
+		r.Demoted, r.Probes, r.Reinstate, r.Relapses, r.Escalated, r.Revisions)
+	if len(r.Ranks) > 0 {
+		fmt.Fprintf(&b, "demoted ranks: %v\n", r.Ranks)
+	}
+	shown := 0
+	for _, e := range r.Edges {
+		if e.State == "ok" && shown >= 10 {
+			continue
+		}
+		fmt.Fprintf(&b, "  edge %d-%d d%d: median %.1fµs ratio %.2f %s (n=%d)\n",
+			e.Edge[0], e.Edge[1], e.Class, e.Median*1e6, e.Ratio, e.State, e.Samples)
+		shown++
+	}
+	return b.String()
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), v...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

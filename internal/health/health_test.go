@@ -1,0 +1,382 @@
+package health
+
+import (
+	"testing"
+
+	"distcoll/internal/distance"
+	"distcoll/internal/trace"
+)
+
+// cfg is the fast test configuration: tiny windows, scan every op_end,
+// short probation so every ladder transition fits in a few dozen events.
+func cfg() Config {
+	return Config{
+		Window:       8,
+		MinSamples:   4,
+		DemoteRatio:  3,
+		Strikes:      2,
+		Interval:     1,
+		ProbationOps: 8,
+		ProbationMax: 64,
+	}
+}
+
+// copyEv fabricates one copy event on edge (src, dst) at distance class
+// dist taking durUs microseconds for 1 KiB.
+func copyEv(src, dst, dist int, durUs int64) trace.Event {
+	return trace.Event{Kind: trace.KindCopy, Src: src, Dst: dst,
+		Bytes: 1024, Dist: dist, Dur: durUs * 1000}
+}
+
+func opEnd() trace.Event { return trace.Event{Kind: trace.KindOpEnd} }
+
+// feedRound emits one "collective" worth of samples: every edge of a
+// 4-rank star at class 2 runs at 10µs except the edges in slow, which
+// run at slowUs. One op_end closes the round.
+func feedRound(s *Scorer, slow map[[2]int]int64) {
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}} {
+		d := int64(10)
+		if su, ok := slow[e]; ok {
+			d = su
+		}
+		s.Emit(copyEv(e[0], e[1], 2, d))
+	}
+	s.Emit(opEnd())
+}
+
+func TestScorerDemotesPersistentlySlowEdge(t *testing.T) {
+	s := NewScorer(cfg())
+	slow := map[[2]int]int64{{0, 3}: 200}
+	for i := 0; i < 3; i++ { // below MinSamples: no judgement possible
+		feedRound(s, slow)
+	}
+	if s.Demotions() != 0 {
+		t.Fatalf("demoted before the min-sample gate: %d", s.Demotions())
+	}
+	for i := 0; i < 5; i++ {
+		feedRound(s, slow)
+	}
+	if s.Demotions() != 1 {
+		t.Fatalf("demotions = %d, want exactly 1", s.Demotions())
+	}
+	snap := s.Snapshot()
+	if !snap.Demoted(0, 3) || !snap.Demoted(3, 0) {
+		t.Error("snapshot does not demote edge 0-3 (both orders)")
+	}
+	if snap.Demoted(0, 1) || snap.Demoted(1, 2) {
+		t.Error("healthy edges demoted")
+	}
+	if snap.DemoteTo() != distance.CrossSwitch {
+		t.Errorf("DemoteTo = %d, want default %d", snap.DemoteTo(), distance.CrossSwitch)
+	}
+	if got := s.DemotedEdges(); len(got) != 1 || got[0] != [2]int{0, 3} {
+		t.Errorf("DemotedEdges = %v", got)
+	}
+}
+
+func TestScorerStrikesHysteresis(t *testing.T) {
+	c := cfg()
+	c.Strikes = 3
+	s := NewScorer(c)
+	slow := map[[2]int]int64{{0, 3}: 200}
+	// Enough rounds to fill the window, then alternate: one slow scan is
+	// one strike; a healthy scan resets the count, so alternating
+	// slow/fast medians must never reach 3 consecutive strikes. With
+	// window 8 and a single slow round per 3, the median stays fast.
+	for i := 0; i < 24; i++ {
+		if i%3 == 0 {
+			feedRound(s, slow)
+		} else {
+			feedRound(s, nil)
+		}
+	}
+	if s.Demotions() != 0 {
+		t.Fatalf("occasional slow samples demoted the edge: %d demotions", s.Demotions())
+	}
+}
+
+func TestScorerProbeReinstatesRecoveredEdge(t *testing.T) {
+	s := NewScorer(cfg())
+	slow := map[[2]int]int64{{0, 3}: 200}
+	for i := 0; i < 8; i++ {
+		feedRound(s, slow)
+	}
+	if s.Demotions() != 1 {
+		t.Fatalf("setup: demotions = %d, want 1", s.Demotions())
+	}
+	// Ride out probation (8 ops), then behave: the probe window refills
+	// with healthy samples and the edge is reinstated.
+	for i := 0; i < 24 && s.Reinstates() == 0; i++ {
+		feedRound(s, nil)
+	}
+	if s.Probes() == 0 {
+		t.Fatal("probation never opened a probe")
+	}
+	if s.Reinstates() != 1 {
+		t.Fatalf("reinstates = %d, want 1", s.Reinstates())
+	}
+	if !s.Snapshot().Empty() {
+		t.Errorf("snapshot still demotes %v after reinstatement", s.Snapshot().Edges())
+	}
+}
+
+func TestScorerRelapseDoublesProbation(t *testing.T) {
+	s := NewScorer(cfg())
+	slow := map[[2]int]int64{{0, 3}: 200}
+	for i := 0; i < 8; i++ {
+		feedRound(s, slow)
+	}
+	if s.Demotions() != 1 {
+		t.Fatalf("setup: demotions = %d, want 1", s.Demotions())
+	}
+	// Stay slow through the probe: the probe must relapse into a
+	// re-demotion with doubled probation.
+	rev0 := s.Revision()
+	for i := 0; i < 40 && s.Relapses() == 0; i++ {
+		feedRound(s, slow)
+	}
+	if s.Relapses() != 1 {
+		t.Fatalf("relapses = %d, want 1", s.Relapses())
+	}
+	if s.Snapshot().Empty() {
+		t.Fatal("relapsed edge left the snapshot")
+	}
+	s.mu.Lock()
+	prob := s.edges[[2]int{0, 3}].probation
+	s.mu.Unlock()
+	if prob != 16 {
+		t.Errorf("probation after relapse = %d, want doubled 16", prob)
+	}
+	if s.Revision() <= rev0 {
+		t.Error("relapse did not advance the revision")
+	}
+}
+
+func TestScorerFlapConvergesBoundedRevisions(t *testing.T) {
+	s := NewScorer(cfg())
+	// Flap: the edge alternates slow/fast every 4 rounds, forever. The
+	// monotone probation ladder must converge to long probations, so the
+	// revision count over 600 rounds stays far below the flap count.
+	for i := 0; i < 600; i++ {
+		if (i/4)%2 == 0 {
+			feedRound(s, map[[2]int]int64{{0, 3}: 200})
+		} else {
+			feedRound(s, nil)
+		}
+	}
+	if s.Demotions() == 0 {
+		t.Fatal("flapping edge never demoted")
+	}
+	// 600 rounds with 8-round flap period = 75 flaps; an unconverged
+	// scorer would revise ~2 per flap. The ladder (8→16→32→64 capped)
+	// bounds probe starts to roughly clock/ProbationMax + ladder climb.
+	if rev := s.Revision(); rev > 40 {
+		t.Errorf("flap produced %d revisions over 600 rounds; ladder did not converge", rev)
+	}
+}
+
+func TestScorerRankDemotionAbsorbsEdges(t *testing.T) {
+	c := cfg()
+	c.RankMinEdges = 2
+	c.RankFraction = 0.5
+	s := NewScorer(c)
+	// Rank 3 is slow on every edge; 6 ranks give the baseline enough
+	// trusted peers. Edges 3-x demote individually, then the rank-level
+	// scan absorbs them.
+	star := [][2]int{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}, {2, 3}, {0, 4}, {0, 5}}
+	for i := 0; i < 12 && len(s.DemotedRanks()) == 0; i++ {
+		for _, e := range star {
+			d := int64(10)
+			if e[0] == 3 || e[1] == 3 {
+				d = 200
+			}
+			s.Emit(copyEv(e[0], e[1], 2, d))
+		}
+		s.Emit(opEnd())
+	}
+	if got := s.DemotedRanks(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("DemotedRanks = %v, want [3]", got)
+	}
+	snap := s.Snapshot()
+	if !snap.Demoted(3, 5) {
+		t.Error("rank demotion must demote every pair touching rank 3")
+	}
+	if len(snap.Edges()) != 0 {
+		t.Errorf("edge demotions not absorbed by the rank: %v", snap.Edges())
+	}
+}
+
+func TestScorerEscalatesToDead(t *testing.T) {
+	c := cfg()
+	c.RankMinEdges = 2
+	c.RankFraction = 0.5
+	c.EscalateRatio = 10
+	s := NewScorer(c)
+	var dead []int
+	s.OnDead(func(r int) { dead = append(dead, r) })
+	star := [][2]int{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}, {2, 3}, {0, 4}, {0, 5}}
+	for i := 0; i < 12 && len(dead) == 0; i++ {
+		for _, e := range star {
+			d := int64(10)
+			if e[0] == 3 || e[1] == 3 {
+				d = 500 // ratio 50 ≫ EscalateRatio
+			}
+			s.Emit(copyEv(e[0], e[1], 2, d))
+		}
+		s.Emit(opEnd())
+	}
+	if len(dead) != 1 || dead[0] != 3 {
+		t.Fatalf("OnDead fired with %v, want [3]", dead)
+	}
+}
+
+func TestScorerRevisionCallbacks(t *testing.T) {
+	s := NewScorer(cfg())
+	var revs []Revision
+	s.OnRevise(func(r Revision) { revs = append(revs, r) })
+	for i := 0; i < 8; i++ {
+		feedRound(s, map[[2]int]int64{{0, 3}: 200})
+	}
+	if len(revs) == 0 || revs[0].Action != "demote" || revs[0].Edge != [2]int{0, 3} {
+		t.Fatalf("OnRevise saw %v, want a demote of 0-3 first", revs)
+	}
+}
+
+func TestScorerIgnoresJunkEvents(t *testing.T) {
+	s := NewScorer(cfg())
+	s.Emit(trace.Event{Kind: trace.KindCopy, Src: 0, Dst: 0, Bytes: 1024, Dist: 2, Dur: 1000})
+	s.Emit(trace.Event{Kind: trace.KindCopy, Src: 0, Dst: 1, Bytes: 0, Dist: 2, Dur: 1000})
+	s.Emit(trace.Event{Kind: trace.KindCopy, Src: 0, Dst: 1, Bytes: 1024, Dist: 0, Dur: 1000})
+	s.Emit(trace.Event{Kind: trace.KindCopy, Src: -1, Dst: 1, Bytes: 1024, Dist: 2, Dur: 1000})
+	s.Emit(trace.Event{Kind: trace.KindFailure, Src: 0, Dst: 1})
+	if s.Samples() != 0 {
+		t.Errorf("junk events accepted: %d samples", s.Samples())
+	}
+}
+
+func TestSnapshotHashStability(t *testing.T) {
+	e := map[[2]int]bool{{0, 3}: true, {1, 2}: true}
+	r := map[int]bool{5: true}
+	a := newSnapshot(1, 8, e, r)
+	b := newSnapshot(9, 8, map[[2]int]bool{{1, 2}: true, {0, 3}: true}, map[int]bool{5: true})
+	if a.Hash() != b.Hash() {
+		t.Error("identical demotion sets at different revisions must hash identically")
+	}
+	c := newSnapshot(1, 8, map[[2]int]bool{{0, 3}: true}, r)
+	if a.Hash() == c.Hash() {
+		t.Error("different edge sets hash identically")
+	}
+	// Edge {a,b} demoted vs rank a demoted must not collide.
+	d := newSnapshot(1, 8, map[[2]int]bool{{5, 6}: true}, nil)
+	f := newSnapshot(1, 8, nil, map[int]bool{5: true, 6: true})
+	if d.Hash() == f.Hash() {
+		t.Error("edge demotion and rank demotion hash identically")
+	}
+}
+
+// uniformMatrix builds an n-rank dense matrix with every off-diagonal
+// distance d.
+func uniformMatrix(n, d int) distance.Matrix {
+	m := make(distance.Matrix, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = d
+			}
+		}
+	}
+	return m
+}
+
+func TestWrapViewIdentityWhenUntouched(t *testing.T) {
+	base := uniformMatrix(4, 2)
+	snap := newSnapshot(1, 8, map[[2]int]bool{{10, 11}: true}, nil)
+	if _, wrapped := WrapView(base, nil, snap).(*View); wrapped {
+		t.Error("snapshot touching no member must return the base view unchanged")
+	}
+	if _, wrapped := WrapView(base, []int{0, 1, 2, 3}, snap).(*View); wrapped {
+		t.Error("group with no overlap must return the base view unchanged")
+	}
+	if _, wrapped := WrapView(base, nil, emptySnapshot(8)).(*View); wrapped {
+		t.Error("empty snapshot must return the base view unchanged")
+	}
+	if _, wrapped := WrapView(base, nil, nil).(*View); wrapped {
+		t.Error("nil snapshot must return the base view unchanged")
+	}
+}
+
+func TestViewDemotesPairs(t *testing.T) {
+	base := uniformMatrix(4, 2)
+	snap := newSnapshot(1, 8, map[[2]int]bool{{1, 2}: true}, nil)
+	v := WrapView(base, nil, snap)
+	if _, ok := v.(*View); !ok {
+		t.Fatalf("expected a health.View wrapper, got %T", v)
+	}
+	// Demotion is order-preserving: demoteTo + the base class, so among
+	// demoted alternatives the nearest still wins minimum-weight picks.
+	if got := v.At(1, 2); got != 10 {
+		t.Errorf("At(1,2) = %d, want demoted 8+2", got)
+	}
+	if got := v.At(2, 1); got != 10 {
+		t.Errorf("At(2,1) = %d, want demoted 8+2 (undirected)", got)
+	}
+	if got := v.At(0, 3); got != 2 {
+		t.Errorf("At(0,3) = %d, want base 2", got)
+	}
+	if got := v.At(1, 1); got != 0 {
+		t.Errorf("At(1,1) = %d, want 0 (diagonal untouched)", got)
+	}
+}
+
+func TestViewGroupTranslation(t *testing.T) {
+	base := uniformMatrix(2, 2)
+	// The comm's two members are world ranks 4 and 7; the demoted world
+	// edge 4-7 must demote comm pair (0, 1).
+	snap := newSnapshot(1, 8, map[[2]int]bool{{4, 7}: true}, nil)
+	v := WrapView(base, []int{4, 7}, snap)
+	if got := v.At(0, 1); got != 10 {
+		t.Errorf("At(0,1) = %d, want demoted 8+2 via group translation", got)
+	}
+}
+
+func TestViewRankDemotion(t *testing.T) {
+	base := uniformMatrix(3, 3)
+	snap := newSnapshot(1, 8, nil, map[int]bool{1: true})
+	v := WrapView(base, nil, snap)
+	if v.At(0, 1) != 11 || v.At(1, 2) != 11 {
+		t.Error("every pair touching the demoted rank must read demoteTo + base")
+	}
+	if got := v.At(0, 2); got != 3 {
+		t.Errorf("At(0,2) = %d, want base 3", got)
+	}
+}
+
+func TestReportRendersStates(t *testing.T) {
+	s := NewScorer(cfg())
+	for i := 0; i < 8; i++ {
+		feedRound(s, map[[2]int]int64{{0, 3}: 200})
+	}
+	rep := s.Report()
+	if len(rep.Edges) != 4 {
+		t.Fatalf("report has %d edges, want 4", len(rep.Edges))
+	}
+	if rep.Edges[0].Edge != [2]int{0, 3} || rep.Edges[0].State != "demoted" {
+		t.Errorf("worst-first edge = %+v, want demoted 0-3", rep.Edges[0])
+	}
+	out := rep.String()
+	for _, want := range []string{"edge 0-3", "demoted", "copy samples"} {
+		if !contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package health
+
+import (
+	"sort"
+
+	"distcoll/internal/distance"
+)
+
+// Snapshot is an immutable set of demoted edges and ranks, keyed by
+// world rank, published by the Scorer at a given revision. The hash
+// folds into plan-cache topology keys so every demotion revision maps to
+// a distinct plan space.
+type Snapshot struct {
+	rev      int64
+	demoteTo int
+	edges    map[[2]int]bool
+	ranks    map[int]bool
+	members  map[int]bool // every rank touched by a demotion
+	hash     uint64
+}
+
+func emptySnapshot(demoteTo int) *Snapshot {
+	return newSnapshot(0, demoteTo, nil, nil)
+}
+
+func newSnapshot(rev int64, demoteTo int, edges map[[2]int]bool, ranks map[int]bool) *Snapshot {
+	s := &Snapshot{rev: rev, demoteTo: demoteTo, edges: edges, ranks: ranks,
+		members: make(map[int]bool)}
+	for k := range edges {
+		s.members[k[0]] = true
+		s.members[k[1]] = true
+	}
+	for r := range ranks {
+		s.members[r] = true
+	}
+	// FNV-1a over the sorted demotion set: identical sets hash
+	// identically regardless of the revision that produced them.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(demoteTo))
+	for _, e := range s.Edges() {
+		mix(uint64(e[0])<<32 | uint64(uint32(e[1])))
+	}
+	mix(0xffffffffffffffff)
+	for _, r := range s.Ranks() {
+		mix(uint64(r))
+	}
+	s.hash = h
+	return s
+}
+
+// Rev returns the revision this snapshot was published at.
+func (s *Snapshot) Rev() int64 { return s.rev }
+
+// Hash returns a stable hash of the demotion set, for plan-cache keys.
+func (s *Snapshot) Hash() uint64 { return s.hash }
+
+// DemoteTo returns the distance class demoted edges are raised to.
+func (s *Snapshot) DemoteTo() int { return s.demoteTo }
+
+// Empty reports whether no demotions are active.
+func (s *Snapshot) Empty() bool { return len(s.edges) == 0 && len(s.ranks) == 0 }
+
+// Demoted reports whether the (world-rank) pair a,b is demoted.
+func (s *Snapshot) Demoted(a, b int) bool {
+	if a == b {
+		return false
+	}
+	if s.ranks[a] || s.ranks[b] {
+		return true
+	}
+	return s.edges[normEdge(a, b)]
+}
+
+// Edges returns the demoted edges, sorted.
+func (s *Snapshot) Edges() [][2]int {
+	out := make([][2]int, 0, len(s.edges))
+	for k := range s.edges {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Ranks returns the demoted ranks, sorted.
+func (s *Snapshot) Ranks() []int {
+	out := make([]int, 0, len(s.ranks))
+	for r := range s.ranks {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// View overlays a demotion snapshot on a base distance view: a demoted
+// pair reads as the demotion class PLUS its base class, everything else
+// passes through. Adding the base class (rather than flattening every
+// demoted pair to one value) keeps the demoted region order-preserving:
+// when a builder cannot avoid the demoted set entirely — the root of a
+// broadcast must serve at least one child even when the root rank
+// itself is demoted — minimum-weight selection still picks the
+// genuinely nearest demoted edge instead of an arbitrary one, which may
+// be the very link the demotion was meant to route around. The overlay
+// deliberately breaks ultrametricity — the greedy builders'
+// non-ultrametric escape hatch and the hierarchical builders' pairwise
+// fallback both accept such views, and minimum-weight edge selection
+// then routes around the demoted pairs wherever an alternative exists.
+type View struct {
+	base  distance.View
+	group []int // view index → world rank; nil = identity
+	snap  *Snapshot
+}
+
+var _ distance.View = (*View)(nil)
+
+// WrapView overlays snap on base. group maps view indices to world
+// ranks (nil for identity). When the snapshot is empty or touches no
+// member of the group, base is returned unchanged — so undemoted
+// communicators keep their concrete view type (and with it the sparse
+// hierarchical fast paths and unchanged topology hashes).
+func WrapView(base distance.View, group []int, snap *Snapshot) distance.View {
+	if base == nil || snap == nil || snap.Empty() {
+		return base
+	}
+	touched := false
+	if group == nil {
+		n := base.Size()
+		for w := range snap.members {
+			if w >= 0 && w < n {
+				touched = true
+				break
+			}
+		}
+	} else {
+		for _, w := range group {
+			if snap.members[w] {
+				touched = true
+				break
+			}
+		}
+	}
+	if !touched {
+		return base
+	}
+	return &View{base: base, group: group, snap: snap}
+}
+
+// Size implements distance.View.
+func (v *View) Size() int { return v.base.Size() }
+
+// At implements distance.View: the base distance, raised to the
+// demotion class plus the base class for demoted pairs — above every
+// healthy edge, ordered among themselves by true proximity.
+func (v *View) At(i, j int) int {
+	d := v.base.At(i, j)
+	if i == j || d >= v.snap.demoteTo {
+		return d
+	}
+	a, b := i, j
+	if v.group != nil {
+		a, b = v.group[i], v.group[j]
+	}
+	if v.snap.Demoted(a, b) {
+		return v.snap.demoteTo + d
+	}
+	return d
+}
+
+// Base returns the wrapped view.
+func (v *View) Base() distance.View { return v.base }
+
+// Snap returns the snapshot this view applies.
+func (v *View) Snap() *Snapshot { return v.snap }

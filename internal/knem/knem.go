@@ -57,6 +57,20 @@ func NewDevice() *Device {
 
 var _ Mover = (*Device)(nil)
 
+// Owner returns the rank that declared cookie c, when the region is
+// still live. The fault layer uses it to key per-link (src, dst) fault
+// decisions: the region owner is the source of a pull and the sink of a
+// push.
+func (d *Device) Owner(c Cookie) (int, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r, ok := d.regions[c]
+	if !ok {
+		return 0, false
+	}
+	return r.owner, true
+}
+
 // Declare registers buf as a region owned by rank and returns its cookie.
 // The buffer is aliased, not copied: later writes by the owner are visible
 // to subsequent Copy calls, exactly like the kernel pinning user pages.

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"distcoll/internal/core"
+	"distcoll/internal/health"
 	"distcoll/internal/plancache"
 	"distcoll/internal/sched"
 	"distcoll/internal/tune"
@@ -62,13 +63,25 @@ func (c *Comm) adaptiveSchedule(coll tune.Collective, root int, bytes, align int
 // distance topology, computing it on first use. Clustered communicators
 // hash the (topology name, per-rank core) placement in O(n) — the cores
 // fully determine every pairwise distance — so cluster-scale plan-cache
-// keys never need the dense matrix. Callers hold st.mu.
+// keys never need the dense matrix. When a demotion snapshot touches
+// this communicator, its hash is folded in, so every health revision
+// maps to a distinct plan-cache key space and a stale plan can never be
+// served for a re-routed topology. Callers hold st.mu.
 func (st *commState) topoHashLocked() uint64 {
+	snap := st.healthLocked() // a new revision clears topoHashed
 	if !st.topoHashed {
 		if cv := st.clusteredLocked(); cv != nil {
 			st.topoHash = plancache.TopoHashCores(cv.Topology().Name, cv.Cores())
 		} else {
 			st.topoHash = plancache.TopoHash(st.matrixLocked())
+		}
+		if snap != nil && !snap.Empty() {
+			// Only when the overlay actually wraps this comm's view:
+			// snapshots touching no member leave the hash (and the
+			// cached plans) alone.
+			if _, wrapped := st.viewLocked().(*health.View); wrapped {
+				st.topoHash = st.topoHash*1099511628211 ^ snap.Hash()
+			}
 		}
 		st.topoHashed = true
 	}
@@ -109,5 +122,6 @@ func (c *Comm) Free() {
 	st.topoHashed = false
 	st.trees = make(map[int]*core.Tree)
 	st.ring = nil
+	st.healthSnap = nil
 	st.mu.Unlock()
 }

@@ -737,7 +737,9 @@ func (c *Comm) knemPull(plan *collPlan, wr int, o *sched.Op, dst []byte) error {
 		if attempt > 0 {
 			w.integ.Repull()
 			w.tracer.IntegrityRepull()
-			time.Sleep(backoff)
+			if !w.sleep(backoff) {
+				return fmt.Errorf("mpi: world closed during integrity re-pull backoff (rank %d, chunk %d)", wr, o.Chunk)
+			}
 			backoff *= 2
 		}
 		if err := c.transportPull(plan, wr, cookie, off, dst); err != nil {
@@ -779,7 +781,9 @@ func (c *Comm) transportPull(plan *collPlan, wr int, cookie knem.Cookie, off int
 			break
 		}
 		c.state.world.tracer.Retry(plan.op, wr, attempt+1, err)
-		time.Sleep(backoff)
+		if !c.state.world.sleep(backoff) {
+			return fmt.Errorf("mpi: world closed during copy retry backoff (rank %d): %w", wr, err)
+		}
 		backoff *= 2
 	}
 	if fault.IsCrashed(err) {

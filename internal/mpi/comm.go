@@ -8,6 +8,7 @@ import (
 
 	"distcoll/internal/core"
 	"distcoll/internal/distance"
+	"distcoll/internal/health"
 	"distcoll/internal/hwtopo"
 )
 
@@ -61,6 +62,12 @@ type commState struct {
 	// lazily; topoHashed marks validity so hash 0 stays unambiguous).
 	topoHash   uint64
 	topoHashed bool
+
+	// healthSnap is the demotion snapshot last applied to this
+	// communicator's derived caches (nil until the first lookup on a
+	// health-enabled world). When the scorer publishes a new revision,
+	// the next lookup drops trees/ring/topoHash and re-wraps the view.
+	healthSnap *health.Snapshot
 }
 
 func newCommState(w *World, group []int) *commState {
@@ -126,32 +133,72 @@ func (st *commState) clusteredLocked() *distance.Clustered {
 	return st.clustered
 }
 
+// healthLocked refreshes the communicator's demotion snapshot from the
+// world's gray-failure scorer (nil when health is off). A new revision
+// drops every derived cache — trees, ring, topology hash — so the next
+// construction runs over the re-wrapped view: this is how a demotion
+// forces replan on next use without any eager notification fan-out.
+// Callers hold st.mu.
+func (st *commState) healthLocked() *health.Snapshot {
+	s := st.world.scorer
+	if s == nil {
+		return nil
+	}
+	if snap := s.Snapshot(); st.healthSnap == nil || st.healthSnap.Rev() != snap.Rev() {
+		st.healthSnap = snap
+		st.trees = make(map[int]*core.Tree)
+		st.ring = nil
+		st.topoHashed = false
+	}
+	return st.healthSnap
+}
+
 // viewLocked returns the distance view collective construction should run
 // over: the sparse clustered view on multi-machine placements, the dense
-// matrix otherwise. Callers hold st.mu.
+// matrix otherwise — overlaid with the current demotion snapshot when
+// the world runs gray-failure detection (the overlay passes the base
+// view through untouched while no member edge is demoted). Callers hold
+// st.mu.
 func (st *commState) viewLocked() distance.View {
+	var base distance.View
 	if cv := st.clusteredLocked(); cv != nil {
-		return cv
+		base = cv
+	} else {
+		base = st.matrixLocked()
 	}
-	return st.matrixLocked()
+	if snap := st.healthLocked(); snap != nil {
+		return health.WrapView(base, st.group, snap)
+	}
+	return base
 }
 
 // distanceTree returns the cached distance-aware tree rooted at root,
 // building it on first use. Multi-machine communicators build through the
 // sparse hierarchical constructor (provably the same tree, o(n²) work);
-// single-machine ones keep the greedy reference builder.
+// single-machine ones keep the greedy reference builder. Demotion-wrapped
+// views build hierarchically over a clustered base and greedily over a
+// materialized dense base — both constructions tolerate the
+// non-ultrametric overlay and route around demoted edges.
 func (st *commState) distanceTree(root int) (*core.Tree, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	v := st.viewLocked() // refreshes the health snapshot, may drop st.trees
 	if t, ok := st.trees[root]; ok {
 		return t, nil
 	}
 	var t *core.Tree
 	var err error
-	if cv := st.clusteredLocked(); cv != nil {
-		t, err = core.BuildBroadcastTreeHier(cv, root, core.TreeOptions{})
-	} else {
-		t, err = core.BuildBroadcastTree(st.matrixLocked(), root, core.TreeOptions{})
+	switch vv := v.(type) {
+	case distance.Matrix:
+		t, err = core.BuildBroadcastTree(vv, root, core.TreeOptions{})
+	case *distance.Clustered:
+		t, err = core.BuildBroadcastTreeHier(vv, root, core.TreeOptions{})
+	default:
+		if wrapsClustered(v) {
+			t, err = core.BuildBroadcastTreeHier(v, root, core.TreeOptions{})
+		} else {
+			t, err = core.BuildBroadcastTree(distance.Materialize(v), root, core.TreeOptions{})
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -167,15 +214,23 @@ func (st *commState) distanceTree(root int) (*core.Tree, error) {
 func (st *commState) distanceRing() (*core.Ring, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	v := st.viewLocked() // refreshes the health snapshot, may drop st.ring
 	if st.ring != nil {
 		return st.ring, nil
 	}
 	var r *core.Ring
 	var err error
-	if cv := st.clusteredLocked(); cv != nil {
-		r, err = core.BuildAllgatherRingHier(cv, core.RingOptions{})
-	} else {
-		r, err = core.BuildAllgatherRing(st.matrixLocked(), core.RingOptions{})
+	switch vv := v.(type) {
+	case distance.Matrix:
+		r, err = core.BuildAllgatherRing(vv, core.RingOptions{})
+	case *distance.Clustered:
+		r, err = core.BuildAllgatherRingHier(vv, core.RingOptions{})
+	default:
+		if wrapsClustered(v) {
+			r, err = core.BuildAllgatherRingHier(v, core.RingOptions{})
+		} else {
+			r, err = core.BuildAllgatherRing(distance.Materialize(v), core.RingOptions{})
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -183,6 +238,17 @@ func (st *commState) distanceRing() (*core.Ring, error) {
 	st.ring = r
 	st.builds++
 	return r, nil
+}
+
+// wrapsClustered reports whether v is a demotion overlay over a sparse
+// clustered base, i.e. whether hierarchical construction applies.
+func wrapsClustered(v distance.View) bool {
+	hv, ok := v.(*health.View)
+	if !ok {
+		return false
+	}
+	_, clustered := hv.Base().(*distance.Clustered)
+	return clustered
 }
 
 // collSlot synchronizes one collective call across the communicator.

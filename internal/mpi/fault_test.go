@@ -3,7 +3,9 @@ package mpi
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -204,6 +206,78 @@ func TestCollectiveWatchdogDumpsPendingOps(t *testing.T) {
 	if !strings.Contains(err.Error(), "hung in") {
 		t.Errorf("aggregate error lacks hang diagnostics: %v", err)
 	}
+}
+
+// TestSlowRankUnderDeadlineCompletes pins the benign side of the
+// straggler × watchdog interaction: a rank whose per-op stall stays
+// under the op deadline slows the collective but must never trip the
+// watchdog — the broadcast completes and delivers intact data.
+func TestSlowRankUnderDeadlineCompletes(t *testing.T) {
+	const (
+		n    = 4
+		size = 2048
+	)
+	w := faultWorld(t, n, fault.Plan{SlowRanks: map[int]time.Duration{1: 20 * time.Millisecond}},
+		WithOpDeadline(1*time.Second))
+	want := pattern(0, size)
+	err := w.Run(func(p *Proc) error {
+		buf := make([]byte, size)
+		if p.Rank() == 0 {
+			copy(buf, want)
+		}
+		if err := p.Comm().Bcast(buf, 0, KNEMColl); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			return errors.New("payload corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("straggler under the deadline must not fail the collective: %v", err)
+	}
+}
+
+// TestSlowRankOverDeadlineNamesStraggler pins the diagnostic side: a
+// stall that exceeds the op deadline must surface as a HangError whose
+// pending-op dump names the slow rank, so an operator reading the dump
+// can tell WHICH rank wedged the collective. The straggler is rank 4 —
+// the second socket's relay in the 8-rank cross-socket tree — so its
+// subtree's pulls depend on its op and the hang fires in awaitDeps,
+// carrying the schedule dump (a slow LEAF instead parks the others at
+// the finish rendezvous, whose dump lists only blocked ranks).
+func TestSlowRankOverDeadlineNamesStraggler(t *testing.T) {
+	const (
+		n    = 8
+		slow = 4
+	)
+	w := faultWorld(t, n, fault.Plan{SlowRanks: map[int]time.Duration{slow: 400 * time.Millisecond}},
+		WithOpDeadline(60*time.Millisecond))
+	errs := make([]error, n)
+	var mu sync.Mutex
+	w.Run(func(p *Proc) error {
+		err := p.Comm().Bcast(make([]byte, 4096), 0, KNEMColl)
+		mu.Lock()
+		errs[p.Rank()] = err
+		mu.Unlock()
+		return err
+	})
+	found := false
+	for r, err := range errs {
+		var he *HangError
+		if !errors.As(err, &he) {
+			continue
+		}
+		found = true
+		if strings.Contains(he.Dump, fmt.Sprintf("rank %d:", slow)) {
+			return // dump's pending-op section names the straggler
+		}
+		t.Logf("rank %d hang dump does not name rank %d: %q", r, slow, he.Dump)
+	}
+	if !found {
+		t.Fatal("no rank reported a HangError despite the straggler exceeding the deadline")
+	}
+	t.Fatalf("no HangError dump named the slow rank %d", slow)
 }
 
 // TestSendTimeoutOnFullMailbox is the satellite fix for the silent

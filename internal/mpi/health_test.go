@@ -1,0 +1,239 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"distcoll/internal/binding"
+	"distcoll/internal/health"
+	"distcoll/internal/hwtopo"
+	"distcoll/internal/trace"
+)
+
+// fastHealth is the test scorer configuration: tiny windows, a scan per
+// op_end, probation long enough that demotions stay put for the test.
+func fastHealth() health.Config {
+	return health.Config{
+		Window:       8,
+		MinSamples:   4,
+		DemoteRatio:  3,
+		Strikes:      2,
+		Interval:     1,
+		ProbationOps: 1 << 20,
+	}
+}
+
+// feedEdge fabricates copy samples for the scorer: edge (a, b) at
+// distance class dist, durUs microseconds per 1 KiB copy.
+func feedEdge(s *health.Scorer, a, b, dist int, durUs int64) {
+	s.Emit(trace.Event{Kind: trace.KindCopy, Src: a, Dst: b,
+		Bytes: 1024, Dist: dist, Dur: durUs * 1000})
+}
+
+// demoteEdge drives the scorer until edge (a, b) is demoted, using three
+// healthy same-class peer edges as the baseline.
+func demoteEdge(t *testing.T, w *World, a, b, class int) {
+	t.Helper()
+	s := w.Health()
+	for i := 0; i < 10 && s.Demotions() == 0; i++ {
+		feedEdge(s, a, b, class, 200)
+		feedEdge(s, a, b^1, class, 10)
+		feedEdge(s, a^1, b, class, 10)
+		feedEdge(s, a^1, b^1, class, 10)
+		s.Emit(trace.Event{Kind: trace.KindOpEnd})
+	}
+	if got := s.DemotedEdges(); len(got) != 1 || got[0] != [2]int{a, b} {
+		t.Fatalf("DemotedEdges = %v, want [[%d %d]]", got, a, b)
+	}
+}
+
+// TestHealthDemotionSteersTree is the core wiring assertion: a demoted
+// edge raises its effective distance in the communicator's view, changes
+// the topology hash (so cached plans cannot be reused), and the rebuilt
+// broadcast tree routes around the demoted edge with no builder changes.
+func TestHealthDemotionSteersTree(t *testing.T) {
+	b, err := binding.CrossSocket(hwtopo.NewIG(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(b, WithHealth(fastHealth()))
+	st := w.worldComm
+	st.mu.Lock()
+	class := st.viewLocked().At(0, 4)
+	topo0 := st.topoHashLocked()
+	st.mu.Unlock()
+	tree0, err := st.distanceTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree0.Parent[4] != 0 {
+		t.Fatalf("baseline tree does not use edge 0-4 (parent[4] = %d); pick another edge", tree0.Parent[4])
+	}
+
+	demoteEdge(t, w, 0, 4, class)
+
+	st.mu.Lock()
+	v := st.viewLocked()
+	demotedClass := v.At(0, 4)
+	otherClass := v.At(0, 5)
+	topo1 := st.topoHashLocked()
+	st.mu.Unlock()
+	if want := w.Health().Config().DemoteTo + class; demotedClass != want {
+		t.Errorf("view At(0,4) = %d, want demoted %d (DemoteTo + base)", demotedClass, want)
+	}
+	if otherClass != class {
+		t.Errorf("view At(0,5) = %d, want untouched %d", otherClass, class)
+	}
+	if topo1 == topo0 {
+		t.Error("topology hash unchanged across a demotion revision")
+	}
+	tree1, err := st.distanceTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree1.Parent[4] == 0 {
+		t.Errorf("rebuilt tree still attaches rank 4 to rank 0 over the demoted edge")
+	}
+	// The collective must still complete over the re-routed tree.
+	want := pattern(0, 2048)
+	err = w.Run(func(p *Proc) error {
+		buf := make([]byte, 2048)
+		if p.Rank() == 0 {
+			copy(buf, want)
+		}
+		if err := p.Comm().Bcast(buf, 0, KNEMColl); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			return fmt.Errorf("rank %d: payload mismatch", p.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealthRevisionInvalidatesPlans: a demotion revision must invalidate
+// the tenant's cached plans and force the Adaptive component to recompile
+// under the new topology hash.
+func TestHealthRevisionInvalidatesPlans(t *testing.T) {
+	b, err := binding.CrossSocket(hwtopo.NewIG(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(b, WithHealth(fastHealth()))
+	bcast := func() error {
+		return w.Run(func(p *Proc) error {
+			return p.Comm().Bcast(make([]byte, 4096), 0, Adaptive)
+		})
+	}
+	if err := bcast(); err != nil {
+		t.Fatal(err)
+	}
+	mx := w.tracer.Metrics()
+	misses0 := mx.Counter("plancache.misses").Load()
+	if misses0 == 0 {
+		t.Fatal("priming bcast compiled no plan")
+	}
+	if err := bcast(); err != nil {
+		t.Fatal(err)
+	}
+	if mx.Counter("plancache.misses").Load() != misses0 {
+		t.Fatal("second bcast missed the plan cache before any demotion")
+	}
+
+	st := w.worldComm
+	st.mu.Lock()
+	class := st.viewLocked().At(0, 4)
+	st.mu.Unlock()
+	demoteEdge(t, w, 0, 4, class)
+
+	if inv := mx.Counter("plancache.invalidations").Load(); inv == 0 {
+		t.Error("demotion revision invalidated no cached plans")
+	}
+	if err := bcast(); err != nil {
+		t.Fatal(err)
+	}
+	if mx.Counter("plancache.misses").Load() <= misses0 {
+		t.Error("post-demotion bcast reused a stale plan instead of recompiling")
+	}
+	if mx.Counter("health.demoted").Load() != 1 {
+		t.Errorf("health.demoted = %d, want 1", mx.Counter("health.demoted").Load())
+	}
+}
+
+// TestHealthEscalationShrinks wires the confirmed-dead hand-off: a rank
+// whose edges are catastrophically slow is demoted wholesale, crosses
+// EscalateRatio, and is handed to the hard-failure ladder (MarkFailed);
+// the resilient collectives then Shrink around it and complete.
+func TestHealthEscalationShrinks(t *testing.T) {
+	const (
+		n      = 8
+		victim = 3
+		size   = 2048
+	)
+	cfg := fastHealth()
+	cfg.RankMinEdges = 2
+	cfg.RankFraction = 0.5
+	cfg.EscalateRatio = 10
+	b, err := binding.CrossSocket(hwtopo.NewIG(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(b, WithHealth(cfg), WithOpDeadline(5*time.Second))
+	s := w.Health()
+	// Victim edges are intra-socket; socket B's intra edges give the
+	// class baseline a healthy majority (median-of-medians needs more
+	// trusted peers than slow ones in the class bucket).
+	star := [][2]int{{0, 1}, {0, 2}, {1, 2}, {4, 5}, {4, 6}, {5, 6},
+		{0, victim}, {1, victim}, {2, victim}}
+	st := w.worldComm
+	st.mu.Lock()
+	classOf := func(e [2]int) int { return st.viewLocked().At(e[0], e[1]) }
+	classes := make(map[[2]int]int, len(star))
+	for _, e := range star {
+		classes[e] = classOf(e)
+	}
+	st.mu.Unlock()
+	for i := 0; i < 12 && len(w.Failed()) == 0; i++ {
+		for _, e := range star {
+			d := int64(10)
+			if e[0] == victim || e[1] == victim {
+				d = 500
+			}
+			feedEdge(s, e[0], e[1], classes[e], d)
+		}
+		s.Emit(trace.Event{Kind: trace.KindOpEnd})
+	}
+	if got := w.Failed(); len(got) != 1 || got[0] != victim {
+		t.Fatalf("Failed() = %v, want [%d] via escalation", got, victim)
+	}
+
+	want := pattern(0, size)
+	err = w.Run(func(p *Proc) error {
+		if p.Rank() == victim {
+			return nil // the gray-failed rank: out of the collective
+		}
+		buf := make([]byte, size)
+		if p.Rank() == 0 {
+			copy(buf, want)
+		}
+		nc, err := p.Comm().BcastResilient(buf, 0, KNEMColl)
+		if err != nil {
+			return err
+		}
+		if nc.Size() != n-1 {
+			return fmt.Errorf("rank %d: shrunk to %d members, want %d", p.Rank(), nc.Size(), n-1)
+		}
+		if !bytes.Equal(buf, want) {
+			return fmt.Errorf("rank %d: payload mismatch", p.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,8 @@ package mpi
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -183,11 +185,11 @@ func TestAllgatherDeltaRepairServesHeldSegments(t *testing.T) {
 // rung: a persistent end-to-end mismatch with no deaths must exhaust an
 // EXPLICIT budget with exponential backoff, not loop forever.
 func TestRetryBudgetBounds(t *testing.T) {
-	b := newRetryBudget()
+	b := newRetryBudget(7)
 	cause := &CorruptionError{Src: 1, Dst: 2, Chunk: -1, EndToEnd: true}
 	prev := b.backoff
 	for i := 0; i < MaxInPlaceRetries; i++ {
-		if err := b.spend("bcast", cause); err != nil {
+		if err := b.spend(context.Background(), "bcast", cause); err != nil {
 			t.Fatalf("retry %d rejected within budget: %v", i+1, err)
 		}
 		if b.backoff != prev*2 {
@@ -195,12 +197,73 @@ func TestRetryBudgetBounds(t *testing.T) {
 		}
 		prev = b.backoff
 	}
-	err := b.spend("bcast", cause)
+	err := b.spend(context.Background(), "bcast", cause)
 	if err == nil {
 		t.Fatal("budget never exhausted")
 	}
 	if !strings.Contains(err.Error(), "retry budget") || !IsCorruption(err) {
 		t.Fatalf("exhaustion error %q should name the budget and wrap the cause", err)
+	}
+}
+
+// TestRetryBudgetJitterDeterministic pins the seeded jitter: the same
+// seed replays the exact sleep sequence (reproducible tests), different
+// seeds decorrelate, and every delay stays within [base/2, base).
+func TestRetryBudgetJitterDeterministic(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		b := newRetryBudget(seed)
+		var out []time.Duration
+		base := inPlaceRetryBackoff
+		for i := 0; i < MaxInPlaceRetries; i++ {
+			d := b.next()
+			b.used++
+			if d < base/2 || d >= base {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v)", seed, i, d, base/2, base)
+			}
+			out = append(out, d)
+			base *= 2
+		}
+		return out
+	}
+	a1, a2 := seq(42), seq(42)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+	diff := false
+	for i, d := range seq(43) {
+		if d != a1[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical jitter sequences")
+	}
+}
+
+// TestRetryBudgetCancelPromptly is the satellite regression for the
+// uncancelable-backoff fix: a context canceled mid-backoff must abort the
+// sleep promptly instead of serving out the full exponential delay.
+func TestRetryBudgetCancelPromptly(t *testing.T) {
+	b := newRetryBudget(1)
+	b.backoff = 5 * time.Second // without the fix this test takes seconds
+	cause := &CorruptionError{Src: 1, Dst: 2, Chunk: -1, EndToEnd: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := b.spend(ctx, "bcast", cause)
+	if err == nil {
+		t.Fatal("spend returned nil after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("spend error %q should wrap context.Canceled", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep was not interrupted", el)
 	}
 }
 

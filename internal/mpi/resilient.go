@@ -82,29 +82,65 @@ func retryInPlace(c *Comm, err error) bool {
 }
 
 // retryBudget tracks the in-place rung of the escalation ladder. Every
-// member of the communicator reaches identical decisions because the
-// finish rendezvous made the triggering error uniform.
+// member of the communicator reaches identical decisions (used/max
+// counting) because the finish rendezvous made the triggering error
+// uniform; only the jittered sleep length differs per rank, which is the
+// point — decorrelated retries keep the re-rolled data paths from
+// re-colliding in lockstep.
 type retryBudget struct {
 	used    int
 	max     int
 	backoff time.Duration
+	seed    uint64
 }
 
-func newRetryBudget() *retryBudget {
-	return &retryBudget{max: MaxInPlaceRetries, backoff: inPlaceRetryBackoff}
+// newRetryBudget seeds the jitter stream; callers pass a (comm id, rank)
+// mix so retries decorrelate across ranks yet replay identically run to
+// run — tests can assert exact sleep sequences.
+func newRetryBudget(seed uint64) *retryBudget {
+	return &retryBudget{max: MaxInPlaceRetries, backoff: inPlaceRetryBackoff, seed: seed}
 }
 
-// spend consumes one in-place retry, sleeping the backoff. It returns an
-// error once the budget is exhausted — the ladder's terminal rung for a
-// persistent mismatch that shrinking cannot help.
-func (b *retryBudget) spend(op string, cause error) error {
+// jitterMix is a splitmix64-style finalizer: a deterministic, well-mixed
+// 64-bit hash of (seed, attempt) that drives backoff jitter.
+func jitterMix(seed, attempt uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(attempt+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next returns this attempt's jittered delay — uniform in
+// [backoff/2, backoff) — and doubles the base for the next one.
+func (b *retryBudget) next() time.Duration {
+	base := b.backoff
+	b.backoff *= 2
+	half := base / 2
+	if half <= 0 {
+		return base
+	}
+	return half + time.Duration(jitterMix(b.seed, uint64(b.used))%uint64(half))
+}
+
+// spend consumes one in-place retry, sleeping the jittered backoff. It
+// returns an error once the budget is exhausted — the ladder's terminal
+// rung for a persistent mismatch that shrinking cannot help — and returns
+// promptly (wrapping ctx's cause) when the caller's context is canceled
+// mid-backoff, so a deadline is honored even while the ladder sleeps.
+func (b *retryBudget) spend(ctx context.Context, op string, cause error) error {
 	if b.used >= b.max {
 		return fmt.Errorf("mpi: %s in-place retry budget (%d) exhausted: %w", op, b.max, cause)
 	}
+	d := b.next()
 	b.used++
-	time.Sleep(b.backoff)
-	b.backoff *= 2
-	return nil
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("mpi: %s in-place retry canceled during backoff: %w", op, context.Cause(ctx))
+	}
 }
 
 // BcastResilient broadcasts like Bcast but survives member failures: when
@@ -138,7 +174,7 @@ func (c *Comm) BcastResilientContext(ctx context.Context, buf []byte, root int, 
 		led.MarkAll() // the root's caller buffer is the payload
 	}
 	cur := c
-	budget := newRetryBudget()
+	budget := newRetryBudget(uint64(c.state.id)<<32 | uint64(c.rank))
 	shrunk := false
 	for try := 0; ; try++ {
 		r := -1
@@ -165,7 +201,7 @@ func (c *Comm) BcastResilientContext(ctx context.Context, buf []byte, root int, 
 			return cur, err
 		}
 		if retryInPlace(cur, err) {
-			if berr := budget.spend("bcast", err); berr != nil {
+			if berr := budget.spend(ctx, "bcast", err); berr != nil {
 				return cur, berr
 			}
 			if cur.rank == 0 {
@@ -203,7 +239,7 @@ func (c *Comm) AllgatherResilientContext(ctx context.Context, send, recv []byte,
 	}
 	led := recovery.NewSegLedger()
 	cur := c
-	budget := newRetryBudget()
+	budget := newRetryBudget(uint64(c.state.id)<<32 | uint64(c.rank))
 	shrunk := false
 	lastGroup := append([]int(nil), c.state.group...)
 	for try := 0; ; try++ {
@@ -222,7 +258,7 @@ func (c *Comm) AllgatherResilientContext(ctx context.Context, send, recv []byte,
 			return cur, nil, err
 		}
 		if retryInPlace(cur, err) {
-			if berr := budget.spend("allgather", err); berr != nil {
+			if berr := budget.spend(ctx, "allgather", err); berr != nil {
 				return cur, nil, berr
 			}
 			if cur.rank == 0 {

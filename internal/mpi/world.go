@@ -33,6 +33,7 @@ import (
 	"distcoll/internal/binding"
 	"distcoll/internal/distance"
 	"distcoll/internal/fault"
+	"distcoll/internal/health"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/integrity"
 	"distcoll/internal/knem"
@@ -86,6 +87,17 @@ type World struct {
 	// invalidate exactly the affected plan-cache entries.
 	autoCfg *autotune.Config
 	tuner   *autotune.Tuner
+
+	// Gray-failure detection (DESIGN.md §15): when configured, the scorer
+	// sits as a trace sink, and its demotion snapshots overlay every
+	// communicator's distance view so plans route around degraded links.
+	healthCfg *health.Config
+	scorer    *health.Scorer
+
+	// done closes on Close: injected fault stalls and retry backoffs
+	// select on it so teardown never waits out a sleep.
+	done      chan struct{}
+	closeOnce sync.Once
 
 	// e2eOff is the brownout gate for end-to-end digests: when set, new
 	// plans skip digest attachment (per-hop checksums stay on). Flipped
@@ -197,6 +209,22 @@ func WithAutotune(cfg autotune.Config) Option {
 	return func(w *World) { w.autoCfg = &cfg }
 }
 
+// WithHealth arms gray-failure detection and self-healing: a
+// health.Scorer is attached as a trace sink (creating a tracer if none
+// was installed) that scores every (src, dst) link and rank against its
+// distance-class baseline. Persistently slow links are demoted — their
+// effective distance class is raised in every communicator's view, so
+// the existing builders route around them — and each demotion revision
+// invalidates this tenant's plan-cache entries, forcing a replan on
+// next use. A probation clock probes demoted links and reinstates the
+// recovered ones. With Config.EscalateRatio set, a rank degraded beyond
+// that ratio is handed to the hard-failure ladder via MarkFailed.
+// Scorer counters are mirrored into the tracer's metrics under
+// "health.".
+func WithHealth(cfg health.Config) Option {
+	return func(w *World) { w.healthCfg = &cfg }
+}
+
 // WithPlanCacheCapacity bounds the world's compiled-schedule cache (the
 // Adaptive component's LRU); ≤ 0 keeps plancache.DefaultCapacity.
 func WithPlanCacheCapacity(n int) Option {
@@ -236,6 +264,7 @@ func NewWorld(b *binding.Binding, opts ...Option) *World {
 		failCh:     make(chan struct{}),
 		blocked:    make(map[int]blockEntry),
 		shrunk:     make(map[string]*commState),
+		done:       make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(w)
@@ -264,11 +293,32 @@ func NewWorld(b *binding.Binding, opts ...Option) *World {
 			}
 		})
 	}
+	if w.healthCfg != nil {
+		s := health.NewScorer(*w.healthCfg)
+		w.scorer = s
+		s.OnRevise(func(rev health.Revision) {
+			// A demotion (or probe lift) changes the effective topology
+			// of every communicator containing the affected endpoints:
+			// their topology hashes change with the snapshot, so this
+			// tenant's old-hash entries are dead weight — drop them.
+			w.plans.Invalidate(func(k plancache.Key) bool {
+				return k.Tenant == w.tenant
+			})
+		})
+		s.OnDead(func(rank int) { w.MarkFailed(rank) })
+		if w.tracer == nil {
+			w.tracer = trace.New(s)
+		} else {
+			w.tracer.AddSink(s)
+		}
+		s.MirrorMetrics(w.tracer.Metrics(), "health.")
+	}
 	if w.plans == nil {
 		w.plans = plancache.New(w.planCap, w.tracer.Metrics())
 	}
 	w.mover = knem.Mover(w.dev)
 	if w.inj != nil {
+		w.inj.SetAbort(w.done)
 		w.mover = w.inj.Wrap(w.dev)
 	}
 	w.mover = knem.Traced(w.mover, w.tracer)
@@ -318,6 +368,35 @@ func (w *World) Selector() tune.Decider { return w.selector }
 // Autotuner returns the online tuner, or nil when WithAutotune was not
 // configured.
 func (w *World) Autotuner() *autotune.Tuner { return w.tuner }
+
+// Health returns the gray-failure scorer, or nil when WithHealth was
+// not configured.
+func (w *World) Health() *health.Scorer { return w.scorer }
+
+// Close signals world teardown: injected fault stalls and in-flight
+// retry backoffs return promptly instead of sleeping out their full
+// duration. Idempotent; safe to call while ranks are still running
+// (their current sleeps are cut short, their results unchanged).
+func (w *World) Close() {
+	w.closeOnce.Do(func() { close(w.done) })
+}
+
+// Done returns the channel closed by Close.
+func (w *World) Done() <-chan struct{} { return w.done }
+
+// sleep blocks for d on a timer, returning false immediately when the
+// world is closed first. Retry backoffs in the copy paths use it so a
+// straggling rank mid-backoff cannot outlive Close.
+func (w *World) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-w.done:
+		return false
+	}
+}
 
 // bindingView builds the distance view of the full binding, mirroring
 // the world communicator's choice: the sparse clustered view on

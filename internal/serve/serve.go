@@ -38,6 +38,7 @@ import (
 	"distcoll/internal/binding"
 	"distcoll/internal/chaos"
 	"distcoll/internal/fault"
+	"distcoll/internal/health"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/integrity"
 	"distcoll/internal/mpi"
@@ -176,6 +177,13 @@ type TenantConfig struct {
 	// serve.tenant.<id>.autotune. (removed with the tenant's other
 	// metrics on Free).
 	Autotune *autotune.Config
+	// Health arms per-tenant gray-failure detection: the tenant's world
+	// runs a health.Scorer that demotes persistently slow links in the
+	// tenant's own distance view and replans around them. Demotions are
+	// strictly tenant-local — they invalidate only this tenant's plan
+	// cache entries and never touch a neighbor's view. Scorer counters
+	// are mirrored under serve.tenant.<id>.health. (removed on Free).
+	Health *health.Config
 }
 
 // Tenant is one hosted job: a long-lived world whose per-rank processes
@@ -287,11 +295,17 @@ func (s *Server) CreateTenant(tc TenantConfig) (*Tenant, error) {
 	if tc.Autotune != nil {
 		opts = append(opts, mpi.WithAutotune(*tc.Autotune))
 	}
+	if tc.Health != nil {
+		opts = append(opts, mpi.WithHealth(*tc.Health))
+	}
 	t.world = mpi.NewWorld(b, opts...)
 	if at := t.world.Autotuner(); at != nil {
 		// Re-target the tuner's mirror at the server registry so the
 		// daemon exposes every tenant's fit and flips side by side.
 		at.MirrorMetrics(s.metrics, fmt.Sprintf("serve.tenant.%d.autotune.", id))
+	}
+	if hs := t.world.Health(); hs != nil {
+		hs.MirrorMetrics(s.metrics, fmt.Sprintf("serve.tenant.%d.health.", id))
 	}
 	t.applyBrownout(s.brown.Level())
 
@@ -647,6 +661,9 @@ func (t *Tenant) Free() error {
 		close(t.ops[r])
 	}
 	err := <-t.runDone
+	// Cut short any injected stall or retry backoff a straggling rank is
+	// still sleeping in, so teardown latency is bounded by real work.
+	t.world.Close()
 
 	s := t.srv
 	s.gate.unregister(t.id)
