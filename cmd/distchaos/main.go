@@ -59,6 +59,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "minimize":
 		err = cmdMinimize(os.Args[2:])
+	case "partition":
+		err = cmdPartition(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -75,7 +77,8 @@ func usage() {
                   [-cells LIST] [-colls LIST] [-topos LIST]
                   [-integrity=BOOL] [-repulls N] [-deadline DUR] [-v]
   distchaos minimize -seed N -cell NAME -coll NAME [-np N] [-size N]
-                  [-topo NAME] [-integrity=BOOL] [-for DUR]`)
+                  [-topo NAME] [-integrity=BOOL] [-for DUR]
+  distchaos partition [-cells LIST] [-repeat N] [-v]`)
 }
 
 func cellByName(name string) (chaos.Cell, error) {
@@ -183,6 +186,60 @@ func topoOrDefault(t string) string {
 		return "cross"
 	}
 	return t
+}
+
+// cmdPartition runs the network-partition grid: clean splits,
+// asymmetric cuts, switch-aligned cuts on the cluster topology,
+// repeated partitions, and a heal racing the quorum decision. Each cell
+// checks the full partition contract (one surviving component with
+// oracle buffers, typed errors on the minority, fence ≡ trace, bounded
+// detection); any violation exits 1.
+func cmdPartition(args []string) error {
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	cellList := fs.String("cells", "", "comma-separated partition cells (default: full grid)")
+	repeat := fs.Int("repeat", 1, "runs per cell (soak mode)")
+	verbose := fs.Bool("v", false, "print every report, not just failures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grid := chaos.PartitionGrid()
+	if *cellList != "" {
+		known := grid
+		grid = grid[:0:0]
+		for _, name := range splitList(*cellList) {
+			found := false
+			for _, c := range known {
+				if c.Name == name {
+					grid = append(grid, c)
+					found = true
+				}
+			}
+			if !found {
+				var names []string
+				for _, c := range known {
+					names = append(names, c.Name)
+				}
+				return fmt.Errorf("unknown partition cell %q (known: %s)", name, strings.Join(names, ", "))
+			}
+		}
+	}
+	failures := 0
+	for _, cell := range grid {
+		for i := 0; i < *repeat; i++ {
+			rep := chaos.RunPartitionCell(cell)
+			if !rep.OK() {
+				failures++
+				fmt.Printf("FAIL %s\n", rep)
+			} else if *verbose {
+				fmt.Printf("PASS %s\n", rep)
+			}
+		}
+	}
+	fmt.Printf("partition grid: %d cells x %d runs, %d failures\n", len(grid), *repeat, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+	return nil
 }
 
 func cmdMinimize(args []string) error {

@@ -21,16 +21,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"distcoll/internal/binding"
 	"distcoll/internal/distance"
+	"distcoll/internal/fault"
 	"distcoll/internal/health"
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/mpi"
+	"distcoll/internal/partition"
 	"distcoll/internal/trace"
 	"distcoll/internal/trace/check"
 )
@@ -79,9 +84,14 @@ func cmdRun(args []string) error {
 	block := fs.Int64("block", 4096, "allgather per-rank block bytes")
 	root := fs.Int("root", 0, "broadcast root rank")
 	ops := fs.String("ops", "bcast,allgather", "comma-separated collectives to run")
+	sever := fs.String("sever", "", "comma-separated ranks to cut off the network (arms the partition detector)")
 	out := fs.String("o", "", "write the captured trace as JSONL")
 	chrome := fs.String("chrome", "", "write a Chrome trace-event file")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	minority, err := parseRanks(*sever, *np)
+	if err != nil {
 		return err
 	}
 
@@ -95,10 +105,31 @@ func cmdRun(args []string) error {
 	}
 	ring := trace.NewRing(trace.DefaultRingCapacity)
 	tr := trace.New(ring)
-	w := mpi.NewWorld(bind, mpi.WithTracer(tr))
+	opts := []mpi.Option{mpi.WithTracer(tr)}
+	if len(minority) > 0 {
+		opts = append(opts,
+			mpi.WithFault(fault.Plan{}),
+			mpi.WithOpDeadline(5*time.Second),
+			mpi.WithPartitionDetector(partition.Config{}))
+	}
+	w := mpi.NewWorld(bind, opts...)
+	if len(minority) > 0 {
+		majority := make([]int, 0, *np)
+		in := make(map[int]bool, len(minority))
+		for _, r := range minority {
+			in[r] = true
+		}
+		for r := 0; r < *np; r++ {
+			if !in[r] {
+				majority = append(majority, r)
+			}
+		}
+		w.Injector().SeverGroups(majority, minority)
+	}
 
 	err = w.Run(func(p *mpi.Proc) error {
 		comm := p.Comm()
+		resilient := len(minority) > 0
 		for _, op := range strings.Split(*ops, ",") {
 			switch strings.TrimSpace(op) {
 			case "bcast":
@@ -108,6 +139,21 @@ func cmdRun(args []string) error {
 						buf[i] = byte(i * 7)
 					}
 				}
+				if resilient {
+					rootIdx := rankIndex(comm, *root)
+					if rootIdx < 0 {
+						return nil
+					}
+					nc, err := comm.BcastResilient(buf, rootIdx, mpi.Adaptive)
+					if partition.IsPartition(err) || partition.IsFenced(err) {
+						return nil // minority rank: fenced out by design
+					}
+					if err != nil {
+						return err
+					}
+					comm = nc
+					continue
+				}
 				if err := comm.Bcast(buf, *root, mpi.KNEMColl); err != nil {
 					return err
 				}
@@ -116,7 +162,18 @@ func cmdRun(args []string) error {
 				for i := range send {
 					send[i] = byte(p.Rank() ^ i)
 				}
-				recv := make([]byte, int64(p.Size())**block)
+				recv := make([]byte, int64(comm.Size())**block)
+				if resilient {
+					nc, _, err := comm.AllgatherResilientContext(context.Background(), send, recv, mpi.Adaptive)
+					if partition.IsPartition(err) || partition.IsFenced(err) {
+						return nil
+					}
+					if err != nil {
+						return err
+					}
+					comm = nc
+					continue
+				}
 				if err := comm.Allgather(send, recv, mpi.KNEMColl); err != nil {
 					return err
 				}
@@ -168,6 +225,37 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("invariant violations found")
 	}
 	return nil
+}
+
+// parseRanks parses a comma-separated rank list, bounds-checked against
+// the world size.
+func parseRanks(list string, np int) ([]int, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad rank %q in -sever", f)
+		}
+		if r < 0 || r >= np {
+			return nil, fmt.Errorf("-sever rank %d out of range [0,%d)", r, np)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// rankIndex returns world rank wr's index in c, or -1 if it was shrunk
+// away.
+func rankIndex(c *mpi.Comm, wr int) int {
+	for i := 0; i < c.Size(); i++ {
+		if c.WorldRank(i) == wr {
+			return i
+		}
+	}
+	return -1
 }
 
 // cmdVerify replays a captured JSONL trace: the distance matrix is
@@ -300,6 +388,12 @@ func verifyAll(events []trace.Event, m distance.Matrix) bool {
 		byPlan[e.Plan] = append(byPlan[e.Plan], e)
 	}
 	failed := failedPlans(events)
+	firstDecision := int64(0)
+	for _, e := range trace.Filter(events, trace.KindPartition) {
+		if firstDecision == 0 || e.T < firstDecision {
+			firstDecision = e.T
+		}
+	}
 	ok := true
 	for _, plan := range order {
 		evs := byPlan[plan]
@@ -310,6 +404,15 @@ func verifyAll(events []trace.Event, m distance.Matrix) bool {
 		if reason, bad := failed[plan]; bad {
 			fmt.Printf("plan %d (%s): interrupted (%s); %d copies executed, structure not checked\n",
 				plan, evs[0].Op, reason, len(evs))
+			continue
+		}
+		// A plan executed after a quorum decision runs on the shrunken
+		// surviving membership; the full-world §IV structure checks do
+		// not describe it. Its boundary integrity is checked by the
+		// partition verifier below instead.
+		if firstDecision > 0 && evs[0].T > firstDecision {
+			fmt.Printf("plan %d (%s): executed after a partition decision; %d copies, boundary checked by the partition verifier\n",
+				plan, evs[0].Op, len(evs))
 			continue
 		}
 		var r *check.Report
@@ -333,7 +436,31 @@ func verifyAll(events []trace.Event, m distance.Matrix) bool {
 		ok = ok && r.OK()
 	}
 	printRobustness(events)
+	ok = printPartition(events) && ok
 	return ok
+}
+
+// printPartition summarizes the trace's partition history and runs the
+// structural partition checks: strictly monotone epochs, no copy across
+// a decided boundary, no fence event naming a surviving rank. Traces
+// without partition decisions pass silently.
+func printPartition(events []trace.Event) bool {
+	decisions := trace.Filter(events, trace.KindPartition)
+	fences := trace.Filter(events, trace.KindFence)
+	if len(decisions) == 0 && len(fences) == 0 {
+		return true
+	}
+	fmt.Printf("partitions: %d quorum decisions, %d fenced sends/copies\n",
+		len(decisions), len(fences))
+	for _, e := range decisions {
+		fmt.Printf("  epoch %d at t=%d: %s\n", e.Chunk, e.T, e.Det)
+	}
+	for _, e := range fences {
+		fmt.Printf("  fence: rank %d refused at epoch %d (%s)\n", e.Rank, e.Chunk, e.Det)
+	}
+	r := check.VerifyPartition(events)
+	fmt.Print(r.String())
+	return r.OK()
 }
 
 // failedPlans maps plan IDs to the first error any member's op_end

@@ -33,6 +33,7 @@ import (
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/integrity"
 	"distcoll/internal/mpi"
+	"distcoll/internal/partition"
 	"distcoll/internal/sched"
 	"distcoll/internal/trace"
 	"distcoll/internal/trace/check"
@@ -567,6 +568,12 @@ func expectedExclusion(err error, rank int, failedSet map[int]bool) bool {
 	if failedSet[rank] {
 		// Marked failed (e.g. declared corrupting) while still running:
 		// its Shrink correctly refuses, its collectives correctly fail.
+		return true
+	}
+	if partition.IsPartition(err) || partition.IsFenced(err) {
+		// The rank's island lost a quorum decision (or its stale traffic
+		// was fenced): it is out of the membership by design, and the op
+		// completes on the surviving component.
 		return true
 	}
 	if mpi.IsCorruption(err) || mpi.IsRankFailure(err) {

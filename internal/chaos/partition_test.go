@@ -1,0 +1,23 @@
+package chaos
+
+import "testing"
+
+// The partition grid runs one cell per test so the CI soak job
+// (-run TestPartition) gets per-cell timing and failure isolation.
+
+func runPartitionCell(t *testing.T, cell PartitionCell) {
+	t.Helper()
+	rep := RunPartitionCell(cell)
+	t.Log(rep.String())
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+	}
+}
+
+func TestPartitionSplitCell(t *testing.T)   { runPartitionCell(t, SplitCell()) }
+func TestPartitionAsymCell(t *testing.T)    { runPartitionCell(t, AsymCell()) }
+func TestPartitionRackCell(t *testing.T)    { runPartitionCell(t, RackCell()) }
+func TestPartitionFlapCellRun(t *testing.T) { runPartitionCell(t, PartitionFlapCell()) }
+func TestPartitionHealMidCell(t *testing.T) { runPartitionCell(t, HealMidCell()) }

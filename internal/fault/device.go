@@ -1,8 +1,6 @@
 package fault
 
 import (
-	"time"
-
 	"distcoll/internal/knem"
 )
 
@@ -31,19 +29,37 @@ type regionOwner interface {
 	Owner(knem.Cookie) (int, bool)
 }
 
-// linkStall resolves the slow-link stall for a copy between the calling
-// rank and the owner of region c. The stall sits inside the caller's
-// timed copy window, so gray-failed links show up in trace durations.
-func (d *Device) linkStall(caller int, c knem.Cookie) time.Duration {
+// owner resolves region c to its declaring rank, when the wrapped
+// transport can. ok=false means the copy is local (or unresolvable) and
+// no link rule applies.
+func (d *Device) owner(caller int, c knem.Cookie) (int, bool) {
 	ro, ok := d.inner.(regionOwner)
 	if !ok {
-		return 0
+		return 0, false
 	}
 	owner, ok := ro.Owner(c)
 	if !ok || owner == caller {
-		return 0
+		return 0, false
 	}
-	return d.in.slowLink(owner, caller)
+	return owner, true
+}
+
+// linkFault applies the directed link rules for a copy moving data
+// src→dst: a severed link refuses the copy outright; a slow link stalls
+// it inside the caller's timed copy window, so gray-failed links show up
+// in trace durations. The key direction is strictly the direction the
+// data moves — a pull keys (owner, caller), a push (caller, owner) —
+// so one-way partitions and asymmetric stalls behave asymmetrically.
+func (d *Device) linkFault(src, dst int) error {
+	if d.in.anySevered.Load() {
+		if err := d.in.severedCopy(src, dst); err != nil {
+			return err
+		}
+	}
+	if d.in.slowLinks.Load() {
+		d.in.sleep(d.in.slowLink(src, dst))
+	}
+	return nil
 }
 
 // Declare passes through to the wrapped device.
@@ -63,8 +79,11 @@ func (d *Device) CopyFrom(caller int, c knem.Cookie, offset int64, dst []byte) e
 	if err != nil {
 		return err
 	}
-	if d.in.slowLinks.Load() {
-		d.in.sleep(d.linkStall(caller, c))
+	// A pull moves data owner→caller.
+	if owner, ok := d.owner(caller, c); ok {
+		if err := d.linkFault(owner, caller); err != nil {
+			return err
+		}
 	}
 	if err := d.inner.CopyFrom(caller, c, offset, dst); err != nil {
 		return err
@@ -84,8 +103,12 @@ func (d *Device) CopyTo(caller int, c knem.Cookie, offset int64, src []byte) err
 	if err != nil {
 		return err
 	}
-	if d.in.slowLinks.Load() {
-		d.in.sleep(d.linkStall(caller, c))
+	// A push moves data caller→owner — the reverse direction of a pull,
+	// so the link rules key (caller, owner), not (owner, caller).
+	if owner, ok := d.owner(caller, c); ok {
+		if err := d.linkFault(caller, owner); err != nil {
+			return err
+		}
 	}
 	return d.inner.CopyTo(caller, c, offset, d.in.corruptedCopy(caller, seq, src))
 }

@@ -57,16 +57,24 @@ type Plan struct {
 	// duration (a straggler, not a failure).
 	SlowRanks map[int]time.Duration
 
-	// SlowLinks stalls every copy that crosses the directed link
-	// {src, dst} by the given duration — a gray-failed link: bytes still
-	// move, so the watchdog stays quiet, but the link's effective
-	// distance has changed. src is the region owner (the source of a
-	// pull, the sink of a push), dst the calling rank. Unlike SlowRanks
-	// (which stalls before an operation starts), the stall sits inside
-	// the timed copy window, so it is visible to trace copy durations —
-	// and therefore to the gray-failure scorer. Mutable at runtime via
-	// SetSlowLink for flap scenarios.
+	// SlowLinks stalls every copy whose data flows across the directed
+	// link {src, dst} by the given duration — a gray-failed link: bytes
+	// still move, so the watchdog stays quiet, but the link's effective
+	// distance has changed. The key is strictly directional in the
+	// direction the data moves: src is the rank the bytes leave (the
+	// region owner of a pull, the caller of a push), dst the rank they
+	// arrive at. Unlike SlowRanks (which stalls before an operation
+	// starts), the stall sits inside the timed copy window, so it is
+	// visible to trace copy durations — and therefore to the
+	// gray-failure scorer. Mutable at runtime via SetSlowLink for flap
+	// scenarios.
 	SlowLinks map[[2]int]time.Duration
+
+	// Severed lists directed links {src, dst} that are unreachable from
+	// the start: no data flows src→dst — copies fail with SeverError and
+	// mailbox messages are silently lost, exactly as a network partition
+	// behaves. Mutable at runtime via Sever/SeverGroups/Heal.
+	Severed [][2]int
 }
 
 // TransientError is a retryable injected copy failure.
@@ -103,6 +111,26 @@ func IsCrashed(err error) bool {
 	return errors.As(err, &ce)
 }
 
+// SeverError marks a copy that crossed a severed link: the directed path
+// Src→Dst is unreachable. It is neither transient (retrying the same
+// link cannot succeed) nor a crash (both endpoints are alive) — it is
+// the transport-level signature of a network partition, and the
+// partition detector treats it as direct evidence.
+type SeverError struct {
+	Src int // rank the data was leaving
+	Dst int // rank the data was bound for
+}
+
+func (e *SeverError) Error() string {
+	return fmt.Sprintf("fault: link %d->%d severed (injected partition)", e.Src, e.Dst)
+}
+
+// IsSevered reports whether err is (or wraps) a severed-link failure.
+func IsSevered(err error) bool {
+	var se *SeverError
+	return errors.As(err, &se)
+}
+
 // Stats counts the faults an injector has introduced.
 type Stats struct {
 	Transients  int64 // transient copy failures
@@ -111,6 +139,8 @@ type Stats struct {
 	Drops       int64 // dropped mailbox messages
 	Crashes     int64 // rank crashes
 	SlowCopies  int64 // copies stalled by a slow link
+	SeveredOps  int64 // copies refused by a severed link
+	SeveredMsgs int64 // mailbox messages lost to a severed link
 }
 
 // Injector makes fault decisions for one world. It is safe for concurrent
@@ -123,12 +153,15 @@ type Injector struct {
 	opSeq   map[int]int      // per-rank collective-operation index
 	sendSeq map[[2]int]int64 // per-(src,dst) message index
 	crashed map[int]bool     // sticky crash state
+	severed map[[2]int]bool  // directed unreachable links {src,dst}
 	stats   Stats
 	abort   <-chan struct{} // closes to cut injected sleeps short
 
-	// slowLinks is the lock-free "any slow links?" hint consulted on the
-	// copy hot path before taking the injector lock.
-	slowLinks atomic.Bool
+	// slowLinks and anySevered are the lock-free "anything to check?"
+	// hints consulted on the copy hot path before taking the injector
+	// lock.
+	slowLinks  atomic.Bool
+	anySevered atomic.Bool
 }
 
 // NewInjector builds an injector for the plan. SlowLinks is deep-copied
@@ -147,8 +180,13 @@ func NewInjector(p Plan) *Injector {
 		opSeq:   make(map[int]int),
 		sendSeq: make(map[[2]int]int64),
 		crashed: make(map[int]bool),
+		severed: make(map[[2]int]bool),
+	}
+	for _, link := range p.Severed {
+		in.severed[link] = true
 	}
 	in.slowLinks.Store(len(p.SlowLinks) > 0)
+	in.anySevered.Store(len(in.severed) > 0)
 	return in
 }
 
@@ -173,6 +211,78 @@ func (in *Injector) SetSlowLink(src, dst int, d time.Duration) {
 		in.plan.SlowLinks[[2]int{src, dst}] = d
 	}
 	in.slowLinks.Store(len(in.plan.SlowLinks) > 0)
+}
+
+// Sever cuts the directed link src→dst: from now on no data flows in
+// that direction — copies fail with SeverError, mailbox messages are
+// silently lost. Reverse traffic dst→src is untouched, so one-way
+// (asymmetric) partitions are expressible. Safe to call while the world
+// runs — this is the partition lever for chaos scenarios.
+func (in *Injector) Sever(src, dst int) {
+	in.mu.Lock()
+	in.severed[[2]int{src, dst}] = true
+	in.anySevered.Store(true)
+	in.mu.Unlock()
+}
+
+// Heal restores the directed link src→dst.
+func (in *Injector) Heal(src, dst int) {
+	in.mu.Lock()
+	delete(in.severed, [2]int{src, dst})
+	in.anySevered.Store(len(in.severed) > 0)
+	in.mu.Unlock()
+}
+
+// SeverGroups partitions the world into the given islands: every
+// directed link between ranks in different islands is severed, both
+// ways, while intra-island links stay up. Ranks absent from every
+// island are untouched.
+func (in *Injector) SeverGroups(islands ...[]int) {
+	in.mu.Lock()
+	for i, a := range islands {
+		for j, b := range islands {
+			if i == j {
+				continue
+			}
+			for _, src := range a {
+				for _, dst := range b {
+					in.severed[[2]int{src, dst}] = true
+				}
+			}
+		}
+	}
+	in.anySevered.Store(len(in.severed) > 0)
+	in.mu.Unlock()
+}
+
+// HealAll restores every severed link.
+func (in *Injector) HealAll() {
+	in.mu.Lock()
+	in.severed = make(map[[2]int]bool)
+	in.anySevered.Store(false)
+	in.mu.Unlock()
+}
+
+// Reachable reports whether data can currently flow src→dst.
+func (in *Injector) Reachable(src, dst int) bool {
+	if !in.anySevered.Load() {
+		return true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return !in.severed[[2]int{src, dst}]
+}
+
+// severedCopy makes the sever decision for a copy moving data src→dst,
+// counting refusals.
+func (in *Injector) severedCopy(src, dst int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.severed[[2]int{src, dst}] {
+		in.stats.SeveredOps++
+		return &SeverError{Src: src, Dst: dst}
+	}
+	return nil
 }
 
 // slowLink returns the stall for the directed link {src, dst}, counting
@@ -334,6 +444,14 @@ func (in *Injector) OnSend(src, dst int) (drop bool, delay time.Duration, err er
 		return false, 0, &CrashError{Rank: src, Op: op}
 	}
 	key := [2]int{src, dst}
+	if in.severed[key] {
+		// A partition loses messages silently: the sender cannot tell,
+		// only the receiver's watchdog (and then the partition
+		// detector) notices the direction is dead.
+		in.stats.SeveredMsgs++
+		in.mu.Unlock()
+		return true, 0, nil
+	}
 	seq := in.sendSeq[key]
 	in.sendSeq[key] = seq + 1
 	// Key message draws by a combined src/dst identity so every directed

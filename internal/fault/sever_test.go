@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"distcoll/internal/knem"
+)
+
+// TestSeverIsStrictlyDirectional is the regression test for the
+// one-way-severed-link contract: cutting A→B must kill exactly the
+// copies whose DATA moves A→B (pulls by B from A's region, pushes by A
+// into B's region) while the reverse direction stays fully alive. A
+// symmetric-keyed rule table would fail all four quadrants.
+func TestSeverIsStrictlyDirectional(t *testing.T) {
+	const a, b = 0, 1
+	in := NewInjector(Plan{})
+	dev := in.Wrap(knem.NewDevice())
+	regionA := dev.Declare(a, []byte{1, 2, 3, 4})
+	regionB := dev.Declare(b, []byte{5, 6, 7, 8})
+
+	in.Sever(a, b) // data may no longer flow a→b; b→a untouched
+
+	out := make([]byte, 4)
+	// Pull by B from A's region moves data a→b: dead.
+	if err := dev.CopyFrom(b, regionA, 0, out); !IsSevered(err) {
+		t.Fatalf("pull b<-a across severed a->b: got %v, want SeverError", err)
+	}
+	// Push by A into B's region moves data a→b: dead.
+	if err := dev.CopyTo(a, regionB, 0, out); !IsSevered(err) {
+		t.Fatalf("push a->b across severed a->b: got %v, want SeverError", err)
+	}
+	// Pull by A from B's region moves data b→a: alive.
+	if err := dev.CopyFrom(a, regionB, 0, out); err != nil {
+		t.Fatalf("pull a<-b on live b->a direction: %v", err)
+	}
+	// Push by B into A's region moves data b→a: alive.
+	if err := dev.CopyTo(b, regionA, 0, out); err != nil {
+		t.Fatalf("push b->a on live b->a direction: %v", err)
+	}
+
+	if !in.Reachable(b, a) || in.Reachable(a, b) {
+		t.Fatalf("Reachable: want b->a live, a->b dead; got b->a=%v a->b=%v",
+			in.Reachable(b, a), in.Reachable(a, b))
+	}
+	st := in.Stats()
+	if st.SeveredOps != 2 {
+		t.Fatalf("SeveredOps = %d, want 2", st.SeveredOps)
+	}
+
+	in.Heal(a, b)
+	if err := dev.CopyFrom(b, regionA, 0, out); err != nil {
+		t.Fatalf("pull after heal: %v", err)
+	}
+}
+
+// TestSlowLinkIsStrictlyDirectional pins the directional-rule fix for
+// slow links: a stall on the directed link a→b must slow pulls of A's
+// data by B and pushes by A toward B, but never the reverse direction.
+// (The old lookup keyed both copy directions as (owner, caller), so a
+// push by the stalled-link's SOURCE was charged to the wrong direction.)
+func TestSlowLinkIsStrictlyDirectional(t *testing.T) {
+	const a, b = 0, 1
+	const stall = 30 * time.Millisecond
+	in := NewInjector(Plan{SlowLinks: map[[2]int]time.Duration{{a, b}: stall}})
+	dev := in.Wrap(knem.NewDevice())
+	regionA := dev.Declare(a, make([]byte, 8))
+	regionB := dev.Declare(b, make([]byte, 8))
+	buf := make([]byte, 8)
+
+	timed := func(f func() error) time.Duration {
+		start := time.Now()
+		if err := f(); err != nil {
+			t.Fatalf("copy: %v", err)
+		}
+		return time.Since(start)
+	}
+
+	// Data moving a→b stalls: pull by B from A, push by A into B.
+	if d := timed(func() error { return dev.CopyFrom(b, regionA, 0, buf) }); d < stall {
+		t.Fatalf("pull b<-a took %v, want >= %v stall", d, stall)
+	}
+	if d := timed(func() error { return dev.CopyTo(a, regionB, 0, buf) }); d < stall {
+		t.Fatalf("push a->b took %v, want >= %v stall", d, stall)
+	}
+	// Data moving b→a is clean in both copy modes.
+	if d := timed(func() error { return dev.CopyFrom(a, regionB, 0, buf) }); d >= stall {
+		t.Fatalf("pull a<-b took %v; reverse direction must not stall", d)
+	}
+	if d := timed(func() error { return dev.CopyTo(b, regionA, 0, buf) }); d >= stall {
+		t.Fatalf("push b->a took %v; reverse direction must not stall", d)
+	}
+}
+
+// TestSeverGroupsCutsOnlyCrossIslandLinks checks the island form: after
+// SeverGroups({0,1},{2,3}) every cross-island direction is dead, every
+// intra-island direction alive, and sends across the cut vanish
+// silently (the sender cannot tell — partition semantics).
+func TestSeverGroupsCutsOnlyCrossIslandLinks(t *testing.T) {
+	in := NewInjector(Plan{})
+	in.SeverGroups([]int{0, 1}, []int{2, 3})
+	for _, src := range []int{0, 1, 2, 3} {
+		for _, dst := range []int{0, 1, 2, 3} {
+			sameIsland := (src < 2) == (dst < 2)
+			if got := in.Reachable(src, dst); got != sameIsland {
+				t.Fatalf("Reachable(%d,%d) = %v, want %v", src, dst, got, sameIsland)
+			}
+		}
+	}
+	drop, _, err := in.OnSend(0, 2)
+	if err != nil || !drop {
+		t.Fatalf("OnSend across cut: drop=%v err=%v, want silent drop", drop, err)
+	}
+	drop, _, err = in.OnSend(0, 1)
+	if err != nil || drop {
+		t.Fatalf("OnSend inside island: drop=%v err=%v, want delivery", drop, err)
+	}
+	if st := in.Stats(); st.SeveredMsgs != 1 {
+		t.Fatalf("SeveredMsgs = %d, want 1", st.SeveredMsgs)
+	}
+	in.HealAll()
+	if !in.Reachable(0, 2) {
+		t.Fatal("HealAll left 0->2 dead")
+	}
+}

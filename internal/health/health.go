@@ -185,10 +185,13 @@ type Scorer struct {
 	rankDemotions                           int64
 	escalations                             int64
 
-	onRevise []func(Revision)
-	onDead   []func(int)
-	metrics  *trace.Metrics
-	prefix   string
+	partitionSkips int64
+
+	onRevise       []func(Revision)
+	onDead         []func(int)
+	partitionKnown func(a, b int) bool
+	metrics        *trace.Metrics
+	prefix         string
 }
 
 // NewScorer creates a scorer with cfg (zero values → defaults).
@@ -218,6 +221,24 @@ func (s *Scorer) OnRevise(fn func(Revision)) {
 // before attaching the scorer as a sink.
 func (s *Scorer) OnDead(fn func(rank int)) {
 	s.onDead = append(s.onDead, fn)
+}
+
+// SetPartitionSuspect registers a predicate reporting whether the edge
+// (a, b) is under partition suspicion — severed or one-way per the
+// partition detector's reachability view. A suspect edge is the
+// partition machinery's business: the demotion ladder skips it entirely
+// instead of looping demote/probe/relapse cycles on a link that moves
+// no bytes at all. Register before attaching the scorer as a sink.
+func (s *Scorer) SetPartitionSuspect(fn func(a, b int) bool) {
+	s.partitionKnown = fn
+}
+
+// PartitionSkips returns how many scan judgements were ceded to the
+// partition detector.
+func (s *Scorer) PartitionSkips() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partitionSkips
 }
 
 // MirrorMetrics mirrors scorer counters into a metrics registry under
@@ -436,6 +457,15 @@ func (s *Scorer) scanLocked(fired []Revision, dead []int) ([]Revision, []int) {
 			// The rank demotion dominates: the view already prices every
 			// pair through the rank at DemoteTo, no traffic flows, and
 			// whatever samples remain predate the demotion.
+			continue
+		}
+		if s.partitionKnown != nil && s.partitionKnown(k[0], k[1]) {
+			// Severed, not slow: the partition detector owns this edge.
+			// Judging it here would demote on permanently stale samples
+			// and churn probe/relapse cycles until the quorum decision
+			// lands anyway.
+			es.strikes = 0
+			s.partitionSkips++
 			continue
 		}
 		ratio, ok := s.worstRatioLocked(es, base)
@@ -687,6 +717,7 @@ func (s *Scorer) mirrorLocked() {
 	lag("relapses", s.relapses)
 	lag("rank_demoted", s.rankDemotions)
 	lag("escalated", s.escalations)
+	lag("partition_suspects", s.partitionSkips)
 	lag("revisions", s.rev)
 	s.metrics.Gauge(s.prefix + "demoted_edges").Set(float64(len(s.snap.edges)))
 	s.metrics.Gauge(s.prefix + "demoted_ranks").Set(float64(len(s.snap.ranks)))

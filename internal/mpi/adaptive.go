@@ -69,6 +69,7 @@ func (c *Comm) adaptiveSchedule(coll tune.Collective, root int, bytes, align int
 // served for a re-routed topology. Callers hold st.mu.
 func (st *commState) topoHashLocked() uint64 {
 	snap := st.healthLocked() // a new revision clears topoHashed
+	epoch := st.epochLocked() // so does an advanced partition epoch
 	if !st.topoHashed {
 		if cv := st.clusteredLocked(); cv != nil {
 			st.topoHash = plancache.TopoHashCores(cv.Topology().Name, cv.Cores())
@@ -82,6 +83,12 @@ func (st *commState) topoHashLocked() uint64 {
 			if _, wrapped := st.viewLocked().(*health.View); wrapped {
 				st.topoHash = st.topoHash*1099511628211 ^ snap.Hash()
 			}
+		}
+		if epoch > 0 {
+			// Fold the partition epoch in so every quorum decision maps
+			// to a distinct plan-cache key space: a plan compiled before
+			// the split can never be served to the successor membership.
+			st.topoHash = st.topoHash*1099511628211 ^ uint64(epoch)
 		}
 		st.topoHashed = true
 	}

@@ -87,6 +87,13 @@ func (c *Comm) AgreeContext(ctx context.Context) ([]int, error) {
 	defer stop()
 
 	for {
+		// A member the quorum decision left in a minority component must
+		// not take part in (or adopt) agreements: its verdict is the
+		// PartitionError, and the majority's closure already counts it as
+		// failed.
+		if perr := w.partitionCheck(me); perr != nil {
+			return nil, perr
+		}
 		// Snapshot and channel come from the same failureWatch call: any
 		// failure marked before the snapshot is in it, any marked after
 		// closes this channel — no detection can fall between.
@@ -116,24 +123,61 @@ func (c *Comm) AgreeContext(ctx context.Context) ([]int, error) {
 			}
 		}
 		if complete {
-			if slot.rounds == 0 {
-				slot.rounds = 1 // a round with nothing to merge still decided
+			// Reachability-aware closure: the would-be survivors must form
+			// a mutual-reachability clique. Arrival alone is not enough —
+			// with a partition in flight, members of a doomed island may
+			// have deposited arrivals before the cut, and closing over them
+			// would agree on a membership that spans the split.
+			var survivors []int
+			for _, g := range st.group {
+				if !slot.union[g] {
+					survivors = append(survivors, g)
+				}
 			}
-			slot.result = sortedRanks(slot.union)
-			slot.closed = true
-			result, rounds := slot.result, slot.rounds
-			close(slot.done)
+			if w.det == nil || reachClique(w.det, survivors) {
+				if slot.rounds == 0 {
+					slot.rounds = 1 // a round with nothing to merge still decided
+				}
+				slot.result = sortedRanks(slot.union)
+				slot.closed = true
+				result, rounds := slot.result, slot.rounds
+				close(slot.done)
+				st.mu.Unlock()
+				w.tracer.Agree(me, rounds, fmt.Sprintf("decided failed=%v", result))
+				return result, nil
+			}
+			// The clique failed: force a quorum decision. A minority caller
+			// exits with its PartitionError; a majority caller sees the
+			// minority marked failed (failCh fires), re-merges, and closes
+			// over the surviving component. When probing instead healed the
+			// view (the evidence was stale), re-evaluate closure right away
+			// — no failure event is coming to wake us.
 			st.mu.Unlock()
-			w.tracer.Agree(me, rounds, fmt.Sprintf("decided failed=%v", result))
-			return result, nil
+			w.resolvePartition(false)
+			if perr := w.partitionCheck(me); perr != nil {
+				return nil, perr
+			}
+			if reachClique(w.det, survivors) {
+				continue
+			}
+		} else {
+			st.mu.Unlock()
 		}
-		st.mu.Unlock()
 
 		select {
 		case <-slot.done:
 		case <-failCh:
 		case <-timeoutC:
-			return nil, &HangError{Rank: me, Op: desc, Deadline: w.opDeadline, Dump: w.BlockedDump()}
+			st.mu.Lock()
+			var waitingOn []int
+			for i, g := range st.group {
+				if !slot.union[g] && !slot.arrivedBy[i] {
+					waitingOn = append(waitingOn, g)
+				}
+			}
+			st.mu.Unlock()
+			return nil, &HangError{Rank: me, Op: desc, Deadline: w.opDeadline,
+				Dump: w.BlockedDump(), Suspicion: w.hangSuspicion(me, waitingOn)}
 		case <-ctx.Done():
 			return nil, &HangError{Rank: me, Op: desc + " (context)", Deadline: w.opDeadline, Dump: w.BlockedDump()}
 		}

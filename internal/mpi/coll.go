@@ -11,6 +11,7 @@ import (
 	"distcoll/internal/fault"
 	"distcoll/internal/integrity"
 	"distcoll/internal/knem"
+	"distcoll/internal/partition"
 	"distcoll/internal/recovery"
 	"distcoll/internal/sched"
 	"distcoll/internal/tune"
@@ -688,6 +689,9 @@ func (c *Comm) awaitDep(plan *collPlan, o *sched.Op, d sched.OpID, wr int) error
 		failed, failCh := w.failureWatch()
 		if dead := deadIn(failed, c.state.group); len(dead) > 0 {
 			c.state.setBroken()
+			if perr := w.partitionCheck(wr); perr != nil {
+				return perr
+			}
 			return &RankFailureError{Failed: dead}
 		}
 		select {
@@ -697,7 +701,8 @@ func (c *Comm) awaitDep(plan *collPlan, o *sched.Op, d sched.OpID, wr int) error
 		case <-timeoutC:
 			w.tracer.Watchdog(wr, desc)
 			return &HangError{Rank: wr, Op: desc, Deadline: w.opDeadline,
-				Dump: w.BlockedDump() + "; schedule: " + plan.s.PendingDump(plan.isDone)}
+				Dump:      w.BlockedDump() + "; schedule: " + plan.s.PendingDump(plan.isDone),
+				Suspicion: w.hangSuspicion(wr, []int{c.state.group[plan.s.Ops[d].Rank]})}
 		}
 	}
 }
@@ -714,12 +719,12 @@ func (c *Comm) awaitDep(plan *collPlan, o *sched.Op, d sched.OpID, wr int) error
 func (c *Comm) knemPull(plan *collPlan, wr int, o *sched.Op, dst []byte) error {
 	w := c.state.world
 	cookie, off := plan.cookies[o.Src], o.SrcOff
-	if w.integ == nil {
-		return c.transportPull(plan, wr, cookie, off, dst)
-	}
 	srcW := plan.s.Buffers[o.Src].Rank
 	if srcW >= 0 && srcW < len(c.state.group) {
 		srcW = c.state.group[srcW]
+	}
+	if w.integ == nil {
+		return c.transportPull(plan, wr, srcW, cookie, off, dst)
 	}
 	sum := func(b []byte) uint32 { return integrity.Sum(srcW, wr, o.Chunk, b) }
 	// Sending-side checksum, computed over the clean source region before
@@ -728,7 +733,7 @@ func (c *Comm) knemPull(plan *collPlan, wr int, o *sched.Op, dst []byte) error {
 	if serr != nil {
 		// Region already gone (abandonment race): let the plain pull
 		// surface the proper transport error.
-		return c.transportPull(plan, wr, cookie, off, dst)
+		return c.transportPull(plan, wr, srcW, cookie, off, dst)
 	}
 	backoff := w.integ.Backoff()
 	attempts := 0
@@ -742,7 +747,7 @@ func (c *Comm) knemPull(plan *collPlan, wr int, o *sched.Op, dst []byte) error {
 			}
 			backoff *= 2
 		}
-		if err := c.transportPull(plan, wr, cookie, off, dst); err != nil {
+		if err := c.transportPull(plan, wr, srcW, cookie, off, dst); err != nil {
 			return err
 		}
 		attempts++
@@ -767,28 +772,56 @@ func (c *Comm) knemPull(plan *collPlan, wr int, o *sched.Op, dst []byte) error {
 }
 
 // transportPull is the raw kernel-assisted copy with retry-with-backoff
-// on injected transient failures.
-func (c *Comm) transportPull(plan *collPlan, wr int, cookie knem.Cookie, off int64, dst []byte) error {
-	mover := c.state.world.mover
+// on injected transient failures. srcW is the world rank the data is
+// pulled from: every outcome doubles as reachability evidence for the
+// partition detector on the directed edge srcW→wr.
+func (c *Comm) transportPull(plan *collPlan, wr, srcW int, cookie knem.Cookie, off int64, dst []byte) error {
+	w := c.state.world
+	mover := w.mover
 	backoff := copyRetryBase
 	var err error
 	for attempt := 0; attempt < copyRetryAttempts; attempt++ {
 		err = mover.CopyFrom(wr, cookie, off, dst)
 		if err == nil {
+			w.partitionEdge(srcW, wr, true)
 			return nil
 		}
 		if !fault.IsTransient(err) {
 			break
 		}
-		c.state.world.tracer.Retry(plan.op, wr, attempt+1, err)
-		if !c.state.world.sleep(backoff) {
+		w.tracer.Retry(plan.op, wr, attempt+1, err)
+		if !w.sleep(backoff) {
 			return fmt.Errorf("mpi: world closed during copy retry backoff (rank %d): %w", wr, err)
 		}
 		backoff *= 2
 	}
 	if fault.IsCrashed(err) {
 		c.state.setBroken()
-		c.state.world.MarkFailed(wr)
+		w.MarkFailed(wr)
+		return err
+	}
+	if fault.IsSevered(err) {
+		// A refused link, not a dead peer: record the edge, break the
+		// communicator, and force a quorum decision. A minority caller
+		// gets its PartitionError right here; a majority caller returns
+		// the severed error and the resilient ladder shrinks around the
+		// (now failed) minority.
+		w.partitionEdge(srcW, wr, false)
+		c.state.setBroken()
+		w.resolvePartition(false)
+		if perr := w.partitionCheck(wr); perr != nil {
+			return perr
+		}
+		return fmt.Errorf("mpi: rank %d knem copy severed: %w", wr, err)
+	}
+	if partition.IsFenced(err) {
+		// The quorum decision landed between this caller's entry and its
+		// copy: report the caller's own partition verdict, not the raw
+		// boundary refusal.
+		c.state.setBroken()
+		if perr := w.partitionCheck(wr); perr != nil {
+			return perr
+		}
 		return err
 	}
 	return fmt.Errorf("mpi: rank %d knem copy failed: %w", wr, err)

@@ -68,6 +68,12 @@ type commState struct {
 	// health-enabled world). When the scorer publishes a new revision,
 	// the next lookup drops trees/ring/topoHash and re-wraps the view.
 	healthSnap *health.Snapshot
+
+	// epochSeen is the partition epoch last folded into this
+	// communicator's derived caches. When a quorum decision advances the
+	// epoch, the next lookup drops trees/ring/topoHash so no plan (or
+	// tree) compiled before the decision survives into the new epoch.
+	epochSeen int64
 }
 
 func newCommState(w *World, group []int) *commState {
@@ -151,6 +157,21 @@ func (st *commState) healthLocked() *health.Snapshot {
 		st.topoHashed = false
 	}
 	return st.healthSnap
+}
+
+// epochLocked returns the world's partition epoch, dropping the derived
+// caches when a quorum decision advanced it since the last lookup — the
+// same pattern as healthLocked, keyed on the epoch instead of the
+// demotion revision. Callers hold st.mu.
+func (st *commState) epochLocked() int64 {
+	epoch := st.world.PartitionEpoch()
+	if epoch != st.epochSeen {
+		st.epochSeen = epoch
+		st.trees = make(map[int]*core.Tree)
+		st.ring = nil
+		st.topoHashed = false
+	}
+	return epoch
 }
 
 // viewLocked returns the distance view collective construction should run
@@ -315,6 +336,15 @@ func (c *Comm) coordinateCtx(ctx context.Context, val any, build func(vals []any
 	n := len(st.group)
 	wr := st.group[c.rank]
 
+	// Partition gate first: a caller the quorum decision left outside
+	// the surviving component fails with its PartitionError, never with
+	// the generic broken-communicator error — and the gate's probe
+	// cadence is what bounds detection for workloads that move no
+	// payload bytes.
+	if err := w.partitionGate(wr); err != nil {
+		return nil, nil, err
+	}
+
 	st.mu.Lock()
 	if st.broken {
 		st.mu.Unlock()
@@ -391,6 +421,11 @@ func (c *Comm) awaitSlot(ctx context.Context, slot *collSlot, seq int, wr int) e
 		if deadWaiting {
 			st.broken = true
 			st.mu.Unlock()
+			// A caller the quorum decision fenced reports its partition
+			// verdict, not the generic failure the majority sees.
+			if perr := w.partitionCheck(wr); perr != nil {
+				return perr
+			}
 			return &RankFailureError{Failed: deadIn(failed, st.group)}
 		}
 		st.mu.Unlock()
@@ -399,7 +434,16 @@ func (c *Comm) awaitSlot(ctx context.Context, slot *collSlot, seq int, wr int) e
 			return nil
 		case <-failCh:
 		case <-timeoutC:
-			return &HangError{Rank: wr, Op: desc, Deadline: w.opDeadline, Dump: w.BlockedDump()}
+			st.mu.Lock()
+			var missing []int
+			for i, g := range st.group {
+				if !slot.arrivedBy[i] {
+					missing = append(missing, g)
+				}
+			}
+			st.mu.Unlock()
+			return &HangError{Rank: wr, Op: desc, Deadline: w.opDeadline,
+				Dump: w.BlockedDump(), Suspicion: w.hangSuspicion(wr, missing)}
 		case <-ctx.Done():
 			return &HangError{Rank: wr, Op: desc + " (context)", Deadline: w.opDeadline, Dump: w.BlockedDump()}
 		}

@@ -63,10 +63,19 @@ type HangError struct {
 	Op       string        // description of the blocked operation
 	Deadline time.Duration // the deadline that expired
 	Dump     string        // blocked-rank / pending-op diagnostic
+	// Suspicion is set when every peer the blocked operation waits on is
+	// unreachable per the partition detector: the hang is then not a
+	// generic deadlock but a suspected partition, and the text names the
+	// suspected unreachable component.
+	Suspicion string
 }
 
 func (e *HangError) Error() string {
-	return fmt.Sprintf("mpi: rank %d hung in %s (deadline %v); %s", e.Rank, e.Op, e.Deadline, e.Dump)
+	msg := fmt.Sprintf("mpi: rank %d hung in %s (deadline %v); %s", e.Rank, e.Op, e.Deadline, e.Dump)
+	if e.Suspicion != "" {
+		msg += "; " + e.Suspicion
+	}
+	return msg
 }
 
 // IsHang reports whether err is (or wraps) a watchdog hang.

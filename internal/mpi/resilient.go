@@ -60,6 +60,13 @@ func recoverable(c *Comm, err error) bool {
 	if IsCorruption(err) {
 		return true
 	}
+	if fault.IsSevered(err) {
+		// A severed copy is partition evidence. The partition rung has
+		// already resolved the view; for a majority caller the minority
+		// is now marked failed, so shrinking recovers on the surviving
+		// component.
+		return true
+	}
 	if IsHang(err) {
 		failed, _ := c.state.world.failureWatch()
 		return len(deadIn(failed, c.state.group)) > 0
@@ -197,6 +204,13 @@ func (c *Comm) BcastResilientContext(ctx context.Context, buf []byte, root int, 
 		if err == nil {
 			return cur, nil
 		}
+		// Partition rung: partition-shaped evidence forces a quorum
+		// decision before the ladder escalates. A minority caller's
+		// PartitionError is terminal; a majority caller continues down
+		// the ladder and shrinks around the fenced minority.
+		if perr := cur.partitionRung(err); perr != nil {
+			return cur, perr
+		}
 		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c)+MaxInPlaceRetries {
 			return cur, err
 		}
@@ -253,6 +267,10 @@ func (c *Comm) AllgatherResilientContext(ctx context.Context, send, recv []byte,
 		}
 		if err == nil {
 			return cur, out, nil
+		}
+		// Partition rung, as in BcastResilientContext.
+		if perr := cur.partitionRung(err); perr != nil {
+			return cur, nil, perr
 		}
 		if fault.IsCrashed(err) || !recoverable(cur, err) || try >= maxRecoveries(c)+MaxInPlaceRetries {
 			return cur, nil, err

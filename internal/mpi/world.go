@@ -37,6 +37,7 @@ import (
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/integrity"
 	"distcoll/internal/knem"
+	"distcoll/internal/partition"
 	"distcoll/internal/plancache"
 	"distcoll/internal/trace"
 	"distcoll/internal/tune"
@@ -93,6 +94,23 @@ type World struct {
 	// communicator's distance view so plans route around degraded links.
 	healthCfg *health.Config
 	scorer    *health.Scorer
+
+	// Partition tolerance (DESIGN.md §16): when configured, the detector
+	// maintains the reachability view, quorum decisions fence minority
+	// ranks (fenced maps rank → fencing epoch) and the probe mover —
+	// the injectable but unfenced, untraced transport — carries the
+	// reachability probes. Guarded by pmu except the lock-free hints.
+	partCfg      *partition.Config
+	det          *partition.Detector
+	probeMover   knem.Mover
+	probeCookies []knem.Cookie
+	pmu          sync.Mutex
+	fenced       map[int]int64
+	fencedHint   atomic.Bool
+	lastVerdict  *partition.Verdict
+	lastRev      int64
+	resolved     bool
+	partOps      atomic.Int64
 
 	// done closes on Close: injected fault stalls and retry backoffs
 	// select on it so teardown never waits out a sleep.
@@ -321,7 +339,24 @@ func NewWorld(b *binding.Binding, opts ...Option) *World {
 		w.inj.SetAbort(w.done)
 		w.mover = w.inj.Wrap(w.dev)
 	}
+	// Probes ride the injectable transport (a severed link must refuse
+	// them) but bypass both the trace layer (they carry no schedule
+	// information) and the fence (a fenced rank may still observe the
+	// network; it just may not touch collective data).
+	w.probeMover = w.mover
 	w.mover = knem.Traced(w.mover, w.tracer)
+	if w.partCfg != nil {
+		w.initPartition()
+		w.mover = &fenceMover{w: w, inner: w.mover}
+		if w.scorer != nil {
+			// A severed edge escalates to partition suspicion: the
+			// gray-failure ladder must not burn demote/probe cycles on a
+			// link the quorum machinery is about to fence.
+			w.scorer.SetPartitionSuspect(func(a, b int) bool {
+				return !w.det.MutuallyReachable(a, b)
+			})
+		}
+	}
 	if w.tracer != nil {
 		w.tracer.Meta(fmt.Sprintf("machine=%s bind=%s np=%d",
 			b.Topology().Name, b.Name, n))
@@ -597,6 +632,9 @@ func (p *Proc) Send(dst, tag int, data []byte) error {
 		return fmt.Errorf("mpi: send to invalid rank %d", dst)
 	}
 	w := p.world
+	if err := w.fenceCheck(p.rank, "send"); err != nil {
+		return err
+	}
 	if w.inj != nil {
 		drop, delay, err := w.inj.OnSend(p.rank, dst)
 		if err != nil {
@@ -696,7 +734,8 @@ func (p *Proc) Recv(src, tag int) ([]byte, error) {
 				continue
 			case <-timeoutC:
 				w.tracer.Watchdog(p.rank, desc)
-				return nil, &HangError{Rank: p.rank, Op: desc, Deadline: w.opDeadline, Dump: w.BlockedDump()}
+				return nil, &HangError{Rank: p.rank, Op: desc, Deadline: w.opDeadline,
+					Dump: w.BlockedDump(), Suspicion: w.hangSuspicion(p.rank, []int{src})}
 			}
 		}
 		if m.tag == tag {

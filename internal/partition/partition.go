@@ -1,0 +1,366 @@
+// Package partition provides the reachability view and quorum rules
+// behind the runtime's partition tolerance. A Detector accumulates
+// per-direction edge evidence for one world — copy outcomes observed on
+// the data path, watchdog suspicions, and the results of lightweight
+// probe transfers over the real (injectable) transport — and computes
+// the connected components of the mutual-reachability graph with the
+// repo's unionfind structure.
+//
+// The membership rules layered on top are deliberately asymmetric: at
+// most one component may survive a partition. The component holding a
+// strict majority of the pre-partition membership continues under a new
+// monotone partition epoch; at exactly half, the component containing
+// the lowest surviving rank wins the tie. Every other component is a
+// minority: its collectives fail fast with a typed PartitionError, and
+// its ranks are fenced at the transport boundary so that even a healed
+// minority rank can never re-join or corrupt the majority's successor
+// communicator.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"distcoll/internal/unionfind"
+)
+
+// Config tunes a Detector. The zero value is usable; defaults fill in.
+type Config struct {
+	// ProbeEveryOps is the per-rank collective cadence at which the
+	// runtime refreshes the reachability view with probe transfers even
+	// when no copy has failed (pure-barrier workloads move no data, so
+	// without probing a partition would go unnoticed). Default 3 —
+	// together with one collective for the decision itself this keeps
+	// detection-to-decision within the ≤5-collectives bound.
+	ProbeEveryOps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeEveryOps <= 0 {
+		c.ProbeEveryOps = 3
+	}
+	return c
+}
+
+// Prober performs one real transfer moving data src→dst over the
+// world's transport (the mpi runtime pulls one byte of dst's choosing
+// from src's pre-declared probe region). It must return nil when the
+// data arrived — retrying injected transient noise internally — and an
+// error only when the direction is genuinely unreachable.
+type Prober interface {
+	Probe(src, dst int) error
+}
+
+// Detector is the per-world reachability view. Safe for concurrent use
+// by all rank goroutines.
+type Detector struct {
+	cfg Config
+	n   int
+
+	mu       sync.Mutex
+	bad      map[[2]int]bool // directed edges currently believed dead
+	suspects map[int]bool    // ranks under watchdog suspicion
+
+	// suspicion is the lock-free "anything worth resolving?" hint
+	// consulted on collective entry before taking the lock.
+	suspicion atomic.Bool
+
+	epoch  atomic.Int64 // monotone partition epoch; 0 = never partitioned
+	probes atomic.Int64 // probe transfers issued
+	rev    atomic.Int64 // bumps on every view change; memoizes resolutions
+}
+
+// NewDetector builds a detector for a world of n ranks.
+func NewDetector(n int, cfg Config) *Detector {
+	return &Detector{
+		cfg:      cfg.withDefaults(),
+		n:        n,
+		bad:      make(map[[2]int]bool),
+		suspects: make(map[int]bool),
+	}
+}
+
+// Config returns the detector's effective (defaulted) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// ReportEdge records one piece of direct evidence about the directed
+// edge src→dst: ok=true means data just moved across it, ok=false that
+// a transfer was refused. Evidence supersedes older belief in either
+// direction, so a healed link recovers as soon as a transfer succeeds.
+func (d *Detector) ReportEdge(src, dst int, ok bool) {
+	if src == dst {
+		return
+	}
+	d.mu.Lock()
+	k := [2]int{src, dst}
+	if ok {
+		if d.bad[k] {
+			delete(d.bad, k)
+			d.rev.Add(1)
+		}
+	} else if !d.bad[k] {
+		d.bad[k] = true
+		d.rev.Add(1)
+	}
+	d.refreshHintLocked()
+	d.mu.Unlock()
+}
+
+// Suspect records a watchdog suspicion against rank: some operation
+// blocked past its deadline waiting on it. Suspicion alone never splits
+// membership — it makes the next resolution probe the rank's links.
+func (d *Detector) Suspect(rank int) {
+	d.mu.Lock()
+	if !d.suspects[rank] {
+		d.suspects[rank] = true
+		d.rev.Add(1)
+	}
+	d.refreshHintLocked()
+	d.mu.Unlock()
+}
+
+// ClearSuspect withdraws a watchdog suspicion (the rank made progress).
+func (d *Detector) ClearSuspect(rank int) {
+	d.mu.Lock()
+	delete(d.suspects, rank)
+	d.refreshHintLocked()
+	d.mu.Unlock()
+}
+
+func (d *Detector) refreshHintLocked() {
+	d.suspicion.Store(len(d.bad) > 0 || len(d.suspects) > 0)
+}
+
+// Suspicious reports, without locking, whether the view holds any dead
+// edge or suspected rank — i.e. whether a resolution is worth running.
+func (d *Detector) Suspicious() bool { return d.suspicion.Load() }
+
+// Unreachable reports the current belief about the directed edge
+// src→dst.
+func (d *Detector) Unreachable(src, dst int) bool {
+	if src == dst {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bad[[2]int{src, dst}]
+}
+
+// MutuallyReachable reports whether both directions between a and b are
+// currently believed alive. Membership closure counts a peer only when
+// this holds: a one-way link cannot carry a collective.
+func (d *Detector) MutuallyReachable(a, b int) bool {
+	if a == b {
+		return true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.bad[[2]int{a, b}] && !d.bad[[2]int{b, a}]
+}
+
+// UnreachablePeers returns the subset of peers not mutually reachable
+// from rank me, in increasing order — the evidence the watchdog uses to
+// turn a generic hang into a partition suspicion.
+func (d *Detector) UnreachablePeers(me int, peers []int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []int
+	for _, p := range peers {
+		if p == me {
+			continue
+		}
+		if d.bad[[2]int{me, p}] || d.bad[[2]int{p, me}] {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ProbeAll refreshes the view for every ordered pair among members by
+// issuing real transfers through p. O(n²) one-byte copies — cheap at
+// the scales this runtime runs, and only called when a resolution is
+// already underway or the probe cadence fires.
+func (d *Detector) ProbeAll(members []int, p Prober) {
+	for _, src := range members {
+		for _, dst := range members {
+			if src == dst {
+				continue
+			}
+			d.probes.Add(1)
+			d.ReportEdge(src, dst, p.Probe(src, dst) == nil)
+		}
+	}
+	// Probing answers every pending suspicion: whatever it found is now
+	// encoded as edge evidence.
+	d.mu.Lock()
+	if len(d.suspects) > 0 {
+		d.suspects = make(map[int]bool)
+		d.rev.Add(1)
+	}
+	d.refreshHintLocked()
+	d.mu.Unlock()
+}
+
+// Probes returns the number of probe transfers issued.
+func (d *Detector) Probes() int64 { return d.probes.Load() }
+
+// Rev returns the view's change counter: it advances whenever edge
+// belief or the suspect set actually changes, so a resolution can skip
+// re-probing when nothing new has been observed since the last one.
+func (d *Detector) Rev() int64 { return d.rev.Load() }
+
+// Components splits members into the connected components of the
+// mutual-reachability graph, each sorted, ordered by their smallest
+// member. One component means no partition.
+func (d *Detector) Components(members []int) [][]int {
+	if len(members) == 0 {
+		return nil
+	}
+	dsu := unionfind.New(len(members), -1)
+	d.mu.Lock()
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			a, b := members[i], members[j]
+			if !d.bad[[2]int{a, b}] && !d.bad[[2]int{b, a}] {
+				dsu.Union(i, j)
+			}
+		}
+	}
+	d.mu.Unlock()
+	byLeader := make(map[int][]int)
+	for i, m := range members {
+		l := dsu.Leader(i)
+		byLeader[l] = append(byLeader[l], m)
+	}
+	comps := make([][]int, 0, len(byLeader))
+	for _, c := range byLeader {
+		sort.Ints(c)
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// Epoch returns the current partition epoch (0 = never partitioned).
+func (d *Detector) Epoch() int64 { return d.epoch.Load() }
+
+// AdvanceEpoch bumps the monotone partition epoch and returns the new
+// value. Called exactly once per quorum decision.
+func (d *Detector) AdvanceEpoch() int64 { return d.epoch.Add(1) }
+
+// Verdict is the outcome of one partition resolution: the components
+// observed, the quorum winner (nil when no component reached quorum),
+// and the epoch the decision established.
+type Verdict struct {
+	Epoch      int64
+	Components [][]int
+	Winner     []int // nil = total quorum loss; no component continues
+	Total      int   // pre-partition membership size the quorum was measured against
+}
+
+// ComponentOf returns the component containing rank, or nil.
+func (v *Verdict) ComponentOf(rank int) []int {
+	for _, c := range v.Components {
+		for _, m := range c {
+			if m == rank {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// InWinner reports whether rank is in the surviving component.
+func (v *Verdict) InWinner(rank int) bool {
+	for _, m := range v.Winner {
+		if m == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the verdict in the compact form used by trace details.
+func (v *Verdict) String() string {
+	return fmt.Sprintf("epoch=%d comps=%v winner=%v total=%d",
+		v.Epoch, v.Components, v.Winner, v.Total)
+}
+
+// Quorum picks the surviving component: strict majority of the
+// pre-partition membership (total ranks); at exactly half, the
+// component containing the lowest surviving rank wins the tie. Returns
+// nil when no component qualifies (e.g. a three-way split) — then no
+// component may continue.
+func Quorum(comps [][]int, total int) []int {
+	if len(comps) == 0 {
+		return nil
+	}
+	low := comps[0] // comps are ordered by smallest member
+	for _, c := range comps {
+		if c[0] < low[0] {
+			low = c
+		}
+	}
+	var best []int
+	for _, c := range comps {
+		if 2*len(c) > total {
+			best = c
+		}
+	}
+	if best != nil {
+		return best
+	}
+	if 2*len(low) == total {
+		return low
+	}
+	return nil
+}
+
+// PartitionError is returned by every collective attempted from a
+// minority component after a quorum decision: the caller's island lost
+// the partition and must not continue. It carries the quorum math so
+// operators can see exactly why the island was fenced.
+type PartitionError struct {
+	Rank      int   // the failing caller
+	Component []int // the caller's island
+	Epoch     int64 // the epoch the decision established
+	Have      int   // island size
+	Need      int   // smallest size that would have won quorum outright
+	Total     int   // pre-partition membership size
+}
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf(
+		"partition: rank %d in minority component %v at epoch %d (quorum %d/%d of %d pre-partition members)",
+		e.Rank, e.Component, e.Epoch, e.Have, e.Need, e.Total)
+}
+
+// IsPartition reports whether err is (or wraps) a minority-component
+// failure.
+func IsPartition(err error) bool {
+	var pe *PartitionError
+	return errors.As(err, &pe)
+}
+
+// FenceError is returned at the transport boundary for traffic from a
+// rank fenced at an older epoch: once the majority moved on, stale
+// members may never write into (or read out of) its world again, healed
+// network or not.
+type FenceError struct {
+	Rank  int   // the fenced caller
+	Epoch int64 // the epoch at which the rank was fenced
+}
+
+func (e *FenceError) Error() string {
+	return fmt.Sprintf("partition: rank %d fenced at epoch %d (stale membership)", e.Rank, e.Epoch)
+}
+
+// IsFenced reports whether err is (or wraps) fenced-traffic rejection.
+func IsFenced(err error) bool {
+	var fe *FenceError
+	return errors.As(err, &fe)
+}

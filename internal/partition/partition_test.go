@@ -1,0 +1,150 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestComponentsFollowEdgeEvidence(t *testing.T) {
+	d := NewDetector(6, Config{})
+	members := []int{0, 1, 2, 3, 4, 5}
+	if got := d.Components(members); len(got) != 1 {
+		t.Fatalf("fresh view split the world: %v", got)
+	}
+	// Cut {0,1,2} from {3,4,5} both ways.
+	for _, a := range []int{0, 1, 2} {
+		for _, b := range []int{3, 4, 5} {
+			d.ReportEdge(a, b, false)
+			d.ReportEdge(b, a, false)
+		}
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5}}
+	if got := d.Components(members); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components = %v, want %v", got, want)
+	}
+	// Healing one pair of directions rejoins the islands: mutual
+	// reachability is transitive through the healed bridge.
+	d.ReportEdge(2, 3, true)
+	d.ReportEdge(3, 2, true)
+	if got := d.Components(members); len(got) != 1 {
+		t.Fatalf("bridge 2<->3 healed but still split: %v", got)
+	}
+}
+
+func TestOneWayCutSplitsMutualReachability(t *testing.T) {
+	d := NewDetector(4, Config{})
+	// Only the 0→2 direction dies: mutual reachability between 0 and 2
+	// is gone, so the components must separate {0,...} from {2,...}
+	// exactly as a symmetric cut would — a one-way link cannot carry a
+	// collective.
+	d.ReportEdge(0, 2, false)
+	d.ReportEdge(0, 3, false)
+	d.ReportEdge(1, 2, false)
+	d.ReportEdge(1, 3, false)
+	want := [][]int{{0, 1}, {2, 3}}
+	if got := d.Components([]int{0, 1, 2, 3}); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components = %v, want %v", got, want)
+	}
+	if d.MutuallyReachable(0, 2) {
+		t.Fatal("0 and 2 mutually reachable across a one-way cut")
+	}
+	if got := d.UnreachablePeers(0, []int{1, 2, 3}); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("UnreachablePeers = %v, want [2 3]", got)
+	}
+}
+
+func TestQuorumRules(t *testing.T) {
+	cases := []struct {
+		comps [][]int
+		total int
+		want  []int
+	}{
+		// Strict majority wins.
+		{[][]int{{0, 1, 2}, {3, 4}}, 5, []int{0, 1, 2}},
+		{[][]int{{0}, {1, 2, 3, 4}}, 5, []int{1, 2, 3, 4}},
+		// Exactly half: the component holding the lowest surviving
+		// rank wins the tie.
+		{[][]int{{0, 1}, {2, 3}}, 4, []int{0, 1}},
+		{[][]int{{2, 3}, {0, 1}}, 4, []int{0, 1}},
+		// Three-way split with no majority: nobody continues.
+		{[][]int{{0, 1}, {2, 3}, {4, 5}}, 6, nil},
+		// A half-size component that does NOT hold the lowest rank
+		// loses even the tie.
+		{[][]int{{0}, {1, 2}, {3}}, 4, nil},
+	}
+	for i, c := range cases {
+		if got := Quorum(c.comps, c.total); !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("case %d: Quorum(%v, %d) = %v, want %v", i, c.comps, c.total, got, c.want)
+		}
+	}
+}
+
+type mapProber map[[2]int]bool // true = severed
+
+func (m mapProber) Probe(src, dst int) error {
+	if m[[2]int{src, dst}] {
+		return errors.New("severed")
+	}
+	return nil
+}
+
+func TestProbeAllRefreshesViewAndClearsSuspicion(t *testing.T) {
+	d := NewDetector(4, Config{})
+	d.Suspect(3)
+	if !d.Suspicious() {
+		t.Fatal("suspicion hint not set")
+	}
+	cut := mapProber{{0, 3}: true, {3, 0}: true, {1, 3}: true, {3, 1}: true, {2, 3}: true, {3, 2}: true}
+	d.ProbeAll([]int{0, 1, 2, 3}, cut)
+	want := [][]int{{0, 1, 2}, {3}}
+	if got := d.Components([]int{0, 1, 2, 3}); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components after probe = %v, want %v", got, want)
+	}
+	if d.Probes() != 12 {
+		t.Fatalf("Probes = %d, want 12", d.Probes())
+	}
+	// Suspicion survives as edge evidence, not as a pending suspect.
+	if got := d.UnreachablePeers(0, []int{1, 2, 3}); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("UnreachablePeers = %v, want [3]", got)
+	}
+	// A later probe pass over a healed network restores one component
+	// and drops the hint entirely.
+	d.ProbeAll([]int{0, 1, 2, 3}, mapProber{})
+	if got := d.Components([]int{0, 1, 2, 3}); len(got) != 1 {
+		t.Fatalf("healed probe pass still split: %v", got)
+	}
+	if d.Suspicious() {
+		t.Fatal("suspicion hint stuck after clean probe pass")
+	}
+}
+
+func TestVerdictAndErrors(t *testing.T) {
+	v := &Verdict{
+		Epoch:      2,
+		Components: [][]int{{0, 1, 2}, {3, 4}},
+		Winner:     []int{0, 1, 2},
+		Total:      5,
+	}
+	if !v.InWinner(1) || v.InWinner(4) {
+		t.Fatal("InWinner misclassified")
+	}
+	if got := v.ComponentOf(3); !reflect.DeepEqual(got, []int{3, 4}) {
+		t.Fatalf("ComponentOf(3) = %v", got)
+	}
+	perr := &PartitionError{Rank: 4, Component: []int{3, 4}, Epoch: 2, Have: 2, Need: 3, Total: 5}
+	if !IsPartition(fmt.Errorf("wrapped: %w", perr)) {
+		t.Fatal("IsPartition missed a wrapped PartitionError")
+	}
+	if IsPartition(errors.New("other")) {
+		t.Fatal("IsPartition false positive")
+	}
+	ferr := &FenceError{Rank: 3, Epoch: 2}
+	if !IsFenced(fmt.Errorf("wrapped: %w", ferr)) {
+		t.Fatal("IsFenced missed a wrapped FenceError")
+	}
+	if d := NewDetector(4, Config{}); d.Epoch() != 0 || d.AdvanceEpoch() != 1 || d.AdvanceEpoch() != 2 {
+		t.Fatal("epoch not monotone from zero")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"distcoll/internal/hwtopo"
 	"distcoll/internal/integrity"
 	"distcoll/internal/mpi"
+	"distcoll/internal/partition"
 	"distcoll/internal/plancache"
 	"distcoll/internal/trace"
 )
@@ -184,6 +185,13 @@ type TenantConfig struct {
 	// cache entries and never touch a neighbor's view. Scorer counters
 	// are mirrored under serve.tenant.<id>.health. (removed on Free).
 	Health *health.Config
+	// Partition arms per-tenant partition tolerance: the tenant's world
+	// runs a partition detector, quorum decisions fence minority ranks,
+	// and a rank fenced out of the membership reports exclusion (counted
+	// under serve.tenant.<id>.partition.*) instead of charging the
+	// breaker. A tenant that loses quorum outright is reaped by
+	// Server.ReapPartitioned.
+	Partition *partition.Config
 }
 
 // Tenant is one hosted job: a long-lived world whose per-rank processes
@@ -211,6 +219,7 @@ type Tenant struct {
 	runDone chan error // World.Run's result
 
 	cAdmitted, cShed, cBrowned, cCircuit *trace.Counter
+	cPartition                           *trace.Counter
 }
 
 // ErrServerClosed rejects work on a closed server or tenant.
@@ -271,6 +280,8 @@ func (s *Server) CreateTenant(tc TenantConfig) (*Tenant, error) {
 		cShed:     s.metrics.Counter(fmt.Sprintf("serve.tenant.%d.shed", id)),
 		cBrowned:  s.metrics.Counter(fmt.Sprintf("serve.tenant.%d.browned_out", id)),
 		cCircuit:  s.metrics.Counter(fmt.Sprintf("serve.tenant.%d.circuit_open", id)),
+		cPartition: s.metrics.Counter(
+			fmt.Sprintf("serve.tenant.%d.partition.errors", id)),
 	}
 	depth := s.cfg.TenantSlots + s.cfg.QueueDepth + 2
 	for r := range t.ops {
@@ -297,6 +308,9 @@ func (s *Server) CreateTenant(tc TenantConfig) (*Tenant, error) {
 	}
 	if tc.Health != nil {
 		opts = append(opts, mpi.WithHealth(*tc.Health))
+	}
+	if tc.Partition != nil {
+		opts = append(opts, mpi.WithPartitionDetector(*tc.Partition))
 	}
 	t.world = mpi.NewWorld(b, opts...)
 	if at := t.world.Autotuner(); at != nil {
@@ -599,6 +613,11 @@ func (t *Tenant) runOp(op *tenantOp, p *mpi.Proc, cur *mpi.Comm) (rankDone, *mpi
 			if fault.IsCrashed(err) {
 				return rankDone{excluded: true, crashed: true}, cur
 			}
+			if partition.IsPartition(err) || partition.IsFenced(err) {
+				// A fenced minority rank must not try to shrink: it is out
+				// of the membership for good.
+				return t.classify(p, err), cur
+			}
 			if !mpi.IsRankFailure(err) && !mpi.IsCorruption(err) && !mpi.IsHang(err) {
 				return rankDone{err: err}, cur
 			}
@@ -620,6 +639,20 @@ func (t *Tenant) runOp(op *tenantOp, p *mpi.Proc, cur *mpi.Comm) (rankDone, *mpi
 // (hangs above all) is a real failure, charged to the tenant's breaker.
 func (t *Tenant) classify(p *mpi.Proc, err error) rankDone {
 	if fault.IsCrashed(err) {
+		return rankDone{excluded: true, crashed: true}
+	}
+	// Partition before the Failed() scan: a fenced minority rank is ALSO
+	// marked failed by the majority's quorum decision, and the more
+	// specific classification must win so the isolation counters see it.
+	if partition.IsPartition(err) || partition.IsFenced(err) {
+		// The rank's island lost the quorum decision: it is permanently
+		// out of the membership (fenced at the transport boundary), and
+		// the op itself completes on the majority component. Isolation
+		// accounting, not tenant health.
+		t.cPartition.Add(1)
+		t.srv.metrics.Counter("serve.partition_errors").Add(1)
+		t.srv.metrics.Gauge(fmt.Sprintf("serve.tenant.%d.partition.epoch", t.id)).
+			Set(float64(t.world.PartitionEpoch()))
 		return rankDone{excluded: true, crashed: true}
 	}
 	for _, r := range t.world.Failed() {
@@ -679,19 +712,22 @@ func (t *Tenant) Free() error {
 
 // TenantSnapshot is one tenant's stats.
 type TenantSnapshot struct {
-	ID           uint64
-	Name         string
-	Admitted     int64
-	Shed         int64
-	BrownedOut   int64
-	CircuitOpen  int64
-	Breaker      string // "closed" | "open" | "half-open"
-	InFlight     int
-	Queued       int
-	PlanHits     int64
-	PlanMisses   int64
-	PlanResident int
-	Failed       []int // dead world ranks in the tenant's world
+	ID              uint64
+	Name            string
+	Admitted        int64
+	Shed            int64
+	BrownedOut      int64
+	CircuitOpen     int64
+	Breaker         string // "closed" | "open" | "half-open"
+	InFlight        int
+	Queued          int
+	PlanHits        int64
+	PlanMisses      int64
+	PlanResident    int
+	Failed          []int // dead world ranks in the tenant's world
+	Fenced          []int // world ranks fenced by quorum decisions
+	PartitionErrors int64
+	PartitionEpoch  int64
 }
 
 // Stats is a server-wide snapshot.
@@ -737,10 +773,46 @@ func (s *Server) Stats() Stats {
 			Breaker:     t.brk.state(),
 			InFlight:    inFlight, Queued: queued,
 			PlanHits: pc.Hits, PlanMisses: pc.Misses, PlanResident: pc.Resident,
-			Failed: t.world.Failed(),
+			Failed:          t.world.Failed(),
+			Fenced:          t.world.FencedRanks(),
+			PartitionErrors: t.cPartition.Load(),
+			PartitionEpoch:  t.world.PartitionEpoch(),
 		})
 	}
 	return st
+}
+
+// Partitioned reports whether the tenant's world lost quorum outright:
+// a quorum decision ran and NO component survived (e.g. a three-way
+// split). Such a tenant can never complete another op — every rank is
+// in a minority — and should be reaped.
+func (t *Tenant) Partitioned() bool {
+	v := t.world.PartitionVerdict()
+	return v != nil && v.Winner == nil
+}
+
+// ReapPartitioned frees every tenant whose world lost quorum outright,
+// releasing its admission slice, plan-cache entries and metrics exactly
+// as Free does, and returns the reaped tenants' names sorted. Tenants
+// that kept a majority component are NOT reaped — they continue on the
+// surviving membership.
+func (s *Server) ReapPartitioned() []string {
+	s.mu.Lock()
+	var doomed []*Tenant
+	for _, t := range s.tenants {
+		if t.Partitioned() {
+			doomed = append(doomed, t)
+		}
+	}
+	s.mu.Unlock()
+	names := make([]string, 0, len(doomed))
+	for _, t := range doomed {
+		names = append(names, t.name)
+		s.metrics.Counter("serve.partition_reaped").Add(1)
+		t.Free()
+	}
+	sort.Strings(names)
+	return names
 }
 
 // TenantCount returns the number of live tenants.

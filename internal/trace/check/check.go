@@ -23,6 +23,7 @@ package check
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"distcoll/internal/core"
@@ -417,7 +418,116 @@ func VerifyMetrics(mx *trace.Metrics, events []trace.Event) *Report {
 		r.info("recovery: %d delta repairs (%d chunks re-pulled, %d bytes saved), %d restarts, %d in-place retries",
 			repairs, chunks, saved, restarts, retries)
 	}
+
+	// Partition accounting: every quorum decision emits one KindPartition
+	// event and every refused stale-epoch transfer one KindFence event, so
+	// the counters must reconstruct exactly from the stream.
+	partEvents := int64(len(trace.Filter(events, trace.KindPartition)))
+	if got := mx.Counter("partition.decisions").Load(); got != partEvents {
+		r.violate("partition.decisions = %d, traced partition events count %d", got, partEvents)
+	}
+	fenceEvents := int64(len(trace.Filter(events, trace.KindFence)))
+	if got := mx.Counter("partition.fenced").Load(); got != fenceEvents {
+		r.violate("partition.fenced = %d, traced fence events count %d", got, fenceEvents)
+	}
+	if partEvents > 0 {
+		r.info("partition: %d quorum decisions, %d fenced transfers, %d probes, epoch %d",
+			partEvents, fenceEvents, mx.Counter("partition.probes").Load(),
+			int64(mx.Gauge("partition.epoch").Load()))
+	}
 	return r
+}
+
+// VerifyPartition checks the partition-tolerance invariants an event
+// stream must satisfy: partition epochs are strictly monotone, at most
+// one component survives each decision, no copy ever crosses a decided
+// partition boundary after the decision (the fence holds), and fence
+// events only ever name ranks outside the surviving component.
+func VerifyPartition(events []trace.Event) *Report {
+	r := &Report{Op: "partition"}
+	decisions := trace.Filter(events, trace.KindPartition)
+	if len(decisions) == 0 {
+		r.info("no partition decisions in trace")
+		return r
+	}
+
+	// Epoch monotonicity: each decision's epoch strictly exceeds the last.
+	last := int64(0)
+	for _, e := range decisions {
+		epoch := int64(e.Chunk)
+		if epoch <= last {
+			r.violate("partition epoch %d at t=%d does not exceed prior epoch %d (epochs must be strictly monotone)",
+				epoch, e.T, last)
+		}
+		last = epoch
+	}
+
+	// Boundary integrity: once a decision names a surviving component,
+	// the minority is fenced forever — no later copy may cross the
+	// boundary, even after the injected network heals.
+	crossings := 0
+	for _, d := range decisions {
+		winner, ok := parseWinner(d.Det)
+		if !ok {
+			r.violate("partition event at epoch %d has unparseable detail %q", d.Chunk, d.Det)
+			continue
+		}
+		if len(winner) == 0 {
+			r.info("epoch %d: total quorum loss, no surviving component", d.Chunk)
+			continue
+		}
+		in := make(map[int]bool, len(winner))
+		for _, m := range winner {
+			in[m] = true
+		}
+		for _, c := range trace.Filter(events, trace.KindCopy) {
+			if c.T <= d.T || c.Src == c.Dst {
+				continue
+			}
+			if in[c.Src] != in[c.Dst] {
+				crossings++
+				r.violate("copy %d→%d at t=%d crosses the epoch-%d partition boundary (winner %v) after the decision",
+					c.Src, c.Dst, c.T, d.Chunk, winner)
+			}
+		}
+		for _, f := range trace.Filter(events, trace.KindFence) {
+			if f.T >= d.T && int64(f.Chunk) == int64(d.Chunk) && in[f.Rank] {
+				r.violate("fence event at epoch %d names rank %d, which is inside the surviving component %v",
+					f.Chunk, f.Rank, winner)
+			}
+		}
+		r.info("epoch %d: winner %v, boundary holds over %d copies",
+			d.Chunk, winner, len(trace.Filter(events, trace.KindCopy)))
+	}
+	if crossings == 0 {
+		r.info("%d decisions, epochs strictly monotone, no cross-boundary copy after any decision", len(decisions))
+	}
+	return r
+}
+
+// parseWinner extracts the surviving component from a partition event's
+// verdict detail ("epoch=N comps=[[...] [...]] winner=[a b c] total=M").
+// An empty winner ("winner=[]") parses to an empty, non-nil slice.
+func parseWinner(det string) ([]int, bool) {
+	const key = "winner=["
+	i := strings.Index(det, key)
+	if i < 0 {
+		return nil, false
+	}
+	rest := det[i+len(key):]
+	j := strings.IndexByte(rest, ']')
+	if j < 0 {
+		return nil, false
+	}
+	winner := []int{}
+	for _, f := range strings.Fields(rest[:j]) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, false
+		}
+		winner = append(winner, v)
+	}
+	return winner, true
 }
 
 // primWeight computes the minimum-spanning-tree weight of the complete

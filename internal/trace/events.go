@@ -67,6 +67,14 @@ const (
 	KindFailure Kind = "failure"
 	// KindWatchdog is a watchdog deadline firing on a blocked rank.
 	KindWatchdog Kind = "watchdog"
+	// KindPartition is one quorum decision by the partition detector:
+	// Chunk holds the new partition epoch and Det the verdict (connected
+	// components, winner, quorum math). Exactly one event per epoch.
+	KindPartition Kind = "partition"
+	// KindFence is stale-epoch traffic rejected at the transport
+	// boundary: Rank is the fenced caller, Chunk the epoch it was fenced
+	// at, Det the refused operation.
+	KindFence Kind = "fence"
 )
 
 // Event is one structured trace record. Every field is always serialized,
@@ -387,4 +395,41 @@ func (t *Tracer) Watchdog(rank int, detail string) {
 	e.Rank, e.Det = rank, detail
 	t.metrics.Counter("watchdog.fires").Add(1)
 	t.emit(e)
+}
+
+// Partition records one quorum decision establishing partition epoch:
+// detail carries the verdict (components, winner, quorum math). Feeds
+// the partition.decisions counter and the partition.epoch gauge — the
+// gauge tracks the highest epoch decided, so counters and events can be
+// cross-checked for epoch monotonicity.
+func (t *Tracer) Partition(epoch int64, detail string) {
+	if t == nil {
+		return
+	}
+	e := blank(KindPartition)
+	e.Chunk, e.Det = int(epoch), detail
+	t.metrics.Counter("partition.decisions").Add(1)
+	t.metrics.Gauge("partition.epoch").Set(float64(epoch))
+	t.emit(e)
+}
+
+// Fence records stale-epoch traffic from a fenced rank refused at the
+// transport boundary; detail names the refused operation.
+func (t *Tracer) Fence(rank int, epoch int64, detail string) {
+	if t == nil {
+		return
+	}
+	e := blank(KindFence)
+	e.Rank, e.Chunk, e.Det = rank, int(epoch), detail
+	t.metrics.Counter("partition.fenced").Add(1)
+	t.emit(e)
+}
+
+// PartitionProbe counts one reachability probe transfer (no event:
+// probes are chatty and carry no schedule information).
+func (t *Tracer) PartitionProbe() {
+	if t == nil {
+		return
+	}
+	t.metrics.Counter("partition.probes").Add(1)
 }
